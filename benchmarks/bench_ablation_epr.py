@@ -1,0 +1,131 @@
+"""Ablation: EPR generation bandwidth and distributed global memory
+(Section 2.3 + the paper's stated future work).
+
+Two sweeps on a single benchmark's schedules:
+
+* generation-rate sweep — how fast must the global memory mint EPR
+  pairs for distribution to stay masked, and what do slower rates cost
+  (``plan_epr_distribution``);
+* bank-count sweep under a fixed per-channel bandwidth — distributing
+  the global memory spreads channel load and removes serialization
+  rounds (``numa_runtime``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arch.epr_schedule import plan_epr_distribution
+from repro.arch.machine import MultiSIMD
+from repro.arch.numa import NUMAConfig, numa_runtime
+from repro.benchmarks import BENCHMARKS
+from repro.core.dag import DependenceDAG
+from repro.passes.decompose import decompose_program
+from repro.passes.flatten import flatten_program
+from repro.sched.comm import derive_movement
+from repro.sched.lpfs import schedule_lpfs
+from repro.sched.rcp import schedule_rcp
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+
+from figdata import print_table
+
+KEY = "Grovers"
+K = 4
+RATES = (0.1, 0.25, 0.5, 1.0, math.inf)
+BANKS = (1, 2, 4)
+CHANNEL_BW = math.inf
+BANK_EGRESS = 2.0
+
+
+def _biggest_leaf_schedule():
+    spec = BENCHMARKS[KEY]
+    prog = flatten_program(
+        decompose_program(spec.build()), fth=spec.fth
+    ).program
+    biggest = max(prog.leaf_modules(), key=lambda m: m.direct_gate_count)
+    sched = schedule_lpfs(DependenceDAG(list(biggest.body)), k=K)
+    derive_movement(sched, MultiSIMD(k=K))
+    return sched
+
+
+def _churn_schedule():
+    """A spread-traffic workload (RCP across 4 regions): the case the
+    paper's future-work NUMA memory is for. LPFS output concentrates
+    traffic so thoroughly that a centralized memory stays competitive
+    on it."""
+    qs = [Qubit("w", i) for i in range(8)]
+    ops = []
+    for i in range(4):
+        ops.append(
+            Operation("CNOT", (qs[2 * (i % 2)], qs[2 * (i % 2) + 1]))
+        )
+        ops.append(Operation("H", (qs[4 + i % 4],)))
+    sched = schedule_rcp(DependenceDAG(ops), k=K)
+    derive_movement(sched, MultiSIMD(k=K))
+    return sched
+
+
+def _compute():
+    sched = _biggest_leaf_schedule()
+    rate_rows = []
+    for rate in RATES:
+        plan = plan_epr_distribution(sched, rate=rate)
+        rate_rows.append(
+            (
+                "inf" if math.isinf(rate) else f"{rate:g}",
+                plan.stall_cycles,
+                plan.runtime,
+                plan.peak_buffer,
+            )
+        )
+    masking = plan_epr_distribution(sched).min_masking_rate
+    churn = _churn_schedule()
+    numa_rows = []
+    for banks in BANKS:
+        stats = numa_runtime(
+            churn,
+            NUMAConfig(
+                banks=banks,
+                channel_bandwidth=CHANNEL_BW,
+                bank_egress=BANK_EGRESS,
+            ),
+        )
+        numa_rows.append(
+            (banks, stats.teleport_rounds, stats.runtime,
+             f"{stats.peak_channel_load:g}")
+        )
+    return rate_rows, masking, numa_rows
+
+
+@pytest.mark.benchmark(group="ablation-epr")
+def test_ablation_epr_bandwidth(benchmark):
+    rate_rows, masking, numa_rows = benchmark.pedantic(
+        _compute, rounds=1, iterations=1
+    )
+    print_table(
+        f"Ablation — EPR generation rate ({KEY} biggest leaf, k={K})",
+        ["rate (pairs/cyc)", "stall cycles", "runtime", "peak buffer"],
+        rate_rows,
+        note=f"minimum masking rate: {masking:.3f} pairs/cycle",
+    )
+    print_table(
+        f"Ablation — distributed global memory (bank egress = "
+        f"{BANK_EGRESS:g} units/round, spread RCP traffic)",
+        ["banks", "teleport rounds", "runtime", "peak channel load"],
+        numa_rows,
+        note=(
+            "Splitting global memory into banks spreads EPR channel "
+            "load (the paper's future-work NUMA direction)."
+        ),
+    )
+    stalls = [r[1] for r in rate_rows]
+    for a, b in zip(stalls, stalls[1:]):
+        assert b <= a  # faster generation never stalls more
+    assert stalls[-1] == 0
+    loads = [float(r[3]) for r in numa_rows]
+    assert loads[-1] <= loads[0]  # banks reduce peak channel load
+    runtimes = [r[2] for r in numa_rows]
+    assert runtimes[-1] <= runtimes[0]  # egress relief pays off

@@ -1,0 +1,79 @@
+"""Ablation: the Flattening Threshold (Section 3.1.1).
+
+Larger FTh -> bigger leaves -> better fine-grained schedules but more
+scheduling work; FTh = 0 keeps everything modular and serializes
+blackboxes at call boundaries. The paper picked 2M ops (3M for SHA-1)
+to flatten >= 80% of modules. We sweep FTh on two benchmarks and
+report schedule quality against compile time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.benchmarks import BENCHMARKS
+from repro.toolflow import SchedulerConfig, compile_and_schedule
+
+from figdata import print_table
+
+FTH_VALUES = (0, 64, 512, 4096, 2 ** 22)
+KEYS = ("GSE", "Grovers")
+
+
+def _compute():
+    data = {}
+    for key in KEYS:
+        prog = BENCHMARKS[key].build()
+        for fth in FTH_VALUES:
+            start = time.perf_counter()
+            r = compile_and_schedule(
+                prog,
+                MultiSIMD(k=4),
+                SchedulerConfig("lpfs"),
+                fth=fth,
+            )
+            elapsed = time.perf_counter() - start
+            data[(key, fth)] = (
+                r.schedule_length,
+                r.flattened_percent,
+                elapsed,
+            )
+    return data
+
+
+@pytest.mark.benchmark(group="ablation-fth")
+def test_ablation_flattening_threshold(benchmark):
+    data = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for key in KEYS:
+        for fth in FTH_VALUES:
+            length, pct, elapsed = data[(key, fth)]
+            rows.append(
+                [
+                    key,
+                    f"{fth:,}",
+                    f"{length:,}",
+                    f"{pct:.0f}%",
+                    f"{elapsed * 1000:.0f} ms",
+                ]
+            )
+    print_table(
+        "Ablation — flattening threshold sweep (Multi-SIMD(4, inf), "
+        "LPFS)",
+        ["benchmark", "FTh", "sched length", "% leaves", "compile time"],
+        rows,
+        note=(
+            "Paper (Sec 3.1.1): larger leaves schedule better but cost "
+            "more analysis; FTh balances the two."
+        ),
+    )
+    for key in KEYS:
+        lengths = [data[(key, fth)][0] for fth in FTH_VALUES]
+        # Quality is monotone (more flattening never lengthens).
+        for a, b in zip(lengths, lengths[1:]):
+            assert b <= a * 1.01, (key, lengths)
+        # And flattening strictly helps somewhere in the sweep.
+        assert lengths[-1] < lengths[0], key

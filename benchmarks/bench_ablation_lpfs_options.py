@@ -1,0 +1,85 @@
+"""Ablation: LPFS's l / SIMD / Refill options (Section 4.2).
+
+The paper runs LPFS with l = 1 and both SIMD and Refill enabled. This
+ablation quantifies what each option buys: SIMD fill recovers the
+data parallelism a pinned region would otherwise waste, Refill keeps a
+region busy after its path drains, and l > 1 dedicates more regions to
+serial chains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.benchmarks import BENCHMARKS
+from repro.core.dag import DependenceDAG
+from repro.passes.decompose import decompose_program
+from repro.passes.flatten import flatten_program
+from repro.sched.comm import derive_movement
+from repro.sched.lpfs import schedule_lpfs
+
+from figdata import print_table
+
+CONFIGS = [
+    ("l=1 simd+refill (paper)", dict(l=1, simd=True, refill=True)),
+    ("l=1 simd only", dict(l=1, simd=True, refill=False)),
+    ("l=1 refill only", dict(l=1, simd=False, refill=True)),
+    ("l=1 bare", dict(l=1, simd=False, refill=False)),
+    ("l=2 simd+refill", dict(l=2, simd=True, refill=True)),
+]
+KEYS = ("Grovers", "GSE")
+K = 4
+
+
+def _leaf_dags(key):
+    spec = BENCHMARKS[key]
+    prog = flatten_program(
+        decompose_program(spec.build()), fth=spec.fth
+    ).program
+    dags = []
+    for mod in prog.leaf_modules():
+        if mod.name in prog.reachable() and mod.direct_gate_count > 50:
+            dags.append((mod.name, DependenceDAG(list(mod.body))))
+    return dags
+
+
+def _compute():
+    data = {}
+    for key in KEYS:
+        for label, opts in CONFIGS:
+            total_len = 0
+            total_runtime = 0
+            for _name, dag in _leaf_dags(key):
+                sched = schedule_lpfs(dag, k=K, **opts)
+                sched.validate()
+                stats = derive_movement(sched, MultiSIMD(k=K))
+                total_len += sched.length
+                total_runtime += stats.runtime
+            data[(key, label)] = (total_len, total_runtime)
+    return data
+
+
+@pytest.mark.benchmark(group="ablation-lpfs")
+def test_ablation_lpfs_options(benchmark):
+    data = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for key in KEYS:
+        for label, _ in CONFIGS:
+            length, runtime = data[(key, label)]
+            rows.append([key, label, f"{length:,}", f"{runtime:,}"])
+    print_table(
+        "Ablation — LPFS options on the largest leaf modules (k=4, "
+        "summed over leaves)",
+        ["benchmark", "configuration", "sched length", "comm runtime"],
+        rows,
+        note=(
+            "The paper's configuration (l=1, SIMD+Refill) should be at "
+            "or near the best schedule length; disabling SIMD hurts "
+            "most on data-parallel leaves."
+        ),
+    )
+    for key in KEYS:
+        paper_len = data[(key, CONFIGS[0][0])][0]
+        bare_len = data[(key, "l=1 bare")][0]
+        assert paper_len <= bare_len, key

@@ -1,0 +1,61 @@
+"""Figure 6: logical parallelism — speedup over sequential execution
+with zero-cost communication, against the estimated critical path.
+
+Paper's findings this bench checks for:
+* all benchmarks except Shor's reach near-theoretical (critical-path)
+  speedup by k = 4;
+* RCP <= LPFS on most benchmarks, with TFP the counterexample.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figdata import ALGORITHMS, benchmark_names, compile_benchmark, print_table
+
+
+def _compute():
+    data = {}
+    for key in benchmark_names():
+        for alg in ALGORITHMS:
+            for k in (2, 4):
+                r = compile_benchmark(key, alg, k=k)
+                data[(key, alg, k)] = r.parallel_speedup
+        data[(key, "cp")] = compile_benchmark(key, "lpfs", k=4).cp_speedup
+    return data
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_parallelism_speedup(benchmark):
+    data = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for key in benchmark_names():
+        rows.append(
+            [
+                key,
+                f"{data[(key, 'rcp', 2)]:.2f}",
+                f"{data[(key, 'rcp', 4)]:.2f}",
+                f"{data[(key, 'lpfs', 2)]:.2f}",
+                f"{data[(key, 'lpfs', 4)]:.2f}",
+                f"{data[(key, 'cp')]:.2f}",
+            ]
+        )
+    print_table(
+        "Figure 6 — speedup over sequential execution (zero-cost comm)",
+        ["benchmark", "rcp k=2", "rcp k=4", "lpfs k=2", "lpfs k=4",
+         "critical path"],
+        rows,
+        note=(
+            "Paper shape: near-CP speedup by k=4 for all benchmarks "
+            "except Shor's; LPFS >= RCP except on TFP."
+        ),
+    )
+    near_cp = 0
+    for key in benchmark_names():
+        best = max(
+            data[(key, alg, 4)] for alg in ALGORITHMS
+        )
+        if best >= 0.9 * data[(key, "cp")]:
+            near_cp += 1
+    # Most benchmarks reach near-theoretical speedup at k = 4.
+    assert near_cp >= 6, f"only {near_cp}/8 near critical path"

@@ -1,0 +1,79 @@
+"""Figure 8: local scratchpad memories on Multi-SIMD(4, inf).
+
+For each benchmark, the scratchpad capacity is swept over none, Q/4,
+Q/2 and infinite, where Q is Table 1's minimum qubit count.
+
+Paper's findings this bench checks for:
+* speedups grow monotonically with capacity;
+* LPFS benefits at least as much as RCP on most benchmarks (local
+  memories amplify the locality LPFS creates, Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from figdata import (
+    ALGORITHMS,
+    benchmark_names,
+    compile_benchmark,
+    min_qubits,
+    print_table,
+)
+
+CAPS = ("none", "Q/4", "Q/2", "inf")
+
+
+def _capacity(label: str, q: int):
+    return {"none": None, "Q/4": q / 4, "Q/2": q / 2, "inf": math.inf}[label]
+
+
+def _compute():
+    data = {}
+    for key in benchmark_names():
+        q = min_qubits(key)
+        for alg in ALGORITHMS:
+            for cap in CAPS:
+                r = compile_benchmark(
+                    key, alg, k=4, local=_capacity(cap, q)
+                )
+                data[(key, alg, cap)] = r.comm_aware_speedup
+    return data
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_local_memory_speedup(benchmark):
+    data = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for key in benchmark_names():
+        for alg in ALGORITHMS:
+            rows.append(
+                [key if alg == "rcp" else "", alg]
+                + [f"{data[(key, alg, cap)]:.2f}" for cap in CAPS]
+            )
+    print_table(
+        "Figure 8 — speedup vs naive movement, Multi-SIMD(4, inf), "
+        "local memory swept",
+        ["benchmark", "sched", "no local", "Q/4", "Q/2", "inf"],
+        rows,
+        note=(
+            "Paper shape: monotone in capacity; LPFS benefits more "
+            "than RCP; largest absolute speedup on SHA-1 (9.82x in the "
+            "paper)."
+        ),
+    )
+    # Monotonicity in capacity for every benchmark/scheduler.
+    for key in benchmark_names():
+        for alg in ALGORITHMS:
+            series = [data[(key, alg, cap)] for cap in CAPS]
+            for a, b in zip(series, series[1:]):
+                assert b >= a - 0.15, (key, alg, series)
+    # Local memory delivers real gains somewhere (paper: up to 64%).
+    best_gain = max(
+        data[(key, alg, "inf")] / data[(key, alg, "none")]
+        for key in benchmark_names()
+        for alg in ALGORITHMS
+    )
+    assert best_gain > 1.25

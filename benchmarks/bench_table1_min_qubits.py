@@ -1,0 +1,64 @@
+"""Table 1: the minimum number of qubits Q required by each benchmark,
+computed with sequential execution and maximal ancilla reuse.
+
+We print Q for the reproduction instances next to the paper's values
+for its (much larger) parameterisations. Absolute values differ with
+problem size; the shape checks are relative: SHA-1 and CN are the
+qubit-hungriest (CTQG arithmetic registers), GSE is tiny.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import BENCHMARKS
+
+from figdata import benchmark_names, min_qubits, print_table
+
+PAPER_Q = {
+    "BF": 1895,
+    "BWT": 2719,
+    "CN": 60126,
+    "Grovers": 120,
+    "GSE": 13,
+    "SHA-1": 472746,
+    "Shors": 5634,
+    "TFP": 176,
+}
+
+
+def _compute():
+    return {key: min_qubits(key) for key in benchmark_names()}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_minimum_qubits(benchmark):
+    ours = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    rows = []
+    for key in benchmark_names():
+        spec = BENCHMARKS[key]
+        rows.append(
+            [
+                spec.title,
+                PAPER_Q[key],
+                f"{ours[key]} ({_fmt(spec.repro_params)})",
+            ]
+        )
+    print_table(
+        "Table 1 — minimum qubits Q (sequential, max ancilla reuse)",
+        ["benchmark (paper params)", "paper Q", "repro Q (repro params)"],
+        rows,
+        note=(
+            "Absolute Q scales with problem size; the reproduction runs "
+            "reduced instances. Shape: CTQG-arithmetic benchmarks "
+            "(SHA-1, CN) need the most qubits; GSE the fewest."
+        ),
+    )
+    assert all(q > 0 for q in ours.values())
+    # Shape: SHA-1 tops the table, GSE is at the bottom.
+    assert ours["SHA-1"] == max(ours.values())
+    assert ours["GSE"] <= min(ours[k] for k in ("SHA-1", "CN", "BWT"))
+
+
+def _fmt(params):
+    return ", ".join(f"{k}={v}" for k, v in params.items())

@@ -1,0 +1,99 @@
+"""EPR-pair logistics: generation rate, buffering, and distributed
+global memory.
+
+Teleportation's constant latency relies on EPR pairs being
+pre-distributed (paper Section 2.3). This example plans that
+pre-distribution for a real benchmark schedule: how fast must the
+global memory mint pairs, how much buffering do the endpoints need,
+and how much does splitting the memory into banks (the paper's
+future-work NUMA direction) relieve channel pressure?
+
+Run:  python examples/epr_bandwidth.py
+"""
+
+import math
+
+from repro import MultiSIMD, NUMAConfig, numa_runtime, plan_epr_distribution
+from repro.benchmarks import build_grovers
+from repro.core.dag import DependenceDAG
+from repro.passes import decompose_program, flatten_program
+from repro.sched import derive_movement, schedule_lpfs, schedule_rcp
+from repro.sched.report import render_coarse_gantt  # noqa: F401  (API tour)
+
+
+def main() -> None:
+    # Compile one leaf of Grover's and derive its movement.
+    prog = flatten_program(
+        decompose_program(build_grovers(n=8, iterations=12)), fth=2048
+    ).program
+    leaf = max(prog.leaf_modules(), key=lambda m: m.direct_gate_count)
+    sched = schedule_lpfs(DependenceDAG(list(leaf.body)), k=4)
+    stats = derive_movement(sched, MultiSIMD(k=4))
+    print(f"leaf {leaf.name!r}: {sched.length} cycles, "
+          f"{stats.teleports} teleports over "
+          f"{stats.teleport_epochs} epochs\n")
+
+    # --- generation-rate sweep ----------------------------------------
+    ideal = plan_epr_distribution(sched)
+    print(f"pairs consumed:      {ideal.total_pairs}")
+    print(f"pre-staged pairs:    {ideal.prestage_pairs}")
+    print(f"min masking rate:    {ideal.min_masking_rate:.3f} pairs/cycle\n")
+    print(f"{'rate':>8} {'stalls':>8} {'runtime':>9} {'buffer':>8}")
+    for rate in (0.1, 0.25, 0.5, 1.0, math.inf):
+        plan = plan_epr_distribution(sched, rate=rate)
+        label = "inf" if math.isinf(rate) else f"{rate:g}"
+        print(f"{label:>8} {plan.stall_cycles:>8} {plan.runtime:>9} "
+              f"{plan.peak_buffer:>8}")
+
+    # --- distributed global memory --------------------------------------
+    # On LPFS output this leaf's traffic concentrates in one or two
+    # regions, so splitting the memory buys little and the distance
+    # derating can even cost rounds — NUMA pays off when traffic is
+    # spread. Demonstrate both cases.
+    print(f"\ndistributed memory (leaf {leaf.name!r}, bank egress = "
+          f"2 pairs/round):")
+    print(f"{'banks':>6} {'rounds':>7} {'runtime':>9} {'peak load':>10}")
+    for banks in (1, 2, 4):
+        numa = numa_runtime(
+            sched, NUMAConfig(banks=banks, bank_egress=2.0)
+        )
+        print(f"{banks:>6} {numa.teleport_rounds:>7} "
+              f"{numa.runtime:>9} {numa.peak_channel_load:>10g}")
+
+    # Synthetic spread-traffic workload: independent CNOT groups churn
+    # across all four regions.
+    from repro.core.operation import Operation
+    from repro.core.qubits import Qubit
+
+    qs = [Qubit("w", i) for i in range(8)]
+    churn = []
+    for i in range(4):
+        churn.append(
+            Operation("CNOT", (qs[2 * (i % 2)], qs[2 * (i % 2) + 1]))
+        )
+        churn.append(Operation("H", (qs[4 + i % 4],)))
+    # RCP spreads these groups across regions; LPFS would re-pin them.
+    spread = schedule_rcp(DependenceDAG(churn), k=4)
+    derive_movement(spread, MultiSIMD(k=4))
+    print("\ndistributed memory, spread traffic (synthetic churn, "
+          "bank egress = 2 pairs/round):")
+    print(f"{'banks':>6} {'rounds':>7} {'runtime':>9} {'peak load':>10}")
+    for banks in (1, 2, 4):
+        numa = numa_runtime(
+            spread, NUMAConfig(banks=banks, bank_egress=2.0)
+        )
+        print(f"{banks:>6} {numa.teleport_rounds:>7} "
+              f"{numa.runtime:>9} {numa.peak_channel_load:>10g}")
+    print(
+        "\nA single global memory is a single EPR generation site: its"
+        "\negress serialises heavy epochs, and banks multiply the"
+        "\naggregate generation bandwidth — the payoff the paper"
+        "\nanticipates from its future-work NUMA design. Note the"
+        "\ninteraction with LPFS: by pinning chains, LPFS concentrates"
+        "\ntraffic so well that the centralized memory stays"
+        "\ncompetitive (first table); NUMA pays on spread traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

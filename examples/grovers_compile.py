@@ -1,0 +1,61 @@
+"""Compile Grover's search end-to-end and explore the machine space.
+
+Shows the full toolflow on a real benchmark: resource estimation at
+paper scale (never unrolled), then scheduling a reduced instance across
+schedulers, region counts, and scratchpad capacities.
+
+Run:  python examples/grovers_compile.py
+"""
+
+import math
+
+from repro import (
+    MultiSIMD,
+    SchedulerConfig,
+    compile_and_schedule,
+    estimate_resources,
+    minimum_qubits,
+)
+from repro.benchmarks import build_grovers, grover_iteration_count
+
+
+def main() -> None:
+    # --- paper-scale resource estimation (hierarchical, instant) -------
+    big = build_grovers(n=30)
+    est = estimate_resources(big)
+    print("Grover's n=30 (paper-scale estimate, never unrolled):")
+    print(f"  Grover iterations: {grover_iteration_count(30):,}")
+    print(f"  total gates:       {est.total_gates:,}")
+    print(f"  modules:           {len(est.module_totals)}")
+
+    # --- reduced instance for actual scheduling --------------------------
+    prog = build_grovers(n=8, iterations=12)
+    q = minimum_qubits(prog)
+    print(f"\nGrover's n=8 (reproduction instance), Q = {q} qubits")
+
+    print(f"\n{'scheduler':<10} {'k':>3} {'local mem':>10} "
+          f"{'runtime':>9} {'speedup':>8}")
+    for alg in ("rcp", "lpfs"):
+        for k in (2, 4):
+            for cap, label in ((None, "none"), (q / 2, "Q/2"),
+                               (math.inf, "inf")):
+                result = compile_and_schedule(
+                    prog,
+                    MultiSIMD(k=k, local_memory=cap),
+                    SchedulerConfig(alg),
+                    fth=2048,
+                )
+                print(
+                    f"{alg:<10} {k:>3} {label:>10} "
+                    f"{result.runtime:>9,} "
+                    f"{result.comm_aware_speedup:>7.2f}x"
+                )
+    print(
+        "\nGrover's is mostly serial (critical-path speedup ~1.6x), so"
+        "\nparallelism buys little — but scratchpads remove the eviction"
+        "\nteleports of its Toffoli-cascade oracles."
+    )
+
+
+if __name__ == "__main__":
+    main()

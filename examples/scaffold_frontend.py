@@ -1,0 +1,65 @@
+"""Compile a program written in the Scaffold dialect.
+
+The paper's input language is Scaffold, a C-like quantum language; this
+example writes Shor's-style period finding directly in our Scaffold
+dialect, parses it, and runs the full toolflow — source text to
+Multi-SIMD schedule.
+
+Run:  python examples/scaffold_frontend.py
+"""
+
+from repro import (
+    MultiSIMD,
+    SchedulerConfig,
+    compile_and_schedule,
+    parse_scaffold,
+)
+
+SOURCE = """
+// A toy period-finding kernel in the Scaffold dialect.
+module phase_kick ( qbit c, qbit t ) {
+    CRz(c, t, pi / 4);
+}
+
+module controlled_step ( qbit c, qreg tgt[4] ) {
+    for i in 0 .. 3 {
+        phase_kick(c, tgt[i]);
+    }
+    CNOT(tgt[0], tgt[1]);
+    CNOT(tgt[2], tgt[3]);
+}
+
+module main ( ) {
+    qreg ctl[4];
+    qreg tgt[4];
+    for i in 0 .. 3 { H(ctl[i]); }
+    X(tgt[0]);
+    for i in 0 .. 3 {
+        repeat 8 { controlled_step(ctl[i], tgt[0], tgt[1], tgt[2], tgt[3]); }
+    }
+    for i in 0 .. 3 { MeasZ(ctl[i]); }
+}
+"""
+
+
+def main() -> None:
+    program = parse_scaffold(SOURCE)
+    print(f"parsed {len(program.modules)} modules; "
+          f"entry = {program.entry!r}")
+    for alg in ("rcp", "lpfs"):
+        result = compile_and_schedule(
+            program,
+            MultiSIMD(k=4, local_memory=8),
+            SchedulerConfig(alg),
+            fth=4096,
+        )
+        print(
+            f"{alg:4s}: {result.total_gates:,} gates -> "
+            f"{result.schedule_length:,} cycles "
+            f"(runtime {result.runtime:,}, "
+            f"speedup {result.comm_aware_speedup:.2f}x vs naive)"
+        )
+
+
+if __name__ == "__main__":
+    main()

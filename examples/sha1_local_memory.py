@@ -1,0 +1,58 @@
+"""SHA-1 and local scratchpad memories (the paper's Figure 8 headline).
+
+The SHA-1 preimage oracle is pure CTQG arithmetic: ripple-carry adder
+chains that cycle through a sliding window of qubits. Without local
+memories, every qubit that idles for one timestep inside an active
+region pays a 4-cycle teleport to global memory and back; scratchpads
+turn those round trips into 1-cycle ballistic moves. SHA-1 shows the
+paper's largest local-memory speedup (9.82x overall).
+
+Run:  python examples/sha1_local_memory.py
+"""
+
+import math
+
+from repro import MultiSIMD, SchedulerConfig, compile_and_schedule
+from repro.benchmarks import build_sha1
+from repro.passes import minimum_qubits
+
+
+def main() -> None:
+    prog = build_sha1(n=32, word_bits=8, rounds=8,
+                      grover_iterations=2 ** 16)
+    q = minimum_qubits(prog)
+    print(f"SHA-1 reproduction instance: Q = {q} qubits "
+          f"(paper n=448: Q = 472,746)\n")
+
+    print(f"{'scheduler':<10} {'capacity':>9} {'runtime':>15} "
+          f"{'speedup':>8} {'teleports/leaf':>15}")
+    for alg in ("rcp", "lpfs"):
+        for cap, label in (
+            (None, "none"), (q / 4, "Q/4"), (q / 2, "Q/2"),
+            (math.inf, "inf"),
+        ):
+            result = compile_and_schedule(
+                prog,
+                MultiSIMD(k=4, local_memory=cap),
+                SchedulerConfig(alg),
+                fth=16384,
+            )
+            # Communication profile of the biggest leaf module.
+            biggest = max(
+                (p for p in result.profiles.values() if p.is_leaf),
+                key=lambda p: max(p.comm[w].teleports for w in p.comm),
+            )
+            teleports = biggest.comm[max(biggest.comm)].teleports
+            print(
+                f"{alg:<10} {label:>9} {result.runtime:>15,} "
+                f"{result.comm_aware_speedup:>7.2f}x {teleports:>15,}"
+            )
+    print(
+        "\nScratchpads soak up the adder chains' one-cycle evictions;"
+        "\nspeedup roughly doubles from no local memory to infinite,"
+        "\nmirroring the paper's SHA-1 result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""The Multi-SIMD(k,d) architectural model (Section 2).
+
+A machine has ``k`` SIMD operating regions, each able to apply *one* gate
+type to up to ``d`` qubits per logical timestep, a teleportation-
+connected global quantum memory, and optionally a small ballistic
+scratchpad ("local memory") beside each region.
+
+Cost model (Sections 2.3, 2.5, 3.2):
+
+* every logical gate costs 1 timestep (the clock is set by the longest
+  gate);
+* a movement epoch that includes at least one teleportation costs 4
+  timesteps (the four qubit-manipulation steps of Figure 2);
+* an epoch with only ballistic local-memory moves costs 1 timestep;
+* the *naive movement model* charges a teleport epoch around every
+  timestep, quintupling runtime — the sequential/naive baseline of
+  Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["MultiSIMD", "GATE_CYCLES", "TELEPORT_CYCLES", "LOCAL_MOVE_CYCLES", "NAIVE_FACTOR"]
+
+#: Cycles per logical gate (all gates normalised to the slowest — Sec 3.2).
+GATE_CYCLES = 1
+#: Cycles per teleportation movement epoch (the 4 steps of Figure 2).
+TELEPORT_CYCLES = 4
+#: Cycles per ballistic local-memory movement epoch (Section 2.5).
+LOCAL_MOVE_CYCLES = 1
+#: Naive model: every gate cycle pays a teleport epoch (1 + 4 = 5x).
+NAIVE_FACTOR = GATE_CYCLES + TELEPORT_CYCLES
+
+
+@dataclass(frozen=True)
+class MultiSIMD:
+    """A Multi-SIMD(k,d) machine configuration.
+
+    Attributes:
+        k: number of SIMD operating regions (>= 1).
+        d: qubits a region can operate on per timestep; ``None`` means
+            unbounded (the paper's ``d = infinity`` default).
+        local_memory: per-region scratchpad capacity in qubits; ``None``
+            disables local memories, ``math.inf`` models unbounded ones
+            (Figure 8's "Inf" series).
+    """
+
+    k: int
+    d: Optional[int] = None
+    local_memory: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.d is not None and self.d < 1:
+            raise ValueError(f"d must be >= 1 or None, got {self.d}")
+        if self.local_memory is not None and self.local_memory < 0:
+            raise ValueError(
+                f"local memory capacity must be >= 0, got "
+                f"{self.local_memory}"
+            )
+
+    @property
+    def has_local_memory(self) -> bool:
+        return self.local_memory is not None and self.local_memory > 0
+
+    @property
+    def region_capacity(self) -> float:
+        """Effective d as a float (inf when unbounded)."""
+        return math.inf if self.d is None else float(self.d)
+
+    def with_local_memory(self, capacity: Optional[float]) -> "MultiSIMD":
+        """Same machine with a different scratchpad capacity."""
+        return replace(self, local_memory=capacity)
+
+    def with_k(self, k: int) -> "MultiSIMD":
+        """Same machine with a different region count."""
+        return replace(self, k=k)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        d = "inf" if self.d is None else str(self.d)
+        lm = (
+            ""
+            if self.local_memory is None
+            else f", local={self.local_memory:g}"
+        )
+        return f"Multi-SIMD({self.k},{d}{lm})"

@@ -1,0 +1,218 @@
+"""Concatenated-code QECC overhead model.
+
+The paper's motivation and conclusion lean on quantum error
+correction's cost structure: logical gates "are assumed to incorporate
+QECC sub-operations" under "some form of concatenated code"
+(Section 2.2), and "since quantum error correction can have overhead
+exponential in program execution time, these speedups can be even more
+significant than they appear, because they offer important leverage in
+allowing complex QC programs to complete with manageable levels of
+QECC" (Section 7).
+
+This module quantifies that leverage with the standard concatenated-
+code model (Steane [[7,1,3]] by default):
+
+* at concatenation level ``L`` the logical error rate per gate is
+  ``p_th * (p / p_th) ** (2 ** L)`` — doubly exponential suppression;
+* qubit overhead grows as ``7 ** L`` and time overhead as ``t ** L``
+  for a per-level syndrome-cycle factor ``t``;
+* a program with ``V = Q * runtime`` qubit-cycles of exposure needs a
+  level whose logical error keeps the whole-program failure
+  probability under budget.
+
+Because the required level is a step function of the error budget, a
+schedule speedup that crosses a level boundary pays off *exponentially*
+in physical resources — the paper's leverage argument, made
+computable (:func:`speedup_leverage`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ConcatenatedCode", "QECCRequirement", "qecc_requirement", "speedup_leverage", "LeverageReport"]
+
+
+@dataclass(frozen=True)
+class ConcatenatedCode:
+    """A concatenated QECC family.
+
+    Attributes:
+        name: label ("Steane [[7,1,3]]" by default).
+        qubits_per_level: physical qubits per logical per level (7).
+        time_per_level: execution-time factor per level (syndrome
+            extraction rounds; ~5-10 in the literature).
+        threshold: the fault-tolerance threshold error rate.
+        max_level: refuse beyond this concatenation depth.
+    """
+
+    name: str = "Steane [[7,1,3]]"
+    qubits_per_level: int = 7
+    time_per_level: float = 6.0
+    threshold: float = 1e-2
+    max_level: int = 12
+
+    def __post_init__(self) -> None:
+        if self.qubits_per_level < 2:
+            raise ValueError("qubits_per_level must be >= 2")
+        if self.time_per_level <= 1:
+            raise ValueError("time_per_level must be > 1")
+        if not 0 < self.threshold < 1:
+            raise ValueError("threshold must be in (0,1)")
+
+    def logical_error(self, level: int, physical_error: float) -> float:
+        """Per-gate logical error rate at concatenation ``level``."""
+        if level < 0:
+            raise ValueError("level must be >= 0")
+        if physical_error >= self.threshold:
+            # Below threshold concatenation cannot help; error stays.
+            return physical_error
+        return self.threshold * (
+            physical_error / self.threshold
+        ) ** (2 ** level)
+
+    def required_level(
+        self, target_error: float, physical_error: float
+    ) -> int:
+        """Smallest level with logical error <= ``target_error``.
+
+        Raises:
+            ValueError: if the physical error is at/above threshold (no
+                level suffices) or ``max_level`` is exceeded.
+        """
+        if not 0 < target_error < 1:
+            raise ValueError("target_error must be in (0,1)")
+        if physical_error >= self.threshold:
+            raise ValueError(
+                f"physical error {physical_error:g} is not below the "
+                f"threshold {self.threshold:g}"
+            )
+        for level in range(self.max_level + 1):
+            if self.logical_error(level, physical_error) <= target_error:
+                return level
+        raise ValueError(
+            f"target error {target_error:g} needs more than "
+            f"{self.max_level} levels"
+        )
+
+    def qubit_overhead(self, level: int) -> int:
+        """Physical qubits per logical qubit at ``level``."""
+        return self.qubits_per_level ** level
+
+    def time_overhead(self, level: int) -> float:
+        """Wall-clock factor per logical timestep at ``level``."""
+        return self.time_per_level ** level
+
+
+@dataclass(frozen=True)
+class QECCRequirement:
+    """QECC provisioning for one program execution."""
+
+    code: ConcatenatedCode
+    level: int
+    logical_error: float
+    per_gate_budget: float
+    qubit_overhead: int
+    time_overhead: float
+    physical_qubits: int
+    physical_time: float
+
+
+def qecc_requirement(
+    qubit_cycles: int,
+    code: Optional[ConcatenatedCode] = None,
+    physical_error: float = 1e-4,
+    target_success: float = 0.9,
+    logical_qubits: int = 1,
+    logical_time: int = 1,
+) -> QECCRequirement:
+    """Provision QECC for a computation exposing ``qubit_cycles``
+    qubit-timesteps of state to decoherence.
+
+    Args:
+        qubit_cycles: total exposure, e.g. ``Q * runtime`` (or the gate
+            count as a lower bound).
+        code: the concatenated code family (default Steane).
+        physical_error: per-physical-gate error rate.
+        target_success: whole-program success probability target.
+        logical_qubits / logical_time: used to report absolute physical
+            qubit and time figures.
+    """
+    if qubit_cycles < 1:
+        raise ValueError("qubit_cycles must be >= 1")
+    code = code or ConcatenatedCode()
+    per_gate_budget = -math.log(target_success) / qubit_cycles
+    per_gate_budget = min(max(per_gate_budget, 1e-300), 0.5)
+    level = code.required_level(per_gate_budget, physical_error)
+    return QECCRequirement(
+        code=code,
+        level=level,
+        logical_error=code.logical_error(level, physical_error),
+        per_gate_budget=per_gate_budget,
+        qubit_overhead=code.qubit_overhead(level),
+        time_overhead=code.time_overhead(level),
+        physical_qubits=logical_qubits * code.qubit_overhead(level),
+        physical_time=logical_time * code.time_overhead(level),
+    )
+
+
+@dataclass(frozen=True)
+class LeverageReport:
+    """How a schedule speedup translates through QECC provisioning."""
+
+    baseline: QECCRequirement
+    accelerated: QECCRequirement
+    logical_speedup: float
+    physical_speedup: float
+    qubit_saving: float
+
+    @property
+    def level_dropped(self) -> bool:
+        return self.accelerated.level < self.baseline.level
+
+
+def speedup_leverage(
+    baseline_runtime: int,
+    accelerated_runtime: int,
+    logical_qubits: int,
+    code: Optional[ConcatenatedCode] = None,
+    physical_error: float = 1e-4,
+    target_success: float = 0.9,
+) -> LeverageReport:
+    """Quantify the paper's Section 7 leverage argument.
+
+    Both executions are provisioned to the same success target; the
+    accelerated one exposes fewer qubit-cycles, may need a lower
+    concatenation level, and its *physical* wall-clock speedup then
+    exceeds the logical one by the time-overhead ratio.
+    """
+    if accelerated_runtime > baseline_runtime:
+        raise ValueError("accelerated runtime exceeds baseline")
+    code = code or ConcatenatedCode()
+    base = qecc_requirement(
+        logical_qubits * baseline_runtime,
+        code,
+        physical_error,
+        target_success,
+        logical_qubits=logical_qubits,
+        logical_time=baseline_runtime,
+    )
+    fast = qecc_requirement(
+        logical_qubits * accelerated_runtime,
+        code,
+        physical_error,
+        target_success,
+        logical_qubits=logical_qubits,
+        logical_time=accelerated_runtime,
+    )
+    logical = baseline_runtime / accelerated_runtime
+    physical = base.physical_time / fast.physical_time
+    return LeverageReport(
+        baseline=base,
+        accelerated=fast,
+        logical_speedup=logical,
+        physical_speedup=physical,
+        qubit_saving=base.qubit_overhead / fast.qubit_overhead,
+    )

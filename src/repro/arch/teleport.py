@@ -1,0 +1,81 @@
+"""Quantum teleportation: the communication primitive (Section 2.3).
+
+The Multi-SIMD architecture moves qubit state between regions and global
+memory by teleportation (QT): an EPR pair is pre-distributed so sender
+and receiver each hold half; two local gates, two measurements and a
+classically-conditioned Pauli correction then transfer the state
+(Figure 2). Latency is distance-insensitive but costs
+:data:`~repro.arch.machine.TELEPORT_CYCLES` qubit-manipulation steps.
+
+This module provides the teleportation circuit itself (verified by the
+simulator in the test suite — state actually transfers) and EPR
+bandwidth accounting: longer schedules with more teleport epochs demand
+more pre-distributed pairs per region (Section 2.3 notes bandwidth, not
+latency, scales with distance and movement volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.operation import Operation
+from ..core.qubits import Qubit
+
+__all__ = ["teleportation_ops", "EPRAccounting"]
+
+
+def teleportation_ops(
+    source: Qubit, epr_near: Qubit, epr_far: Qubit
+) -> List[Operation]:
+    """The Figure 2 teleportation network as a unitary circuit.
+
+    Teleports the state of ``source`` onto ``epr_far``. ``epr_near`` and
+    ``epr_far`` must start in ``|00>``; the circuit first creates their
+    EPR pair (the pre-distribution step), then runs the standard
+    protocol. Measurement + classically-controlled corrections are
+    expressed coherently (CNOT / CZ from the measured qubits), which is
+    unitarily equivalent and lets the simulator verify the transfer.
+    """
+    return [
+        # EPR pair preparation (done at the global memory, Section 2.3).
+        Operation("H", (epr_near,)),
+        Operation("CNOT", (epr_near, epr_far)),
+        # Bell measurement basis change on the source side.
+        Operation("CNOT", (source, epr_near)),
+        Operation("H", (source,)),
+        # Conditional corrections at the destination (X from the middle
+        # qubit's bit, Z from the source's bit).
+        Operation("CNOT", (epr_near, epr_far)),
+        Operation("CZ", (source, epr_far)),
+    ]
+
+
+@dataclass
+class EPRAccounting:
+    """Tallies EPR-pair consumption per (source, destination) channel.
+
+    Every teleport move consumes one pre-distributed pair between its
+    endpoints. ``peak_epoch_demand`` tracks the largest number of pairs
+    consumed in a single movement epoch — the channel bandwidth a
+    physical layout must sustain.
+    """
+
+    pair_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    total_pairs: int = 0
+    peak_epoch_demand: int = 0
+
+    def record_epoch(self, moves: List[Tuple[str, str]]) -> None:
+        """Record one movement epoch's teleports as (src, dst) labels."""
+        for src, dst in moves:
+            key = (src, dst)
+            self.pair_counts[key] = self.pair_counts.get(key, 0) + 1
+        self.total_pairs += len(moves)
+        if len(moves) > self.peak_epoch_demand:
+            self.peak_epoch_demand = len(moves)
+
+    def busiest_channels(self, n: int = 5) -> List[Tuple[Tuple[str, str], int]]:
+        """The ``n`` channels consuming the most pairs."""
+        return sorted(
+            self.pair_counts.items(), key=lambda kv: -kv[1]
+        )[:n]

@@ -1,0 +1,42 @@
+"""The paper's eight benchmarks (Section 3.3), reimplemented
+structurally, plus shared circuit kernels."""
+
+from .boolean_formula import build_boolean_formula
+from .bwt import build_bwt
+from .class_number import build_class_number
+from .common import (
+    controlled_phase_power,
+    hadamard_all,
+    inverse_qft_ops,
+    mcx_ops,
+    mcz_ops,
+    qft_ops,
+)
+from .grovers import build_grovers, grover_iteration_count
+from .gse import build_gse
+from .registry import BENCHMARKS, BenchmarkSpec, benchmark, benchmark_names
+from .sha1 import build_sha1
+from .shors import build_shors
+from .tfp import build_tfp
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark",
+    "benchmark_names",
+    "build_boolean_formula",
+    "build_bwt",
+    "build_class_number",
+    "build_grovers",
+    "build_gse",
+    "build_sha1",
+    "build_shors",
+    "build_tfp",
+    "controlled_phase_power",
+    "grover_iteration_count",
+    "hadamard_all",
+    "inverse_qft_ops",
+    "mcx_ops",
+    "mcz_ops",
+    "qft_ops",
+]

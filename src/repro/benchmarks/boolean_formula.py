@@ -1,0 +1,110 @@
+"""Boolean Formula (BF) — a winning strategy for the game of Hex via
+the AND-OR formula evaluation algorithm (Ambainis et al., FOCS'07).
+
+Structure follows the Scaffold benchmark: the Hex position evaluation
+is a balanced NAND tree over the ``x * y`` board cells; each NAND gate
+is CTQG-generated reversible logic (Toffoli + X), the tree is evaluated
+bottom-up into ancilla layers, phase-kicked, and uncomputed; a quantum
+walk (Grover-like iteration) drives the evaluation. CTQG output is
+"highly locally serialized" (Section 5.2), which BF inherits: each NAND
+layer depends on the previous one.
+
+Parameters: ``x``, ``y`` — Hex board dimensions (the paper runs 2x2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.builder import ProgramBuilder
+from ..core.module import Program
+from ..core.qubits import Qubit
+from .common import hadamard_all
+
+__all__ = ["build_boolean_formula"]
+
+
+def build_boolean_formula(
+    x: int = 2, y: int = 2, walk_steps: int = None
+) -> Program:
+    """Build the BF (Hex) benchmark.
+
+    Args:
+        x, y: board dimensions; the formula has ``x * y`` leaves
+            (rounded up to a power of two).
+        walk_steps: quantum-walk iterations (default ``~ sqrt(N)`` for
+            ``N`` leaves, the algorithm's query complexity).
+    """
+    if x < 1 or y < 1:
+        raise ValueError("board dimensions must be positive")
+    leaves = x * y
+    depth = max(1, math.ceil(math.log2(leaves)))
+    n_leaves = 2 ** depth
+    if walk_steps is None:
+        walk_steps = max(1, int(math.sqrt(n_leaves) * 2))
+
+    pb = ProgramBuilder()
+
+    # --- NAND gate (CTQG-style): out ^= NOT(a AND b) --------------------
+    nand = pb.module("nand_gate")
+    a = nand.param_register("a", 1)[0]
+    b = nand.param_register("b", 1)[0]
+    out = nand.param_register("out", 1)[0]
+    nand.toffoli(a, b, out)
+    nand.x(out)
+
+    # --- formula evaluation: a balanced NAND tree ------------------------
+    # Layer t has n_leaves / 2^t nodes; each consumes two values from
+    # layer t-1. Ancilla layout: one register per layer.
+    evaluate = pb.module("evaluate_formula")
+    board = evaluate.param_register("board", n_leaves)
+    result = evaluate.param_register("result", 1)[0]
+    layer_regs: List[List[Qubit]] = [list(board)]
+    for t in range(1, depth + 1):
+        size = n_leaves >> t
+        if size > 1:
+            reg = evaluate.register(f"layer{t}", size)
+            layer_regs.append(list(reg))
+        else:
+            layer_regs.append([result])
+    compute_calls: List[tuple] = []
+    for t in range(1, depth + 1):
+        prev, cur = layer_regs[t - 1], layer_regs[t]
+        for i, target in enumerate(cur):
+            args = [prev[2 * i], prev[2 * i + 1], target]
+            compute_calls.append(tuple(args))
+            evaluate.call("nand_gate", args)
+
+    # --- phase oracle: evaluate, kick phase, uncompute --------------------
+    oracle = pb.module("formula_oracle")
+    oboard = oracle.param_register("board", n_leaves)
+    oresult = oracle.param_register("result", 1)[0]
+    oracle.call("evaluate_formula", list(oboard) + [oresult])
+    oracle.z(oresult)
+    oracle.call("evaluate_formula", list(oboard) + [oresult])
+
+    # --- walk step: oracle + board-register mixing -------------------------
+    step = pb.module("walk_step")
+    sboard = step.param_register("board", n_leaves)
+    sresult = step.param_register("result", 1)[0]
+    step.call("formula_oracle", list(sboard) + [sresult])
+    for q in sboard:
+        step.h(q)
+    theta = math.pi / 8
+    for q in sboard:
+        step.rz(q, theta)
+    for q in sboard:
+        step.h(q)
+
+    # --- main -----------------------------------------------------------------
+    main = pb.module("main")
+    mboard = main.register("board", n_leaves)
+    mresult = main.register("result", 1)[0]
+    for op in hadamard_all(list(mboard)):
+        main.emit(op)
+    main.call(
+        "walk_step", list(mboard) + [mresult], iterations=walk_steps
+    )
+    main.meas_z(mresult)
+    return pb.build("main")

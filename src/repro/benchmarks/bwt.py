@@ -1,0 +1,114 @@
+"""Binary Welded Tree (BWT) — quantum random walk from entry to exit of
+two welded binary trees (Childs et al., STOC'03).
+
+Structure follows the Scaffold benchmark: the walker's position is a
+node label of ``n + 2`` qubits; for each of the four edge colors there
+is an *oracle* module that computes the colored neighbour of the
+current node into a scratch register (reversible CTQG-style arithmetic:
+XOR masks plus a ripple add), and a *walk* module applies the
+Hamiltonian step for that color (a controlled exchange between node and
+neighbour registers conjugated by rotations). ``main`` iterates the
+four-color step ``s`` times (a compile-time loop on the call site).
+
+Parameters: ``n`` — tree height; ``s`` — number of walk steps (the
+paper runs n=300, s=3000).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.builder import ProgramBuilder
+from ..core.module import Program
+from ..core.qubits import AncillaAllocator, Qubit
+from ..passes import ctqg
+from .common import hadamard_all
+
+__all__ = ["build_bwt"]
+
+#: XOR masks defining the four edge colorings (arbitrary fixed
+#: constants, as in the benchmark's welding function).
+_COLOR_MASKS = (0b0101, 0b0110, 0b1001, 0b1111)
+
+
+def build_bwt(n: int = 8, s: int = 16) -> Program:
+    """Build the BWT quantum-walk benchmark.
+
+    Args:
+        n: tree height; node labels use ``n + 2`` qubits.
+        s: walk steps (each step applies all four edge colors).
+    """
+    if n < 2:
+        raise ValueError(f"BWT needs n >= 2, got {n}")
+    if s < 1:
+        raise ValueError(f"BWT needs s >= 1, got {s}")
+    width = n + 2
+
+    pb = ProgramBuilder()
+
+    # --- per-color neighbour oracles ------------------------------------
+    for c, mask in enumerate(_COLOR_MASKS):
+        oracle = pb.module(f"oracle_color{c}")
+        node = oracle.param_register("node", width)
+        nbr = oracle.param_register("nbr", width)
+        valid = oracle.param_register("valid", 1)[0]
+        alloc = AncillaAllocator(prefix=f"oa{c}")
+        # neighbour = node XOR color-dependent welding mask, then a
+        # ripple add of a color offset (keeps the arithmetic profile of
+        # the CTQG-generated oracle).
+        for op in ctqg.xor_into(list(node), list(nbr)):
+            oracle.emit(op)
+        wide_mask = mask * (2 ** (width - 4) + 1) if width >= 4 else mask
+        for op in ctqg.load_const(wide_mask % (2 ** width), list(nbr)):
+            oracle.emit(op)
+        for op in ctqg.add_const(c + 1, list(nbr), alloc):
+            oracle.emit(op)
+        # validity flag: neighbour != 0 (edge exists), approximated by
+        # comparing against 1.
+        for op in ctqg.compare_lt_const(list(nbr), 1, valid, alloc):
+            oracle.emit(op)
+        oracle.x(valid)
+
+    # --- walk step for one color ------------------------------------------
+    for c in range(len(_COLOR_MASKS)):
+        walk = pb.module(f"walk_color{c}")
+        node = walk.param_register("node", width)
+        nbr = walk.param_register("nbr", width)
+        valid = walk.param_register("valid", 1)[0]
+        walk.call(f"oracle_color{c}", list(node) + list(nbr) + [valid])
+        # Controlled exchange of node/neighbour amplitude: a Fredkin per
+        # bit pair under the validity flag, conjugated by rotations
+        # (the e^{-iHt} step for this color's subgraph).
+        theta = math.pi / (2 * (c + 2))
+        walk.rx(valid, theta)
+        for b in range(width):
+            walk.fredkin(valid, node[b], nbr[b])
+        walk.rx(valid, -theta)
+        # Uncompute the oracle so the scratch register is reusable.
+        walk.x(valid)
+        walk.call(f"oracle_color{c}", list(node) + list(nbr) + [valid])
+
+    # --- one full step over all four colors -------------------------------
+    step = pb.module("walk_step")
+    node = step.param_register("node", width)
+    nbr = step.param_register("nbr", width)
+    valid = step.param_register("valid", 1)[0]
+    for c in range(len(_COLOR_MASKS)):
+        step.call(f"walk_color{c}", list(node) + list(nbr) + [valid])
+
+    # --- main ---------------------------------------------------------------
+    main = pb.module("main")
+    node = main.register("node", width)
+    nbr = main.register("nbr", width)
+    valid = main.register("valid", 1)[0]
+    # Start at the entry node (label 1).
+    main.x(node[0])
+    for op in hadamard_all(list(nbr)):
+        main.emit(op)
+    main.call(
+        "walk_step", list(node) + list(nbr) + [valid], iterations=s
+    )
+    for q in node:
+        main.meas_z(q)
+    return pb.build("main")

@@ -1,0 +1,111 @@
+"""Class Number (CN) — computing the class group of a real quadratic
+number field (Hallgren, STOC'05).
+
+Structure follows the Scaffold benchmark: a period-finding core over a
+function computed with *fixed-point arithmetic on ideals* — reduce /
+compose operations built from multiplies, modular additions and
+comparisons of ``p``-digit fixed-point registers. All of that
+arithmetic is CTQG-generated reversible logic, which makes CN (like BF
+and SHA-1) dominated by locally-serialized adder chains (Section 5.2).
+
+Parameters: ``p`` — fixed-point digits after the radix point (the paper
+runs p=6); registers are ``4 * p`` bits wide (integer + fraction).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.builder import ProgramBuilder
+from ..core.module import Program
+from ..core.qubits import AncillaAllocator
+from ..passes import ctqg
+from .common import hadamard_all, inverse_qft_ops
+
+__all__ = ["build_class_number"]
+
+
+def build_class_number(
+    p: int = 3, control_bits: int = None, steps: int = None
+) -> Program:
+    """Build the CN benchmark.
+
+    Args:
+        p: fixed-point precision digits; register width is ``4 * p``.
+        control_bits: width of the period-finding control register
+            (default ``2 * p``).
+        steps: ideal-reduction steps per controlled evaluation
+            (default ``p``), iterated via the call site.
+    """
+    if p < 1:
+        raise ValueError(f"CN needs p >= 1, got {p}")
+    width = 4 * p
+    control_bits = control_bits or 2 * p
+    steps = steps or p
+    modulus = (1 << (width - 1)) - 1  # fits with headroom
+
+    pb = ProgramBuilder()
+
+    # --- ideal reduction: one fixed-point arithmetic round ----------------
+    reduce_mod = pb.module("reduce_ideal")
+    acoef = reduce_mod.param_register("a", width)
+    bcoef = reduce_mod.param_register("b", width)
+    alloc = AncillaAllocator(prefix="ra")
+    scratch = reduce_mod.register("prod", width)
+    flag = reduce_mod.register("rflag", 1)[0]
+    # prod += a * b (truncated fixed-point multiply)
+    for op in ctqg.multiply(list(acoef)[: width // 2], list(bcoef)[: width // 2], list(scratch), alloc):
+        reduce_mod.emit(op)
+    # b = (b + delta) mod M  — the reduction step's translation
+    for op in ctqg.add_const_mod(3 * p + 1, list(bcoef), modulus, alloc):
+        reduce_mod.emit(op)
+    # flag ^= (a < b): decides the reduction direction
+    carry = alloc.alloc_one()
+    for op in ctqg.compare_lt(list(acoef), list(bcoef), flag, carry):
+        reduce_mod.emit(op)
+    alloc.free([carry])
+    # conditional swap of the coefficient registers
+    for qa, qb in zip(acoef, bcoef):
+        reduce_mod.fredkin(flag, qa, qb)
+    # uncompute the direction flag (same compare after the swap is the
+    # complementary test)
+    carry = alloc.alloc_one()
+    for op in ctqg.compare_lt(list(bcoef), list(acoef), flag, carry):
+        reduce_mod.emit(op)
+    alloc.free([carry])
+    # undo the product scratch
+    for op in ctqg.multiply(list(acoef)[: width // 2], list(bcoef)[: width // 2], list(scratch), alloc):
+        reduce_mod.emit(op)
+
+    # --- controlled evaluation of the periodic function -------------------
+    evaluate = pb.module("controlled_evaluate")
+    ectl = evaluate.param_register("ctl", 1)[0]
+    ea = evaluate.param_register("a", width)
+    eb = evaluate.param_register("b", width)
+    ealloc = AncillaAllocator(prefix="ca")
+    # seed the ideal registers under control
+    for op in ctqg.controlled_xor(ectl, [ea[i] for i in range(0, width, 2)], [eb[i] for i in range(0, width, 2)]):
+        evaluate.emit(op)
+    evaluate.call("reduce_ideal", list(ea) + list(eb), iterations=steps)
+
+    # --- main: period finding ------------------------------------------------
+    main = pb.module("main")
+    control = main.register("control", control_bits)
+    a = main.register("a", width)
+    b = main.register("b", width)
+    for op in hadamard_all(list(control)):
+        main.emit(op)
+    # initial ideal: unit ideal (1.0 in fixed point)
+    main.x(a[p])
+    main.x(b[0])
+    for j in range(control_bits):
+        main.call(
+            "controlled_evaluate",
+            [control[j]] + list(a) + list(b),
+            iterations=2 ** j if j < 8 else 2 ** 8,
+        )
+    for op in inverse_qft_ops(list(control)):
+        main.emit(op)
+    for q in control:
+        main.meas_z(q)
+    return pb.build("main")

@@ -1,0 +1,123 @@
+"""Shared circuit generators used across the benchmark suite.
+
+These are the standard kernels the paper's Scaffold benchmarks lean on:
+the quantum Fourier transform (and inverse), multi-controlled phase /
+NOT cascades built from Toffolis with ancilla trees, and uniform
+superposition preparation. Everything is emitted at the Scaffold gate
+level and lowered later by the decompose pass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..core.operation import Operation
+from ..core.qubits import AncillaAllocator, Qubit
+
+__all__ = [
+    "qft_ops",
+    "inverse_qft_ops",
+    "hadamard_all",
+    "mcz_ops",
+    "mcx_ops",
+    "controlled_phase_power",
+]
+
+Ops = List[Operation]
+
+
+def hadamard_all(qubits: Sequence[Qubit]) -> Ops:
+    """One Hadamard per qubit (uniform superposition prep)."""
+    return [Operation("H", (q,)) for q in qubits]
+
+
+def qft_ops(qubits: Sequence[Qubit]) -> Ops:
+    """The textbook quantum Fourier transform on ``qubits``
+    (little-endian), as H + controlled-Rz ladders.
+
+    The controlled rotations ``CRz(pi / 2^j)`` are exactly the
+    arbitrary-angle gates whose Clifford+T decomposition dominates
+    Shor's runtime profile (Section 5.4, Table 2).
+    """
+    ops: Ops = []
+    n = len(qubits)
+    for i in range(n - 1, -1, -1):
+        ops.append(Operation("H", (qubits[i],)))
+        for j in range(i - 1, -1, -1):
+            angle = math.pi / (2 ** (i - j))
+            ops.append(Operation("CRz", (qubits[j], qubits[i]), angle))
+    return ops
+
+
+def inverse_qft_ops(qubits: Sequence[Qubit]) -> Ops:
+    """Inverse QFT: the exact reversal of :func:`qft_ops` with negated
+    angles (reversal preserves the ladder's pipeline parallelism — the
+    wavefront a list scheduler can exploit)."""
+    inverse: Ops = []
+    for op in reversed(qft_ops(qubits)):
+        if op.gate == "CRz":
+            inverse.append(Operation("CRz", op.qubits, -op.angle))
+        else:
+            inverse.append(op)
+    return inverse
+
+
+def controlled_phase_power(
+    control: Qubit, target: Qubit, power: int
+) -> Operation:
+    """``CRz(2*pi / 2^power)`` — the phase-kickback building block of
+    Draper-style QFT arithmetic."""
+    return Operation(
+        "CRz", (control, target), 2.0 * math.pi / (2 ** power)
+    )
+
+
+def mcx_ops(
+    controls: Sequence[Qubit],
+    target: Qubit,
+    alloc: AncillaAllocator,
+) -> Ops:
+    """Multi-controlled X via a Toffoli AND-tree.
+
+    Computes the conjunction of the controls into an ancilla chain,
+    CNOTs onto the target, then uncomputes — the standard cascade every
+    Grover-style oracle bottoms out in.
+    """
+    controls = list(controls)
+    if not controls:
+        return [Operation("X", (target,))]
+    if len(controls) == 1:
+        return [Operation("CNOT", (controls[0], target))]
+    if len(controls) == 2:
+        return [Operation("Toffoli", (controls[0], controls[1], target))]
+    anc = alloc.alloc(len(controls) - 1)
+    compute: Ops = [
+        Operation("Toffoli", (controls[0], controls[1], anc[0]))
+    ]
+    for i in range(2, len(controls)):
+        compute.append(
+            Operation("Toffoli", (controls[i], anc[i - 2], anc[i - 1]))
+        )
+    ops = list(compute)
+    ops.append(Operation("CNOT", (anc[-1], target)))
+    ops.extend(reversed(compute))
+    alloc.free(anc)
+    return ops
+
+
+def mcz_ops(
+    qubits: Sequence[Qubit],
+    alloc: AncillaAllocator,
+) -> Ops:
+    """Multi-controlled Z over all ``qubits`` (phase flip on the
+    all-ones state), via H-conjugated :func:`mcx_ops` on the last
+    qubit."""
+    qubits = list(qubits)
+    if len(qubits) == 1:
+        return [Operation("Z", (qubits[0],))]
+    target = qubits[-1]
+    ops: Ops = [Operation("H", (target,))]
+    ops += mcx_ops(qubits[:-1], target, alloc)
+    ops.append(Operation("H", (target,)))
+    return ops

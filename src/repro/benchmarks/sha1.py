@@ -1,0 +1,184 @@
+"""SHA-1 (reverse hash) — the compression function as a Grover oracle.
+
+Structure follows the Scaffold benchmark: the message is recovered by
+running Grover's search with the SHA-1 compression function as the
+oracle. The compression function (FIPS 180-4) is pure CTQG territory:
+the message schedule expands via XORs and rotate-lefts (free
+relabelings), and each of the 80 rounds applies a round function (Ch /
+Parity / Maj by round quarter) plus ripple-carry additions into the
+working state. The result is the longest, most serialized adder chains
+in the suite — which is why SHA-1 shows the paper's largest
+local-memory speedup (9.82x, Section 5.3).
+
+Parameters: ``n`` — message bits (the paper runs n=448); ``word_bits``
+scales the 32-bit words down for tractable reproduction runs;
+``rounds`` scales the 80 rounds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.builder import ProgramBuilder
+from ..core.module import Program
+from ..core.qubits import AncillaAllocator, Qubit
+from ..passes import ctqg
+from .common import hadamard_all, mcz_ops
+
+__all__ = ["build_sha1"]
+
+#: FIPS 180-4 round constants (one per 20-round quarter).
+_ROUND_K = (0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6)
+
+
+def build_sha1(
+    n: int = 128,
+    word_bits: int = 32,
+    rounds: int = 80,
+    grover_iterations: int = None,
+) -> Program:
+    """Build the SHA-1 preimage benchmark.
+
+    Args:
+        n: message bits; the schedule register holds ``n / word_bits``
+            words (min 16 words for full SHA-1 shape, fewer allowed for
+            reduced runs).
+        word_bits: word width (32 for faithful SHA-1; smaller for
+            tractable fine scheduling).
+        rounds: compression rounds (80 for faithful SHA-1).
+        grover_iterations: outer Grover iterations (kept symbolic on the
+            call site; defaults to ``2**(n//2)`` capped at ``2**40``).
+    """
+    if word_bits < 2:
+        raise ValueError("word_bits must be >= 2")
+    if rounds < 4:
+        raise ValueError("need at least 4 rounds (one per quarter)")
+    n_words = max(4, n // word_bits)
+    if grover_iterations is None:
+        grover_iterations = 2 ** min(n // 2, 40)
+
+    pb = ProgramBuilder()
+    w = word_bits
+
+    # --- message schedule expansion: w[t] ^= rotl(w[t-3]^w[t-8]..., 1) --
+    expand = pb.module("schedule_expand")
+    words: List[List[Qubit]] = [
+        list(expand.param_register(f"w{i}", w)) for i in range(n_words)
+    ]
+    target = list(expand.param_register("wt", w))
+    taps = [3 % n_words, min(8, n_words - 1), min(14, n_words - 1)]
+    for tap in taps:
+        for op in ctqg.xor_into(ctqg.rotl(words[tap], 1), target):
+            expand.emit(op)
+
+    # --- round functions (Ch / Parity / Maj) into a temp register -------
+    for name, fn in (
+        ("f_ch", ctqg.ch_into),
+        ("f_parity", ctqg.parity_into),
+        ("f_maj", ctqg.maj_into),
+    ):
+        mod = pb.module(name)
+        x = mod.param_register("x", w)
+        y = mod.param_register("y", w)
+        z = mod.param_register("z", w)
+        out = mod.param_register("out", w)
+        for op in fn(list(x), list(y), list(z), list(out)):
+            mod.emit(op)
+
+    # --- one compression round for each quarter --------------------------
+    # temp = rotl(a,5) + f(b,c,d) + e + K + W[t]; then the register
+    # rotation (b = rotl(b,30) etc.) is free relabeling handled by the
+    # caller's argument order.
+    quarter_f = ("f_ch", "f_parity", "f_maj", "f_parity")
+    for quarter in range(4):
+        rnd = pb.module(f"round_q{quarter}")
+        a = list(rnd.param_register("a", w))
+        b = list(rnd.param_register("b", w))
+        c = list(rnd.param_register("c", w))
+        d = list(rnd.param_register("d", w))
+        e = list(rnd.param_register("e", w))
+        wt = list(rnd.param_register("wt", w))
+        ftmp = list(rnd.register("ftmp", w))
+        alloc = AncillaAllocator(prefix=f"sa{quarter}")
+        rnd.call(quarter_f[quarter], b + c + d + ftmp)
+        carry = alloc.alloc_one()
+        # e += rotl(a, 5)
+        for op in ctqg.cuccaro_add(ctqg.rotl(a, 5), e, carry):
+            rnd.emit(op)
+        # e += f(b, c, d)
+        for op in ctqg.cuccaro_add(ftmp, e, carry):
+            rnd.emit(op)
+        # e += K_quarter
+        for op in ctqg.add_const(
+            _ROUND_K[quarter] % (2 ** w), e, alloc
+        ):
+            rnd.emit(op)
+        # e += W[t]
+        for op in ctqg.cuccaro_add(wt, e, carry):
+            rnd.emit(op)
+        alloc.free([carry])
+        # uncompute f into ftmp so the temp register is clean
+        rnd.call(quarter_f[quarter], b + c + d + ftmp)
+        # b = rotl(b, 30) is a relabeling: no gates (Section: rotl).
+
+    # --- the full compression function -----------------------------------
+    compress = pb.module("sha1_compress")
+    state = [list(compress.param_register(f"h{i}", w)) for i in range(5)]
+    msg = [
+        list(compress.param_register(f"m{i}", w)) for i in range(n_words)
+    ]
+    wreg = list(compress.register("wexp", w))
+    rounds_per_quarter = max(1, rounds // 4)
+    for quarter in range(4):
+        # message schedule expansion feeding this quarter
+        compress.call(
+            "schedule_expand",
+            [q for word in msg for q in word] + wreg,
+        )
+        # the rounds of this quarter, with the working-state rotation
+        # expressed by rotating the argument bindings each call
+        order = [0, 1, 2, 3, 4]
+        for r in range(rounds_per_quarter):
+            args = (
+                state[order[0]]
+                + state[order[1]]
+                + state[order[2]]
+                + state[order[3]]
+                + state[order[4]]
+                + wreg
+            )
+            compress.call(f"round_q{quarter}", args)
+            order = [order[4]] + order[:4]
+
+    # --- Grover oracle wrapper --------------------------------------------
+    oracle = pb.module("hash_oracle")
+    ostate = [list(oracle.param_register(f"h{i}", w)) for i in range(5)]
+    omsg = [
+        list(oracle.param_register(f"m{i}", w)) for i in range(n_words)
+    ]
+    flat_state = [q for word in ostate for q in word]
+    flat_msg = [q for word in omsg for q in word]
+    oalloc = AncillaAllocator(prefix="ha")
+    oracle.call("sha1_compress", flat_state + flat_msg)
+    # phase-flip when the digest matches the target (all-ones pattern
+    # stands in for the published digest)
+    for op in mcz_ops(flat_state[: 2 * w], oalloc):
+        oracle.emit(op)
+    oracle.call("sha1_compress", flat_state + flat_msg)
+
+    # --- main: Grover over the message ---------------------------------------
+    main = pb.module("main")
+    mstate = [list(main.register(f"h{i}", w)) for i in range(5)]
+    mmsg = [list(main.register(f"m{i}", w)) for i in range(n_words)]
+    flat_mmsg = [q for word in mmsg for q in word]
+    flat_mstate = [q for word in mstate for q in word]
+    for op in hadamard_all(flat_mmsg):
+        main.emit(op)
+    main.call(
+        "hash_oracle",
+        flat_mstate + flat_mmsg,
+        iterations=grover_iterations,
+    )
+    for q in flat_mmsg:
+        main.meas_z(q)
+    return pb.build("main")

@@ -1,0 +1,151 @@
+"""Triangle Finding Problem (TFP) — find a triangle in a dense graph
+(Magniez-Santha-Szegedy).
+
+Structure follows the Scaffold benchmark: a Grover-style search over
+pairs/triples of vertex indices, with an *edge oracle* testing
+adjacency-matrix bits (Toffoli cascades against a classical adjacency
+constant) and a *triangle oracle* that ANDs three edge tests. The three
+edge tests touch disjoint scratch registers, so the triangle oracle
+exposes exactly the narrow-but-parallel blackbox structure that let RCP
+beat LPFS on TFP in the paper (Section 5.1): the coarse scheduler can
+run the three edge oracles side by side.
+
+Parameters: ``n`` — number of graph nodes (the paper runs n=5); vertex
+indices use ``ceil(log2 n)`` qubits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.builder import ProgramBuilder
+from ..core.module import Program
+from ..core.qubits import AncillaAllocator, Qubit
+from .common import hadamard_all, mcx_ops, mcz_ops
+
+__all__ = ["build_tfp"]
+
+
+def _edge_constant(n: int) -> int:
+    """A fixed dense adjacency matrix, packed row-major into an int."""
+    bits = 0
+    idx = 0
+    for i in range(n):
+        for j in range(n):
+            # Dense pseudo-random graph: edge unless (i+2j) % 3 == 0.
+            if i != j and (i + 2 * j) % 3 != 0:
+                bits |= 1 << idx
+            idx += 1
+    return bits
+
+
+def build_tfp(n: int = 5, iterations: int = None) -> Program:
+    """Build the TFP benchmark.
+
+    Args:
+        n: graph node count.
+        iterations: Grover iterations over vertex triples (defaults to
+            ``~ (pi/4) * n^1.5``, the quantum-walk query scaling).
+    """
+    if n < 3:
+        raise ValueError(f"TFP needs n >= 3, got {n}")
+    w = max(1, math.ceil(math.log2(n)))
+    if iterations is None:
+        iterations = max(1, int(math.pi / 4 * n ** 1.5))
+    adjacency = _edge_constant(n)
+
+    pb = ProgramBuilder()
+
+    # --- edge oracle: flag ^= adjacency[u][v] ----------------------------
+    # Tests each classical adjacency bit with a multi-controlled X
+    # matching the (u, v) index pair.
+    edge = pb.module("edge_oracle")
+    u = edge.param_register("u", w)
+    v = edge.param_register("v", w)
+    flag = edge.param_register("flag", 1)[0]
+    alloc = AncillaAllocator(prefix="ea")
+    for i in range(n):
+        for j in range(n):
+            if not (adjacency >> (i * n + j)) & 1:
+                continue
+            pattern_flips: List[Qubit] = []
+            for b in range(w):
+                if not (i >> b) & 1:
+                    pattern_flips.append(u[b])
+                if not (j >> b) & 1:
+                    pattern_flips.append(v[b])
+            for q in pattern_flips:
+                edge.x(q)
+            for op in mcx_ops(list(u) + list(v), flag, alloc):
+                edge.emit(op)
+            for q in pattern_flips:
+                edge.x(q)
+
+    # --- triangle oracle ---------------------------------------------------
+    # Three edge tests on disjoint flags (independent — schedulable in
+    # parallel by the coarse scheduler), then a Toffoli-cascade AND into
+    # the phase qubit, then uncompute.
+    tri = pb.module("triangle_oracle")
+    a = tri.param_register("a", w)
+    b = tri.param_register("b", w)
+    c = tri.param_register("c", w)
+    flags = tri.param_register("ef", 3)
+    phase = tri.param_register("phase", 1)[0]
+    talloc = AncillaAllocator(prefix="ta")
+    tri.call("edge_oracle", list(a) + list(b) + [flags[0]])
+    tri.call("edge_oracle", list(b) + list(c) + [flags[1]])
+    tri.call("edge_oracle", list(a) + list(c) + [flags[2]])
+    tri.h(phase)
+    for op in mcx_ops(list(flags), phase, talloc):
+        tri.emit(op)
+    tri.h(phase)
+    tri.call("edge_oracle", list(a) + list(b) + [flags[0]])
+    tri.call("edge_oracle", list(b) + list(c) + [flags[1]])
+    tri.call("edge_oracle", list(a) + list(c) + [flags[2]])
+
+    # --- diffusion over the vertex-triple register --------------------------
+    diffuse = pb.module("diffuse")
+    dq = diffuse.param_register("q", 3 * w)
+    dalloc = AncillaAllocator(prefix="da")
+    for op in hadamard_all(list(dq)):
+        diffuse.emit(op)
+    for q in dq:
+        diffuse.x(q)
+    for op in mcz_ops(list(dq), dalloc):
+        diffuse.emit(op)
+    for q in dq:
+        diffuse.x(q)
+    for op in hadamard_all(list(dq)):
+        diffuse.emit(op)
+
+    # --- one search step -----------------------------------------------------
+    step = pb.module("search_step")
+    sa = step.param_register("a", w)
+    sb = step.param_register("b", w)
+    sc = step.param_register("c", w)
+    sflags = step.param_register("ef", 3)
+    sphase = step.param_register("phase", 1)[0]
+    step.call(
+        "triangle_oracle",
+        list(sa) + list(sb) + list(sc) + list(sflags) + [sphase],
+    )
+    step.call("diffuse", list(sa) + list(sb) + list(sc))
+
+    # --- main -------------------------------------------------------------------
+    main = pb.module("main")
+    ma = main.register("a", w)
+    mb = main.register("b", w)
+    mc = main.register("c", w)
+    mflags = main.register("ef", 3)
+    mphase = main.register("phase", 1)[0]
+    for op in hadamard_all(list(ma) + list(mb) + list(mc)):
+        main.emit(op)
+    main.call(
+        "search_step",
+        list(ma) + list(mb) + list(mc) + list(mflags) + [mphase],
+        iterations=iterations,
+    )
+    for q in list(ma) + list(mb) + list(mc):
+        main.meas_z(q)
+    return pb.build("main")

@@ -1,0 +1,232 @@
+"""Command-line interface for the toolflow.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro list
+    python -m repro estimate GSE
+    python -m repro compile GSE -k 4 --scheduler lpfs --local-mem inf
+    python -m repro compile program.qasm -k 2 --timeline
+    python -m repro emit Grovers -o grovers.qasm
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import List, Optional
+
+from .arch.machine import MultiSIMD
+from .benchmarks import BENCHMARKS, benchmark_names
+from .core.module import Program
+from .core.qasm import emit_qasm, parse_qasm
+from .core.scaffold import parse_scaffold
+from .passes.qubit_count import minimum_qubits
+from .passes.resource import estimate_resources, gate_count_histogram
+from .sched.report import (
+    compile_result_to_dict,
+    profile_table,
+    render_timeline,
+)
+from .toolflow import SchedulerConfig, compile_and_schedule
+
+__all__ = ["main"]
+
+
+def _load_program(source: str) -> Program:
+    """A benchmark key, or a path to a QASM / Scaffold source file
+    (``.scaffold``/``.scd`` parse as Scaffold, anything else as
+    QASM)."""
+    if source in BENCHMARKS:
+        return BENCHMARKS[source].build()
+    try:
+        with open(source) as fh:
+            text = fh.read()
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: {source!r} is neither a benchmark "
+            f"({', '.join(benchmark_names())}) nor a readable file"
+        )
+    if source.endswith((".scaffold", ".scd")):
+        return parse_scaffold(text)
+    return parse_qasm(text)
+
+
+def _parse_capacity(text: Optional[str]) -> Optional[float]:
+    if text is None or text == "none":
+        return None
+    if text == "inf":
+        return math.inf
+    try:
+        value = float(text)
+    except ValueError:
+        raise SystemExit(f"error: bad local-memory capacity {text!r}")
+    if value < 0:
+        raise SystemExit("error: local-memory capacity must be >= 0")
+    return value
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'key':<8} {'paper instance':<22} description")
+    print("-" * 72)
+    for key in benchmark_names():
+        spec = BENCHMARKS[key]
+        print(f"{key:<8} {spec.title:<22} {spec.description}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    prog = _load_program(args.source)
+    est = estimate_resources(prog)
+    q = minimum_qubits(prog)
+    print(f"modules:        {len(est.module_totals)}")
+    print(f"total gates:    {est.total_gates:,}")
+    print(f"minimum qubits: {q}")
+    print("gate mix:")
+    for gate, count in sorted(
+        est.gate_mix.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {gate:<8} {count:,}")
+    print("module gate-count histogram (% of modules):")
+    for label, pct in gate_count_histogram(prog).items():
+        if pct:
+            print(f"  {label:<12} {pct:5.1f}%")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    prog = _load_program(args.source)
+    fth = args.fth
+    if fth is None:
+        fth = (
+            BENCHMARKS[args.source].fth
+            if args.source in BENCHMARKS
+            else 4096
+        )
+    machine = MultiSIMD(
+        k=args.k,
+        d=args.d,
+        local_memory=_parse_capacity(args.local_mem),
+    )
+    result = compile_and_schedule(
+        prog,
+        machine,
+        SchedulerConfig(args.scheduler),
+        fth=fth,
+        optimize=args.optimize,
+    )
+    if args.json:
+        print(json.dumps(compile_result_to_dict(result), indent=2))
+        return 0
+    print(f"machine:            {machine}")
+    print(f"scheduler:          {args.scheduler} (FTh={fth:,})")
+    print(f"total gates:        {result.total_gates:,}")
+    print(f"critical path:      {result.critical_path:,} cycles")
+    print(f"schedule length:    {result.schedule_length:,} cycles")
+    print(f"comm-aware runtime: {result.runtime:,} cycles")
+    print(f"parallel speedup:   {result.parallel_speedup:.2f}x")
+    print(f"comm-aware speedup: {result.comm_aware_speedup:.2f}x "
+          f"(vs naive {result.naive_runtime:,})")
+    print(f"modules flattened:  {result.flattened_percent:.0f}%")
+    if args.profile:
+        print("\nblackbox dimensions (comm-aware runtime):")
+        print(profile_table(result, metric="runtime"))
+    if args.timeline:
+        entry = result.program.entry
+        sched = result.schedules.get(entry)
+        if sched is None:
+            leaves = [
+                n for n, p in result.profiles.items() if p.is_leaf
+            ]
+            print(
+                f"\n(entry {entry!r} is hierarchical; showing leaf "
+                f"{leaves[0]!r})"
+            )
+            sched = result.schedules[leaves[0]]
+        print()
+        print(render_timeline(sched, max_timesteps=args.timeline))
+    return 0
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    prog = _load_program(args.source)
+    text = emit_qasm(prog)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multi-SIMD quantum scheduling toolflow (ASPLOS'15 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(
+        fn=_cmd_list
+    )
+
+    p_est = sub.add_parser(
+        "estimate", help="hierarchical resource estimation"
+    )
+    p_est.add_argument("source", help="benchmark key or QASM file")
+    p_est.set_defaults(fn=_cmd_estimate)
+
+    p_c = sub.add_parser("compile", help="compile and schedule")
+    p_c.add_argument("source", help="benchmark key or QASM file")
+    p_c.add_argument("-k", type=int, default=4, help="SIMD regions")
+    p_c.add_argument(
+        "-d", type=int, default=None,
+        help="qubits per region (default unbounded)",
+    )
+    p_c.add_argument(
+        "--scheduler", choices=("rcp", "lpfs"), default="lpfs"
+    )
+    p_c.add_argument(
+        "--local-mem", default=None,
+        help="scratchpad capacity per region: none, a number, or inf",
+    )
+    p_c.add_argument(
+        "--fth", type=int, default=None,
+        help="flattening threshold in ops (default: per-benchmark)",
+    )
+    p_c.add_argument(
+        "--optimize", action="store_true",
+        help="run peephole cancellation/merging before decomposition",
+    )
+    p_c.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_c.add_argument(
+        "--profile", action="store_true",
+        help="print per-module blackbox dimensions",
+    )
+    p_c.add_argument(
+        "--timeline", type=int, nargs="?", const=30, default=None,
+        metavar="N", help="print the first N schedule timesteps",
+    )
+    p_c.set_defaults(fn=_cmd_compile)
+
+    p_e = sub.add_parser("emit", help="emit hierarchical QASM")
+    p_e.add_argument("source", help="benchmark key or QASM file")
+    p_e.add_argument("-o", "--output", default=None)
+    p_e.set_defaults(fn=_cmd_emit)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core IR: gates, qubits, operations, modules, programs, and the
+dependence DAG."""
+
+from .builder import ModuleBuilder, ProgramBuilder
+from .dag import DependenceDAG
+from .gates import (
+    CLIFFORD_GATES,
+    GATES,
+    GateSpec,
+    QASM_PRIMITIVES,
+    ROTATION_GATES,
+    gate_spec,
+    inverse_gate,
+    is_primitive,
+    is_rotation,
+)
+from .module import Module, Program, ProgramValidationError
+from .operation import CallSite, Operation, Statement
+from .qasm import QasmSyntaxError, emit_qasm, parse_qasm
+from .scaffold import ScaffoldSyntaxError, parse_scaffold
+from .qubits import AncillaAllocator, Qubit, QubitRegister
+
+__all__ = [
+    "AncillaAllocator",
+    "CallSite",
+    "CLIFFORD_GATES",
+    "DependenceDAG",
+    "GATES",
+    "GateSpec",
+    "Module",
+    "ModuleBuilder",
+    "Operation",
+    "Program",
+    "ProgramBuilder",
+    "ProgramValidationError",
+    "QASM_PRIMITIVES",
+    "QasmSyntaxError",
+    "ScaffoldSyntaxError",
+    "Qubit",
+    "QubitRegister",
+    "ROTATION_GATES",
+    "Statement",
+    "gate_spec",
+    "inverse_gate",
+    "is_primitive",
+    "is_rotation",
+    "emit_qasm",
+    "parse_qasm",
+    "parse_scaffold",
+]

@@ -1,0 +1,211 @@
+"""A Scaffold-style construction DSL for hierarchical quantum programs.
+
+The paper's benchmarks are written in Scaffold, a C-like language that
+ScaffCC lowers to a modular gate-level IR. We substitute the surface
+language with a small, explicit Python builder that produces the same IR
+(see DESIGN.md, substitution table): each Scaffold ``module`` becomes a
+:class:`ModuleBuilder`, each gate call a builder method, and each
+classically-bounded loop an ``iterations=`` argument on :meth:`call`.
+
+Example:
+
+    >>> from repro.core import ProgramBuilder
+    >>> pb = ProgramBuilder()
+    >>> bell = pb.module("bell")
+    >>> q = bell.register("q", 2)
+    >>> bell.h(q[0]).cnot(q[0], q[1])            # doctest: +ELLIPSIS
+    <repro.core.builder.ModuleBuilder object at ...>
+    >>> main = pb.module("main")
+    >>> r = main.register("r", 2)
+    >>> _ = main.call("bell", r)
+    >>> program = pb.build("main")
+    >>> program.entry_module.is_leaf
+    False
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .gates import gate_spec
+from .module import Module, Program
+from .operation import CallSite, Operation
+from .qubits import Qubit, QubitRegister
+
+__all__ = ["ModuleBuilder", "ProgramBuilder"]
+
+QubitLike = Union[Qubit, Sequence[Qubit]]
+
+
+class ModuleBuilder:
+    """Accumulates statements for one module.
+
+    Gate methods return ``self`` so simple circuits can be chained. All
+    gate methods accept individual :class:`Qubit` operands.
+    """
+
+    def __init__(self, name: str, program: Optional["ProgramBuilder"] = None):
+        self.name = name
+        self._program = program
+        self._params: List[Qubit] = []
+        self._registers: Dict[str, QubitRegister] = {}
+        self._body: List[Union[Operation, CallSite]] = []
+
+    # -- declarations -----------------------------------------------------
+
+    def register(self, name: str, size: int) -> QubitRegister:
+        """Declare a local qubit register."""
+        if name in self._registers:
+            raise ValueError(
+                f"register {name!r} already declared in module {self.name!r}"
+            )
+        reg = QubitRegister(name, size)
+        self._registers[name] = reg
+        return reg
+
+    def param_register(self, name: str, size: int) -> QubitRegister:
+        """Declare a register whose qubits are formal parameters."""
+        reg = self.register(name, size)
+        self._params.extend(reg)
+        return reg
+
+    def params(self, *qubits: Qubit) -> None:
+        """Declare individual qubits as formal parameters."""
+        self._params.extend(qubits)
+
+    # -- raw statement emission ---------------------------------------------
+
+    def emit(self, stmt: Union[Operation, CallSite]) -> "ModuleBuilder":
+        """Append an already-constructed statement."""
+        self._body.append(stmt)
+        return self
+
+    def gate(
+        self, name: str, *qubits: Qubit, angle: Optional[float] = None
+    ) -> "ModuleBuilder":
+        """Append a gate by mnemonic."""
+        gate_spec(name)  # fail fast on unknown gates
+        return self.emit(Operation(name, tuple(qubits), angle))
+
+    def call(
+        self,
+        callee: Union[str, "ModuleBuilder", Module],
+        args: Sequence[Qubit],
+        iterations: int = 1,
+    ) -> "ModuleBuilder":
+        """Append a call to another module."""
+        name = callee if isinstance(callee, str) else callee.name
+        return self.emit(CallSite(name, tuple(args), iterations))
+
+    # -- single-qubit gates --------------------------------------------------
+
+    def x(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("X", q)
+
+    def y(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("Y", q)
+
+    def z(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("Z", q)
+
+    def h(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("H", q)
+
+    def s(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("S", q)
+
+    def sdag(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("Sdag", q)
+
+    def t(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("T", q)
+
+    def tdag(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("Tdag", q)
+
+    def prep_z(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("PrepZ", q)
+
+    def prep_x(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("PrepX", q)
+
+    def meas_z(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("MeasZ", q)
+
+    def meas_x(self, q: Qubit) -> "ModuleBuilder":
+        return self.gate("MeasX", q)
+
+    # -- multi-qubit gates ----------------------------------------------------
+
+    def cnot(self, control: Qubit, target: Qubit) -> "ModuleBuilder":
+        return self.gate("CNOT", control, target)
+
+    def cz(self, control: Qubit, target: Qubit) -> "ModuleBuilder":
+        return self.gate("CZ", control, target)
+
+    def swap(self, a: Qubit, b: Qubit) -> "ModuleBuilder":
+        return self.gate("SWAP", a, b)
+
+    def toffoli(self, c1: Qubit, c2: Qubit, target: Qubit) -> "ModuleBuilder":
+        return self.gate("Toffoli", c1, c2, target)
+
+    def fredkin(self, control: Qubit, a: Qubit, b: Qubit) -> "ModuleBuilder":
+        return self.gate("Fredkin", control, a, b)
+
+    def ccz(self, a: Qubit, b: Qubit, c: Qubit) -> "ModuleBuilder":
+        return self.gate("CCZ", a, b, c)
+
+    # -- rotations ---------------------------------------------------------
+
+    def rz(self, q: Qubit, angle: float) -> "ModuleBuilder":
+        return self.gate("Rz", q, angle=angle)
+
+    def rx(self, q: Qubit, angle: float) -> "ModuleBuilder":
+        return self.gate("Rx", q, angle=angle)
+
+    def ry(self, q: Qubit, angle: float) -> "ModuleBuilder":
+        return self.gate("Ry", q, angle=angle)
+
+    def crz(self, control: Qubit, target: Qubit, angle: float) -> "ModuleBuilder":
+        return self.gate("CRz", control, target, angle=angle)
+
+    def crx(self, control: Qubit, target: Qubit, angle: float) -> "ModuleBuilder":
+        return self.gate("CRx", control, target, angle=angle)
+
+    # -- finalisation ---------------------------------------------------------
+
+    def build(self) -> Module:
+        """Produce the immutable-ish :class:`Module`."""
+        return Module(self.name, tuple(self._params), list(self._body))
+
+    def __len__(self) -> int:
+        return len(self._body)
+
+
+class ProgramBuilder:
+    """Accumulates modules and assembles a validated :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._builders: Dict[str, ModuleBuilder] = {}
+        self._prebuilt: Dict[str, Module] = {}
+
+    def module(self, name: str) -> ModuleBuilder:
+        """Create (and register) a new module builder."""
+        if name in self._builders or name in self._prebuilt:
+            raise ValueError(f"module {name!r} already defined")
+        mb = ModuleBuilder(name, self)
+        self._builders[name] = mb
+        return mb
+
+    def add_module(self, module: Module) -> Module:
+        """Register an already-built module."""
+        if module.name in self._builders or module.name in self._prebuilt:
+            raise ValueError(f"module {module.name!r} already defined")
+        self._prebuilt[module.name] = module
+        return module
+
+    def build(self, entry: str) -> Program:
+        """Assemble and validate the program."""
+        modules = [mb.build() for mb in self._builders.values()]
+        modules.extend(self._prebuilt.values())
+        return Program(modules, entry)

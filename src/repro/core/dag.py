@@ -1,0 +1,198 @@
+"""Dependence DAG construction and longest-path analyses.
+
+Because of the no-cloning theorem, *any* shared operand between two
+operations creates a data dependency (Section 3.1.1 of the paper): there
+is no read/write distinction, so the operations touching a given qubit
+form a strict chain in program order. The DAG therefore has one edge from
+each operation to the next operation on each of its operands.
+
+The DAG also provides the longest-path machinery used by LPFS
+(Section 4.2): node *heights* (longest weighted path from the node to any
+sink) are static under scheduler consumption — removing already-scheduled
+nodes never changes the height of an unscheduled node, because all
+descendants of an unscheduled node are themselves unscheduled. LPFS'
+``getNextLongestPath`` exploits this by greedily following maximum-height
+successors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .operation import CallSite, Operation, Statement
+from .qubits import Qubit
+
+__all__ = ["DependenceDAG"]
+
+
+def _operands(stmt: Statement) -> Tuple[Qubit, ...]:
+    return stmt.qubits if isinstance(stmt, Operation) else stmt.args
+
+
+class DependenceDAG:
+    """Data-dependence DAG over a statement list.
+
+    Nodes are statement indices ``0..n-1``. Edges point from earlier to
+    later statements sharing at least one qubit operand, restricted to
+    *adjacent* uses (the chain per qubit), which preserves the full
+    transitive dependence relation.
+
+    Attributes:
+        statements: the underlying statements, in program order.
+        preds: ``preds[i]`` — indices of direct predecessors of node i.
+        succs: ``succs[i]`` — indices of direct successors of node i.
+        weights: per-node schedule weight (1 for gates by default; the
+            coarse scheduler substitutes blackbox lengths).
+    """
+
+    def __init__(
+        self,
+        statements: Sequence[Statement],
+        weights: Optional[Sequence[int]] = None,
+    ):
+        self.statements: List[Statement] = list(statements)
+        n = len(self.statements)
+        if weights is None:
+            self.weights: List[int] = [1] * n
+        else:
+            if len(weights) != n:
+                raise ValueError(
+                    f"{len(weights)} weights for {n} statements"
+                )
+            self.weights = list(weights)
+        self.preds: List[List[int]] = [[] for _ in range(n)]
+        self.succs: List[List[int]] = [[] for _ in range(n)]
+        last_touch: Dict[Qubit, int] = {}
+        for i, stmt in enumerate(self.statements):
+            pred_set = set()
+            for q in _operands(stmt):
+                prev = last_touch.get(q)
+                if prev is not None:
+                    pred_set.add(prev)
+                last_touch[q] = i
+            for p in sorted(pred_set):
+                self.preds[i].append(p)
+                self.succs[p].append(i)
+        self._heights: Optional[List[int]] = None
+        self._depths: Optional[List[int]] = None
+
+    # -- basic shape ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    @property
+    def n(self) -> int:
+        return len(self.statements)
+
+    def indegrees(self) -> List[int]:
+        """Fresh in-degree array (consumed by list schedulers)."""
+        return [len(p) for p in self.preds]
+
+    def sources(self) -> List[int]:
+        """Nodes with no predecessors (the paper's ``G.top()``)."""
+        return [i for i, p in enumerate(self.preds) if not p]
+
+    def sinks(self) -> List[int]:
+        """Nodes with no successors."""
+        return [i for i, s in enumerate(self.succs) if not s]
+
+    # -- longest-path analyses ------------------------------------------
+
+    def heights(self) -> List[int]:
+        """Longest weighted path from each node to any sink, inclusive of
+        the node's own weight. Static across scheduler consumption."""
+        if self._heights is None:
+            h = [0] * self.n
+            for i in range(self.n - 1, -1, -1):
+                below = max((h[s] for s in self.succs[i]), default=0)
+                h[i] = self.weights[i] + below
+            self._heights = h
+        return self._heights
+
+    def depths(self) -> List[int]:
+        """Longest weighted path from any source to each node, inclusive
+        of the node's own weight (the paper's distance-from-top tag)."""
+        if self._depths is None:
+            d = [0] * self.n
+            for i in range(self.n):
+                above = max((d[p] for p in self.preds[i]), default=0)
+                d[i] = self.weights[i] + above
+            self._depths = d
+        return self._depths
+
+    def critical_path_length(self) -> int:
+        """Weighted length of the longest dependence chain."""
+        return max(self.depths(), default=0)
+
+    def critical_path(self) -> List[int]:
+        """One longest dependence chain, as node indices in order.
+
+        Implements the paper's longest-path procedure: tag every node
+        with its distance from the top, find the largest depth at the
+        bottom, then trace the path back.
+        """
+        if self.n == 0:
+            return []
+        depths = self.depths()
+        node = max(range(self.n), key=depths.__getitem__)
+        path = [node]
+        while self.preds[node]:
+            node = max(self.preds[node], key=depths.__getitem__)
+            path.append(node)
+        path.reverse()
+        return path
+
+    def longest_path_from(self, start: int) -> List[int]:
+        """The longest downward path beginning at ``start``, following
+        maximum-height successors (ties broken by program order)."""
+        heights = self.heights()
+        path = [start]
+        node = start
+        while self.succs[node]:
+            node = max(
+                self.succs[node], key=lambda s: (heights[s], -s)
+            )
+            path.append(node)
+        return path
+
+    def next_longest_path(self, ready: Iterable[int]) -> List[int]:
+        """LPFS' ``getNextLongestPath``: among the ``ready`` nodes, pick
+        the one heading the longest remaining chain and return that
+        chain. Returns ``[]`` if ``ready`` is empty."""
+        ready = list(ready)
+        if not ready:
+            return []
+        heights = self.heights()
+        start = max(ready, key=lambda i: (heights[i], -i))
+        return self.longest_path_from(start)
+
+    # -- misc -------------------------------------------------------------
+
+    def qubit_chains(self) -> Dict[Qubit, List[int]]:
+        """For each qubit, the ordered node indices touching it."""
+        chains: Dict[Qubit, List[int]] = {}
+        for i, stmt in enumerate(self.statements):
+            for q in _operands(stmt):
+                chains.setdefault(q, []).append(i)
+        return chains
+
+    def slack(self) -> List[int]:
+        """Per-node slack: ``critical_path - (depth + height - weight)``.
+
+        Zero for nodes on a critical path; larger for nodes whose
+        scheduling can be deferred. Used by RCP's priority term.
+        """
+        cp = self.critical_path_length()
+        d, h, w = self.depths(), self.heights(), self.weights
+        return [cp - (d[i] + h[i] - w[i]) for i in range(self.n)]
+
+    def validate_acyclic(self) -> None:
+        """Sanity check: edges only point forward in program order (the
+        construction guarantees this; kept for defensive testing)."""
+        for i, succ in enumerate(self.succs):
+            for s in succ:
+                if s <= i:
+                    raise AssertionError(
+                        f"backward edge {i} -> {s} in dependence DAG"
+                    )

@@ -1,0 +1,153 @@
+"""Gate vocabulary for the Multi-SIMD toolflow.
+
+The paper's compiler operates at two levels:
+
+* the *Scaffold* level, where programs may use convenience gates such as
+  ``Toffoli``, ``Fredkin`` and arbitrary-angle rotations (``Rz``/``Rx``/
+  ``Ry``); and
+* the *QASM* level, a universal subset (Clifford group + T, preparation
+  and measurement) that the decomposition pass lowers everything onto and
+  that the schedulers consume (Section 3.1 of the paper).
+
+This module is the single source of truth for the gate vocabulary: names,
+arities, which gates are QASM primitives, inverses, and whether a gate
+carries a rotation angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+__all__ = [
+    "GateSpec",
+    "GATES",
+    "QASM_PRIMITIVES",
+    "CLIFFORD_GATES",
+    "ROTATION_GATES",
+    "gate_spec",
+    "is_primitive",
+    "is_rotation",
+    "inverse_gate",
+]
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate kind.
+
+    Attributes:
+        name: canonical gate mnemonic (e.g. ``"CNOT"``).
+        arity: number of qubit operands.
+        primitive: True if the gate belongs to the QASM target subset and
+            therefore survives decomposition.
+        inverse: mnemonic of the inverse gate (self if self-inverse);
+            ``None`` for non-unitary operations (preparation, measurement).
+        takes_angle: True for parametric rotation gates.
+    """
+
+    name: str
+    arity: int
+    primitive: bool
+    inverse: Optional[str]
+    takes_angle: bool = False
+
+    @property
+    def is_self_inverse(self) -> bool:
+        return self.inverse == self.name
+
+
+def _spec(
+    name: str,
+    arity: int,
+    primitive: bool,
+    inverse: Optional[str],
+    takes_angle: bool = False,
+) -> GateSpec:
+    return GateSpec(name, arity, primitive, inverse, takes_angle)
+
+
+#: Registry of every gate kind known to the toolflow.
+GATES: Dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- QASM primitives: Pauli gates -------------------------------
+        _spec("X", 1, True, "X"),
+        _spec("Y", 1, True, "Y"),
+        _spec("Z", 1, True, "Z"),
+        # --- QASM primitives: Clifford + T ------------------------------
+        _spec("H", 1, True, "H"),
+        _spec("S", 1, True, "Sdag"),
+        _spec("Sdag", 1, True, "S"),
+        _spec("T", 1, True, "Tdag"),
+        _spec("Tdag", 1, True, "T"),
+        _spec("CNOT", 2, True, "CNOT"),
+        # --- QASM primitives: preparation and measurement ---------------
+        _spec("PrepZ", 1, True, None),
+        _spec("PrepX", 1, True, None),
+        _spec("MeasZ", 1, True, None),
+        _spec("MeasX", 1, True, None),
+        # --- Scaffold-level gates lowered by the decompose pass ---------
+        _spec("CZ", 2, False, "CZ"),
+        _spec("SWAP", 2, False, "SWAP"),
+        _spec("Toffoli", 3, False, "Toffoli"),
+        _spec("Fredkin", 3, False, "Fredkin"),
+        _spec("CCZ", 3, False, "CCZ"),
+        _spec("Rz", 1, False, "Rz", takes_angle=True),
+        _spec("Rx", 1, False, "Rx", takes_angle=True),
+        _spec("Ry", 1, False, "Ry", takes_angle=True),
+        # Controlled rotation: used by QFT / phase estimation kernels.
+        _spec("CRz", 2, False, "CRz", takes_angle=True),
+        _spec("CRx", 2, False, "CRx", takes_angle=True),
+    ]
+}
+
+#: The QASM target subset the schedulers operate on.
+QASM_PRIMITIVES: FrozenSet[str] = frozenset(
+    name for name, spec in GATES.items() if spec.primitive
+)
+
+#: Clifford-group gates (used by tests and by rotation synthesis).
+CLIFFORD_GATES: FrozenSet[str] = frozenset(
+    {"X", "Y", "Z", "H", "S", "Sdag", "CNOT"}
+)
+
+#: Parametric rotation gates.
+ROTATION_GATES: FrozenSet[str] = frozenset(
+    name for name, spec in GATES.items() if spec.takes_angle
+)
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Look up the :class:`GateSpec` for ``name``.
+
+    Raises:
+        KeyError: if ``name`` is not a known gate.
+    """
+    try:
+        return GATES[name]
+    except KeyError:
+        raise KeyError(f"unknown gate {name!r}") from None
+
+
+def is_primitive(name: str) -> bool:
+    """True if ``name`` is in the QASM target subset."""
+    return name in QASM_PRIMITIVES
+
+
+def is_rotation(name: str) -> bool:
+    """True if ``name`` is a parametric rotation gate."""
+    return name in ROTATION_GATES
+
+
+def inverse_gate(name: str) -> str:
+    """Return the mnemonic of the inverse of ``name``.
+
+    Raises:
+        ValueError: for non-unitary operations (measure / prepare), which
+            have no inverse.
+    """
+    spec = gate_spec(name)
+    if spec.inverse is None:
+        raise ValueError(f"gate {name!r} is not invertible")
+    return spec.inverse

@@ -1,0 +1,233 @@
+"""Hierarchical program IR: modules and programs.
+
+The paper's toolflow keeps benchmarks *modular* rather than fully
+unrolled: leaf modules contain only primitive gates and are scheduled
+fine-grained; non-leaf modules mix gates with calls to other modules and
+are scheduled coarse-grained as blackboxes (Sections 3.1 and 4.3). This
+module defines that IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from .operation import CallSite, Operation, Statement
+from .qubits import Qubit
+
+__all__ = ["Module", "Program", "ProgramValidationError"]
+
+
+class ProgramValidationError(ValueError):
+    """Raised when a program violates a structural invariant."""
+
+
+@dataclass
+class Module:
+    """A quantum procedure: formal qubit parameters plus a statement body.
+
+    Attributes:
+        name: unique module name within its program.
+        params: formal qubit parameters (bound positionally at call sites).
+        body: ordered statements (:class:`Operation` / :class:`CallSite`).
+    """
+
+    name: str
+    params: Tuple[Qubit, ...] = ()
+    body: List[Statement] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.params = tuple(self.params)
+        if len(set(self.params)) != len(self.params):
+            raise ProgramValidationError(
+                f"module {self.name!r} has duplicate formal parameters"
+            )
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the body contains no calls (gates only, Section 3.1)."""
+        return not any(isinstance(s, CallSite) for s in self.body)
+
+    def operations(self) -> Iterator[Operation]:
+        """Iterate the gate operations in the body, in order."""
+        for stmt in self.body:
+            if isinstance(stmt, Operation):
+                yield stmt
+
+    def calls(self) -> Iterator[CallSite]:
+        """Iterate the call sites in the body, in order."""
+        for stmt in self.body:
+            if isinstance(stmt, CallSite):
+                yield stmt
+
+    def callees(self) -> Set[str]:
+        """Names of modules this module calls (deduplicated)."""
+        return {c.callee for c in self.calls()}
+
+    def qubits(self) -> List[Qubit]:
+        """All distinct qubits referenced by the body or the parameter
+        list, in first-reference order."""
+        seen: Dict[Qubit, None] = {}
+        for q in self.params:
+            seen.setdefault(q)
+        for stmt in self.body:
+            operands = stmt.qubits if isinstance(stmt, Operation) else stmt.args
+            for q in operands:
+                seen.setdefault(q)
+        return list(seen)
+
+    @property
+    def direct_gate_count(self) -> int:
+        """Number of gate operations directly in this body (calls not
+        expanded)."""
+        return sum(1 for _ in self.operations())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "non-leaf"
+        return (
+            f"Module({self.name!r}, {kind}, {len(self.body)} stmts, "
+            f"{len(self.params)} params)"
+        )
+
+
+class Program:
+    """A collection of modules with a designated entry point.
+
+    The call graph must be acyclic (quantum programs have classically
+    known, bounded control flow — Section 3.1), call arities must match,
+    and every callee must exist. :meth:`validate` enforces all of this
+    and is called on construction.
+    """
+
+    def __init__(self, modules: Iterable[Module], entry: str):
+        self.modules: Dict[str, Module] = {}
+        for m in modules:
+            if m.name in self.modules:
+                raise ProgramValidationError(
+                    f"duplicate module name {m.name!r}"
+                )
+            self.modules[m.name] = m
+        self.entry = entry
+        self.validate()
+
+    # -- access --------------------------------------------------------
+
+    def module(self, name: str) -> Module:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise KeyError(f"no module named {name!r}") from None
+
+    @property
+    def entry_module(self) -> Module:
+        return self.modules[self.entry]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.modules
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules.values())
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def leaf_modules(self) -> List[Module]:
+        """Modules whose bodies are gates only."""
+        return [m for m in self.modules.values() if m.is_leaf]
+
+    def nonleaf_modules(self) -> List[Module]:
+        """Modules containing at least one call."""
+        return [m for m in self.modules.values() if not m.is_leaf]
+
+    # -- call-graph analyses --------------------------------------------
+
+    def reachable(self) -> Set[str]:
+        """Module names reachable from the entry point."""
+        seen: Set[str] = set()
+        stack = [self.entry]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.modules[name].callees() - seen)
+        return seen
+
+    def topological_order(self) -> List[str]:
+        """Module names ordered callees-first (leaves before callers).
+
+        Only reachable modules are included. Raises
+        :class:`ProgramValidationError` on a call cycle.
+        """
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str, chain: Tuple[str, ...]) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(chain + (name,))
+                raise ProgramValidationError(
+                    f"recursive module calls are not allowed: {cycle}"
+                )
+            state[name] = 0
+            for callee in sorted(self.modules[name].callees()):
+                visit(callee, chain + (name,))
+            state[name] = 1
+            order.append(name)
+
+        visit(self.entry, ())
+        return order
+
+    def call_depth(self) -> Dict[str, int]:
+        """Depth of each reachable module in the call tree (entry = 0)."""
+        depth = {self.entry: 0}
+        for name in reversed(self.topological_order()):
+            d = depth.get(name)
+            if d is None:
+                continue
+            for callee in self.modules[name].callees():
+                prev = depth.get(callee)
+                if prev is None or d + 1 > prev:
+                    depth[callee] = d + 1
+        return depth
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise on violation."""
+        if self.entry not in self.modules:
+            raise ProgramValidationError(
+                f"entry module {self.entry!r} does not exist"
+            )
+        for mod in self.modules.values():
+            for call in mod.calls():
+                callee = self.modules.get(call.callee)
+                if callee is None:
+                    raise ProgramValidationError(
+                        f"module {mod.name!r} calls unknown module "
+                        f"{call.callee!r}"
+                    )
+                if len(call.args) != len(callee.params):
+                    raise ProgramValidationError(
+                        f"module {mod.name!r} calls {call.callee!r} with "
+                        f"{len(call.args)} args; expected "
+                        f"{len(callee.params)}"
+                    )
+        # Raises on cycles.
+        self.topological_order()
+
+    def with_modules(self, replacements: Dict[str, Module]) -> "Program":
+        """A new program with some modules replaced (same entry)."""
+        merged = dict(self.modules)
+        merged.update(replacements)
+        return Program(merged.values(), self.entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Program(entry={self.entry!r}, {len(self.modules)} modules, "
+            f"{len(self.leaf_modules())} leaves)"
+        )

@@ -1,0 +1,108 @@
+"""IR statements: gate operations and module calls.
+
+A module body is a list of statements, each either an :class:`Operation`
+(a quantum gate applied to concrete qubit operands) or a :class:`CallSite`
+(an invocation of another module, optionally iterated — the IR-level
+encoding of a classically-controlled loop whose trip count is known at
+compile time, which is the common case for quantum benchmarks per
+Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from .gates import gate_spec
+from .qubits import Qubit
+
+__all__ = ["Operation", "CallSite", "Statement"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A quantum gate applied to specific qubits.
+
+    Operations are immutable value objects; their position in a module
+    body (the statement index) is what gives them identity for the
+    scheduler's dependence DAG.
+
+    Attributes:
+        gate: gate mnemonic, must exist in :data:`repro.core.gates.GATES`.
+        qubits: operand tuple; length must equal the gate's arity, and
+            operands must be distinct (a gate cannot use one qubit twice).
+        angle: rotation angle in radians; required iff the gate is
+            parametric.
+    """
+
+    gate: str
+    qubits: Tuple[Qubit, ...]
+    angle: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        spec = gate_spec(self.gate)
+        if len(self.qubits) != spec.arity:
+            raise ValueError(
+                f"{self.gate} expects {spec.arity} operand(s), "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(
+                f"{self.gate} operands must be distinct, got {self.qubits}"
+            )
+        if spec.takes_angle:
+            if self.angle is None:
+                raise ValueError(f"{self.gate} requires an angle")
+            if not math.isfinite(self.angle):
+                raise ValueError(f"{self.gate} angle must be finite")
+        elif self.angle is not None:
+            raise ValueError(f"{self.gate} does not take an angle")
+
+    @property
+    def arity(self) -> int:
+        return len(self.qubits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ",".join(map(repr, self.qubits))
+        if self.angle is not None:
+            return f"{self.gate}({args};{self.angle:.6g})"
+        return f"{self.gate}({args})"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """An invocation of another module.
+
+    Attributes:
+        callee: name of the called module.
+        args: actual qubit arguments, bound positionally to the callee's
+            formal parameters.
+        iterations: number of back-to-back repetitions of the call; a
+            compact encoding of compile-time-known loops so that
+            paper-scale programs (up to 10^12 gates) never have to be
+            unrolled (Section 3.1). Must be >= 1.
+    """
+
+    callee: str
+    args: Tuple[Qubit, ...]
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if len(set(self.args)) != len(self.args):
+            raise ValueError(
+                f"call to {self.callee!r} has duplicate qubit args: "
+                f"{self.args}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ",".join(map(repr, self.args))
+        reps = f" x{self.iterations}" if self.iterations > 1 else ""
+        return f"call {self.callee}({args}){reps}"
+
+
+Statement = Union[Operation, CallSite]

@@ -1,0 +1,183 @@
+"""QASM emission and parsing.
+
+ScaffCC's backend target is QASM, "a technology-independent quantum
+assembly language" (Section 3.1). This module round-trips our IR
+through a hierarchical QASM dialect so compiled programs can leave the
+toolflow (and come back):
+
+* one ``.module NAME param, param, ...`` block per module, ``.end``
+  terminated, entry module marked ``.entry``;
+* one instruction per line: ``gate q, q, ...`` with an optional
+  ``(angle)`` for rotations;
+* calls as ``call[xN] NAME q, q, ...``;
+* qubits as ``reg[idx]``.
+
+The dialect is deliberately close to the flat QASM of Svore et al. /
+qasm2circ, extended with the module structure the paper's hierarchical
+scheduling relies on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .gates import gate_spec
+from .module import Module, Program
+from .operation import CallSite, Operation, Statement
+from .qubits import Qubit
+
+__all__ = ["emit_qasm", "parse_qasm", "QasmSyntaxError"]
+
+
+class QasmSyntaxError(ValueError):
+    """Raised on malformed QASM text."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_QUBIT_RE = re.compile(r"^([A-Za-z_$@.#][\w$@.#]*)\[(\d+)\]$")
+_CALL_RE = re.compile(r"^call(?:\[(\d+)\])?$")
+
+
+def _fmt_qubit(q: Qubit) -> str:
+    return f"{q.register}[{q.index}]"
+
+
+def _parse_qubit(text: str, line_no: int) -> Qubit:
+    m = _QUBIT_RE.match(text.strip())
+    if not m:
+        raise QasmSyntaxError(line_no, f"bad qubit operand {text!r}")
+    return Qubit(m.group(1), int(m.group(2)))
+
+
+def emit_qasm(program: Program) -> str:
+    """Serialise a program to hierarchical QASM text."""
+    lines: List[str] = [
+        "; hierarchical QASM emitted by repro (ASPLOS'15 toolflow "
+        "reproduction)",
+    ]
+    order = program.topological_order()
+    # Unreachable modules are still part of the program text (callees
+    # first keeps the file human-readable; orphans go at the front).
+    orphans = sorted(set(program.modules) - set(order))
+    for name in orphans + order:
+        mod = program.module(name)
+        marker = " .entry" if name == program.entry else ""
+        params = ", ".join(_fmt_qubit(q) for q in mod.params)
+        lines.append(f".module {name}{marker}")
+        if params:
+            lines.append(f".params {params}")
+        for stmt in mod.body:
+            lines.append("    " + _fmt_statement(stmt))
+        lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_statement(stmt: Statement) -> str:
+    if isinstance(stmt, CallSite):
+        head = (
+            f"call[{stmt.iterations}]" if stmt.iterations > 1 else "call"
+        )
+        args = ", ".join(_fmt_qubit(q) for q in stmt.args)
+        return f"{head} {stmt.callee} {args}".rstrip()
+    angle = f" ({stmt.angle!r})" if stmt.angle is not None else ""
+    args = ", ".join(_fmt_qubit(q) for q in stmt.qubits)
+    return f"{stmt.gate}{angle} {args}"
+
+
+def parse_qasm(text: str) -> Program:
+    """Parse hierarchical QASM text back into a validated Program."""
+    modules: List[Module] = []
+    entry: Optional[str] = None
+    name: Optional[str] = None
+    params: Tuple[Qubit, ...] = ()
+    body: List[Statement] = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".module"):
+            if name is not None:
+                raise QasmSyntaxError(line_no, "nested .module")
+            parts = line.split()
+            if len(parts) < 2:
+                raise QasmSyntaxError(line_no, ".module needs a name")
+            name = parts[1]
+            if ".entry" in parts[2:]:
+                entry = name
+            params, body = (), []
+        elif line.startswith(".params"):
+            if name is None:
+                raise QasmSyntaxError(line_no, ".params outside module")
+            rest = line[len(".params"):].strip()
+            params = tuple(
+                _parse_qubit(tok, line_no)
+                for tok in rest.split(",")
+                if tok.strip()
+            )
+        elif line == ".end":
+            if name is None:
+                raise QasmSyntaxError(line_no, ".end outside module")
+            modules.append(Module(name, params, body))
+            name, params, body = None, (), []
+        else:
+            if name is None:
+                raise QasmSyntaxError(
+                    line_no, f"instruction outside module: {line!r}"
+                )
+            body.append(_parse_statement(line, line_no))
+    if name is not None:
+        raise QasmSyntaxError(len(text.splitlines()), "missing .end")
+    if not modules:
+        raise QasmSyntaxError(1, "no modules found")
+    if entry is None:
+        entry = modules[-1].name
+    return Program(modules, entry)
+
+
+def _parse_statement(line: str, line_no: int) -> Statement:
+    head, _, rest = line.partition(" ")
+    call_m = _CALL_RE.match(head)
+    if call_m:
+        iterations = int(call_m.group(1) or 1)
+        callee, _, argtext = rest.strip().partition(" ")
+        if not callee:
+            raise QasmSyntaxError(line_no, "call needs a callee")
+        args = tuple(
+            _parse_qubit(tok, line_no)
+            for tok in argtext.split(",")
+            if tok.strip()
+        )
+        return CallSite(callee, args, iterations)
+    # Gate, possibly with an angle: "Rz (0.5) q[0]".
+    angle = None
+    gate = head
+    rest = rest.strip()
+    if rest.startswith("("):
+        close = rest.find(")")
+        if close < 0:
+            raise QasmSyntaxError(line_no, "unterminated angle")
+        try:
+            angle = float(rest[1:close])
+        except ValueError:
+            raise QasmSyntaxError(
+                line_no, f"bad angle {rest[1:close]!r}"
+            ) from None
+        rest = rest[close + 1:].strip()
+    try:
+        gate_spec(gate)
+    except KeyError:
+        raise QasmSyntaxError(line_no, f"unknown gate {gate!r}") from None
+    qubits = tuple(
+        _parse_qubit(tok, line_no)
+        for tok in rest.split(",")
+        if tok.strip()
+    )
+    try:
+        return Operation(gate, qubits, angle)
+    except ValueError as exc:
+        raise QasmSyntaxError(line_no, str(exc)) from None

@@ -1,0 +1,131 @@
+"""Qubit naming and allocation.
+
+Qubits in this IR are *logical* qubits (the paper schedules at the logical
+level; QECC sub-operations are folded into the per-gate cost). A qubit is
+identified by the register it belongs to and its index within the
+register. Registers are module-local: a module's statements may only
+reference qubits it declared (or received as formal arguments).
+
+``AncillaAllocator`` provides pooled allocation of scratch qubits so that
+benchmark generators can maximally reuse ancillas — this is what the
+paper's Table 1 minimum-qubit figure ``Q`` assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = ["Qubit", "QubitRegister", "AncillaAllocator"]
+
+
+@dataclass(frozen=True, order=True)
+class Qubit:
+    """A single logical qubit: ``register[index]``."""
+
+    register: str
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.register}[{self.index}]"
+
+
+class QubitRegister(Sequence[Qubit]):
+    """A named, fixed-size array of logical qubits.
+
+    Behaves as an immutable sequence of :class:`Qubit`:
+
+    >>> reg = QubitRegister("a", 3)
+    >>> reg[0]
+    a[0]
+    >>> len(reg)
+    3
+    >>> list(reg[1:])
+    [a[1], a[2]]
+    """
+
+    def __init__(self, name: str, size: int):
+        if size < 0:
+            raise ValueError(f"register size must be >= 0, got {size}")
+        if not name:
+            raise ValueError("register name must be non-empty")
+        self.name = name
+        self.size = size
+        self._qubits: Tuple[Qubit, ...] = tuple(
+            Qubit(name, i) for i in range(size)
+        )
+
+    def __getitem__(self, item):
+        result = self._qubits[item]
+        if isinstance(item, slice):
+            return list(result)
+        return result
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Qubit]:
+        return iter(self._qubits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QubitRegister({self.name!r}, {self.size})"
+
+
+@dataclass
+class AncillaAllocator:
+    """Pooled allocator for scratch qubits.
+
+    Freed qubits go back onto a free list and are handed out again before
+    any new qubit is minted, so the high-water mark of live ancillas is
+    also the number of distinct ancilla qubits created. This mirrors the
+    "maximal possible reuse of ancilla qubits across functions" that
+    defines the paper's minimum-qubit count Q (Table 1).
+    """
+
+    prefix: str = "anc"
+    _free: List[Qubit] = field(default_factory=list)
+    _next_index: int = 0
+
+    def alloc(self, n: int = 1) -> List[Qubit]:
+        """Allocate ``n`` ancilla qubits, reusing freed ones first."""
+        if n < 0:
+            raise ValueError(f"cannot allocate {n} qubits")
+        out: List[Qubit] = []
+        while self._free and len(out) < n:
+            out.append(self._free.pop())
+        while len(out) < n:
+            out.append(Qubit(self.prefix, self._next_index))
+            self._next_index += 1
+        return out
+
+    def alloc_one(self) -> Qubit:
+        """Allocate a single ancilla qubit."""
+        return self.alloc(1)[0]
+
+    def free(self, qubits: Sequence[Qubit]) -> None:
+        """Return ``qubits`` to the pool.
+
+        Raises:
+            ValueError: if a qubit was not produced by this allocator or
+                is already free (double free).
+        """
+        for q in qubits:
+            if q.register != self.prefix or q.index >= self._next_index:
+                raise ValueError(f"{q!r} was not allocated by this pool")
+            if q in self._free:
+                raise ValueError(f"double free of {q!r}")
+            self._free.append(q)
+
+    @property
+    def high_water_mark(self) -> int:
+        """Total distinct ancilla qubits ever created."""
+        return self._next_index
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently-allocated (not freed) ancillas."""
+        return self._next_index - len(self._free)
+
+    def all_qubits(self) -> List[Qubit]:
+        """Every ancilla qubit this pool has ever created."""
+        return [Qubit(self.prefix, i) for i in range(self._next_index)]

@@ -1,0 +1,436 @@
+"""A front-end for a Scaffold-like surface language.
+
+The paper's benchmarks are written in Scaffold, "a C-like programming
+language for quantum computing" with qubit/cbit datatypes, built-in
+gates, modules, and classically-bounded control flow (Section 3.1).
+This module implements a compact dialect of it, sufficient to express
+the hierarchical programs the toolflow schedules::
+
+    module bell ( qbit a, qbit b ) {
+        H(a);
+        CNOT(a, b);
+    }
+
+    module main ( ) {
+        qreg q[4];
+        bell(q[0], q[1]);
+        for i in 0 .. 2 {
+            bell(q[i], q[i + 1]);
+        }
+        repeat 1000 { bell(q[0], q[1]); }
+        MeasZ(q[0]);
+    }
+
+Supported constructs:
+
+* ``module NAME ( params ) { ... }`` with ``qbit x`` / ``qreg r[N]``
+  parameters; the entry module is ``main``;
+* local declarations ``qbit x;`` / ``qreg r[N];``;
+* built-in gates (the vocabulary of :mod:`repro.core.gates`), with a
+  trailing numeric argument for rotations: ``Rz(q, 0.5)``. Constant
+  angle expressions may use ``pi``: ``Rz(q, pi / 4)``;
+* module calls ``name(q0, q1, ...)``;
+* counted loops ``for VAR in LO .. HI { ... }`` (inclusive bounds,
+  unrolled; the loop variable may appear in index arithmetic) and
+  ``repeat N { ... }`` which, for call-only bodies, lowers to the
+  compact iterated-call encoding instead of unrolling (Section 3.1's
+  never-unroll strategy for 10^12-gate programs).
+
+The front-end produces the same validated :class:`~repro.core.module.
+Program` the builder DSL does.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .gates import GATES, gate_spec
+from .module import Module, Program
+from .operation import CallSite, Operation, Statement
+from .qubits import Qubit
+
+__all__ = ["parse_scaffold", "ScaffoldSyntaxError"]
+
+_MAX_UNROLL = 100_000
+
+
+class ScaffoldSyntaxError(ValueError):
+    """Raised on malformed Scaffold source."""
+
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>\d+\.\d+(?:[eE][-+]?\d+)?|\.\d+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<symbol>\.\.|[()\[\]{},;+\-*/])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    for m in _TOKEN_RE.finditer(source):
+        kind = m.lastgroup
+        text = m.group()
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "bad":
+            raise ScaffoldSyntaxError(line, f"unexpected character {text!r}")
+        tokens.append(_Token(kind, text, line))
+        line += text.count("\n")
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        if self.cur.text != text:
+            raise ScaffoldSyntaxError(
+                self.cur.line,
+                f"expected {text!r}, found {self.cur.text or 'EOF'!r}",
+            )
+        return self.advance()
+
+    def expect_name(self) -> _Token:
+        if self.cur.kind != "name":
+            raise ScaffoldSyntaxError(
+                self.cur.line, f"expected a name, found {self.cur.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, text: str) -> bool:
+        if self.cur.text == text:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        modules: List[Module] = []
+        while self.cur.kind != "eof":
+            modules.append(self.parse_module())
+        if not modules:
+            raise ScaffoldSyntaxError(1, "no modules in source")
+        names = {m.name for m in modules}
+        entry = "main" if "main" in names else modules[-1].name
+        return Program(modules, entry)
+
+    def parse_module(self) -> Module:
+        self.expect("module")
+        name = self.expect_name().text
+        self.expect("(")
+        params: List[Qubit] = []
+        registers: Dict[str, int] = {}
+        if self.cur.text != ")":
+            while True:
+                params.extend(self._parse_decl(registers))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self._parse_block(registers, {})
+        return Module(name, tuple(params), body)
+
+    def _parse_decl(self, registers: Dict[str, int]) -> List[Qubit]:
+        kind = self.expect_name().text
+        if kind not in ("qbit", "qreg"):
+            raise ScaffoldSyntaxError(
+                self.cur.line, f"expected qbit/qreg, found {kind!r}"
+            )
+        name = self.expect_name().text
+        if name in registers:
+            raise ScaffoldSyntaxError(
+                self.cur.line, f"duplicate declaration of {name!r}"
+            )
+        if kind == "qbit":
+            registers[name] = 1
+            return [Qubit(name, 0)]
+        self.expect("[")
+        size_tok = self.advance()
+        if size_tok.kind != "number" or "." in size_tok.text:
+            raise ScaffoldSyntaxError(
+                size_tok.line, "qreg size must be an integer"
+            )
+        size = int(size_tok.text)
+        self.expect("]")
+        registers[name] = size
+        return [Qubit(name, i) for i in range(size)]
+
+    def _parse_block(
+        self, registers: Dict[str, int], loop_vars: Dict[str, int]
+    ) -> List[Statement]:
+        self.expect("{")
+        body: List[Statement] = []
+        while not self.accept("}"):
+            if self.cur.kind == "eof":
+                raise ScaffoldSyntaxError(self.cur.line, "missing '}'")
+            body.extend(self._parse_statement(registers, loop_vars))
+        return body
+
+    def _parse_statement(
+        self, registers: Dict[str, int], loop_vars: Dict[str, int]
+    ) -> List[Statement]:
+        tok = self.cur
+        if tok.text in ("qbit", "qreg"):
+            self._parse_decl(registers)
+            self.expect(";")
+            return []
+        if tok.text == "for":
+            return self._parse_for(registers, loop_vars)
+        if tok.text == "repeat":
+            return self._parse_repeat(registers, loop_vars)
+        if tok.kind == "name":
+            return [self._parse_invocation(registers, loop_vars)]
+        raise ScaffoldSyntaxError(
+            tok.line, f"unexpected token {tok.text!r}"
+        )
+
+    def _parse_for(
+        self, registers: Dict[str, int], loop_vars: Dict[str, int]
+    ) -> List[Statement]:
+        line = self.expect("for").line
+        var = self.expect_name().text
+        if var in loop_vars:
+            raise ScaffoldSyntaxError(line, f"loop variable {var!r} shadows")
+        self.expect("in")
+        lo = self._parse_int_expr(loop_vars)
+        self.expect("..")
+        hi = self._parse_int_expr(loop_vars)
+        if hi < lo:
+            raise ScaffoldSyntaxError(line, "empty loop range")
+        if hi - lo + 1 > _MAX_UNROLL:
+            raise ScaffoldSyntaxError(
+                line,
+                f"loop of {hi - lo + 1} iterations exceeds the unroll "
+                f"limit; use 'repeat' around a call instead",
+            )
+        # Parse the body once per iteration value (re-scan the token
+        # stream; simplest correct unrolling).
+        body_start = self.pos
+        out: List[Statement] = []
+        for value in range(lo, hi + 1):
+            self.pos = body_start
+            inner = dict(loop_vars)
+            inner[var] = value
+            out.extend(self._parse_block(dict(registers), inner))
+        return out
+
+    def _parse_repeat(
+        self, registers: Dict[str, int], loop_vars: Dict[str, int]
+    ) -> List[Statement]:
+        line = self.expect("repeat").line
+        count = self._parse_int_expr(loop_vars)
+        if count < 1:
+            raise ScaffoldSyntaxError(line, "repeat count must be >= 1")
+        body = self._parse_block(dict(registers), loop_vars)
+        # Call-only bodies lower to iterated calls (never unrolled).
+        if body and all(isinstance(s, CallSite) for s in body):
+            return [
+                CallSite(c.callee, c.args, c.iterations * count)
+                for c in body
+            ]
+        if count > _MAX_UNROLL:
+            raise ScaffoldSyntaxError(
+                line,
+                "repeat bodies with raw gates cannot exceed the unroll "
+                "limit; wrap the gates in a module",
+            )
+        return body * count
+
+    def _parse_invocation(
+        self, registers: Dict[str, int], loop_vars: Dict[str, int]
+    ) -> Statement:
+        name_tok = self.expect_name()
+        name = name_tok.text
+        self.expect("(")
+        qubits: List[Qubit] = []
+        angle: Optional[float] = None
+        if self.cur.text != ")":
+            while True:
+                if self._at_qubit_operand(registers, loop_vars):
+                    qubits.append(
+                        self._parse_qubit(registers, loop_vars)
+                    )
+                else:
+                    if angle is not None:
+                        raise ScaffoldSyntaxError(
+                            self.cur.line, "multiple angle arguments"
+                        )
+                    angle = self._parse_angle_expr(loop_vars)
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self.expect(";")
+        if name in GATES:
+            spec = gate_spec(name)
+            if spec.takes_angle and angle is None:
+                raise ScaffoldSyntaxError(
+                    name_tok.line, f"{name} requires an angle argument"
+                )
+            if not spec.takes_angle and angle is not None:
+                raise ScaffoldSyntaxError(
+                    name_tok.line, f"{name} takes no angle"
+                )
+            try:
+                return Operation(name, tuple(qubits), angle)
+            except ValueError as exc:
+                raise ScaffoldSyntaxError(name_tok.line, str(exc)) from None
+        if angle is not None:
+            raise ScaffoldSyntaxError(
+                name_tok.line, "module calls take only qubit arguments"
+            )
+        return CallSite(name, tuple(qubits))
+
+    # -- operands & expressions ------------------------------------------
+
+    def _at_qubit_operand(
+        self, registers: Dict[str, int], loop_vars: Dict[str, int]
+    ) -> bool:
+        tok = self.cur
+        return (
+            tok.kind == "name"
+            and tok.text in registers
+            and tok.text not in loop_vars
+        )
+
+    def _parse_qubit(
+        self, registers: Dict[str, int], loop_vars: Dict[str, int]
+    ) -> Qubit:
+        name_tok = self.expect_name()
+        reg = name_tok.text
+        size = registers.get(reg)
+        if size is None:
+            raise ScaffoldSyntaxError(
+                name_tok.line, f"undeclared register {reg!r}"
+            )
+        index = 0
+        if self.accept("["):
+            index = self._parse_int_expr(loop_vars)
+            self.expect("]")
+        elif size != 1:
+            raise ScaffoldSyntaxError(
+                name_tok.line, f"register {reg!r} needs an index"
+            )
+        if not 0 <= index < size:
+            raise ScaffoldSyntaxError(
+                name_tok.line,
+                f"index {index} out of range for {reg}[{size}]",
+            )
+        return Qubit(reg, index)
+
+    def _parse_int_expr(self, loop_vars: Dict[str, int]) -> int:
+        value = self._parse_int_term(loop_vars)
+        while self.cur.text in ("+", "-"):
+            op = self.advance().text
+            rhs = self._parse_int_term(loop_vars)
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _parse_int_term(self, loop_vars: Dict[str, int]) -> int:
+        tok = self.advance()
+        if tok.kind == "number":
+            if "." in tok.text or "e" in tok.text or "E" in tok.text:
+                raise ScaffoldSyntaxError(
+                    tok.line, "expected an integer"
+                )
+            return int(tok.text)
+        if tok.kind == "name":
+            if tok.text not in loop_vars:
+                raise ScaffoldSyntaxError(
+                    tok.line, f"unknown loop variable {tok.text!r}"
+                )
+            return loop_vars[tok.text]
+        raise ScaffoldSyntaxError(
+            tok.line, f"expected an integer, found {tok.text!r}"
+        )
+
+    def _parse_angle_expr(self, loop_vars: Dict[str, int]) -> float:
+        value = self._parse_angle_term(loop_vars)
+        while self.cur.text in ("+", "-"):
+            op = self.advance().text
+            rhs = self._parse_angle_term(loop_vars)
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def _parse_angle_term(self, loop_vars: Dict[str, int]) -> float:
+        value = self._parse_angle_factor(loop_vars)
+        while self.cur.text in ("*", "/"):
+            op = self.advance().text
+            rhs = self._parse_angle_factor(loop_vars)
+            if op == "/":
+                if rhs == 0:
+                    raise ScaffoldSyntaxError(
+                        self.cur.line, "division by zero in angle"
+                    )
+                value = value / rhs
+            else:
+                value = value * rhs
+        return value
+
+    def _parse_angle_factor(self, loop_vars: Dict[str, int]) -> float:
+        if self.accept("-"):
+            return -self._parse_angle_factor(loop_vars)
+        if self.accept("("):
+            value = self._parse_angle_expr(loop_vars)
+            self.expect(")")
+            return value
+        tok = self.advance()
+        if tok.kind == "number":
+            return float(tok.text)
+        if tok.kind == "name":
+            if tok.text == "pi":
+                return math.pi
+            if tok.text in loop_vars:
+                return float(loop_vars[tok.text])
+            raise ScaffoldSyntaxError(
+                tok.line,
+                f"undeclared register or unknown identifier "
+                f"{tok.text!r}",
+            )
+        raise ScaffoldSyntaxError(
+            tok.line, f"unexpected {tok.text!r} in angle expression"
+        )
+
+
+def parse_scaffold(source: str) -> Program:
+    """Parse Scaffold-dialect source text into a validated Program."""
+    return _Parser(_tokenize(source)).parse_program()

@@ -1,0 +1,445 @@
+"""Classical-To-Quantum-Gates (CTQG) stand-in: reversible arithmetic.
+
+The paper's toolflow incorporates CTQG, a tool that decomposes classical
+arithmetic and control constructs into reversible QASM networks
+(Section 3.1), and notes that the resulting code is "highly locally
+serialized" (Section 5.2). This module is our reimplementation of that
+substrate: a library of reversible building blocks emitted at the
+Scaffold gate level (X / CNOT / Toffoli), later lowered to Clifford+T by
+the decompose pass.
+
+All blocks are *verified* against classical semantics by the statevector
+simulator in the test suite. Registers are little-endian qubit lists
+(``reg[0]`` is the least significant bit).
+
+Building blocks:
+
+* bitwise logic: :func:`xor_into`, :func:`and_into`, :func:`not_all`,
+  SHA-1's :func:`ch_into`, :func:`maj_into`, :func:`parity_into`;
+* the Cuccaro ripple-carry adder (:func:`cuccaro_add`) and its
+  carry-computation-only variant (:func:`compare_lt`);
+* constant loading / addition (:func:`load_const`, :func:`add_const`);
+* controlled and constant-operand variants used to build the schoolbook
+  multiplier (:func:`multiply`) and modular adder
+  (:func:`add_const_mod`) that the Shor's and Class Number generators
+  rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.operation import Operation
+from ..core.qubits import AncillaAllocator, Qubit
+
+__all__ = [
+    "xor_into",
+    "and_into",
+    "not_all",
+    "ch_into",
+    "maj_into",
+    "parity_into",
+    "rotl",
+    "load_const",
+    "cuccaro_add",
+    "add_const",
+    "compare_lt",
+    "compare_lt_const",
+    "controlled_xor",
+    "controlled_add",
+    "multiply",
+    "add_const_mod",
+]
+
+Ops = List[Operation]
+
+
+def _check_register(name: str, reg: Sequence[Qubit]) -> None:
+    if len(set(reg)) != len(reg):
+        raise ValueError(f"register {name} has duplicate qubits")
+
+
+def _check_disjoint(a_name: str, a: Sequence[Qubit], b_name: str, b: Sequence[Qubit]) -> None:
+    overlap = set(a) & set(b)
+    if overlap:
+        raise ValueError(
+            f"registers {a_name} and {b_name} overlap: {sorted(overlap)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bitwise logic
+# ---------------------------------------------------------------------------
+
+
+def xor_into(src: Sequence[Qubit], dst: Sequence[Qubit]) -> Ops:
+    """``dst ^= src``, bitwise (transversal CNOTs)."""
+    if len(src) != len(dst):
+        raise ValueError("xor_into requires equal-width registers")
+    _check_disjoint("src", src, "dst", dst)
+    return [Operation("CNOT", (s, d)) for s, d in zip(src, dst)]
+
+
+def and_into(
+    x: Sequence[Qubit], y: Sequence[Qubit], dst: Sequence[Qubit]
+) -> Ops:
+    """``dst ^= x & y``, bitwise (transversal Toffolis)."""
+    if not len(x) == len(y) == len(dst):
+        raise ValueError("and_into requires equal-width registers")
+    _check_disjoint("x", x, "dst", dst)
+    _check_disjoint("y", y, "dst", dst)
+    return [Operation("Toffoli", (a, b, d)) for a, b, d in zip(x, y, dst)]
+
+
+def not_all(reg: Sequence[Qubit]) -> Ops:
+    """``reg = ~reg``, bitwise (transversal X)."""
+    return [Operation("X", (q,)) for q in reg]
+
+
+def ch_into(
+    x: Sequence[Qubit],
+    y: Sequence[Qubit],
+    z: Sequence[Qubit],
+    dst: Sequence[Qubit],
+) -> Ops:
+    """SHA-1 choose: ``dst ^= (x & y) ^ (~x & z)``.
+
+    Uses the identity ``Ch(x,y,z) = z ^ (x & (y ^ z))`` to keep the
+    network to one Toffoli layer plus CNOT layers, all uncomputed except
+    the contribution to ``dst``.
+    """
+    ops: Ops = []
+    ops += xor_into(z, y)       # y ^= z          (y holds y^z)
+    ops += and_into(x, y, dst)  # dst ^= x & (y^z)
+    ops += xor_into(z, y)       # restore y
+    ops += xor_into(z, dst)     # dst ^= z
+    return ops
+
+
+def maj_into(
+    x: Sequence[Qubit],
+    y: Sequence[Qubit],
+    z: Sequence[Qubit],
+    dst: Sequence[Qubit],
+) -> Ops:
+    """SHA-1 majority: ``dst ^= (x&y) ^ (x&z) ^ (y&z)``."""
+    ops: Ops = []
+    ops += and_into(x, y, dst)
+    ops += and_into(x, z, dst)
+    ops += and_into(y, z, dst)
+    return ops
+
+
+def parity_into(
+    x: Sequence[Qubit],
+    y: Sequence[Qubit],
+    z: Sequence[Qubit],
+    dst: Sequence[Qubit],
+) -> Ops:
+    """SHA-1 parity: ``dst ^= x ^ y ^ z``."""
+    return xor_into(x, dst) + xor_into(y, dst) + xor_into(z, dst)
+
+
+def rotl(reg: Sequence[Qubit], k: int) -> List[Qubit]:
+    """Rotate-left by ``k`` bits: a free relabelling (no gates), exactly
+    how compilers implement rotations of quantum registers."""
+    n = len(reg)
+    if n == 0:
+        return []
+    k %= n
+    return list(reg[-k:]) + list(reg[:-k]) if k else list(reg)
+
+
+# ---------------------------------------------------------------------------
+# Constants
+# ---------------------------------------------------------------------------
+
+
+def load_const(value: int, reg: Sequence[Qubit]) -> Ops:
+    """XOR a classical constant into a (usually zeroed) register."""
+    if value < 0 or value >= 2 ** len(reg):
+        raise ValueError(
+            f"constant {value} does not fit in {len(reg)} bits"
+        )
+    return [
+        Operation("X", (q,)) for i, q in enumerate(reg) if (value >> i) & 1
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Cuccaro ripple-carry addition
+# ---------------------------------------------------------------------------
+
+
+def _maj(c: Qubit, b: Qubit, a: Qubit) -> Ops:
+    return [
+        Operation("CNOT", (a, b)),
+        Operation("CNOT", (a, c)),
+        Operation("Toffoli", (c, b, a)),
+    ]
+
+
+def _uma(c: Qubit, b: Qubit, a: Qubit) -> Ops:
+    return [
+        Operation("Toffoli", (c, b, a)),
+        Operation("CNOT", (a, c)),
+        Operation("CNOT", (c, b)),
+    ]
+
+
+def cuccaro_add(
+    a: Sequence[Qubit],
+    b: Sequence[Qubit],
+    carry_anc: Qubit,
+    carry_out: Optional[Qubit] = None,
+) -> Ops:
+    """Cuccaro ripple-carry adder: ``b += a`` (mod ``2**n``).
+
+    ``carry_anc`` must start (and ends) in ``|0>``. If ``carry_out`` is
+    given, it is XORed with the final carry (making the addition exact
+    over ``n+1`` bits).
+
+    Reference: Cuccaro, Draper, Kutin, Moulton, "A new quantum
+    ripple-carry addition circuit" (2004) — the MAJ/UMA network.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("cuccaro_add requires equal-width registers")
+    if n == 0:
+        return []
+    _check_register("a", a)
+    _check_register("b", b)
+    _check_disjoint("a", a, "b", b)
+    chain: List[Qubit] = [carry_anc] + list(a)
+    ops: Ops = []
+    for i in range(n):
+        ops += _maj(chain[i], b[i], chain[i + 1])
+    if carry_out is not None:
+        ops.append(Operation("CNOT", (a[-1], carry_out)))
+    for i in range(n - 1, -1, -1):
+        ops += _uma(chain[i], b[i], chain[i + 1])
+    return ops
+
+
+def add_const(
+    value: int,
+    b: Sequence[Qubit],
+    alloc: AncillaAllocator,
+    carry_out: Optional[Qubit] = None,
+) -> Ops:
+    """``b += value`` (mod ``2**n``) for a classical constant.
+
+    Loads the constant into a scratch register, ripple-adds it, then
+    unloads — the straightforward CTQG lowering of ``b += const``.
+    """
+    n = len(b)
+    scratch = alloc.alloc(n)
+    carry = alloc.alloc_one()
+    ops = load_const(value % (2 ** n) if n else 0, scratch)
+    ops += cuccaro_add(scratch, b, carry, carry_out)
+    ops += load_const(value % (2 ** n) if n else 0, scratch)
+    alloc.free([carry])
+    alloc.free(scratch)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def compare_lt(
+    a: Sequence[Qubit],
+    b: Sequence[Qubit],
+    flag: Qubit,
+    carry_anc: Qubit,
+) -> Ops:
+    """``flag ^= (a < b)``, leaving ``a`` and ``b`` unchanged.
+
+    Uses the identity ``a < b  <=>  carry_out(~a + b) = 1``: the MAJ
+    chain of a Cuccaro adder computes the carries in place, the final
+    carry is copied to ``flag``, and the chain is uncomputed.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("compare_lt requires equal-width registers")
+    if n == 0:
+        return []
+    ops = not_all(a)
+    chain: List[Qubit] = [carry_anc] + list(a)
+    maj_ops: Ops = []
+    for i in range(n):
+        maj_ops += _maj(chain[i], b[i], chain[i + 1])
+    ops += maj_ops
+    ops.append(Operation("CNOT", (a[-1], flag)))
+    # Uncompute the carry chain: exact inverse of the MAJ ladder (each
+    # MAJ block is its own inverse read backwards gate-by-gate).
+    for op in reversed(maj_ops):
+        ops.append(op)
+    ops += not_all(a)
+    return ops
+
+
+def compare_lt_const(
+    a: Sequence[Qubit],
+    value: int,
+    flag: Qubit,
+    alloc: AncillaAllocator,
+) -> Ops:
+    """``flag ^= (a < value)`` for a classical constant."""
+    n = len(a)
+    scratch = alloc.alloc(n)
+    carry = alloc.alloc_one()
+    ops = load_const(value % (2 ** n) if n else 0, scratch)
+    ops += compare_lt(a, scratch, flag, carry)
+    ops += load_const(value % (2 ** n) if n else 0, scratch)
+    alloc.free([carry])
+    alloc.free(scratch)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Controlled variants
+# ---------------------------------------------------------------------------
+
+
+def controlled_xor(
+    ctrl: Qubit, src: Sequence[Qubit], dst: Sequence[Qubit]
+) -> Ops:
+    """``if ctrl: dst ^= src`` (transversal Toffolis)."""
+    if len(src) != len(dst):
+        raise ValueError("controlled_xor requires equal-width registers")
+    return [Operation("Toffoli", (ctrl, s, d)) for s, d in zip(src, dst)]
+
+
+def controlled_add(
+    ctrl: Qubit,
+    a: Sequence[Qubit],
+    b: Sequence[Qubit],
+    alloc: AncillaAllocator,
+    carry_out: Optional[Qubit] = None,
+) -> Ops:
+    """``if ctrl: b += a`` (mod ``2**n``).
+
+    Masks ``a`` into a scratch register under the control (so the adder
+    sees either ``a`` or ``0``), adds unconditionally, then unmasks.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("controlled_add requires equal-width registers")
+    scratch = alloc.alloc(n)
+    carry = alloc.alloc_one()
+    ops = controlled_xor(ctrl, a, scratch)
+    ops += cuccaro_add(scratch, b, carry, carry_out)
+    ops += controlled_xor(ctrl, a, scratch)
+    alloc.free([carry])
+    alloc.free(scratch)
+    return ops
+
+
+def multiply(
+    a: Sequence[Qubit],
+    b: Sequence[Qubit],
+    product: Sequence[Qubit],
+    alloc: AncillaAllocator,
+) -> Ops:
+    """Schoolbook multiplier: ``product += a * b`` (mod ``2**len(product)``).
+
+    For each bit ``a[i]``, conditionally adds ``b << i`` into the product
+    register. ``product`` must be at least as wide as ``b``.
+    """
+    if len(product) < len(b):
+        raise ValueError("product register narrower than operand b")
+    ops: Ops = []
+    for i, ctrl in enumerate(a):
+        window = list(product[i:])
+        if not window:
+            break
+        # Mask b (zero-extended to the window width so carries propagate
+        # across the whole remaining product) under the control bit.
+        scratch = alloc.alloc(len(window))
+        carry = alloc.alloc_one()
+        mask = [
+            Operation("Toffoli", (ctrl, b[j], scratch[j]))
+            for j in range(min(len(b), len(window)))
+        ]
+        ops += mask
+        ops += cuccaro_add(scratch, window, carry)
+        ops += mask
+        alloc.free([carry])
+        alloc.free(scratch)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# Modular arithmetic (Vedral-style)
+# ---------------------------------------------------------------------------
+
+
+def add_const_mod(
+    value: int,
+    reg: Sequence[Qubit],
+    modulus: int,
+    alloc: AncillaAllocator,
+) -> Ops:
+    """``reg = (reg + value) mod modulus`` for classical ``value`` and
+    ``modulus``, assuming ``reg < modulus`` on entry.
+
+    The Vedral-Barenco-Ekert construction: add the constant, compare
+    with the modulus, conditionally subtract, and uncompute the
+    comparison flag by comparing the result with the constant
+    (``result < value  <=>  the subtraction happened``).
+
+    Requires ``0 <= value < modulus`` and ``modulus <= 2**(n-1)`` so the
+    intermediate sum fits without overflow.
+    """
+    n = len(reg)
+    if not 0 < modulus <= 2 ** (n - 1):
+        raise ValueError(
+            f"modulus {modulus} needs headroom in {n}-bit register"
+        )
+    value %= modulus
+    flag = alloc.alloc_one()
+    ops: Ops = []
+    # reg += value  (cannot overflow: reg < modulus, value < modulus,
+    # sum < 2*modulus <= 2**n)
+    ops += add_const(value, reg, alloc)
+    # flag ^= (reg >= modulus)   i.e. NOT (reg < modulus)
+    ops += compare_lt_const(reg, modulus, flag, alloc)
+    ops.append(Operation("X", (flag,)))
+    # if flag: reg -= modulus   (add 2**n - modulus)
+    comp = (2 ** n - modulus) % (2 ** n)
+    scratch = alloc.alloc(n)
+    carry = alloc.alloc_one()
+    ops += _controlled_add_const(flag, comp, reg, scratch, carry)
+    alloc.free([carry])
+    alloc.free(scratch)
+    # Uncompute flag: after reduction, flag == (reg < value).
+    ops += compare_lt_const(reg, value, flag, alloc)
+    alloc.free([flag])
+    return ops
+
+
+def _controlled_add_const(
+    ctrl: Qubit,
+    value: int,
+    reg: Sequence[Qubit],
+    scratch: Sequence[Qubit],
+    carry: Qubit,
+) -> Ops:
+    """``if ctrl: reg += value`` using a caller-provided scratch register
+    (must be zeroed; returned zeroed)."""
+    n = len(reg)
+    value %= 2 ** n
+    ops: Ops = [
+        Operation("CNOT", (ctrl, scratch[i]))
+        for i in range(n)
+        if (value >> i) & 1
+    ]
+    ops += cuccaro_add(list(scratch), list(reg), carry)
+    ops += [
+        Operation("CNOT", (ctrl, scratch[i]))
+        for i in range(n)
+        if (value >> i) & 1
+    ]
+    return ops

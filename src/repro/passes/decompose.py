@@ -1,0 +1,266 @@
+"""Gate decomposition onto the QASM subset (Section 3.1).
+
+ScaffCC lowers the Scaffold gate vocabulary onto the Clifford+T QASM
+subset before scheduling:
+
+* ``Toffoli`` uses the textbook 15-gate Clifford+T network (the same one
+  the paper's Figure 4 shows);
+* ``Fredkin``/``CCZ``/``CZ``/``SWAP`` reduce to Toffoli/CNOT networks;
+* arbitrary-angle rotations are approximated by long serial Clifford+T
+  strings. The paper uses the SQCT toolbox for this; we substitute a
+  :class:`RotationSynthesizer` that is *exact* for multiples of pi/4 and
+  otherwise emits a deterministic angle-seeded Clifford+T string of
+  length ``~ c * log2(1/epsilon)`` — the same length scaling and, most
+  importantly for the schedulers, the same shape: a long chain of
+  single-qubit gates on one target (cf. Table 2 and the Shor's
+  discussion in Section 5.4). See DESIGN.md for the substitution record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.gates import is_primitive
+from ..core.module import Module, Program
+from ..core.operation import CallSite, Operation, Statement
+from ..core.qubits import Qubit
+
+__all__ = [
+    "RotationSynthesizer",
+    "DecomposeConfig",
+    "decompose_operation",
+    "decompose_module",
+    "decompose_program",
+    "toffoli_network",
+]
+
+_TWO_PI = 2.0 * math.pi
+_PI_4 = math.pi / 4.0
+
+#: Exact Clifford+T realisations of Rz(m * pi/4), m = 0..7, up to global
+#: phase.
+_PI4_SEQUENCES: Dict[int, List[str]] = {
+    0: [],
+    1: ["T"],
+    2: ["S"],
+    3: ["S", "T"],
+    4: ["Z"],
+    5: ["Z", "T"],
+    6: ["Sdag"],
+    7: ["Tdag"],
+}
+
+#: Gate alphabet for approximate rotation strings. H is interleaved
+#: explicitly; the rest are diagonal/Pauli so that strings stay "rotation
+#: like".
+_APPROX_ALPHABET = ["T", "Tdag", "S", "Sdag", "Z", "X", "H"]
+
+
+class RotationSynthesizer:
+    """Clifford+T synthesis of single-qubit Z rotations (SQCT stand-in).
+
+    Exact for angles that are multiples of pi/4. Other angles produce a
+    deterministic pseudo-random Clifford+T string whose length follows
+    the ``c0 + c1 * log2(1/epsilon)`` scaling of single-qubit synthesis;
+    two operations with the same angle always receive the same string.
+
+    Args:
+        epsilon: target approximation precision (drives string length).
+        length_scale: multiplier ``c1`` on ``log2(1/epsilon)``.
+        length_offset: additive constant ``c0``.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1e-10,
+        length_scale: float = 3.0,
+        length_offset: int = 4,
+    ):
+        if not 0 < epsilon < 1:
+            raise ValueError(f"epsilon must be in (0,1), got {epsilon}")
+        self.epsilon = epsilon
+        self.length_scale = length_scale
+        self.length_offset = length_offset
+
+    @property
+    def approx_length(self) -> int:
+        """Length of the Clifford+T string for a generic angle."""
+        return max(
+            1,
+            int(
+                round(
+                    self.length_offset
+                    + self.length_scale * math.log2(1.0 / self.epsilon)
+                )
+            ),
+        )
+
+    def rz_sequence(self, angle: float) -> List[str]:
+        """Gate mnemonics realising ``Rz(angle)`` on one qubit."""
+        frac = (angle % _TWO_PI) / _PI_4
+        nearest = round(frac)
+        if abs(frac - nearest) < 1e-12:
+            return list(_PI4_SEQUENCES[int(nearest) % 8])
+        return self._approx_sequence(angle)
+
+    def _approx_sequence(self, angle: float) -> List[str]:
+        # Deterministic per-angle stream: hash the rounded angle so that
+        # numerically identical rotations share one synthesis result.
+        key = f"{angle % _TWO_PI:.12f}/{self.epsilon:g}".encode()
+        digest = hashlib.sha256(key).digest()
+        seq: List[str] = []
+        n = self.approx_length
+        i = 0
+        stream = digest
+        while len(seq) < n:
+            if i >= len(stream):
+                stream = hashlib.sha256(stream).digest()
+                i = 0
+            seq.append(_APPROX_ALPHABET[stream[i] % len(_APPROX_ALPHABET)])
+            i += 1
+        return seq
+
+    def synthesize_rz(self, qubit: Qubit, angle: float) -> List[Operation]:
+        """Operations realising ``Rz(angle)`` on ``qubit``."""
+        return [Operation(g, (qubit,)) for g in self.rz_sequence(angle)]
+
+
+def toffoli_network(a: Qubit, b: Qubit, c: Qubit) -> List[Operation]:
+    """The 15-gate Clifford+T Toffoli network (controls ``a``, ``b``,
+    target ``c``) — the decomposition the paper's Figure 4 schedules."""
+    ops = [
+        ("H", c),
+        ("CNOT", b, c),
+        ("Tdag", c),
+        ("CNOT", a, c),
+        ("T", c),
+        ("CNOT", b, c),
+        ("Tdag", c),
+        ("CNOT", a, c),
+        ("T", b),
+        ("T", c),
+        ("CNOT", a, b),
+        ("H", c),
+        ("T", a),
+        ("Tdag", b),
+        ("CNOT", a, b),
+    ]
+    return [Operation(g, tuple(qs)) for g, *qs in ops]
+
+
+@dataclass(frozen=True)
+class DecomposeConfig:
+    """Configuration for the decomposition pass."""
+
+    epsilon: float = 1e-10
+    length_scale: float = 3.0
+    length_offset: int = 4
+
+    def synthesizer(self) -> RotationSynthesizer:
+        return RotationSynthesizer(
+            self.epsilon, self.length_scale, self.length_offset
+        )
+
+
+def decompose_operation(
+    op: Operation, synth: RotationSynthesizer
+) -> List[Operation]:
+    """Lower one operation to QASM primitives.
+
+    Primitive operations pass through unchanged; everything else is
+    expanded recursively until only primitives remain.
+    """
+    if is_primitive(op.gate):
+        return [op]
+    if op.gate == "CZ":
+        c, t = op.qubits
+        return [
+            Operation("H", (t,)),
+            Operation("CNOT", (c, t)),
+            Operation("H", (t,)),
+        ]
+    if op.gate == "SWAP":
+        a, b = op.qubits
+        return [
+            Operation("CNOT", (a, b)),
+            Operation("CNOT", (b, a)),
+            Operation("CNOT", (a, b)),
+        ]
+    if op.gate == "Toffoli":
+        return toffoli_network(*op.qubits)
+    if op.gate == "CCZ":
+        a, b, c = op.qubits
+        return (
+            [Operation("H", (c,))]
+            + toffoli_network(a, b, c)
+            + [Operation("H", (c,))]
+        )
+    if op.gate == "Fredkin":
+        ctrl, x, y = op.qubits
+        return (
+            [Operation("CNOT", (y, x))]
+            + toffoli_network(ctrl, x, y)
+            + [Operation("CNOT", (y, x))]
+        )
+    if op.gate == "Rz":
+        return synth.synthesize_rz(op.qubits[0], op.angle)
+    if op.gate == "Rx":
+        (q,) = op.qubits
+        return (
+            [Operation("H", (q,))]
+            + synth.synthesize_rz(q, op.angle)
+            + [Operation("H", (q,))]
+        )
+    if op.gate == "Ry":
+        (q,) = op.qubits
+        # Ry(t) = S . Rx(t) . Sdag  (conjugation maps X-axis to Y-axis).
+        return (
+            [Operation("Sdag", (q,)), Operation("H", (q,))]
+            + synth.synthesize_rz(q, op.angle)
+            + [Operation("H", (q,)), Operation("S", (q,))]
+        )
+    if op.gate == "CRz":
+        c, t = op.qubits
+        # CRz(t) = Rz(t/2) . CNOT . Rz(-t/2) . CNOT  on the target.
+        half = op.angle / 2.0
+        return (
+            synth.synthesize_rz(t, half)
+            + [Operation("CNOT", (c, t))]
+            + synth.synthesize_rz(t, -half)
+            + [Operation("CNOT", (c, t))]
+        )
+    if op.gate == "CRx":
+        c, t = op.qubits
+        inner = Operation("CRz", (c, t), op.angle)
+        return (
+            [Operation("H", (t,))]
+            + decompose_operation(inner, synth)
+            + [Operation("H", (t,))]
+        )
+    raise ValueError(f"no decomposition rule for gate {op.gate!r}")
+
+
+def decompose_module(
+    module: Module, synth: RotationSynthesizer
+) -> Module:
+    """Lower every gate in a module body; call sites pass through."""
+    body: List[Statement] = []
+    for stmt in module.body:
+        if isinstance(stmt, CallSite):
+            body.append(stmt)
+        else:
+            body.extend(decompose_operation(stmt, synth))
+    return Module(module.name, module.params, body)
+
+
+def decompose_program(
+    program: Program, config: Optional[DecomposeConfig] = None
+) -> Program:
+    """Lower every module of a program to QASM primitives."""
+    config = config or DecomposeConfig()
+    synth = config.synthesizer()
+    modules = [decompose_module(m, synth) for m in program]
+    return Program(modules, program.entry)

@@ -1,0 +1,44 @@
+"""A minimal pass pipeline, mirroring ScaffCC's LLVM pass structure.
+
+Each pass is a callable ``Program -> Program``; the manager runs them in
+order and records per-pass wall-clock timings (useful when analysing the
+scheduling-time / schedule-quality trade-off the paper discusses in
+Section 3.1.1).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+from ..core.module import Program
+
+__all__ = ["PassManager"]
+
+Pass = Callable[[Program], Program]
+
+
+class PassManager:
+    """Runs a sequence of named program transformations."""
+
+    def __init__(self) -> None:
+        self._passes: List[Tuple[str, Pass]] = []
+        self.timings: Dict[str, float] = {}
+
+    def add(self, name: str, fn: Pass) -> "PassManager":
+        """Append a pass; returns self for chaining."""
+        self._passes.append((name, fn))
+        return self
+
+    def run(self, program: Program) -> Program:
+        """Run all passes in order, validating after each."""
+        self.timings = {}
+        for name, fn in self._passes:
+            start = time.perf_counter()
+            program = fn(program)
+            self.timings[name] = time.perf_counter() - start
+            program.validate()
+        return program
+
+    def __len__(self) -> int:
+        return len(self._passes)

@@ -1,0 +1,163 @@
+"""Peephole circuit optimization: cancellation and rotation merging.
+
+ScaffCC applies simple circuit simplifications before scheduling; this
+pass implements the two that matter at the logical level:
+
+* **inverse-pair cancellation** — two adjacent operations cancel when
+  they are inverses on identical operand tuples and no other operation
+  touches any of their qubits in between (``H H``, ``T Tdag``,
+  ``CNOT CNOT``, ...). Cancellation cascades: removing a pair can
+  expose another.
+* **rotation merging** — adjacent rotations of the same axis on the
+  same qubit fuse (``Rz(a) Rz(b) -> Rz(a+b)``), and a fused rotation
+  whose angle is ~0 (mod 2*pi) disappears. Merging matters *before*
+  decomposition: every surviving generic rotation costs a ~100-gate
+  Clifford+T string (Table 2).
+
+Both rewrites are semantics-preserving and are verified against the
+statevector simulator in the test suite. Call sites are barriers: no
+cancellation happens across a call (the callee is a blackbox).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..core.gates import gate_spec
+from ..core.module import Module, Program
+from ..core.operation import CallSite, Operation, Statement
+from ..core.qubits import Qubit
+
+__all__ = ["optimize_module", "optimize_program", "OptimizeStats"]
+
+_TWO_PI = 2.0 * math.pi
+_ANGLE_EPS = 1e-12
+
+
+class OptimizeStats:
+    """Counts of rewrites applied."""
+
+    def __init__(self) -> None:
+        self.cancelled_pairs = 0
+        self.merged_rotations = 0
+        self.dropped_rotations = 0
+
+    @property
+    def removed_ops(self) -> int:
+        return (
+            2 * self.cancelled_pairs
+            + self.merged_rotations
+            + self.dropped_rotations
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OptimizeStats(pairs={self.cancelled_pairs}, "
+            f"merged={self.merged_rotations}, "
+            f"dropped={self.dropped_rotations})"
+        )
+
+
+def _inverse_of(op: Operation, other: Operation) -> bool:
+    """True if ``other`` directly cancels ``op`` (same operands)."""
+    if op.qubits != other.qubits:
+        return False
+    spec = gate_spec(op.gate)
+    if spec.inverse is None or spec.takes_angle:
+        return False
+    return spec.inverse == other.gate
+
+
+def _mergeable_rotation(op: Operation, other: Operation) -> bool:
+    return (
+        op.gate == other.gate
+        and gate_spec(op.gate).takes_angle
+        and op.qubits == other.qubits
+    )
+
+
+def optimize_module(
+    module: Module, stats: Optional[OptimizeStats] = None
+) -> Module:
+    """Apply cancellation and rotation merging to one module body."""
+    stats = stats if stats is not None else OptimizeStats()
+    kept: List[Statement] = []
+    # For each qubit, a stack of indices into `kept` of the statements
+    # touching it — popping a cancelled op re-exposes the one before
+    # it, so cancellations cascade (H T Tdag H collapses completely).
+    touch_stack: Dict[Qubit, List[int]] = {}
+
+    def operands(stmt: Statement):
+        return stmt.qubits if isinstance(stmt, Operation) else stmt.args
+
+    def push(stmt: Statement) -> None:
+        kept.append(stmt)
+        idx = len(kept) - 1
+        for q in operands(stmt):
+            touch_stack.setdefault(q, []).append(idx)
+
+    def pop_at(idx: int) -> None:
+        # Replace with a tombstone; compacted at the end.
+        for q in operands(kept[idx]):  # type: ignore[arg-type]
+            stack = touch_stack.get(q)
+            if stack and stack[-1] == idx:
+                stack.pop()
+        kept[idx] = None  # type: ignore[assignment]
+
+    for stmt in module.body:
+        if isinstance(stmt, CallSite):
+            push(stmt)  # calls are barriers
+            continue
+        # The candidate is adjacent iff it is the latest toucher of
+        # *all* operands of this op.
+        candidate_idx = None
+        adjacent = True
+        for q in stmt.qubits:
+            stack = touch_stack.get(q)
+            idx = stack[-1] if stack else None
+            if idx is None:
+                adjacent = False
+                break
+            if candidate_idx is None:
+                candidate_idx = idx
+            elif idx != candidate_idx:
+                adjacent = False
+                break
+        candidate = (
+            kept[candidate_idx]
+            if adjacent and candidate_idx is not None
+            else None
+        )
+        if isinstance(candidate, Operation):
+            # The candidate must also have exactly these operands,
+            # otherwise an unrelated qubit of the candidate would be
+            # reordered across this op.
+            if set(candidate.qubits) == set(stmt.qubits):
+                if _inverse_of(stmt, candidate):
+                    pop_at(candidate_idx)
+                    stats.cancelled_pairs += 1
+                    continue
+                if _mergeable_rotation(stmt, candidate):
+                    angle = (candidate.angle + stmt.angle) % _TWO_PI
+                    pop_at(candidate_idx)
+                    if (
+                        abs(angle) < _ANGLE_EPS
+                        or abs(angle - _TWO_PI) < _ANGLE_EPS
+                    ):
+                        stats.dropped_rotations += 1
+                    else:
+                        stats.merged_rotations += 1
+                        push(Operation(stmt.gate, stmt.qubits, angle))
+                    continue
+        push(stmt)
+
+    body = [s for s in kept if s is not None]
+    return Module(module.name, module.params, body)
+
+
+def optimize_program(program: Program) -> "tuple[Program, OptimizeStats]":
+    """Optimize every module; returns (program, stats)."""
+    stats = OptimizeStats()
+    modules = [optimize_module(m, stats) for m in program]
+    return Program(modules, program.entry), stats

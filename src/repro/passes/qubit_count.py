@@ -1,0 +1,47 @@
+"""Minimum-qubit analysis (the paper's Table 1 quantity ``Q``).
+
+``Q`` is "the minimum number of qubits required by the benchmark,
+computed with sequential execution and maximum reuse of ancilla qubits
+across functions". In a sequential execution only one call chain is live
+at any instant, so the live set is: the entry module's own qubits, plus —
+for the deepest-footprint call chain — each callee's *local* (non-
+parameter) qubits. Sibling calls reuse each other's freed locals, hence
+the ``max`` (not ``sum``) over call sites.
+
+Table 1's values feed Figure 8: local scratchpad capacities are swept at
+``Q/4`` and ``Q/2`` per benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.module import Program
+
+__all__ = ["minimum_qubits", "local_footprints"]
+
+
+def local_footprints(program: Program) -> Dict[str, int]:
+    """Per-module count of local (non-parameter) qubits it references
+    directly (calls not expanded)."""
+    out: Dict[str, int] = {}
+    for name in program.reachable():
+        mod = program.module(name)
+        params = set(mod.params)
+        out[name] = sum(1 for q in mod.qubits() if q not in params)
+    return out
+
+
+def minimum_qubits(program: Program) -> int:
+    """Compute ``Q``: the sequential-execution live-qubit high-water mark
+    with maximal ancilla reuse across (sibling) calls."""
+    locals_of = local_footprints(program)
+    # footprint[m]: locals of m plus the deepest callee chain's locals.
+    footprint: Dict[str, int] = {}
+    for name in program.topological_order():
+        mod = program.module(name)
+        deepest = max(
+            (footprint[c.callee] for c in mod.calls()), default=0
+        )
+        footprint[name] = locals_of[name] + deepest
+    return len(program.entry_module.params) + footprint[program.entry]

@@ -1,0 +1,136 @@
+"""Hierarchical resource estimation (Section 3.1.1, Figure 5).
+
+Large quantum benchmarks (10^7..10^12 gates) cannot be unrolled, so the
+toolflow estimates resources *hierarchically*: per-module totals are
+computed bottom-up through the call graph, with call-site iteration
+counts multiplying callee totals. These totals drive:
+
+* the Flattening-Threshold decision (which modules get inlined for
+  fine-grained scheduling — :mod:`repro.passes.flatten`), and
+* the paper's Figure 5 histogram of module gate counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.module import Program
+from ..core.operation import CallSite, Operation
+
+__all__ = [
+    "ResourceEstimate",
+    "estimate_resources",
+    "total_gate_counts",
+    "module_invocation_counts",
+    "GATE_COUNT_BINS",
+    "gate_count_histogram",
+]
+
+#: Figure 5's gate-count ranges, as (label, inclusive lower, exclusive
+#: upper) — ordered small to large.
+GATE_COUNT_BINS: List[Tuple[str, int, float]] = [
+    ("0 - 1k", 0, 1_000),
+    ("1k - 5k", 1_000, 5_000),
+    ("5k - 10k", 5_000, 10_000),
+    ("10k - 50k", 10_000, 50_000),
+    ("50k - 100k", 50_000, 100_000),
+    ("100k - 150k", 100_000, 150_000),
+    ("150k - 1M", 150_000, 1_000_000),
+    ("1M - 2M", 1_000_000, 2_000_000),
+    ("2M - 8M", 2_000_000, 8_000_000),
+    ("8M - 20M", 8_000_000, 20_000_000),
+    (">20M", 20_000_000, float("inf")),
+]
+
+
+@dataclass
+class ResourceEstimate:
+    """Per-program resource summary.
+
+    Attributes:
+        total_gates: gates executed by one run of the entry module, with
+            every call expanded (exact integer; may be astronomically
+            large).
+        module_totals: per-module expanded gate counts (one invocation of
+            that module).
+        module_direct: per-module direct (unexpanded) gate counts.
+        invocations: how many times each module runs in a full execution.
+        gate_mix: total dynamic count per gate mnemonic.
+    """
+
+    total_gates: int
+    module_totals: Dict[str, int]
+    module_direct: Dict[str, int]
+    invocations: Dict[str, int]
+    gate_mix: Dict[str, int] = field(default_factory=dict)
+
+
+def total_gate_counts(program: Program) -> Dict[str, int]:
+    """Expanded gate count of one invocation of each reachable module."""
+    totals: Dict[str, int] = {}
+    for name in program.topological_order():
+        mod = program.module(name)
+        count = 0
+        for stmt in mod.body:
+            if isinstance(stmt, Operation):
+                count += 1
+            else:
+                count += stmt.iterations * totals[stmt.callee]
+        totals[name] = count
+    return totals
+
+
+def module_invocation_counts(program: Program) -> Dict[str, int]:
+    """How many times each reachable module executes in one full run of
+    the entry module."""
+    invocations: Dict[str, int] = {name: 0 for name in program.reachable()}
+    invocations[program.entry] = 1
+    # Walk callers before callees (reverse topological order).
+    for name in reversed(program.topological_order()):
+        times = invocations[name]
+        if times == 0:
+            continue
+        for call in program.module(name).calls():
+            invocations[call.callee] += times * call.iterations
+    return invocations
+
+
+def estimate_resources(program: Program) -> ResourceEstimate:
+    """Full hierarchical resource estimate for a program."""
+    totals = total_gate_counts(program)
+    invocations = module_invocation_counts(program)
+    direct: Dict[str, int] = {}
+    gate_mix: Dict[str, int] = {}
+    for name in program.topological_order():
+        mod = program.module(name)
+        direct[name] = mod.direct_gate_count
+        times = invocations[name]
+        if times == 0:
+            continue
+        for op in mod.operations():
+            gate_mix[op.gate] = gate_mix.get(op.gate, 0) + times
+    return ResourceEstimate(
+        total_gates=totals[program.entry],
+        module_totals=totals,
+        module_direct=direct,
+        invocations=invocations,
+        gate_mix=gate_mix,
+    )
+
+
+def gate_count_histogram(program: Program) -> Dict[str, float]:
+    """Figure 5: the percentage of (reachable) modules whose expanded
+    gate count falls in each :data:`GATE_COUNT_BINS` range."""
+    totals = total_gate_counts(program)
+    n = len(totals)
+    histogram = {label: 0 for label, _, _ in GATE_COUNT_BINS}
+    for count in totals.values():
+        for label, lo, hi in GATE_COUNT_BINS:
+            if lo <= count < hi:
+                histogram[label] += 1
+                break
+    return {
+        label: (100.0 * c / n if n else 0.0)
+        for label, c in histogram.items()
+    }

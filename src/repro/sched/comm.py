@@ -1,0 +1,198 @@
+"""Movement derivation and communication-aware runtime (Sections 3.2, 4.4).
+
+The fine-grained schedulers place *operations*; the qubit movements those
+placements imply are derived afterwards, following the paper's execution
+model:
+
+* an operand not resident in its op's region is teleported there in the
+  movement epoch before the timestep;
+* after a timestep, a qubit staying in a region that is *active* next
+  timestep (executing other qubits' ops) must be evacuated — to the
+  region's local scratchpad if its next op is in the same region and
+  space remains (a 1-cycle ballistic move), otherwise to global memory
+  by teleportation; idle regions double as passive storage;
+* a movement epoch costs 4 cycles if it contains any teleport, 1 cycle
+  if it contains only local moves, 0 if empty ("If any SIMD regions in a
+  timestep have a global move, the full four cycle move time is
+  retained").
+
+The *naive movement model* — the baseline of Figures 7 and 8 — instead
+charges a teleport epoch around every sequential gate: runtime = 5x the
+gate count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.machine import (
+    GATE_CYCLES,
+    LOCAL_MOVE_CYCLES,
+    MultiSIMD,
+    NAIVE_FACTOR,
+    TELEPORT_CYCLES,
+)
+from ..arch.memory import MemoryMap
+from ..arch.teleport import EPRAccounting
+from ..core.qubits import Qubit
+from .types import Move, Schedule
+
+__all__ = ["CommStats", "derive_movement", "naive_runtime"]
+
+
+@dataclass
+class CommStats:
+    """Communication profile of one scheduled module.
+
+    Attributes:
+        gate_cycles: schedule length (1 cycle per timestep).
+        comm_cycles: cycles added by movement epochs.
+        runtime: gate_cycles + comm_cycles.
+        teleports / local_moves: total move counts by kind.
+        teleport_epochs / local_epochs: epochs billed at 4 / at 1.
+        epr: per-channel EPR-pair consumption.
+    """
+
+    gate_cycles: int
+    comm_cycles: int
+    teleports: int
+    local_moves: int
+    teleport_epochs: int
+    local_epochs: int
+    epr: EPRAccounting = field(default_factory=EPRAccounting)
+
+    @property
+    def runtime(self) -> int:
+        return self.gate_cycles + self.comm_cycles
+
+
+def naive_runtime(op_count: int) -> int:
+    """Runtime of the sequential, naive movement model: one gate per
+    timestep, every timestep wrapped in a teleport epoch (5x)."""
+    return NAIVE_FACTOR * op_count
+
+
+def _loc_label(loc: tuple) -> str:
+    if loc[0] == "global":
+        return "global"
+    return f"{loc[0]}{loc[1]}"
+
+
+def derive_movement(
+    sched: Schedule, machine: MultiSIMD
+) -> CommStats:
+    """Derive the movement epochs for ``sched`` on ``machine``.
+
+    Populates each timestep's ``moves`` list in place (idempotent: any
+    existing moves are cleared) and returns the communication profile.
+    """
+    for ts in sched.timesteps:
+        ts.moves = []
+
+    # Per-qubit ordered use list: (timestep, region).
+    uses: Dict[Qubit, List[Tuple[int, int]]] = {}
+    for t, ts in enumerate(sched.timesteps):
+        for r, nodes in enumerate(ts.regions):
+            for n in nodes:
+                for q in sched.dag.statements[n].qubits:
+                    uses.setdefault(q, []).append((t, r))
+    next_use_idx: Dict[Qubit, int] = {q: 0 for q in uses}
+
+    mm = MemoryMap(k=sched.k, local_capacity=machine.local_memory)
+    stats = CommStats(
+        gate_cycles=sched.length * GATE_CYCLES,
+        comm_cycles=0,
+        teleports=0,
+        local_moves=0,
+        teleport_epochs=0,
+        local_epochs=0,
+    )
+    pending_evictions: List[Move] = []
+
+    for t, ts in enumerate(sched.timesteps):
+        epoch: List[Move] = list(pending_evictions)
+        pending_evictions = []
+        # --- fetch operands into their regions -------------------------
+        for r, nodes in enumerate(ts.regions):
+            target = ("region", r)
+            for n in nodes:
+                for q in sched.dag.statements[n].qubits:
+                    src = mm.location(q)
+                    if src == target:
+                        continue
+                    kind = (
+                        "local"
+                        if src == ("local", r)
+                        else "teleport"
+                    )
+                    epoch.append(Move(q, src, target, kind))
+                    mm.move(q, target)
+                # Advance the qubit-use cursors past this timestep.
+            for n in nodes:
+                for q in sched.dag.statements[n].qubits:
+                    i = next_use_idx[q]
+                    while i < len(uses[q]) and uses[q][i][0] <= t:
+                        i += 1
+                    next_use_idx[q] = i
+        ts.moves = epoch
+        _bill_epoch(epoch, stats)
+        # --- eviction decisions for the next epoch ----------------------
+        if t + 1 < len(sched.timesteps):
+            next_ts = sched.timesteps[t + 1]
+            active_next = {
+                r for r, nodes in enumerate(next_ts.regions) if nodes
+            }
+            used_next: Dict[Qubit, int] = {}
+            for r, nodes in enumerate(next_ts.regions):
+                for n in nodes:
+                    for q in sched.dag.statements[n].qubits:
+                        used_next[q] = r
+            for q, loc in list(mm.locations.items()):
+                if loc[0] != "region":
+                    continue
+                r = loc[1]
+                if used_next.get(q) is not None:
+                    # Either stays for its next op or is fetched by the
+                    # next timestep's operand pass.
+                    continue
+                if r not in active_next:
+                    continue  # idle regions store qubits passively
+                nu = next_use_idx[q]
+                if nu >= len(uses[q]):
+                    # Dead qubit: left behind and reabsorbed as ancilla
+                    # or EPR feedstock (Section 4.4) — no move billed.
+                    continue
+                next_region = uses[q][nu][1]
+                if (
+                    next_region == r
+                    and machine.has_local_memory
+                    and mm.local_has_space(r)
+                ):
+                    dest = ("local", r)
+                    kind = "local"
+                else:
+                    dest = ("global",)
+                    kind = "teleport"
+                pending_evictions.append(Move(q, loc, dest, kind))
+                mm.move(q, dest)
+    return stats
+
+
+def _bill_epoch(epoch: List[Move], stats: CommStats) -> None:
+    """Charge one movement epoch per the paper's cost rule."""
+    if not epoch:
+        return
+    teleports = [m for m in epoch if m.kind == "teleport"]
+    locals_ = [m for m in epoch if m.kind == "local"]
+    stats.teleports += len(teleports)
+    stats.local_moves += len(locals_)
+    if teleports:
+        stats.comm_cycles += TELEPORT_CYCLES
+        stats.teleport_epochs += 1
+        stats.epr.record_epoch(
+            [(_loc_label(m.src), _loc_label(m.dst)) for m in teleports]
+        )
+    else:
+        stats.comm_cycles += LOCAL_MOVE_CYCLES
+        stats.local_epochs += 1

@@ -1,0 +1,66 @@
+"""Schedule quality metrics: critical paths and the paper's speedups.
+
+All of the paper's evaluation numbers are speedups against one of two
+baselines:
+
+* *sequential execution* — one gate per cycle, communication-free
+  (Figure 6's parallelism-only view): ``speedup = gates / length``;
+* *sequential naive movement* — one gate per cycle, every cycle wrapped
+  in a teleport epoch (Figures 7-9): ``speedup = 5 * gates / runtime``.
+
+The hierarchical critical path gives Figure 6's theoretical-maximum
+series: per-module dependence-DAG critical paths where a call weighs
+``iterations * CP(callee)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.dag import DependenceDAG
+from ..core.module import Program
+from ..core.operation import CallSite, Operation
+
+__all__ = [
+    "hierarchical_critical_path",
+    "parallel_speedup",
+    "comm_speedup",
+]
+
+
+def hierarchical_critical_path(program: Program) -> Dict[str, int]:
+    """Per-module estimated critical path, calls expanded by weight.
+
+    Returns a map module-name -> CP cycles; the entry module's value is
+    the program's estimated critical path (Figure 6's "cp" bars).
+    """
+    cp: Dict[str, int] = {}
+    for name in program.topological_order():
+        mod = program.module(name)
+        weights = []
+        for stmt in mod.body:
+            if isinstance(stmt, Operation):
+                weights.append(1)
+            else:
+                weights.append(stmt.iterations * cp[stmt.callee])
+        dag = DependenceDAG(mod.body, weights=weights)
+        cp[name] = dag.critical_path_length()
+    return cp
+
+
+def parallel_speedup(total_gates: int, schedule_length: int) -> float:
+    """Figure 6: speedup of a schedule over sequential execution,
+    communication ignored."""
+    if schedule_length <= 0:
+        raise ValueError("schedule length must be positive")
+    return total_gates / schedule_length
+
+
+def comm_speedup(total_gates: int, runtime: int) -> float:
+    """Figures 7-9: speedup over the sequential naive movement model
+    (5 cycles per gate)."""
+    from ..arch.machine import NAIVE_FACTOR
+
+    if runtime <= 0:
+        raise ValueError("runtime must be positive")
+    return NAIVE_FACTOR * total_gates / runtime

@@ -1,0 +1,205 @@
+"""Schedule replay: execute a movement-annotated schedule against the
+machine model and check every physical invariant.
+
+``derive_movement`` *plans* qubit motion; this module independently
+*replays* the plan, timestep by timestep, and verifies that the
+execution would actually be physically realisable on a
+Multi-SIMD(k,d) machine:
+
+* every operand of every operation is resident in the operation's
+  region when it executes;
+* moves are consistent (a move's source matches where the qubit
+  actually is; kinds match the endpoints — ballistic moves only
+  between a region and its own scratchpad);
+* scratchpad capacities are never exceeded;
+* no qubit sits idle in a region that is actively operating on other
+  qubits (the passive-storage rule of Section 3.2);
+* the billed runtime equals the replayed cost.
+
+Used by tests as an oracle against the movement planner, and usable by
+library consumers to validate hand-built or externally modified
+schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..arch.machine import (
+    GATE_CYCLES,
+    LOCAL_MOVE_CYCLES,
+    MultiSIMD,
+    TELEPORT_CYCLES,
+)
+from ..core.qubits import Qubit
+from .types import Move, Schedule
+
+__all__ = ["ReplayError", "ReplayReport", "replay_schedule"]
+
+
+class ReplayError(AssertionError):
+    """A schedule's movement plan is physically unrealisable."""
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of a successful replay.
+
+    Attributes:
+        runtime: replayed total cycles (gate + movement epochs).
+        teleport_epochs / local_epochs: epoch counts by billed kind.
+        peak_scratchpad: max scratchpad occupancy observed per region.
+        final_locations: where every qubit ended up.
+    """
+
+    runtime: int
+    teleport_epochs: int
+    local_epochs: int
+    peak_scratchpad: Dict[int, int] = field(default_factory=dict)
+    final_locations: Dict[Qubit, tuple] = field(default_factory=dict)
+
+
+def replay_schedule(
+    sched: Schedule, machine: MultiSIMD
+) -> ReplayReport:
+    """Replay ``sched`` (with moves attached) on ``machine``.
+
+    Raises:
+        ReplayError: on any physical-invariant violation.
+    """
+    if machine.k < sched.k:
+        raise ReplayError(
+            f"schedule uses {sched.k} regions, machine has {machine.k}"
+        )
+    location: Dict[Qubit, tuple] = {}
+    pad_occupancy: Dict[int, Set[Qubit]] = {
+        r: set() for r in range(sched.k)
+    }
+    peak: Dict[int, int] = {r: 0 for r in range(sched.k)}
+    runtime = 0
+    teleport_epochs = 0
+    local_epochs = 0
+
+    for t, ts in enumerate(sched.timesteps):
+        # --- movement epoch preceding the timestep ----------------------
+        kinds = set()
+        for move in ts.moves:
+            _apply_move(move, t, location, pad_occupancy, machine)
+            kinds.add(move.kind)
+        for r, pad in pad_occupancy.items():
+            if len(pad) > peak[r]:
+                peak[r] = len(pad)
+        if "teleport" in kinds:
+            runtime += TELEPORT_CYCLES
+            teleport_epochs += 1
+        elif "local" in kinds:
+            runtime += LOCAL_MOVE_CYCLES
+            local_epochs += 1
+        # --- execute the timestep ----------------------------------------
+        active: Set[int] = set()
+        used_here: Dict[Qubit, int] = {}
+        for r, nodes in enumerate(ts.regions):
+            if not nodes:
+                continue
+            active.add(r)
+            for n in nodes:
+                op = sched.operation(n)
+                for q in op.qubits:
+                    where = location.get(q, ("global",))
+                    if where != ("region", r):
+                        raise ReplayError(
+                            f"t={t}: operand {q!r} of node {n} is at "
+                            f"{where}, not in region {r}"
+                        )
+                    used_here[q] = r
+        # Passive-storage rule: a qubit resident in an *active* region
+        # but not used this timestep would be hit by the region's SIMD
+        # gate. Qubits with no further use are exempt (reabsorbed as
+        # ancilla feedstock, Section 4.4).
+        remaining = _future_uses(sched, t)
+        for q, where in location.items():
+            if (
+                where[0] == "region"
+                and where[1] in active
+                and q not in used_here
+                and q in remaining
+            ):
+                raise ReplayError(
+                    f"t={t}: live qubit {q!r} idles in active region "
+                    f"{where[1]}"
+                )
+        runtime += GATE_CYCLES
+    return ReplayReport(
+        runtime=runtime,
+        teleport_epochs=teleport_epochs,
+        local_epochs=local_epochs,
+        peak_scratchpad=peak,
+        final_locations=dict(location),
+    )
+
+
+def _apply_move(
+    move: Move,
+    t: int,
+    location: Dict[Qubit, tuple],
+    pads: Dict[int, Set[Qubit]],
+    machine: MultiSIMD,
+) -> None:
+    actual = location.get(move.qubit, ("global",))
+    if actual != move.src:
+        raise ReplayError(
+            f"t={t}: move of {move.qubit!r} claims src {move.src}, "
+            f"but it is at {actual}"
+        )
+    if move.kind == "local":
+        ok = (
+            move.src[0] == "region"
+            and move.dst == ("local", move.src[1])
+        ) or (
+            move.src[0] == "local"
+            and move.dst == ("region", move.src[1])
+        )
+        if not ok:
+            raise ReplayError(
+                f"t={t}: ballistic move {move.src} -> {move.dst} is "
+                "not between a region and its own scratchpad"
+            )
+    if move.src[0] == "local":
+        pads[move.src[1]].discard(move.qubit)
+    if move.dst[0] == "local":
+        if machine.local_memory is None:
+            raise ReplayError(
+                f"t={t}: move into scratchpad on a machine without "
+                "local memory"
+            )
+        pad = pads[move.dst[1]]
+        pad.add(move.qubit)
+        if len(pad) > machine.local_memory:
+            raise ReplayError(
+                f"t={t}: scratchpad {move.dst[1]} over capacity "
+                f"({len(pad)} > {machine.local_memory})"
+            )
+    location[move.qubit] = move.dst
+
+
+# Cache of qubits-with-uses-after-t, computed lazily per schedule.
+_future_cache: Dict[int, Tuple[Schedule, List[Set[Qubit]]]] = {}
+
+
+def _future_uses(sched: Schedule, t: int) -> Set[Qubit]:
+    """Qubits used at any timestep > t (memoised per schedule)."""
+    cached = _future_cache.get(id(sched))
+    if cached is None or cached[0] is not sched:
+        suffix: List[Set[Qubit]] = [set() for _ in range(sched.length + 1)]
+        for i in range(sched.length - 1, -1, -1):
+            bucket = set(suffix[i + 1])
+            for nodes in sched.timesteps[i].regions:
+                for n in nodes:
+                    bucket.update(sched.operation(n).qubits)
+            suffix[i] = bucket
+        _future_cache.clear()  # keep at most one schedule cached
+        _future_cache[id(sched)] = (sched, suffix)
+        cached = _future_cache[id(sched)]
+    suffix = cached[1]
+    return suffix[t + 1] if t + 1 < len(suffix) else set()

@@ -1,0 +1,234 @@
+"""Human-readable and machine-readable schedule reports.
+
+Rendering helpers used by the examples, the CLI, and downstream tools:
+
+* :func:`render_timeline` — the paper's Figure-4-style cycle-by-cycle
+  listing of a fine-grained schedule (one column per SIMD region, the
+  movement epoch annotated per the "0th region" convention);
+* :func:`schedule_to_dict` / :func:`compile_result_to_dict` — JSON-safe
+  exports of schedules and whole compile results;
+* :func:`profile_table` — per-module blackbox dimension tables.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from .types import Schedule
+
+__all__ = [
+    "render_coarse_gantt",
+    "render_timeline",
+    "schedule_to_dict",
+    "compile_result_to_dict",
+    "profile_table",
+]
+
+
+def _op_text(sched: Schedule, node: int, show_qubits: bool) -> str:
+    op = sched.operation(node)
+    if not show_qubits:
+        return op.gate
+    qubits = ",".join(f"{q.register}{q.index}" for q in op.qubits)
+    return f"{op.gate}({qubits})"
+
+
+def render_timeline(
+    sched: Schedule,
+    max_timesteps: Optional[int] = 40,
+    show_qubits: bool = True,
+    column_width: int = 24,
+) -> str:
+    """Render a fine-grained schedule as a cycle-by-cycle table.
+
+    Each row is one timestep; columns are the k SIMD regions; the final
+    column summarises the movement epoch preceding the timestep.
+    """
+    header = (
+        ["cycle"]
+        + [f"region {r}" for r in range(sched.k)]
+        + ["moves"]
+    )
+    lines = ["  ".join(h.ljust(column_width if i else 5)
+                       for i, h in enumerate(header))]
+    lines.append("-" * len(lines[0]))
+    shown = sched.timesteps
+    truncated = 0
+    if max_timesteps is not None and len(shown) > max_timesteps:
+        truncated = len(shown) - max_timesteps
+        shown = shown[:max_timesteps]
+    for t, ts in enumerate(shown):
+        cells = [str(t + 1).ljust(5)]
+        for nodes in ts.regions:
+            text = " ".join(
+                _op_text(sched, n, show_qubits) for n in nodes
+            )
+            if len(text) > column_width:
+                text = text[: column_width - 1] + "…"
+            cells.append(text.ljust(column_width))
+        teleports = sum(1 for m in ts.moves if m.kind == "teleport")
+        locals_ = sum(1 for m in ts.moves if m.kind == "local")
+        move_text = []
+        if teleports:
+            move_text.append(f"{teleports} teleport")
+        if locals_:
+            move_text.append(f"{locals_} local")
+        cells.append(", ".join(move_text))
+        lines.append("  ".join(cells).rstrip())
+    if truncated:
+        lines.append(f"... ({truncated} more timesteps)")
+    return "\n".join(lines)
+
+
+def schedule_to_dict(sched: Schedule) -> Dict[str, Any]:
+    """A JSON-safe dict of one fine-grained schedule."""
+    return {
+        "algorithm": sched.algorithm,
+        "k": sched.k,
+        "d": sched.d,
+        "length": sched.length,
+        "op_count": sched.op_count,
+        "max_width": sched.max_width,
+        "teleport_moves": sched.teleport_moves,
+        "local_moves": sched.local_moves,
+        "timesteps": [
+            {
+                "regions": [
+                    [
+                        {
+                            "gate": sched.operation(n).gate,
+                            "qubits": [
+                                f"{q.register}[{q.index}]"
+                                for q in sched.operation(n).qubits
+                            ],
+                        }
+                        for n in nodes
+                    ]
+                    for nodes in ts.regions
+                ],
+                "moves": [
+                    {
+                        "qubit": f"{m.qubit.register}[{m.qubit.index}]",
+                        "src": list(m.src),
+                        "dst": list(m.dst),
+                        "kind": m.kind,
+                    }
+                    for m in ts.moves
+                ],
+            }
+            for ts in sched.timesteps
+        ],
+    }
+
+
+def _json_num(value: float) -> Any:
+    if isinstance(value, float) and math.isinf(value):
+        return "inf"
+    return value
+
+
+def compile_result_to_dict(result) -> Dict[str, Any]:
+    """A JSON-safe summary of a :class:`~repro.toolflow.CompileResult`
+    (schedule bodies omitted; use :func:`schedule_to_dict` for those)."""
+    machine = result.machine
+    return {
+        "entry": result.program.entry,
+        "scheduler": result.scheduler.algorithm,
+        "machine": {
+            "k": machine.k,
+            "d": _json_num(machine.d if machine.d is not None else "inf"),
+            "local_memory": _json_num(
+                machine.local_memory
+                if machine.local_memory is not None
+                else None
+            ),
+        },
+        "total_gates": result.total_gates,
+        "critical_path": result.critical_path,
+        "schedule_length": result.schedule_length,
+        "runtime": result.runtime,
+        "naive_runtime": result.naive_runtime,
+        "parallel_speedup": result.parallel_speedup,
+        "cp_speedup": result.cp_speedup,
+        "comm_aware_speedup": result.comm_aware_speedup,
+        "flattened_percent": result.flattened_percent,
+        "modules": {
+            name: {
+                "is_leaf": p.is_leaf,
+                "length": {str(w): c for w, c in sorted(p.length.items())},
+                "runtime": {str(w): c for w, c in sorted(p.runtime.items())},
+            }
+            for name, p in result.profiles.items()
+        },
+    }
+
+
+def profile_table(result, metric: str = "runtime") -> str:
+    """Format every module's blackbox dimensions as a table.
+
+    Args:
+        result: a CompileResult.
+        metric: ``"runtime"`` or ``"length"``.
+    """
+    if metric not in ("runtime", "length"):
+        raise ValueError(f"unknown metric {metric!r}")
+    widths = sorted(
+        next(iter(result.profiles.values())).length.keys()
+    )
+    header = ["module", "leaf"] + [f"w={w}" for w in widths]
+    rows: List[List[str]] = []
+    for name in result.program.topological_order():
+        p = result.profiles[name]
+        table = getattr(p, metric)
+        rows.append(
+            [name, "*" if p.is_leaf else ""]
+            + [f"{table.get(w, '-'):,}" if w in table else "-"
+               for w in widths]
+        )
+    col_w = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, col_w)),
+    ]
+    lines.append("-" * len(lines[0]))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, col_w)))
+    return "\n".join(lines)
+
+
+def render_coarse_gantt(
+    result,
+    max_rows: int = 40,
+    width: int = 60,
+) -> str:
+    """Render a :class:`~repro.sched.coarse.CoarseResult` as an ASCII
+    Gantt chart: one row per statement, bars spanning [start, finish).
+
+    Args:
+        result: a CoarseResult.
+        max_rows: truncate after this many placements.
+        width: character width of the time axis.
+    """
+    placements = sorted(result.placements, key=lambda p: (p.start, p.node))
+    total = max(result.total_length, 1)
+    lines = [
+        f"coarse schedule of {result.module!r}: "
+        f"{result.total_length} cycles, peak width "
+        f"{result.total_width}/{result.k}"
+    ]
+    shown = placements[:max_rows]
+    for p in shown:
+        lo = int(p.start / total * width)
+        hi = max(lo + 1, int(p.finish / total * width))
+        bar = " " * lo + "#" * (hi - lo)
+        bar = bar.ljust(width)
+        lines.append(
+            f"  n{p.node:<4d} |{bar}| {p.start}..{p.finish} (w={p.width})"
+        )
+    if len(placements) > max_rows:
+        lines.append(f"  ... ({len(placements) - max_rows} more)")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Sequential baseline scheduler.
+
+One operation per timestep, in program order (which is a valid
+topological order of the dependence DAG by construction). This is the
+"sequential execution" that Figure 6's speedups — and, multiplied by the
+naive movement factor, Figures 7 and 8's — are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.dag import DependenceDAG
+from .types import Schedule
+
+__all__ = ["schedule_sequential"]
+
+
+def schedule_sequential(
+    dag: DependenceDAG, k: int = 1, d: Optional[int] = None
+) -> Schedule:
+    """Schedule one op per timestep in region 0."""
+    sched = Schedule(dag, k=k, d=d, algorithm="sequential")
+    for node in range(dag.n):
+        ts = sched.append_timestep()
+        ts.regions[0].append(node)
+    return sched

@@ -1,0 +1,217 @@
+"""Schedule data structures (Section 4, preamble).
+
+"Schedules are stored as a list of sequential timesteps. Each timestep
+consists of an array of k+1 SIMD regions. The 0th region contains a list
+of the qubits that will be moved and their sources and destinations ...
+The remaining SIMD regions contain an unsorted list of operations to be
+performed in that region."
+
+We follow that layout: a :class:`Timestep` holds ``k`` per-region node
+lists (nodes are indices into the scheduled DAG's statement list) plus
+the movement list for the epoch *preceding* the timestep; region 0 of
+the paper is the ``moves`` field here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dag import DependenceDAG
+from ..core.operation import Operation
+from ..core.qubits import Qubit
+
+__all__ = ["Move", "Timestep", "Schedule", "ScheduleError"]
+
+
+class ScheduleError(AssertionError):
+    """Raised when a schedule violates a Multi-SIMD execution invariant."""
+
+
+@dataclass(frozen=True)
+class Move:
+    """One qubit movement within a movement epoch.
+
+    Attributes:
+        qubit: the qubit being moved.
+        src / dst: locations — ``("global",)``, ``("region", r)`` or
+            ``("local", r)``.
+        kind: ``"teleport"`` (4-cycle epoch) or ``"local"`` (1-cycle
+            ballistic move to/from a region's scratchpad).
+    """
+
+    qubit: Qubit
+    src: tuple
+    dst: tuple
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("teleport", "local"):
+            raise ValueError(f"unknown move kind {self.kind!r}")
+        if self.src == self.dst:
+            raise ValueError(f"degenerate move of {self.qubit!r}")
+
+
+@dataclass
+class Timestep:
+    """One logical timestep: per-region op lists plus the preceding
+    movement epoch."""
+
+    regions: List[List[int]]
+    moves: List[Move] = field(default_factory=list)
+
+    def active_regions(self) -> List[int]:
+        """Region indices that execute at least one op this timestep."""
+        return [r for r, ops in enumerate(self.regions) if ops]
+
+    @property
+    def width(self) -> int:
+        """Number of simultaneously active regions."""
+        return len(self.active_regions())
+
+    def all_nodes(self) -> List[int]:
+        return [n for ops in self.regions for n in ops]
+
+
+class Schedule:
+    """A fine-grained schedule of one module's DAG on a Multi-SIMD(k,d)
+    machine.
+
+    Attributes:
+        dag: the scheduled dependence DAG.
+        k: region count the schedule was built for.
+        d: per-region data-parallel width limit (None = unbounded).
+        timesteps: the schedule body.
+        algorithm: name of the producing scheduler (for reports).
+    """
+
+    def __init__(
+        self,
+        dag: DependenceDAG,
+        k: int,
+        d: Optional[int] = None,
+        algorithm: str = "",
+    ):
+        self.dag = dag
+        self.k = k
+        self.d = d
+        self.algorithm = algorithm
+        self.timesteps: List[Timestep] = []
+
+    # -- construction -----------------------------------------------------
+
+    def append_timestep(self) -> Timestep:
+        ts = Timestep(regions=[[] for _ in range(self.k)])
+        self.timesteps.append(ts)
+        return ts
+
+    # -- shape -----------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Schedule length in op timesteps (communication excluded)."""
+        return len(self.timesteps)
+
+    @property
+    def op_count(self) -> int:
+        return self.dag.n
+
+    @property
+    def max_width(self) -> int:
+        """Highest degree of region parallelism in any timestep — the
+        blackbox *width* the coarse scheduler uses (Section 4.3)."""
+        return max((ts.width for ts in self.timesteps), default=0)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(len(ts.moves) for ts in self.timesteps)
+
+    @property
+    def teleport_moves(self) -> int:
+        return sum(
+            1
+            for ts in self.timesteps
+            for m in ts.moves
+            if m.kind == "teleport"
+        )
+
+    @property
+    def local_moves(self) -> int:
+        return sum(
+            1 for ts in self.timesteps for m in ts.moves if m.kind == "local"
+        )
+
+    def placement(self) -> Dict[int, Tuple[int, int]]:
+        """Map of DAG node -> (timestep, region)."""
+        out: Dict[int, Tuple[int, int]] = {}
+        for t, ts in enumerate(self.timesteps):
+            for r, nodes in enumerate(ts.regions):
+                for n in nodes:
+                    out[n] = (t, r)
+        return out
+
+    def operation(self, node: int) -> Operation:
+        stmt = self.dag.statements[node]
+        if not isinstance(stmt, Operation):
+            raise TypeError(f"node {node} is not an Operation")
+        return stmt
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every Multi-SIMD execution invariant:
+
+        * every DAG node scheduled exactly once;
+        * dependencies strictly ordered across timesteps;
+        * at most ``k`` regions used, each with at most ``d`` ops;
+        * one gate *type* per region per timestep (SIMD semantics);
+        * no qubit touched twice within a timestep.
+        """
+        placed = self.placement()
+        if len(placed) != self.dag.n:
+            missing = set(range(self.dag.n)) - set(placed)
+            raise ScheduleError(
+                f"{len(missing)} ops unscheduled (e.g. {sorted(missing)[:5]})"
+            )
+        for node in range(self.dag.n):
+            t, _ = placed[node]
+            for p in self.dag.preds[node]:
+                tp, _ = placed[p]
+                if tp >= t:
+                    raise ScheduleError(
+                        f"dependence violated: node {p} (ts {tp}) must "
+                        f"precede node {node} (ts {t})"
+                    )
+        for t, ts in enumerate(self.timesteps):
+            if len(ts.regions) > self.k:
+                raise ScheduleError(
+                    f"timestep {t} uses {len(ts.regions)} regions (k={self.k})"
+                )
+            seen_qubits: Dict[Qubit, int] = {}
+            for r, nodes in enumerate(ts.regions):
+                if self.d is not None and len(nodes) > self.d:
+                    raise ScheduleError(
+                        f"timestep {t} region {r} holds {len(nodes)} ops "
+                        f"(d={self.d})"
+                    )
+                gate_types = {self.operation(n).gate for n in nodes}
+                if len(gate_types) > 1:
+                    raise ScheduleError(
+                        f"timestep {t} region {r} mixes gate types "
+                        f"{sorted(gate_types)} (SIMD requires one)"
+                    )
+                for n in nodes:
+                    for q in self.operation(n).qubits:
+                        if q in seen_qubits:
+                            raise ScheduleError(
+                                f"timestep {t}: qubit {q!r} used by nodes "
+                                f"{seen_qubits[q]} and {n}"
+                            )
+                        seen_qubits[q] = n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.algorithm or 'unknown'}, k={self.k}, "
+            f"len={self.length}, ops={self.op_count}, "
+            f"width={self.max_width})"
+        )

@@ -1,0 +1,23 @@
+"""Small dense statevector simulator used to verify the toolflow's
+decomposition and arithmetic substrates."""
+
+from .compile_check import CompilationCheckError, verify_compilation
+from .statevector import Simulator, circuit_unitary, gate_matrix
+from .verify import (
+    check_permutation,
+    circuits_equivalent,
+    equivalent_up_to_global_phase,
+    truth_table,
+)
+
+__all__ = [
+    "CompilationCheckError",
+    "Simulator",
+    "check_permutation",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "equivalent_up_to_global_phase",
+    "gate_matrix",
+    "truth_table",
+    "verify_compilation",
+]

@@ -1,0 +1,79 @@
+"""End-to-end semantic verification of the compilation pipeline.
+
+For programs small enough to simulate, :func:`verify_compilation`
+checks that a transformed program (decomposed / optimized / flattened —
+any semantics-preserving pipeline) still implements the original
+program's unitary, up to global phase.
+
+Both programs are fully inlined to flat circuits and simulated over the
+union of their qubits. Rotations synthesised *approximately* (generic
+angles) are exempted by construction — callers verify those pipelines
+either on pi/4-multiple-only programs or with decomposition disabled —
+and the function refuses circuits that exceed the simulator's qubit
+budget rather than silently skipping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.module import Program
+from ..core.operation import Operation
+from ..core.qubits import Qubit
+from ..passes.flatten import fully_flatten
+from .statevector import circuit_unitary
+from .verify import equivalent_up_to_global_phase
+
+__all__ = ["verify_compilation", "CompilationCheckError"]
+
+
+class CompilationCheckError(ValueError):
+    """The programs cannot be compared (too large, measurement, ...)."""
+
+
+def _flat_ops(program: Program) -> List[Operation]:
+    entry = fully_flatten(program)
+    ops = []
+    for op in entry.operations():
+        if op.gate in ("MeasZ", "MeasX"):
+            raise CompilationCheckError(
+                "cannot compare measurement outcomes unitarily; strip "
+                "measurements before verification"
+            )
+        ops.append(op)
+    return ops
+
+
+def verify_compilation(
+    original: Program,
+    transformed: Program,
+    max_qubits: int = 12,
+    atol: float = 1e-9,
+) -> bool:
+    """True if ``transformed`` implements ``original``'s unitary.
+
+    Args:
+        original: the program before the pipeline.
+        transformed: the program after semantics-preserving passes.
+        max_qubits: refuse (raise) beyond this simulation size.
+        atol: numeric tolerance for the unitary comparison.
+
+    Raises:
+        CompilationCheckError: if the comparison is not possible
+            (measurements present, or too many qubits).
+    """
+    ops_a = _flat_ops(original)
+    ops_b = _flat_ops(transformed)
+    qubits: Dict[Qubit, None] = {}
+    for op in ops_a + ops_b:
+        for q in op.qubits:
+            qubits.setdefault(q)
+    universe = list(qubits)
+    if len(universe) > max_qubits:
+        raise CompilationCheckError(
+            f"{len(universe)} qubits exceeds the verification budget "
+            f"of {max_qubits}"
+        )
+    u = circuit_unitary(ops_a, universe)
+    v = circuit_unitary(ops_b, universe)
+    return equivalent_up_to_global_phase(u, v, atol=atol)

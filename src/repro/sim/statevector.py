@@ -1,0 +1,263 @@
+"""Dense statevector simulation of small circuits.
+
+The paper never simulates its benchmarks (they are far too large); this
+simulator exists so *our* reconstruction can be verified: the
+decomposition pass and the CTQG reversible-arithmetic library are checked
+gate-for-gate against the unitaries / truth tables they claim to
+implement. Practical up to ~20 qubits.
+
+Qubit ordering is little-endian: qubit ``i`` is bit ``i`` of the basis
+state index, so ``|q2 q1 q0> = |idx>`` with ``idx = q0 + 2*q1 + 4*q2``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.operation import Operation
+from ..core.qubits import Qubit
+
+__all__ = ["Simulator", "gate_matrix", "circuit_unitary"]
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+_FIXED_MATRICES: Dict[str, np.ndarray] = {
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "H": np.array([[1, 1], [1, -1]], dtype=complex) * _SQRT2_INV,
+    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "Sdag": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "T": np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex),
+    "Tdag": np.array(
+        [[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex
+    ),
+}
+
+
+def _controlled(u: np.ndarray, n_controls: int) -> np.ndarray:
+    """Embed ``u`` as the bottom-right block of a controlled gate.
+
+    Operand convention: controls are the *first* operands, the target is
+    last; the matrix acts on basis states ordered with the first operand
+    as the most significant bit (standard textbook layout — the simulator
+    maps operands accordingly).
+    """
+    dim = u.shape[0] * (2 ** n_controls)
+    out = np.eye(dim, dtype=complex)
+    out[-u.shape[0]:, -u.shape[1]:] = u
+    return out
+
+
+def gate_matrix(gate: str, angle: Optional[float] = None) -> np.ndarray:
+    """The unitary matrix of ``gate`` (first operand = most significant
+    bit). Raises ``ValueError`` for non-unitary ops (prep / measure)."""
+    if gate in _FIXED_MATRICES:
+        return _FIXED_MATRICES[gate]
+    if gate == "CNOT":
+        return _controlled(_FIXED_MATRICES["X"], 1)
+    if gate == "CZ":
+        return _controlled(_FIXED_MATRICES["Z"], 1)
+    if gate == "Toffoli":
+        return _controlled(_FIXED_MATRICES["X"], 2)
+    if gate == "CCZ":
+        return _controlled(_FIXED_MATRICES["Z"], 2)
+    if gate == "SWAP":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+    if gate == "Fredkin":
+        out = np.eye(8, dtype=complex)
+        # Controlled SWAP of the two low bits when the high bit is set.
+        out[5, 5] = out[6, 6] = 0
+        out[5, 6] = out[6, 5] = 1
+        return out
+    if gate == "Rz":
+        assert angle is not None
+        return np.array(
+            [
+                [cmath.exp(-1j * angle / 2), 0],
+                [0, cmath.exp(1j * angle / 2)],
+            ],
+            dtype=complex,
+        )
+    if gate == "Rx":
+        assert angle is not None
+        c, s = math.cos(angle / 2), math.sin(angle / 2)
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if gate == "Ry":
+        assert angle is not None
+        c, s = math.cos(angle / 2), math.sin(angle / 2)
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if gate == "CRz":
+        assert angle is not None
+        return _controlled(gate_matrix("Rz", angle), 1)
+    if gate == "CRx":
+        assert angle is not None
+        return _controlled(gate_matrix("Rx", angle), 1)
+    raise ValueError(f"gate {gate!r} has no unitary matrix")
+
+
+class Simulator:
+    """Statevector simulator over an explicit qubit list.
+
+    Args:
+        qubits: the qubits of the circuit; their order fixes bit
+            positions (``qubits[0]`` is the least significant bit).
+        max_qubits: safety limit on the register size.
+    """
+
+    def __init__(self, qubits: Sequence[Qubit], max_qubits: int = 22):
+        qubits = list(qubits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError("duplicate qubits in simulator register")
+        if len(qubits) > max_qubits:
+            raise ValueError(
+                f"{len(qubits)} qubits exceeds simulator limit "
+                f"{max_qubits}"
+            )
+        self.qubits: List[Qubit] = qubits
+        self.index: Dict[Qubit, int] = {q: i for i, q in enumerate(qubits)}
+        self.n = len(qubits)
+        self.state = np.zeros(2 ** self.n, dtype=complex)
+        self.state[0] = 1.0
+
+    # -- state preparation ---------------------------------------------
+
+    def reset(self, bits: int = 0) -> None:
+        """Reset to the computational basis state ``|bits>``."""
+        if not 0 <= bits < 2 ** self.n:
+            raise ValueError(f"basis state {bits} out of range")
+        self.state = np.zeros(2 ** self.n, dtype=complex)
+        self.state[bits] = 1.0
+
+    def set_bits(self, assignment: Dict[Qubit, int]) -> None:
+        """Reset to the basis state given by per-qubit bit values
+        (unspecified qubits are 0)."""
+        bits = 0
+        for q, v in assignment.items():
+            if v not in (0, 1):
+                raise ValueError(f"bit value for {q!r} must be 0/1")
+            bits |= v << self.index[q]
+        self.reset(bits)
+
+    # -- evolution ----------------------------------------------------------
+
+    def apply(self, op: Operation) -> None:
+        """Apply one operation to the state."""
+        if op.gate == "PrepZ":
+            self._project_to(op.qubits[0], 0)
+            return
+        if op.gate == "PrepX":
+            self._project_to(op.qubits[0], 0)
+            self._apply_unitary(gate_matrix("H"), [op.qubits[0]])
+            return
+        if op.gate in ("MeasZ", "MeasX"):
+            raise ValueError(
+                "use .measure() for measurement; it is not a unitary"
+            )
+        self._apply_unitary(gate_matrix(op.gate, op.angle), list(op.qubits))
+
+    def run(self, ops: Iterable[Operation]) -> "Simulator":
+        """Apply a sequence of operations; returns self for chaining."""
+        for op in ops:
+            self.apply(op)
+        return self
+
+    def _apply_unitary(self, u: np.ndarray, operands: List[Qubit]) -> None:
+        k = len(operands)
+        assert u.shape == (2 ** k, 2 ** k)
+        # Tensor axes: axis j corresponds to qubit (n-1-j) so that axis 0
+        # is the most significant bit.
+        axes = [self.n - 1 - self.index[q] for q in operands]
+        tensor = self.state.reshape((2,) * self.n)
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shape = tensor.shape
+        tensor = u @ tensor.reshape(2 ** k, -1)
+        tensor = np.moveaxis(tensor.reshape(shape), range(k), axes)
+        self.state = np.ascontiguousarray(tensor).reshape(2 ** self.n)
+
+    def _project_to(self, qubit: Qubit, value: int) -> None:
+        """Non-unitary reset: project ``qubit`` onto ``|value>`` (flipping
+        amplitude mass if necessary — a reset, not a postselection)."""
+        bit = self.index[qubit]
+        tensor = self.state.reshape((2,) * self.n)
+        axis = self.n - 1 - bit
+        keep = np.take(tensor, value, axis=axis)
+        drop = np.take(tensor, 1 - value, axis=axis)
+        merged = np.sqrt(np.abs(keep) ** 2 + np.abs(drop) ** 2)
+        phase = np.where(np.abs(keep) > 1e-12, keep / np.maximum(np.abs(keep), 1e-300), 1.0)
+        new = np.zeros_like(tensor)
+        idx = [slice(None)] * self.n
+        idx[axis] = value
+        new[tuple(idx)] = merged * phase
+        self.state = new.reshape(2 ** self.n)
+
+    # -- readout --------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each basis state."""
+        return np.abs(self.state) ** 2
+
+    def probability_of(self, assignment: Dict[Qubit, int]) -> float:
+        """Probability that the given qubits read the given bit values."""
+        probs = self.probabilities()
+        total = 0.0
+        for idx, p in enumerate(probs):
+            if all((idx >> self.index[q]) & 1 == v for q, v in assignment.items()):
+                total += p
+        return float(total)
+
+    def measure(self, qubit: Qubit, rng: Optional[np.random.Generator] = None) -> int:
+        """Measure one qubit in the Z basis, collapsing the state."""
+        rng = rng or np.random.default_rng()
+        p1 = self.probability_of({qubit: 1})
+        outcome = int(rng.random() < p1)
+        self._collapse(qubit, outcome)
+        return outcome
+
+    def _collapse(self, qubit: Qubit, value: int) -> None:
+        bit = self.index[qubit]
+        mask = np.array(
+            [((i >> bit) & 1) == value for i in range(2 ** self.n)]
+        )
+        self.state = np.where(mask, self.state, 0)
+        norm = np.linalg.norm(self.state)
+        if norm < 1e-12:
+            raise ValueError("measurement outcome has zero probability")
+        self.state /= norm
+
+    def basis_state(self) -> int:
+        """If the state is (numerically) a single computational basis
+        state, return its index; otherwise raise ``ValueError``."""
+        probs = self.probabilities()
+        top = int(np.argmax(probs))
+        if probs[top] < 1.0 - 1e-9:
+            raise ValueError("state is not a computational basis state")
+        return top
+
+    def bit_of(self, qubit: Qubit) -> int:
+        """The value of ``qubit`` when the state is a basis state."""
+        return (self.basis_state() >> self.index[qubit]) & 1
+
+
+def circuit_unitary(
+    ops: Sequence[Operation], qubits: Sequence[Qubit]
+) -> np.ndarray:
+    """The full unitary of an op sequence over ``qubits`` (column ``j`` is
+    the image of basis state ``|j>``). Exponential in qubit count; for
+    verification of small circuits only."""
+    qubits = list(qubits)
+    dim = 2 ** len(qubits)
+    out = np.zeros((dim, dim), dtype=complex)
+    for j in range(dim):
+        sim = Simulator(qubits)
+        sim.reset(j)
+        sim.run(ops)
+        out[:, j] = sim.state
+    return out

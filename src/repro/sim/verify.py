@@ -1,0 +1,111 @@
+"""Verification helpers built on the statevector simulator.
+
+Used throughout the test suite to prove that the decomposition pass and
+the CTQG arithmetic library implement exactly what they claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.operation import Operation
+from ..core.qubits import Qubit
+from .statevector import Simulator, circuit_unitary
+
+__all__ = [
+    "equivalent_up_to_global_phase",
+    "circuits_equivalent",
+    "truth_table",
+    "check_permutation",
+]
+
+
+def equivalent_up_to_global_phase(
+    u: np.ndarray, v: np.ndarray, atol: float = 1e-9
+) -> bool:
+    """True if ``u = exp(i*phi) * v`` for some global phase ``phi``."""
+    if u.shape != v.shape:
+        return False
+    # Find the largest-magnitude entry of v to anchor the phase.
+    idx = np.unravel_index(np.argmax(np.abs(v)), v.shape)
+    if abs(v[idx]) < atol:
+        return bool(np.allclose(u, v, atol=atol))
+    phase = u[idx] / v[idx]
+    if abs(abs(phase) - 1.0) > atol:
+        return False
+    return bool(np.allclose(u, phase * v, atol=atol))
+
+
+def circuits_equivalent(
+    ops_a: Sequence[Operation],
+    ops_b: Sequence[Operation],
+    qubits: Sequence[Qubit],
+    atol: float = 1e-9,
+) -> bool:
+    """True if two circuits over the same qubits implement the same
+    unitary up to global phase."""
+    ua = circuit_unitary(ops_a, qubits)
+    ub = circuit_unitary(ops_b, qubits)
+    return equivalent_up_to_global_phase(ua, ub, atol=atol)
+
+
+def truth_table(
+    ops: Sequence[Operation],
+    inputs: Sequence[Qubit],
+    outputs: Sequence[Qubit],
+    all_qubits: Optional[Sequence[Qubit]] = None,
+) -> Dict[int, int]:
+    """Classical truth table of a reversible circuit.
+
+    For each assignment of ``inputs`` (other qubits start at 0), runs the
+    circuit and reads ``outputs``; raises if any run leaves the register
+    in a non-basis state (i.e. the circuit is not classical on these
+    inputs).
+
+    Returns:
+        mapping ``input_bits -> output_bits`` with inputs/outputs packed
+        little-endian in the order given.
+    """
+    if all_qubits is None:
+        seen: Dict[Qubit, None] = {}
+        for op in ops:
+            for q in op.qubits:
+                seen.setdefault(q)
+        for q in list(inputs) + list(outputs):
+            seen.setdefault(q)
+        all_qubits = list(seen)
+    table: Dict[int, int] = {}
+    for value in range(2 ** len(inputs)):
+        sim = Simulator(all_qubits)
+        sim.set_bits(
+            {q: (value >> i) & 1 for i, q in enumerate(inputs)}
+        )
+        sim.run(ops)
+        state = sim.basis_state()
+        out = 0
+        for i, q in enumerate(outputs):
+            out |= ((state >> sim.index[q]) & 1) << i
+        table[value] = out
+    return table
+
+
+def check_permutation(
+    ops: Sequence[Operation],
+    qubits: Sequence[Qubit],
+    perm: Callable[[int], int],
+) -> bool:
+    """True if the circuit maps every basis state ``|j>`` to
+    ``|perm(j)>`` (up to per-state phase)."""
+    for j in range(2 ** len(qubits)):
+        sim = Simulator(qubits)
+        sim.reset(j)
+        sim.run(ops)
+        try:
+            got = sim.basis_state()
+        except ValueError:
+            return False
+        if got != perm(j):
+            return False
+    return True

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProgramBuilder
+from repro.core.dag import DependenceDAG
+from repro.core.qubits import Qubit
+
+
+@pytest.fixture
+def qubits():
+    """Ten generic qubits q[0..9]."""
+    return [Qubit("q", i) for i in range(10)]
+
+
+@pytest.fixture
+def two_toffoli_program():
+    """The paper's Figure 4 program: two Toffolis sharing qubit a."""
+    pb = ProgramBuilder()
+    main = pb.module("main")
+    q = main.register("q", 5)
+    main.toffoli(q[0], q[1], q[2])
+    main.toffoli(q[0], q[3], q[4])
+    return pb.build("main")
+
+
+@pytest.fixture
+def modular_toffoli_program():
+    """Figure 4's modular variant: each Toffoli in its own module."""
+    pb = ProgramBuilder()
+    tof = pb.module("toffoli_box")
+    p = tof.param_register("p", 3)
+    tof.toffoli(p[0], p[1], p[2])
+    main = pb.module("main")
+    q = main.register("q", 5)
+    main.call("toffoli_box", [q[0], q[1], q[2]])
+    main.call("toffoli_box", [q[0], q[3], q[4]])
+    return pb.build("main")
+
+
+def make_chain_program(length: int = 20):
+    """A fully serial single-qubit chain (worst case for parallelism)."""
+    pb = ProgramBuilder()
+    main = pb.module("main")
+    q = main.register("q", 1)
+    for i in range(length):
+        main.gate("T" if i % 2 == 0 else "H", q[0])
+    return pb.build("main")
+
+
+def make_parallel_program(width: int = 8, depth: int = 4):
+    """`width` independent single-qubit chains (embarrassingly
+    parallel)."""
+    pb = ProgramBuilder()
+    main = pb.module("main")
+    q = main.register("q", width)
+    for _ in range(depth):
+        for i in range(width):
+            main.h(q[i])
+    return pb.build("main")
+
+
+@pytest.fixture
+def chain_program():
+    return make_chain_program()
+
+
+@pytest.fixture
+def parallel_program():
+    return make_parallel_program()
+
+
+def leaf_dag(program):
+    """DAG of the entry module (must be a leaf)."""
+    entry = program.entry_module
+    assert entry.is_leaf
+    return DependenceDAG(list(entry.body))

@@ -1,0 +1,202 @@
+"""Tests for the architectural model: machine config, memory hierarchy,
+teleportation (including state-transfer fidelity), and EPR accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.machine import (
+    GATE_CYCLES,
+    LOCAL_MOVE_CYCLES,
+    MultiSIMD,
+    NAIVE_FACTOR,
+    TELEPORT_CYCLES,
+)
+from repro.arch.memory import MemoryMap, Scratchpad
+from repro.arch.teleport import EPRAccounting, teleportation_ops
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.sim.statevector import Simulator
+
+
+class TestMultiSIMD:
+    def test_cost_constants_match_paper(self):
+        assert GATE_CYCLES == 1
+        assert TELEPORT_CYCLES == 4
+        assert LOCAL_MOVE_CYCLES == 1
+        assert NAIVE_FACTOR == 5
+
+    def test_defaults(self):
+        m = MultiSIMD(k=4)
+        assert m.d is None
+        assert m.region_capacity == math.inf
+        assert not m.has_local_memory
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiSIMD(k=0)
+        with pytest.raises(ValueError):
+            MultiSIMD(k=2, d=0)
+        with pytest.raises(ValueError):
+            MultiSIMD(k=2, local_memory=-1)
+
+    def test_with_local_memory(self):
+        m = MultiSIMD(k=4).with_local_memory(16)
+        assert m.local_memory == 16
+        assert m.has_local_memory
+        assert m.k == 4
+
+    def test_zero_local_memory_is_disabled(self):
+        assert not MultiSIMD(k=2, local_memory=0).has_local_memory
+
+    def test_with_k(self):
+        m = MultiSIMD(k=4, d=32, local_memory=8).with_k(16)
+        assert (m.k, m.d, m.local_memory) == (16, 32, 8)
+
+    def test_str(self):
+        assert "Multi-SIMD(4,inf" in str(MultiSIMD(k=4))
+        assert "Multi-SIMD(2,64" in str(MultiSIMD(k=2, d=64))
+
+
+class TestScratchpad:
+    def test_capacity_enforced(self):
+        pad = Scratchpad(2)
+        assert pad.try_store(Qubit("q", 0))
+        assert pad.try_store(Qubit("q", 1))
+        assert not pad.try_store(Qubit("q", 2))
+        assert pad.occupancy == 2
+
+    def test_store_is_idempotent(self):
+        pad = Scratchpad(1)
+        q = Qubit("q", 0)
+        assert pad.try_store(q)
+        assert pad.try_store(q)
+        assert pad.occupancy == 1
+
+    def test_retrieve_frees_space(self):
+        pad = Scratchpad(1)
+        q0, q1 = Qubit("q", 0), Qubit("q", 1)
+        pad.try_store(q0)
+        pad.retrieve(q0)
+        assert pad.try_store(q1)
+
+    def test_retrieve_missing_raises(self):
+        with pytest.raises(KeyError):
+            Scratchpad(1).retrieve(Qubit("q", 0))
+
+    def test_peak_occupancy(self):
+        pad = Scratchpad(3)
+        qs = [Qubit("q", i) for i in range(3)]
+        for q in qs:
+            pad.try_store(q)
+        for q in qs:
+            pad.retrieve(q)
+        assert pad.peak_occupancy == 3
+        assert pad.occupancy == 0
+
+    def test_infinite_capacity(self):
+        pad = Scratchpad(math.inf)
+        for i in range(100):
+            assert pad.try_store(Qubit("q", i))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Scratchpad(-1)
+
+
+class TestMemoryMap:
+    def test_default_location_is_global(self):
+        mm = MemoryMap(k=2)
+        assert mm.location(Qubit("q", 0)) == ("global",)
+
+    def test_move_and_locate(self):
+        mm = MemoryMap(k=2)
+        q = Qubit("q", 0)
+        mm.move(q, ("region", 1))
+        assert mm.location(q) == ("region", 1)
+
+    def test_local_capacity_enforced(self):
+        mm = MemoryMap(k=2, local_capacity=1)
+        mm.move(Qubit("q", 0), ("local", 0))
+        assert not mm.local_has_space(0)
+        with pytest.raises(ValueError):
+            mm.move(Qubit("q", 1), ("local", 0))
+
+    def test_leaving_local_frees_slot(self):
+        mm = MemoryMap(k=2, local_capacity=1)
+        q = Qubit("q", 0)
+        mm.move(q, ("local", 0))
+        mm.move(q, ("region", 0))
+        assert mm.local_has_space(0)
+
+    def test_no_scratchpads_without_capacity(self):
+        mm = MemoryMap(k=2)
+        assert not mm.local_has_space(0)
+
+
+class TestTeleportation:
+    def test_transfers_arbitrary_state(self):
+        """The Figure 2 circuit must move an arbitrary single-qubit
+        state from source to destination exactly."""
+        src, mid, dst = (Qubit("t", i) for i in range(3))
+        prep = [
+            Operation("H", (src,)),
+            Operation("T", (src,)),
+            Operation("Rz", (src,), 0.81),
+        ]
+        # Reference: the prepared state amplitudes.
+        ref = Simulator([src])
+        ref.run(prep)
+        alpha, beta = ref.state[0], ref.state[1]
+
+        sim = Simulator([src, mid, dst])
+        sim.run(prep)
+        sim.run(teleportation_ops(src, mid, dst))
+        # Destination marginal must be (|alpha|^2, |beta|^2) and, for a
+        # unitary-corrected protocol, the joint state must factor so
+        # that dst's reduced state equals the source state. Check via
+        # probabilities of dst in both Z and X bases.
+        assert sim.probability_of({dst: 1}) == pytest.approx(
+            abs(beta) ** 2, abs=1e-9
+        )
+        sim.apply(Operation("H", (dst,)))
+        hx = (alpha + beta) / math.sqrt(2)
+        assert sim.probability_of({dst: 1}) == pytest.approx(
+            1 - abs(hx) ** 2, abs=1e-9
+        )
+
+    def test_transfers_basis_states(self):
+        for bit in (0, 1):
+            src, mid, dst = (Qubit("t", i) for i in range(3))
+            sim = Simulator([src, mid, dst])
+            sim.set_bits({src: bit})
+            sim.run(teleportation_ops(src, mid, dst))
+            assert sim.probability_of({dst: bit}) == pytest.approx(1.0)
+
+    def test_cost_is_four_manipulation_steps_plus_distribution(self):
+        # 2 EPR-prep ops + 4 protocol ops.
+        ops = teleportation_ops(*(Qubit("t", i) for i in range(3)))
+        assert len(ops) == 6
+
+
+class TestEPRAccounting:
+    def test_record_and_totals(self):
+        acc = EPRAccounting()
+        acc.record_epoch([("global", "region0"), ("region1", "global")])
+        acc.record_epoch([("global", "region0")])
+        assert acc.total_pairs == 3
+        assert acc.pair_counts[("global", "region0")] == 2
+        assert acc.peak_epoch_demand == 2
+
+    def test_busiest_channels(self):
+        acc = EPRAccounting()
+        acc.record_epoch([("a", "b")] * 3 + [("c", "d")])
+        top = acc.busiest_channels(1)
+        assert top == [(("a", "b"), 3)]
+
+    def test_empty_epoch(self):
+        acc = EPRAccounting()
+        acc.record_epoch([])
+        assert acc.total_pairs == 0
+        assert acc.peak_epoch_demand == 0

@@ -1,0 +1,222 @@
+"""Tests for the benchmark suite: structure, registry, and scaling."""
+
+import math
+
+import pytest
+
+from repro.benchmarks import (
+    BENCHMARKS,
+    benchmark,
+    benchmark_names,
+    build_boolean_formula,
+    build_bwt,
+    build_class_number,
+    build_grovers,
+    build_gse,
+    build_sha1,
+    build_shors,
+    build_tfp,
+    grover_iteration_count,
+)
+from repro.benchmarks.common import (
+    hadamard_all,
+    inverse_qft_ops,
+    mcx_ops,
+    mcz_ops,
+    qft_ops,
+)
+from repro.core.dag import DependenceDAG
+from repro.core.qubits import AncillaAllocator, Qubit
+from repro.passes.resource import estimate_resources, total_gate_counts
+from repro.sim.statevector import circuit_unitary
+from repro.sim.verify import equivalent_up_to_global_phase, truth_table
+
+
+class TestCommonKernels:
+    def test_qft_inverse_cancels(self):
+        qs = [Qubit("q", i) for i in range(3)]
+        import numpy as np
+
+        u = circuit_unitary(
+            qft_ops(qs) + inverse_qft_ops(qs), qs
+        )
+        assert equivalent_up_to_global_phase(u, np.eye(8, dtype=complex))
+
+    def test_qft_op_count_quadratic(self):
+        qs = [Qubit("q", i) for i in range(6)]
+        assert len(qft_ops(qs)) == 6 + 15  # n H's + n(n-1)/2 CRz's
+
+    def test_mcx_truth_table(self):
+        qs = [Qubit("q", i) for i in range(4)]
+        target = Qubit("t", 0)
+        alloc = AncillaAllocator()
+        ops = mcx_ops(qs[:3], target, alloc)
+        allq = qs[:3] + [target] + alloc.all_qubits()
+        tbl = truth_table(ops, qs[:3], [target], all_qubits=allq)
+        for v in range(8):
+            assert tbl[v] == int(v == 7)
+
+    def test_mcx_small_cases(self):
+        alloc = AncillaAllocator()
+        t = Qubit("t", 0)
+        q = [Qubit("q", i) for i in range(2)]
+        assert mcx_ops([], t, alloc)[0].gate == "X"
+        assert mcx_ops([q[0]], t, alloc)[0].gate == "CNOT"
+        assert mcx_ops(q, t, alloc)[0].gate == "Toffoli"
+
+    def test_mcz_phase_flip(self):
+        import numpy as np
+
+        qs = [Qubit("q", i) for i in range(3)]
+        alloc = AncillaAllocator()
+        ops = mcz_ops(qs, alloc)
+        allq = qs + alloc.all_qubits()
+        u = circuit_unitary(ops, allq)
+        expect = np.eye(2 ** len(allq), dtype=complex)
+        # Phase flip exactly on states where q0=q1=q2=1 (ancillas 0).
+        for idx in range(2 ** len(allq)):
+            if idx & 0b111 == 0b111 and idx >> 3 == 0:
+                expect[idx, idx] = -1
+        # Compare only columns with clean ancillas.
+        cols = [i for i in range(2 ** len(allq)) if i >> 3 == 0]
+        assert np.allclose(u[:, cols], expect[:, cols], atol=1e-9)
+
+    def test_hadamard_all(self):
+        qs = [Qubit("q", i) for i in range(4)]
+        ops = hadamard_all(qs)
+        assert len(ops) == 4
+        assert all(op.gate == "H" for op in ops)
+
+
+class TestRegistry:
+    def test_all_eight_present(self):
+        assert benchmark_names() == [
+            "BF", "BWT", "CN", "Grovers", "GSE", "SHA-1", "Shors", "TFP",
+        ]
+        assert set(BENCHMARKS) == set(benchmark_names())
+
+    def test_lookup(self):
+        assert benchmark("GSE").key == "GSE"
+        with pytest.raises(KeyError):
+            benchmark("NOPE")
+
+    def test_every_benchmark_builds_and_validates(self):
+        for spec in BENCHMARKS.values():
+            prog = spec.build()
+            prog.validate()
+            assert prog.entry == "main"
+
+    def test_metadata_present(self):
+        for spec in BENCHMARKS.values():
+            assert spec.title
+            assert spec.description
+            assert spec.paper_params
+            assert spec.fth > 0
+
+
+class TestStructure:
+    def test_grovers_iteration_count(self):
+        assert grover_iteration_count(2) == 1
+        assert grover_iteration_count(8) == 12
+        # Exponential growth encoded, never unrolled.
+        assert grover_iteration_count(40) > 8 * 10 ** 5
+
+    def test_grovers_scales_with_n(self):
+        small = estimate_resources(build_grovers(n=4, iterations=2))
+        large = estimate_resources(build_grovers(n=8, iterations=2))
+        assert large.total_gates > small.total_gates
+
+    def test_grovers_paper_scale_estimation(self):
+        est = estimate_resources(build_grovers(n=30))
+        assert est.total_gates > 10 ** 6  # huge, but estimated instantly
+
+    def test_grovers_invalid_params(self):
+        with pytest.raises(ValueError):
+            build_grovers(n=1)
+        with pytest.raises(ValueError):
+            build_grovers(n=4, marked=100)
+
+    def test_bwt_walk_steps_scale(self):
+        s1 = estimate_resources(build_bwt(n=4, s=2)).total_gates
+        s2 = estimate_resources(build_bwt(n=4, s=20)).total_gates
+        assert s2 > 5 * s1
+
+    def test_bwt_validation(self):
+        with pytest.raises(ValueError):
+            build_bwt(n=1)
+        with pytest.raises(ValueError):
+            build_bwt(n=4, s=0)
+
+    def test_gse_rotation_heavy(self):
+        est = estimate_resources(build_gse(m=6, precision_bits=4))
+        assert est.gate_mix.get("CRz", 0) > 0
+
+    def test_gse_precision_doubles_evolution(self):
+        low = estimate_resources(build_gse(m=4, precision_bits=3))
+        high = estimate_resources(build_gse(m=4, precision_bits=6))
+        assert high.total_gates > 5 * low.total_gates
+
+    def test_tfp_structure(self):
+        prog = build_tfp(n=5, iterations=2)
+        # The triangle oracle calls the edge oracle six times (3 tests
+        # + 3 uncomputes).
+        tri = prog.module("triangle_oracle")
+        edge_calls = [c for c in tri.calls() if c.callee == "edge_oracle"]
+        assert len(edge_calls) == 6
+
+    def test_bf_nand_tree(self):
+        prog = build_boolean_formula(x=2, y=2)
+        ev = prog.module("evaluate_formula")
+        nand_calls = [c for c in ev.calls() if c.callee == "nand_gate"]
+        assert len(nand_calls) == 3  # 2 + 1 for a 4-leaf balanced tree
+
+    def test_sha1_round_structure(self):
+        prog = build_sha1(n=32, word_bits=8, rounds=8,
+                          grover_iterations=4)
+        compress = prog.module("sha1_compress")
+        round_calls = [
+            c for c in compress.calls() if c.callee.startswith("round_q")
+        ]
+        assert len(round_calls) == 8
+
+    def test_sha1_adder_dominated(self):
+        est = estimate_resources(
+            build_sha1(n=32, word_bits=8, rounds=8, grover_iterations=1)
+        )
+        # Ripple-carry adders => CNOT/Toffoli dominate.
+        cx = est.gate_mix.get("CNOT", 0) + est.gate_mix.get("Toffoli", 0)
+        assert cx > est.total_gates * 0.5
+
+    def test_shors_rotation_modules_present(self):
+        prog = build_shors(n=4)
+        rot_modules = [
+            m.name for m in prog if m.name.startswith("phase_rot_")
+        ]
+        assert len(rot_modules) > 3
+        for name in rot_modules:
+            assert prog.module(name).direct_gate_count == 1  # one Rz
+
+    def test_shors_control_register_width(self):
+        prog = build_shors(n=5)
+        cmults = [m for m in prog if m.name.startswith("cmult_pow")]
+        assert len(cmults) == 10  # 2n
+
+    def test_cn_arithmetic_structure(self):
+        prog = build_class_number(p=2)
+        reduce_mod = prog.module("reduce_ideal")
+        gates = {op.gate for op in reduce_mod.operations()}
+        assert "Toffoli" in gates and "CNOT" in gates
+        assert "Fredkin" in gates  # the conditional swap
+
+    def test_all_benchmarks_entry_is_nonleaf(self):
+        # Every benchmark is hierarchical (the paper's premise).
+        for spec in BENCHMARKS.values():
+            assert not spec.build().entry_module.is_leaf
+
+    def test_benchmarks_have_measurements(self):
+        for spec in BENCHMARKS.values():
+            prog = spec.build()
+            gates = {
+                op.gate for op in prog.entry_module.operations()
+            }
+            assert "MeasZ" in gates, f"{spec.key} lacks measurement"

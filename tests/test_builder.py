@@ -1,0 +1,118 @@
+"""Unit tests for the Scaffold-style program builder DSL."""
+
+import math
+
+import pytest
+
+from repro.core.builder import ModuleBuilder, ProgramBuilder
+from repro.core.operation import CallSite, Operation
+from repro.core.qubits import Qubit
+
+
+class TestModuleBuilder:
+    def test_gate_methods_emit_operations(self):
+        mb = ModuleBuilder("m")
+        q = mb.register("q", 3)
+        mb.h(q[0]).cnot(q[0], q[1]).toffoli(q[0], q[1], q[2])
+        mod = mb.build()
+        assert [op.gate for op in mod.operations()] == [
+            "H", "CNOT", "Toffoli",
+        ]
+
+    def test_all_single_qubit_helpers(self):
+        mb = ModuleBuilder("m")
+        q = mb.register("q", 1)[0]
+        for method in ("x", "y", "z", "h", "s", "sdag", "t", "tdag",
+                       "prep_z", "prep_x", "meas_z", "meas_x"):
+            getattr(mb, method)(q)
+        gates = [op.gate for op in mb.build().operations()]
+        assert gates == ["X", "Y", "Z", "H", "S", "Sdag", "T", "Tdag",
+                         "PrepZ", "PrepX", "MeasZ", "MeasX"]
+
+    def test_rotations_carry_angles(self):
+        mb = ModuleBuilder("m")
+        q = mb.register("q", 2)
+        mb.rz(q[0], 0.5).rx(q[0], 1.0).ry(q[0], 1.5)
+        mb.crz(q[0], q[1], 2.0).crx(q[0], q[1], 2.5)
+        angles = [op.angle for op in mb.build().operations()]
+        assert angles == [0.5, 1.0, 1.5, 2.0, 2.5]
+
+    def test_param_register_adds_formals(self):
+        mb = ModuleBuilder("m")
+        p = mb.param_register("p", 2)
+        mb.register("local", 1)
+        mod = mb.build()
+        assert mod.params == (p[0], p[1])
+
+    def test_params_individual(self):
+        mb = ModuleBuilder("m")
+        q = mb.register("q", 2)
+        mb.params(q[1])
+        assert mb.build().params == (q[1],)
+
+    def test_duplicate_register_rejected(self):
+        mb = ModuleBuilder("m")
+        mb.register("q", 1)
+        with pytest.raises(ValueError, match="already declared"):
+            mb.register("q", 2)
+
+    def test_unknown_gate_via_gate_method(self):
+        mb = ModuleBuilder("m")
+        q = mb.register("q", 1)
+        with pytest.raises(KeyError):
+            mb.gate("BOGUS", q[0])
+
+    def test_call_by_name_and_by_builder(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        sp = sub.param_register("p", 1)
+        sub.h(sp[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.call("sub", [q[0]])
+        main.call(sub, [q[0]], iterations=3)
+        prog = pb.build("main")
+        calls = list(prog.entry_module.calls())
+        assert [c.iterations for c in calls] == [1, 3]
+
+    def test_len_counts_statements(self):
+        mb = ModuleBuilder("m")
+        q = mb.register("q", 1)
+        mb.h(q[0]).t(q[0])
+        assert len(mb) == 2
+
+
+class TestProgramBuilder:
+    def test_duplicate_module_rejected(self):
+        pb = ProgramBuilder()
+        pb.module("m")
+        with pytest.raises(ValueError, match="already defined"):
+            pb.module("m")
+
+    def test_add_prebuilt_module(self):
+        from repro.core.module import Module
+
+        pb = ProgramBuilder()
+        q = Qubit("q", 0)
+        pb.add_module(Module("ready", (), [Operation("H", (q,))]))
+        main = pb.module("main")
+        mq = main.register("q", 1)
+        main.call("ready", [])
+        prog = pb.build("main")
+        assert "ready" in prog
+
+    def test_add_prebuilt_duplicate_rejected(self):
+        from repro.core.module import Module
+
+        pb = ProgramBuilder()
+        pb.module("m")
+        with pytest.raises(ValueError, match="already defined"):
+            pb.add_module(Module("m", (), []))
+
+    def test_build_validates(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.call("ghost", [q[0]])
+        with pytest.raises(Exception):
+            pb.build("main")

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("BF", "BWT", "CN", "Grovers", "GSE", "SHA-1",
+                    "Shors", "TFP"):
+            assert key in out
+
+
+class TestEstimate:
+    def test_benchmark_estimate(self, capsys):
+        assert main(["estimate", "GSE"]) == 0
+        out = capsys.readouterr().out
+        assert "total gates" in out
+        assert "minimum qubits: 13" in out
+
+    def test_unknown_source(self):
+        with pytest.raises(SystemExit, match="neither a benchmark"):
+            main(["estimate", "NOPE"])
+
+
+class TestCompile:
+    def test_benchmark_compile(self, capsys):
+        assert main(["compile", "GSE", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "comm-aware speedup" in out
+        assert "Multi-SIMD(2,inf)" in out
+
+    def test_json_output(self, capsys):
+        assert main(["compile", "GSE", "-k", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["machine"]["k"] == 2
+        assert data["scheduler"] == "lpfs"
+        assert data["total_gates"] > 0
+
+    def test_rcp_selection(self, capsys):
+        assert main(
+            ["compile", "GSE", "-k", "2", "--scheduler", "rcp",
+             "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scheduler"] == "rcp"
+
+    def test_local_memory_flag(self, capsys):
+        assert main(
+            ["compile", "GSE", "-k", "2", "--local-mem", "inf"]
+        ) == 0
+        assert "local=inf" in capsys.readouterr().out
+
+    def test_bad_local_memory(self):
+        with pytest.raises(SystemExit, match="bad local-memory"):
+            main(["compile", "GSE", "--local-mem", "lots"])
+
+    def test_timeline_and_profile(self, capsys):
+        assert main(
+            ["compile", "GSE", "-k", "2", "--timeline", "4",
+             "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blackbox dimensions" in out
+        assert "cycle" in out
+
+    def test_qasm_file_roundtrip(self, tmp_path, capsys):
+        # emit a benchmark, then compile the emitted file.
+        target = tmp_path / "prog.qasm"
+        assert main(["emit", "GSE", "-o", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["compile", str(target), "-k", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["entry"] == "main"
+
+
+class TestEmit:
+    def test_emit_to_stdout(self, capsys):
+        assert main(["emit", "GSE"]) == 0
+        out = capsys.readouterr().out
+        assert ".module main .entry" in out
+
+    def test_emit_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.qasm"
+        assert main(["emit", "Grovers", "-o", str(target)]) == 0
+        assert target.exists()
+        assert ".module main .entry" in target.read_text()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fth_override(self, capsys):
+        assert main(
+            ["compile", "GSE", "-k", "2", "--fth", "100"]
+        ) == 0
+        assert "FTh=100" in capsys.readouterr().out
+
+
+class TestScaffoldInput:
+    def test_compile_scaffold_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.scaffold"
+        source.write_text(
+            """
+            module box ( qbit a, qbit b, qbit c ) { Toffoli(a, b, c); }
+            module main ( ) {
+                qreg r[5];
+                box(r[0], r[1], r[2]);
+                box(r[0], r[3], r[4]);
+            }
+            """
+        )
+        assert main(
+            ["compile", str(source), "-k", "2", "--fth", "0", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["total_gates"] == 30
+
+    def test_emit_scaffold_as_qasm(self, tmp_path, capsys):
+        source = tmp_path / "prog.scd"
+        source.write_text(
+            "module main ( ) { qbit a; repeat 9 { H(a); } }"
+        )
+        assert main(["emit", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert ".module main .entry" in out

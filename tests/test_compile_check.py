@@ -1,0 +1,95 @@
+"""Tests for end-to-end compilation verification — proving whole
+pipelines semantics-preserving on simulable programs."""
+
+import math
+
+import pytest
+
+from repro.core.builder import ProgramBuilder
+from repro.passes.decompose import decompose_program
+from repro.passes.flatten import flatten_program
+from repro.passes.optimize import optimize_program
+from repro.sim.compile_check import (
+    CompilationCheckError,
+    verify_compilation,
+)
+
+
+def pi4_program():
+    """A program using only exactly-synthesisable gates."""
+    pb = ProgramBuilder()
+    sub = pb.module("sub")
+    p = sub.param_register("p", 2)
+    sub.toffoli_args = None
+    sub.h(p[0]).cnot(p[0], p[1]).rz(p[1], math.pi / 4)
+    main = pb.module("main")
+    q = main.register("q", 3)
+    main.x(q[0])
+    main.call("sub", [q[0], q[1]], iterations=2)
+    main.toffoli(q[0], q[1], q[2])
+    main.rz(q[2], math.pi / 2)
+    return pb.build("main")
+
+
+class TestPipelines:
+    def test_decomposition_preserves_semantics(self):
+        prog = pi4_program()
+        assert verify_compilation(prog, decompose_program(prog))
+
+    def test_flattening_preserves_semantics(self):
+        prog = pi4_program()
+        flat = flatten_program(prog, fth=10 ** 9).program
+        assert verify_compilation(prog, flat)
+
+    def test_optimize_preserves_semantics(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 2)
+        main.h(q[0]).h(q[0]).t(q[0]).cnot(q[0], q[1])
+        main.rz(q[1], 0.4).rz(q[1], -0.4)
+        prog = pb.build("main")
+        optimized, stats = optimize_program(prog)
+        assert stats.removed_ops > 0
+        assert verify_compilation(prog, optimized)
+
+    def test_full_pipeline_preserves_semantics(self):
+        prog = pi4_program()
+        optimized, _ = optimize_program(prog)
+        lowered = decompose_program(optimized)
+        flat = flatten_program(lowered, fth=10 ** 9).program
+        assert verify_compilation(prog, flat)
+
+    def test_detects_broken_transformation(self):
+        prog = pi4_program()
+        # A deliberately wrong "transformation": drop the final Rz.
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 3)
+        main.x(q[0])
+        prog_broken = pb.build("main")
+        assert not verify_compilation(prog, prog_broken)
+
+
+class TestGuards:
+    def test_measurement_rejected(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.h(q[0]).meas_z(q[0])
+        prog = pb.build("main")
+        with pytest.raises(CompilationCheckError, match="measurement"):
+            verify_compilation(prog, prog)
+
+    def test_size_budget_enforced(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 15)
+        for qb in q:
+            main.h(qb)
+        prog = pb.build("main")
+        with pytest.raises(CompilationCheckError, match="exceeds"):
+            verify_compilation(prog, prog, max_qubits=12)
+
+    def test_identity_comparison(self):
+        prog = pi4_program()
+        assert verify_compilation(prog, prog)

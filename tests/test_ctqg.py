@@ -1,0 +1,308 @@
+"""Tests for the CTQG reversible-arithmetic library.
+
+Every block is verified bit-exactly against its classical semantics via
+the statevector simulator, including ancilla cleanliness (scratch
+qubits must return to |0>)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.qubits import AncillaAllocator, Qubit
+from repro.passes import ctqg
+from repro.sim.statevector import Simulator
+from repro.sim.verify import truth_table
+
+
+def reg(name, n):
+    return [Qubit(name, i) for i in range(n)]
+
+
+def run_classical(ops, assignment, all_qubits):
+    """Run a reversible circuit on a basis state; return final state as
+    a dict qubit -> bit."""
+    sim = Simulator(all_qubits)
+    sim.set_bits(assignment)
+    sim.run(ops)
+    state = sim.basis_state()
+    return {q: (state >> sim.index[q]) & 1 for q in all_qubits}
+
+
+def read(bits, qubits):
+    return sum(bits[q] << i for i, q in enumerate(qubits))
+
+
+class TestBitwise:
+    def test_xor_into(self):
+        a, b = reg("a", 3), reg("b", 3)
+        for av in range(8):
+            for bv in range(8):
+                bits = run_classical(
+                    ctqg.xor_into(a, b),
+                    {**{q: (av >> i) & 1 for i, q in enumerate(a)},
+                     **{q: (bv >> i) & 1 for i, q in enumerate(b)}},
+                    a + b,
+                )
+                assert read(bits, b) == av ^ bv
+                assert read(bits, a) == av
+
+    def test_xor_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ctqg.xor_into(reg("a", 2), reg("b", 3))
+
+    def test_xor_overlap_rejected(self):
+        a = reg("a", 2)
+        with pytest.raises(ValueError, match="overlap"):
+            ctqg.xor_into(a, a)
+
+    def test_and_into(self):
+        a, b, d = reg("a", 2), reg("b", 2), reg("d", 2)
+        for av in range(4):
+            for bv in range(4):
+                bits = run_classical(
+                    ctqg.and_into(a, b, d),
+                    {**{q: (av >> i) & 1 for i, q in enumerate(a)},
+                     **{q: (bv >> i) & 1 for i, q in enumerate(b)}},
+                    a + b + d,
+                )
+                assert read(bits, d) == av & bv
+
+    def test_not_all(self):
+        a = reg("a", 3)
+        bits = run_classical(ctqg.not_all(a), {a[1]: 1}, a)
+        assert read(bits, a) == 0b101
+
+    def test_rotl(self):
+        a = reg("a", 4)
+        assert ctqg.rotl(a, 0) == a
+        assert ctqg.rotl(a, 1) == [a[3], a[0], a[1], a[2]]
+        assert ctqg.rotl(a, 4) == a
+        assert ctqg.rotl(a, 5) == ctqg.rotl(a, 1)
+        assert ctqg.rotl([], 3) == []
+
+    def test_load_const(self):
+        a = reg("a", 4)
+        bits = run_classical(ctqg.load_const(0b1010, a), {}, a)
+        assert read(bits, a) == 0b1010
+
+    def test_load_const_out_of_range(self):
+        with pytest.raises(ValueError):
+            ctqg.load_const(16, reg("a", 4))
+
+
+class TestSha1Blocks:
+    @pytest.mark.parametrize(
+        "fn,ref",
+        [
+            (ctqg.ch_into, lambda x, y, z: (x & y) ^ (~x & z)),
+            (ctqg.maj_into, lambda x, y, z: (x & y) ^ (x & z) ^ (y & z)),
+            (ctqg.parity_into, lambda x, y, z: x ^ y ^ z),
+        ],
+    )
+    def test_block(self, fn, ref):
+        x, y, z, d = (reg(n, 2) for n in "xyzd")
+        mask = 3
+        tbl = truth_table(fn(x, y, z, d), x + y + z, x + y + z + d)
+        for xv in range(4):
+            for yv in range(4):
+                for zv in range(4):
+                    inp = xv | (yv << 2) | (zv << 4)
+                    expect = inp | ((ref(xv, yv, zv) & mask) << 6)
+                    assert tbl[inp] == expect
+
+
+class TestAdders:
+    def test_cuccaro_add_exhaustive_3bit(self):
+        a, b = reg("a", 3), reg("b", 3)
+        carry = Qubit("c", 0)
+        tbl = truth_table(
+            ctqg.cuccaro_add(a, b, carry), a + b, b,
+            all_qubits=a + b + [carry],
+        )
+        for av in range(8):
+            for bv in range(8):
+                assert tbl[av | (bv << 3)] == (av + bv) % 8
+
+    def test_cuccaro_preserves_a_and_cleans_carry(self):
+        a, b = reg("a", 3), reg("b", 3)
+        carry = Qubit("c", 0)
+        ops = ctqg.cuccaro_add(a, b, carry)
+        bits = run_classical(
+            ops, {a[0]: 1, a[2]: 1, b[1]: 1}, a + b + [carry]
+        )
+        assert read(bits, a) == 0b101
+        assert bits[carry] == 0
+
+    def test_carry_out(self):
+        a, b = reg("a", 2), reg("b", 2)
+        carry, out = Qubit("c", 0), Qubit("o", 0)
+        ops = ctqg.cuccaro_add(a, b, carry, out)
+        bits = run_classical(
+            ops, {a[0]: 1, a[1]: 1, b[0]: 1, b[1]: 1},
+            a + b + [carry, out],
+        )
+        assert read(bits, b) == (3 + 3) % 4
+        assert bits[out] == 1
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ctqg.cuccaro_add(reg("a", 2), reg("b", 3), Qubit("c", 0))
+
+    def test_empty_registers(self):
+        assert ctqg.cuccaro_add([], [], Qubit("c", 0)) == []
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_add_const_property(self, value, bv, _):
+        b = reg("b", 4)
+        alloc = AncillaAllocator()
+        ops = ctqg.add_const(value, b, alloc)
+        allq = b + alloc.all_qubits()
+        bits = run_classical(
+            ops, {q: (bv >> i) & 1 for i, q in enumerate(b)}, allq
+        )
+        assert read(bits, b) == (bv + value) % 16
+        for q in alloc.all_qubits():
+            assert bits[q] == 0, "ancilla not cleaned"
+
+
+class TestComparison:
+    def test_compare_lt_exhaustive(self):
+        a, b = reg("a", 3), reg("b", 3)
+        flag, carry = Qubit("f", 0), Qubit("c", 0)
+        ops = ctqg.compare_lt(a, b, flag, carry)
+        for av in range(8):
+            for bv in range(8):
+                bits = run_classical(
+                    ops,
+                    {**{q: (av >> i) & 1 for i, q in enumerate(a)},
+                     **{q: (bv >> i) & 1 for i, q in enumerate(b)}},
+                    a + b + [flag, carry],
+                )
+                assert bits[flag] == int(av < bv)
+                assert read(bits, a) == av, "a must be restored"
+                assert read(bits, b) == bv, "b must be restored"
+                assert bits[carry] == 0
+
+    def test_compare_lt_const(self):
+        a = reg("a", 3)
+        flag = Qubit("f", 0)
+        alloc = AncillaAllocator()
+        ops = ctqg.compare_lt_const(a, 5, flag, alloc)
+        allq = a + [flag] + alloc.all_qubits()
+        for av in range(8):
+            bits = run_classical(
+                ops, {q: (av >> i) & 1 for i, q in enumerate(a)}, allq
+            )
+            assert bits[flag] == int(av < 5)
+
+    def test_compare_flag_xor_semantics(self):
+        # flag ^= result: a preset flag is toggled.
+        a, b = reg("a", 2), reg("b", 2)
+        flag, carry = Qubit("f", 0), Qubit("c", 0)
+        ops = ctqg.compare_lt(a, b, flag, carry)
+        bits = run_classical(
+            ops, {flag: 1, b[0]: 1}, a + b + [flag, carry]
+        )
+        # 0 < 1 -> toggled from 1 to 0.
+        assert bits[flag] == 0
+
+
+class TestControlled:
+    def test_controlled_xor(self):
+        c = Qubit("ctl", 0)
+        a, b = reg("a", 2), reg("b", 2)
+        ops = ctqg.controlled_xor(c, a, b)
+        on = run_classical(ops, {c: 1, a[0]: 1}, [c] + a + b)
+        off = run_classical(ops, {c: 0, a[0]: 1}, [c] + a + b)
+        assert read(on, b) == 1
+        assert read(off, b) == 0
+
+    def test_controlled_add(self):
+        c = Qubit("ctl", 0)
+        a, b = reg("a", 3), reg("b", 3)
+        alloc = AncillaAllocator()
+        ops = ctqg.controlled_add(c, a, b, alloc)
+        allq = [c] + a + b + alloc.all_qubits()
+        for cv in (0, 1):
+            for av in range(8):
+                for bv in range(8):
+                    bits = run_classical(
+                        ops,
+                        {c: cv,
+                         **{q: (av >> i) & 1 for i, q in enumerate(a)},
+                         **{q: (bv >> i) & 1 for i, q in enumerate(b)}},
+                        allq,
+                    )
+                    expect = (bv + av) % 8 if cv else bv
+                    assert read(bits, b) == expect
+                    for q in alloc.all_qubits():
+                        assert bits[q] == 0
+
+
+class TestMultiply:
+    def test_2x2_exhaustive(self):
+        a, b, p = reg("a", 2), reg("b", 2), reg("p", 4)
+        alloc = AncillaAllocator()
+        ops = ctqg.multiply(a, b, p, alloc)
+        allq = a + b + p + alloc.all_qubits()
+        for av in range(4):
+            for bv in range(4):
+                bits = run_classical(
+                    ops,
+                    {**{q: (av >> i) & 1 for i, q in enumerate(a)},
+                     **{q: (bv >> i) & 1 for i, q in enumerate(b)}},
+                    allq,
+                )
+                assert read(bits, p) == av * bv
+                for q in alloc.all_qubits():
+                    assert bits[q] == 0
+
+    def test_accumulates_into_product(self):
+        a, b, p = reg("a", 2), reg("b", 2), reg("p", 4)
+        alloc = AncillaAllocator()
+        ops = ctqg.multiply(a, b, p, alloc)
+        allq = a + b + p + alloc.all_qubits()
+        bits = run_classical(
+            ops,
+            {a[1]: 1, b[1]: 1, p[0]: 1},  # 2*2 + preset 1
+            allq,
+        )
+        assert read(bits, p) == 5
+
+    def test_narrow_product_rejected(self):
+        with pytest.raises(ValueError):
+            ctqg.multiply(reg("a", 2), reg("b", 3), reg("p", 2),
+                          AncillaAllocator())
+
+
+class TestModularAdd:
+    @pytest.mark.parametrize("value,modulus", [(3, 5), (0, 5), (4, 5), (6, 7)])
+    def test_add_const_mod(self, value, modulus):
+        r = reg("r", 4)
+        alloc = AncillaAllocator()
+        ops = ctqg.add_const_mod(value, r, modulus, alloc)
+        allq = r + alloc.all_qubits()
+        for rv in range(modulus):
+            bits = run_classical(
+                ops, {q: (rv >> i) & 1 for i, q in enumerate(r)}, allq
+            )
+            assert read(bits, r) == (rv + value) % modulus
+            for q in alloc.all_qubits():
+                assert bits[q] == 0, "ancilla (incl. flag) not cleaned"
+
+    def test_modulus_headroom_enforced(self):
+        with pytest.raises(ValueError, match="headroom"):
+            ctqg.add_const_mod(1, reg("r", 3), 5, AncillaAllocator())
+
+    @given(st.integers(1, 7), st.integers(0, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_modulus(self, modulus, value):
+        r = reg("r", 4)
+        alloc = AncillaAllocator()
+        ops = ctqg.add_const_mod(value, r, modulus, alloc)
+        allq = r + alloc.all_qubits()
+        for rv in range(modulus):
+            bits = run_classical(
+                ops, {q: (rv >> i) & 1 for i, q in enumerate(r)}, allq
+            )
+            assert read(bits, r) == (rv + value) % modulus

@@ -1,0 +1,185 @@
+"""Tests for the decomposition pass: correctness is checked against the
+statevector simulator (exact unitary equivalence up to global phase),
+and structure (lengths, determinism, primitive-only output) is checked
+directly."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import ProgramBuilder
+from repro.core.gates import QASM_PRIMITIVES
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.passes.decompose import (
+    DecomposeConfig,
+    RotationSynthesizer,
+    decompose_module,
+    decompose_operation,
+    decompose_program,
+    toffoli_network,
+)
+from repro.sim.statevector import circuit_unitary
+from repro.sim.verify import equivalent_up_to_global_phase
+
+Q = [Qubit("q", i) for i in range(4)]
+SYNTH = RotationSynthesizer()
+
+
+def assert_exact(op, qubits):
+    lowered = decompose_operation(op, SYNTH)
+    assert all(o.gate in QASM_PRIMITIVES for o in lowered)
+    u = circuit_unitary(lowered, qubits)
+    v = circuit_unitary([op], qubits)
+    assert equivalent_up_to_global_phase(u, v), f"{op} decomposition wrong"
+
+
+class TestExactDecompositions:
+    def test_toffoli_network_is_15_clifford_t_gates(self):
+        net = toffoli_network(Q[0], Q[1], Q[2])
+        assert len(net) == 15
+        assert all(op.gate in QASM_PRIMITIVES for op in net)
+        # T-count of the standard network is 7.
+        t_count = sum(1 for op in net if op.gate in ("T", "Tdag"))
+        assert t_count == 7
+
+    def test_toffoli_unitary(self):
+        assert_exact(Operation("Toffoli", (Q[0], Q[1], Q[2])), Q[:3])
+
+    def test_fredkin_unitary(self):
+        assert_exact(Operation("Fredkin", (Q[0], Q[1], Q[2])), Q[:3])
+
+    def test_ccz_unitary(self):
+        assert_exact(Operation("CCZ", (Q[0], Q[1], Q[2])), Q[:3])
+
+    def test_cz_unitary(self):
+        assert_exact(Operation("CZ", (Q[0], Q[1])), Q[:2])
+
+    def test_swap_unitary(self):
+        assert_exact(Operation("SWAP", (Q[0], Q[1])), Q[:2])
+
+    @pytest.mark.parametrize("m", range(8))
+    @pytest.mark.parametrize("gate", ["Rz", "Rx", "Ry"])
+    def test_pi4_multiples_exact(self, gate, m):
+        assert_exact(Operation(gate, (Q[0],), m * math.pi / 4), Q[:1])
+
+    @pytest.mark.parametrize("m", [0, 2, 4, 6])
+    def test_crz_even_pi4_exact(self, m):
+        # CRz halves the angle; exact whenever the half is a pi/4
+        # multiple.
+        assert_exact(Operation("CRz", (Q[0], Q[1]), m * math.pi / 4), Q[:2])
+
+    def test_crx_pi_exact(self):
+        assert_exact(Operation("CRx", (Q[0], Q[1]), math.pi), Q[:2])
+
+    def test_primitives_pass_through(self):
+        op = Operation("CNOT", (Q[0], Q[1]))
+        assert decompose_operation(op, SYNTH) == [op]
+
+    def test_negative_angle_normalised(self):
+        assert_exact(Operation("Rz", (Q[0],), -math.pi / 2), Q[:1])
+
+
+class TestRotationSynthesizer:
+    def test_exact_sequences_for_pi4_multiples(self):
+        assert SYNTH.rz_sequence(0.0) == []
+        assert SYNTH.rz_sequence(math.pi / 4) == ["T"]
+        assert SYNTH.rz_sequence(math.pi / 2) == ["S"]
+        assert SYNTH.rz_sequence(math.pi) == ["Z"]
+        assert SYNTH.rz_sequence(-math.pi / 4) == ["Tdag"]
+        assert SYNTH.rz_sequence(2 * math.pi) == []
+
+    def test_generic_angle_long_serial_string(self):
+        seq = SYNTH.rz_sequence(0.3)
+        assert len(seq) == SYNTH.approx_length
+        assert len(seq) > 50  # long serial chain (Table 2 behaviour)
+
+    def test_determinism_per_angle(self):
+        assert SYNTH.rz_sequence(0.3) == SYNTH.rz_sequence(0.3)
+
+    def test_different_angles_differ(self):
+        assert SYNTH.rz_sequence(0.3) != SYNTH.rz_sequence(0.4)
+
+    def test_length_scales_with_precision(self):
+        coarse = RotationSynthesizer(epsilon=1e-2)
+        fine = RotationSynthesizer(epsilon=1e-12)
+        assert fine.approx_length > coarse.approx_length
+        # log-scaling: ratio of lengths ~ ratio of log(1/eps).
+        assert fine.approx_length < 10 * coarse.approx_length
+
+    def test_synthesize_rz_targets_one_qubit(self):
+        ops = SYNTH.synthesize_rz(Q[0], 0.7)
+        assert all(op.qubits == (Q[0],) for op in ops)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            RotationSynthesizer(epsilon=0.0)
+        with pytest.raises(ValueError):
+            RotationSynthesizer(epsilon=2.0)
+
+
+class TestProgramDecomposition:
+    def build_program(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 3)
+        sub.toffoli(p[0], p[1], p[2])
+        main = pb.module("main")
+        q = main.register("q", 3)
+        main.rz(q[0], 0.3)
+        main.call("sub", list(q))
+        return pb.build("main")
+
+    def test_all_modules_lowered(self):
+        prog = decompose_program(self.build_program())
+        for mod in prog:
+            for op in mod.operations():
+                assert op.gate in QASM_PRIMITIVES
+
+    def test_calls_preserved(self):
+        prog = decompose_program(self.build_program())
+        assert [c.callee for c in prog.entry_module.calls()] == ["sub"]
+
+    def test_config_controls_length(self):
+        prog_coarse = decompose_program(
+            self.build_program(), DecomposeConfig(epsilon=1e-2)
+        )
+        prog_fine = decompose_program(
+            self.build_program(), DecomposeConfig(epsilon=1e-12)
+        )
+        assert (
+            prog_fine.entry_module.direct_gate_count
+            > prog_coarse.entry_module.direct_gate_count
+        )
+
+    def test_module_semantics_preserved(self):
+        # The leaf 'sub' (a Toffoli) must keep its unitary.
+        prog = self.build_program()
+        lowered = decompose_program(prog)
+        orig = prog.module("sub")
+        new = lowered.module("sub")
+        u = circuit_unitary(list(orig.operations()), list(orig.params))
+        v = circuit_unitary(list(new.operations()), list(new.params))
+        assert equivalent_up_to_global_phase(u, v)
+
+
+@st.composite
+def pi4_angles(draw):
+    return draw(st.integers(-8, 8)) * math.pi / 4
+
+
+class TestDecomposeProperties:
+    @given(pi4_angles())
+    @settings(max_examples=20, deadline=None)
+    def test_rz_exactness_property(self, angle):
+        assert_exact(Operation("Rz", (Q[0],), angle), Q[:1])
+
+    @given(st.floats(0.01, 6.2, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_output_always_primitive(self, angle):
+        lowered = decompose_operation(
+            Operation("Rz", (Q[0],), angle), SYNTH
+        )
+        assert lowered, "decomposition must be non-empty"
+        assert all(op.gate in QASM_PRIMITIVES for op in lowered)

@@ -1,0 +1,143 @@
+"""Tests for static EPR pre-distribution planning."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.epr_schedule import epr_demand_timeline, plan_epr_distribution
+from repro.arch.machine import MultiSIMD
+from repro.core.dag import DependenceDAG
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.sched.comm import derive_movement
+from repro.sched.rcp import schedule_rcp
+
+Q = [Qubit("q", i) for i in range(6)]
+
+
+def scheduled(ops, k=2, local=None):
+    dag = DependenceDAG(ops)
+    sched = schedule_rcp(dag, k=k)
+    machine = MultiSIMD(k=k, local_memory=local)
+    stats = derive_movement(sched, machine)
+    return sched, stats
+
+
+class TestDemandTimeline:
+    def test_initial_fetch_at_cycle_zero(self):
+        sched, _ = scheduled([Operation("H", (Q[0],))])
+        demands, runtime = epr_demand_timeline(sched)
+        assert demands[0].cycle == 0
+        assert demands[0].pairs == 1
+        assert runtime == 5  # 4 teleport + 1 gate
+
+    def test_total_matches_comm_stats(self):
+        ops = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("H", (Q[2],)),
+            Operation("CNOT", (Q[1], Q[2])),
+        ]
+        sched, stats = scheduled(ops)
+        demands, runtime = epr_demand_timeline(sched)
+        assert sum(d.pairs for d in demands) == stats.teleports
+        assert runtime == stats.runtime
+
+    def test_channels_recorded(self):
+        sched, _ = scheduled([Operation("CNOT", (Q[0], Q[1]))])
+        demands, _ = epr_demand_timeline(sched)
+        assert demands[0].channels == {("global", "region0"): 2}
+
+    def test_no_teleports_no_demand(self):
+        # Serial chain: only the initial fetch teleports.
+        ops = [Operation("T", (Q[0],)) for _ in range(5)]
+        sched, _ = scheduled(ops)
+        demands, _ = epr_demand_timeline(sched)
+        assert len(demands) == 1
+
+
+class TestPlan:
+    def test_infinite_rate_never_stalls(self):
+        ops = [Operation("CNOT", (Q[i], Q[i + 1])) for i in range(4)]
+        sched, stats = scheduled(ops)
+        plan = plan_epr_distribution(sched)
+        assert plan.stall_cycles == 0
+        assert plan.runtime == stats.runtime
+        assert plan.total_pairs == stats.teleports
+
+    def test_prestage_reported(self):
+        sched, _ = scheduled([Operation("CNOT", (Q[0], Q[1]))])
+        plan = plan_epr_distribution(sched)
+        assert plan.prestage_pairs == 2
+
+    def test_low_rate_stalls(self):
+        ops = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("H", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("T", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ]
+        sched, _ = scheduled(ops, k=1)
+        fast = plan_epr_distribution(sched, rate=100.0)
+        slow = plan_epr_distribution(sched, rate=0.01)
+        assert fast.stall_cycles == 0
+        assert slow.stall_cycles > 0
+        assert slow.runtime > fast.runtime
+
+    def test_min_masking_rate_masks(self):
+        ops = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("H", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("T", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ]
+        sched, _ = scheduled(ops, k=1)
+        plan = plan_epr_distribution(sched)
+        if plan.min_masking_rate > 0:
+            check = plan_epr_distribution(
+                sched, rate=plan.min_masking_rate
+            )
+            assert check.stall_cycles == 0
+
+    def test_rate_below_masking_stalls(self):
+        ops = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("H", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("T", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ]
+        sched, _ = scheduled(ops, k=1)
+        plan = plan_epr_distribution(sched)
+        if plan.min_masking_rate > 0.02:
+            worse = plan_epr_distribution(
+                sched, rate=plan.min_masking_rate / 2
+            )
+            assert worse.stall_cycles > 0
+
+    def test_invalid_rate(self):
+        sched, _ = scheduled([Operation("H", (Q[0],))])
+        with pytest.raises(ValueError):
+            plan_epr_distribution(sched, rate=0)
+
+    def test_buffer_at_least_prestage(self):
+        sched, _ = scheduled([Operation("CNOT", (Q[0], Q[1]))])
+        plan = plan_epr_distribution(sched, rate=1.0)
+        assert plan.peak_buffer >= plan.prestage_pairs
+
+    @given(st.floats(0.05, 50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_runtime_monotone_in_rate(self, rate):
+        ops = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("H", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("T", (Q[2],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ]
+        sched, _ = scheduled(ops, k=1)
+        lo = plan_epr_distribution(sched, rate=rate)
+        hi = plan_epr_distribution(sched, rate=rate * 2)
+        assert hi.stall_cycles <= lo.stall_cycles

@@ -1,0 +1,94 @@
+"""Unit tests for the gate registry (repro.core.gates)."""
+
+import pytest
+
+from repro.core.gates import (
+    CLIFFORD_GATES,
+    GATES,
+    QASM_PRIMITIVES,
+    ROTATION_GATES,
+    gate_spec,
+    inverse_gate,
+    is_primitive,
+    is_rotation,
+)
+
+
+class TestRegistry:
+    def test_registry_keys_match_spec_names(self):
+        for name, spec in GATES.items():
+            assert spec.name == name
+
+    def test_known_primitive_set(self):
+        assert QASM_PRIMITIVES == {
+            "X", "Y", "Z", "H", "S", "Sdag", "T", "Tdag", "CNOT",
+            "PrepZ", "PrepX", "MeasZ", "MeasX",
+        }
+
+    def test_clifford_subset_of_primitives(self):
+        assert CLIFFORD_GATES <= QASM_PRIMITIVES
+
+    def test_rotations_are_not_primitive(self):
+        for name in ROTATION_GATES:
+            assert not is_primitive(name)
+
+    def test_rotation_set(self):
+        assert ROTATION_GATES == {"Rz", "Rx", "Ry", "CRz", "CRx"}
+
+    @pytest.mark.parametrize(
+        "name,arity",
+        [
+            ("X", 1), ("H", 1), ("T", 1), ("CNOT", 2), ("CZ", 2),
+            ("SWAP", 2), ("Toffoli", 3), ("Fredkin", 3), ("CCZ", 3),
+            ("Rz", 1), ("CRz", 2),
+        ],
+    )
+    def test_arities(self, name, arity):
+        assert gate_spec(name).arity == arity
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError, match="unknown gate"):
+            gate_spec("FROBNICATE")
+
+
+class TestInverses:
+    @pytest.mark.parametrize(
+        "name", ["X", "Y", "Z", "H", "CNOT", "CZ", "SWAP", "Toffoli",
+                 "Fredkin", "CCZ"]
+    )
+    def test_self_inverse_gates(self, name):
+        assert inverse_gate(name) == name
+        assert gate_spec(name).is_self_inverse
+
+    @pytest.mark.parametrize(
+        "a,b", [("S", "Sdag"), ("T", "Tdag")]
+    )
+    def test_dagger_pairs(self, a, b):
+        assert inverse_gate(a) == b
+        assert inverse_gate(b) == a
+
+    def test_inverse_is_involutive(self):
+        for name, spec in GATES.items():
+            if spec.inverse is not None:
+                assert inverse_gate(inverse_gate(name)) == name
+
+    @pytest.mark.parametrize("name", ["MeasZ", "MeasX", "PrepZ", "PrepX"])
+    def test_non_unitary_has_no_inverse(self, name):
+        with pytest.raises(ValueError, match="not invertible"):
+            inverse_gate(name)
+
+
+class TestSpecProperties:
+    def test_angle_gates_flagged(self):
+        for name in ("Rz", "Rx", "Ry", "CRz", "CRx"):
+            assert is_rotation(name)
+            assert GATES[name].takes_angle
+
+    def test_non_angle_gates_not_flagged(self):
+        for name in ("X", "H", "CNOT", "Toffoli"):
+            assert not is_rotation(name)
+            assert not GATES[name].takes_angle
+
+    def test_every_gate_has_positive_arity(self):
+        for spec in GATES.values():
+            assert spec.arity >= 1

@@ -1,0 +1,134 @@
+"""Cross-module integration tests: every benchmark through the whole
+toolflow, with the paper's qualitative claims asserted as invariants."""
+
+import math
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.benchmarks import BENCHMARKS
+from repro.benchmarks.bwt import build_bwt
+from repro.benchmarks.gse import build_gse
+from repro.benchmarks.shors import build_shors
+from repro.passes.qubit_count import minimum_qubits
+from repro.toolflow import SchedulerConfig, compile_and_schedule
+
+# Smaller-than-registry instances keep the integration suite fast.
+SMALL = {
+    "BF": lambda: BENCHMARKS["BF"].build(),
+    "Grovers": lambda: __import__(
+        "repro.benchmarks.grovers", fromlist=["build_grovers"]
+    ).build_grovers(n=5, iterations=3),
+    "GSE": lambda: build_gse(m=4, precision_bits=3, trotter_slices=1),
+    "BWT": lambda: build_bwt(n=4, s=2),
+    "Shors": lambda: build_shors(n=4),
+}
+
+
+@pytest.fixture(params=sorted(SMALL))
+def small_benchmark(request):
+    return request.param, SMALL[request.param]()
+
+
+class TestBenchmarkCompilation:
+    def test_compiles_and_validates(self, small_benchmark):
+        key, prog = small_benchmark
+        result = compile_and_schedule(
+            prog, MultiSIMD(k=2), fth=BENCHMARKS[key].fth
+        )
+        for name, sched in result.schedules.items():
+            sched.validate()
+        assert result.total_gates > 0
+        assert result.schedule_length > 0
+
+    def test_speedup_sandwich(self, small_benchmark):
+        """sequential >= schedule >= critical path, for every
+        benchmark."""
+        key, prog = small_benchmark
+        result = compile_and_schedule(
+            prog, MultiSIMD(k=4), fth=BENCHMARKS[key].fth
+        )
+        assert (
+            result.critical_path
+            <= result.schedule_length
+            <= result.total_gates
+        )
+
+    def test_comm_aware_beats_or_matches_naive(self, small_benchmark):
+        key, prog = small_benchmark
+        result = compile_and_schedule(
+            prog, MultiSIMD(k=4), fth=BENCHMARKS[key].fth
+        )
+        assert result.runtime <= result.naive_runtime
+
+    def test_local_memory_monotone(self, small_benchmark):
+        """Figure 8's qualitative claim: more scratchpad never hurts
+        (within this cost model, at equal schedules)."""
+        key, prog = small_benchmark
+        q = minimum_qubits(prog)
+        runtimes = []
+        for cap in (None, q / 2, math.inf):
+            result = compile_and_schedule(
+                prog,
+                MultiSIMD(k=4, local_memory=cap),
+                fth=BENCHMARKS[key].fth,
+            )
+            runtimes.append(result.runtime)
+        assert runtimes[0] >= runtimes[1] >= runtimes[2]
+
+    def test_rcp_lpfs_same_gate_counts(self, small_benchmark):
+        key, prog = small_benchmark
+        counts = set()
+        for alg in ("rcp", "lpfs"):
+            result = compile_and_schedule(
+                prog, MultiSIMD(k=2), SchedulerConfig(alg),
+                fth=BENCHMARKS[key].fth,
+            )
+            counts.add(result.total_gates)
+        assert len(counts) == 1
+
+
+class TestPaperClaims:
+    def test_gse_profits_most_from_comm_awareness(self):
+        """Section 5.2: GSE's pinned rotation chains give it the
+        largest communication-aware gain."""
+        ratios = {}
+        for key, build in (
+            ("GSE", SMALL["GSE"]),
+            ("BWT", SMALL["BWT"]),
+        ):
+            prog = build()
+            r = compile_and_schedule(
+                prog, MultiSIMD(k=4), fth=BENCHMARKS[key].fth
+            )
+            ratios[key] = r.comm_aware_speedup / r.parallel_speedup
+        assert ratios["GSE"] > ratios["BWT"]
+
+    def test_shors_k_sensitivity(self):
+        """Figure 9: Shor's speedup grows with region count."""
+        prog = build_shors(n=5)
+        speeds = []
+        for k in (2, 4, 8):
+            r = compile_and_schedule(
+                prog,
+                MultiSIMD(k=k, local_memory=math.inf),
+                fth=BENCHMARKS["Shors"].fth,
+            )
+            speeds.append(r.comm_aware_speedup)
+        assert speeds[0] < speeds[-1]
+
+    def test_near_critical_path_at_k4(self):
+        """Figure 6: benchmarks reach near-CP speedup by k = 4."""
+        prog = SMALL["GSE"]()
+        r = compile_and_schedule(
+            prog, MultiSIMD(k=4), fth=BENCHMARKS["GSE"].fth
+        )
+        assert r.parallel_speedup >= 0.9 * r.cp_speedup
+
+    def test_flattening_improves_or_preserves(self):
+        """Section 3.1.1: flattening leaf modules never lengthens the
+        schedule."""
+        prog = build_gse(m=4, precision_bits=3, trotter_slices=1)
+        boxed = compile_and_schedule(prog, MultiSIMD(k=2), fth=0)
+        flat = compile_and_schedule(prog, MultiSIMD(k=2), fth=10 ** 7)
+        assert flat.schedule_length <= boxed.schedule_length

@@ -1,0 +1,78 @@
+"""Tests for the PassManager pipeline."""
+
+import pytest
+
+from repro.core.builder import ProgramBuilder
+from repro.core.module import Program
+from repro.passes.decompose import decompose_program
+from repro.passes.flatten import flatten_program
+from repro.passes.manager import PassManager
+from repro.passes.optimize import optimize_program
+
+
+def small_program():
+    pb = ProgramBuilder()
+    sub = pb.module("sub")
+    p = sub.param_register("p", 1)
+    sub.h(p[0]).h(p[0]).t(p[0])
+    main = pb.module("main")
+    q = main.register("q", 3)
+    main.toffoli(q[0], q[1], q[2])
+    main.call("sub", [q[0]])
+    return pb.build("main")
+
+
+class TestPassManager:
+    def test_runs_in_order(self):
+        order = []
+
+        def mk(name):
+            def run(prog):
+                order.append(name)
+                return prog
+            return run
+
+        pm = PassManager().add("a", mk("a")).add("b", mk("b"))
+        pm.run(small_program())
+        assert order == ["a", "b"]
+        assert len(pm) == 2
+
+    def test_standard_pipeline(self):
+        pm = (
+            PassManager()
+            .add("optimize", lambda p: optimize_program(p)[0])
+            .add("decompose", decompose_program)
+            .add("flatten", lambda p: flatten_program(p, 10 ** 6).program)
+        )
+        out = pm.run(small_program())
+        assert isinstance(out, Program)
+        assert out.entry_module.is_leaf  # fully flattened
+        # The H/H pair in sub cancelled before decomposition.
+        assert "T" in {op.gate for op in out.entry_module.operations()}
+
+    def test_timings_recorded(self):
+        pm = PassManager().add("decompose", decompose_program)
+        pm.run(small_program())
+        assert set(pm.timings) == {"decompose"}
+        assert pm.timings["decompose"] >= 0.0
+
+    def test_validation_after_each_pass(self):
+        def corrupt(prog):
+            # Return a program whose validation fails by dropping a
+            # callee module.
+            mods = [m for m in prog if m.name != "sub"]
+            # Bypass Program.__init__ validation by building a shell
+            # object via __new__ — the manager's own validate() must
+            # catch it.
+            broken = Program.__new__(Program)
+            broken.modules = {m.name: m for m in mods}
+            broken.entry = prog.entry
+            return broken
+
+        pm = PassManager().add("corrupt", corrupt)
+        with pytest.raises(Exception):
+            pm.run(small_program())
+
+    def test_empty_manager_is_identity(self):
+        prog = small_program()
+        assert PassManager().run(prog) is prog

@@ -1,0 +1,88 @@
+"""Tests for schedule metrics: hierarchical critical path and the
+paper's speedup definitions."""
+
+import pytest
+
+from repro.arch.machine import NAIVE_FACTOR
+from repro.core.builder import ProgramBuilder
+from repro.sched.metrics import (
+    comm_speedup,
+    hierarchical_critical_path,
+    parallel_speedup,
+)
+
+
+class TestHierarchicalCriticalPath:
+    def test_flat_serial(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 1)
+        for _ in range(7):
+            main.t(q[0])
+        cp = hierarchical_critical_path(pb.build("main"))
+        assert cp["main"] == 7
+
+    def test_flat_parallel(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 5)
+        for qb in q:
+            main.h(qb)
+        cp = hierarchical_critical_path(pb.build("main"))
+        assert cp["main"] == 1
+
+    def test_call_weight_expands(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        for _ in range(4):
+            sub.t(p[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.call("sub", [q[0]], iterations=3)
+        main.h(q[0])
+        cp = hierarchical_critical_path(pb.build("main"))
+        assert cp["sub"] == 4
+        assert cp["main"] == 3 * 4 + 1
+
+    def test_parallel_calls_dont_add(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        for _ in range(4):
+            sub.t(p[0])
+        main = pb.module("main")
+        q = main.register("q", 2)
+        main.call("sub", [q[0]])
+        main.call("sub", [q[1]])
+        cp = hierarchical_critical_path(pb.build("main"))
+        assert cp["main"] == 4
+
+    def test_cp_at_paper_scale(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        sub.t(p[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.call("sub", [q[0]], iterations=10 ** 11)
+        cp = hierarchical_critical_path(pb.build("main"))
+        assert cp["main"] == 10 ** 11
+
+
+class TestSpeedups:
+    def test_parallel_speedup(self):
+        assert parallel_speedup(100, 50) == 2.0
+
+    def test_comm_speedup_baseline_is_naive(self):
+        # runtime equal to the naive model -> speedup exactly 1.
+        assert comm_speedup(100, NAIVE_FACTOR * 100) == 1.0
+
+    def test_comm_speedup_scales(self):
+        assert comm_speedup(100, 100) == float(NAIVE_FACTOR)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_speedup(10, 0)
+        with pytest.raises(ValueError):
+            comm_speedup(10, 0)

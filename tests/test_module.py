@@ -1,0 +1,138 @@
+"""Unit tests for the module / program IR."""
+
+import pytest
+
+from repro.core.builder import ProgramBuilder
+from repro.core.module import Module, Program, ProgramValidationError
+from repro.core.operation import CallSite, Operation
+from repro.core.qubits import Qubit
+
+Q = [Qubit("q", i) for i in range(6)]
+
+
+def leaf(name, ops):
+    return Module(name, (), list(ops))
+
+
+class TestModule:
+    def test_leaf_detection(self):
+        m = leaf("m", [Operation("H", (Q[0],))])
+        assert m.is_leaf
+        m2 = Module("m2", (), [CallSite("m", ())])
+        assert not m2.is_leaf
+
+    def test_operations_and_calls_iterators(self):
+        body = [
+            Operation("H", (Q[0],)),
+            CallSite("x", (Q[0],)),
+            Operation("T", (Q[0],)),
+        ]
+        m = Module("m", (), body)
+        assert [op.gate for op in m.operations()] == ["H", "T"]
+        assert [c.callee for c in m.calls()] == ["x"]
+        assert m.direct_gate_count == 2
+
+    def test_qubits_first_reference_order(self):
+        m = Module(
+            "m",
+            (Q[2],),
+            [Operation("CNOT", (Q[0], Q[1])), Operation("H", (Q[0],))],
+        )
+        assert m.qubits() == [Q[2], Q[0], Q[1]]
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            Module("m", (Q[0], Q[0]), [])
+
+
+class TestProgramValidation:
+    def test_missing_entry_rejected(self):
+        with pytest.raises(ProgramValidationError, match="entry"):
+            Program([leaf("a", [])], entry="nope")
+
+    def test_unknown_callee_rejected(self):
+        m = Module("m", (), [CallSite("ghost", ())])
+        with pytest.raises(ProgramValidationError, match="unknown module"):
+            Program([m], entry="m")
+
+    def test_arity_mismatch_rejected(self):
+        callee = Module("callee", (Q[0], Q[1]), [])
+        caller = Module("main", (), [CallSite("callee", (Q[0],))])
+        with pytest.raises(ProgramValidationError, match="args"):
+            Program([callee, caller], entry="main")
+
+    def test_recursion_rejected(self):
+        a = Module("a", (), [CallSite("b", ())])
+        b = Module("b", (), [CallSite("a", ())])
+        with pytest.raises(ProgramValidationError, match="recursive"):
+            Program([a, b], entry="a")
+
+    def test_self_recursion_rejected(self):
+        a = Module("a", (), [CallSite("a", ())])
+        with pytest.raises(ProgramValidationError, match="recursive"):
+            Program([a], entry="a")
+
+    def test_duplicate_module_names_rejected(self):
+        with pytest.raises(ProgramValidationError, match="duplicate"):
+            Program([leaf("a", []), leaf("a", [])], entry="a")
+
+
+class TestProgramAnalyses:
+    def make_diamond(self):
+        """main -> {left, right} -> shared"""
+        shared = leaf("shared", [Operation("H", (Q[0],))])
+        left = Module("left", (), [CallSite("shared", ())])
+        right = Module("right", (), [CallSite("shared", ())])
+        main = Module(
+            "main", (), [CallSite("left", ()), CallSite("right", ())]
+        )
+        return Program([shared, left, right, main], entry="main")
+
+    def test_topological_order_callees_first(self):
+        prog = self.make_diamond()
+        order = prog.topological_order()
+        assert order.index("shared") < order.index("left")
+        assert order.index("shared") < order.index("right")
+        assert order[-1] == "main"
+
+    def test_reachable_excludes_orphans(self):
+        shared = leaf("shared", [])
+        orphan = leaf("orphan", [])
+        main = Module("main", (), [CallSite("shared", ())])
+        prog = Program([shared, orphan, main], entry="main")
+        assert prog.reachable() == {"main", "shared"}
+        assert "orphan" not in prog.topological_order()
+
+    def test_call_depth(self):
+        prog = self.make_diamond()
+        depth = prog.call_depth()
+        assert depth["main"] == 0
+        assert depth["left"] == depth["right"] == 1
+        assert depth["shared"] == 2
+
+    def test_leaf_and_nonleaf_partitions(self):
+        prog = self.make_diamond()
+        assert {m.name for m in prog.leaf_modules()} == {"shared"}
+        assert {m.name for m in prog.nonleaf_modules()} == {
+            "main", "left", "right",
+        }
+
+    def test_with_modules_replaces(self):
+        prog = self.make_diamond()
+        new_shared = leaf("shared", [Operation("T", (Q[0],))])
+        prog2 = prog.with_modules({"shared": new_shared})
+        assert prog2.module("shared").direct_gate_count == 1
+        assert next(prog2.module("shared").operations()).gate == "T"
+        # Original untouched.
+        assert next(prog.module("shared").operations()).gate == "H"
+
+    def test_module_lookup_error(self):
+        prog = self.make_diamond()
+        with pytest.raises(KeyError, match="no module named"):
+            prog.module("missing")
+
+    def test_contains_and_len(self):
+        prog = self.make_diamond()
+        assert "main" in prog
+        assert "ghost" not in prog
+        assert len(prog) == 4

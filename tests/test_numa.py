@@ -1,0 +1,160 @@
+"""Tests for the distributed-global-memory (NUMA) extension."""
+
+import math
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.arch.numa import NUMAConfig, assign_banks, numa_runtime
+from repro.core.dag import DependenceDAG
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.sched.comm import derive_movement
+from repro.sched.rcp import schedule_rcp
+
+Q = [Qubit("q", i) for i in range(8)]
+
+
+def annotated(ops, k=4):
+    dag = DependenceDAG(ops)
+    sched = schedule_rcp(dag, k=k)
+    stats = derive_movement(sched, MultiSIMD(k=k))
+    return sched, stats
+
+
+def churn_ops():
+    """Ops that force fetch/evict churn across regions."""
+    ops = []
+    for i in range(4):
+        ops.append(Operation("CNOT", (Q[2 * (i % 2)], Q[2 * (i % 2) + 1])))
+        ops.append(Operation("H", (Q[4 + i % 4],)))
+    return ops
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NUMAConfig(banks=0)
+        with pytest.raises(ValueError):
+            NUMAConfig(channel_bandwidth=0)
+        with pytest.raises(ValueError):
+            NUMAConfig(placement="randomly")
+
+    def test_nearest_bank_spacing(self):
+        cfg = NUMAConfig(banks=2)
+        # 4 regions, 2 banks: regions 0,1 -> bank 0; 2,3 -> bank 1.
+        assert cfg.nearest_bank(0, 4) == 0
+        assert cfg.nearest_bank(1, 4) == 0
+        assert cfg.nearest_bank(2, 4) == 1
+        assert cfg.nearest_bank(3, 4) == 1
+
+    def test_distance(self):
+        cfg = NUMAConfig(banks=4)
+        assert cfg.distance(0, 0, 4) == 0
+        assert cfg.distance(3, 0, 4) == 3
+
+
+class TestAssignment:
+    def test_affinity_places_near_usage(self):
+        # q0/q1 only used in one region -> their bank is that region's.
+        ops = [Operation("CNOT", (Q[0], Q[1])) for _ in range(3)]
+        sched, _ = annotated(ops, k=4)
+        cfg = NUMAConfig(banks=4)
+        banks = assign_banks(sched, cfg)
+        placement = sched.placement()
+        region = placement[0][1]
+        assert banks[Q[0]] == cfg.nearest_bank(region, 4)
+
+    def test_round_robin_spreads(self):
+        ops = [Operation("H", (Q[i],)) for i in range(8)]
+        sched, _ = annotated(ops, k=2)
+        banks = assign_banks(
+            sched, NUMAConfig(banks=4, placement="round_robin")
+        )
+        assert set(banks.values()) == {0, 1, 2, 3}
+
+
+class TestRuntime:
+    def test_single_bank_infinite_bandwidth_matches_paper_model(self):
+        sched, stats = annotated(churn_ops())
+        numa = numa_runtime(sched, NUMAConfig(banks=1))
+        assert numa.runtime == stats.runtime
+
+    def test_finite_bandwidth_stretches_epochs(self):
+        sched, stats = annotated(churn_ops())
+        tight = numa_runtime(
+            sched, NUMAConfig(banks=1, channel_bandwidth=1)
+        )
+        loose = numa_runtime(
+            sched, NUMAConfig(banks=1, channel_bandwidth=math.inf)
+        )
+        assert tight.runtime >= loose.runtime
+        assert tight.teleport_rounds >= loose.teleport_rounds
+
+    def test_more_banks_reduce_peak_channel_load(self):
+        sched, _ = annotated(churn_ops())
+        one = numa_runtime(sched, NUMAConfig(banks=1))
+        four = numa_runtime(sched, NUMAConfig(banks=4))
+        assert four.peak_channel_load <= one.peak_channel_load
+
+    def test_banks_help_under_tight_bandwidth(self):
+        sched, _ = annotated(churn_ops())
+        cramped = numa_runtime(
+            sched, NUMAConfig(banks=1, channel_bandwidth=1)
+        )
+        spread = numa_runtime(
+            sched, NUMAConfig(banks=4, channel_bandwidth=1)
+        )
+        assert spread.runtime <= cramped.runtime
+
+    def test_bank_loads_accounted(self):
+        sched, stats = annotated(churn_ops())
+        numa = numa_runtime(sched, NUMAConfig(banks=2))
+        assert sum(numa.bank_loads.values()) >= stats.teleports
+
+    def test_affinity_beats_round_robin_on_load(self):
+        ops = [Operation("CNOT", (Q[0], Q[1])) for _ in range(2)]
+        ops += [Operation("H", (Q[2],)), Operation("T", (Q[0],))]
+        sched, _ = annotated(ops, k=4)
+        cfg_aff = NUMAConfig(banks=4, placement="affinity")
+        cfg_rr = NUMAConfig(banks=4, placement="round_robin")
+        aff = numa_runtime(sched, cfg_aff)
+        rr = numa_runtime(sched, cfg_rr)
+        # Affinity placement never consumes more capacity units in
+        # total (pairs travel shorter distances).
+        assert sum(aff.bank_loads.values()) <= sum(rr.bank_loads.values())
+
+
+class TestBankEgress:
+    def _spread_schedule(self):
+        ops = []
+        for i in range(4):
+            ops.append(
+                Operation("CNOT", (Q[2 * (i % 2)], Q[2 * (i % 2) + 1]))
+            )
+            ops.append(Operation("H", (Q[4 + i % 4],)))
+        return annotated(ops, k=4)[0]
+
+    def test_egress_serialises_single_bank(self):
+        sched = self._spread_schedule()
+        free = numa_runtime(sched, NUMAConfig(banks=1))
+        tight = numa_runtime(
+            sched, NUMAConfig(banks=1, bank_egress=1.0)
+        )
+        assert tight.teleport_rounds > free.teleport_rounds
+        assert tight.runtime > free.runtime
+
+    def test_banks_relieve_egress(self):
+        sched = self._spread_schedule()
+        one = numa_runtime(
+            sched, NUMAConfig(banks=1, bank_egress=2.0)
+        )
+        four = numa_runtime(
+            sched, NUMAConfig(banks=4, bank_egress=2.0)
+        )
+        assert four.teleport_rounds < one.teleport_rounds
+        assert four.runtime < one.runtime
+
+    def test_invalid_egress(self):
+        with pytest.raises(ValueError):
+            NUMAConfig(bank_egress=0)

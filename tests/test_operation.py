@@ -1,0 +1,89 @@
+"""Unit tests for IR statements (Operation / CallSite)."""
+
+import math
+
+import pytest
+
+from repro.core.operation import CallSite, Operation
+from repro.core.qubits import Qubit
+
+Q = [Qubit("q", i) for i in range(4)]
+
+
+class TestOperation:
+    def test_simple_gate(self):
+        op = Operation("H", (Q[0],))
+        assert op.gate == "H"
+        assert op.arity == 1
+        assert op.angle is None
+
+    def test_two_qubit_gate(self):
+        op = Operation("CNOT", (Q[0], Q[1]))
+        assert op.qubits == (Q[0], Q[1])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 operand"):
+            Operation("CNOT", (Q[0],))
+        with pytest.raises(ValueError, match="expects 1 operand"):
+            Operation("H", (Q[0], Q[1]))
+
+    def test_duplicate_operands_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Operation("CNOT", (Q[0], Q[0]))
+        with pytest.raises(ValueError, match="distinct"):
+            Operation("Toffoli", (Q[0], Q[1], Q[0]))
+
+    def test_rotation_requires_angle(self):
+        with pytest.raises(ValueError, match="requires an angle"):
+            Operation("Rz", (Q[0],))
+
+    def test_rotation_with_angle(self):
+        op = Operation("Rz", (Q[0],), math.pi / 3)
+        assert op.angle == pytest.approx(math.pi / 3)
+
+    def test_non_rotation_rejects_angle(self):
+        with pytest.raises(ValueError, match="does not take an angle"):
+            Operation("H", (Q[0],), 0.5)
+
+    def test_non_finite_angle_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Operation("Rz", (Q[0],), float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            Operation("Rz", (Q[0],), float("inf"))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            Operation("NOPE", (Q[0],))
+
+    def test_operations_are_value_objects(self):
+        a = Operation("CNOT", (Q[0], Q[1]))
+        b = Operation("CNOT", (Q[0], Q[1]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_gate_and_operands(self):
+        text = repr(Operation("CNOT", (Q[0], Q[1])))
+        assert "CNOT" in text and "q[0]" in text and "q[1]" in text
+
+
+class TestCallSite:
+    def test_basic_call(self):
+        call = CallSite("sub", (Q[0], Q[1]))
+        assert call.callee == "sub"
+        assert call.iterations == 1
+
+    def test_iterated_call(self):
+        call = CallSite("sub", (Q[0],), iterations=1000)
+        assert call.iterations == 1000
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            CallSite("sub", (Q[0],), iterations=0)
+
+    def test_duplicate_args_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CallSite("sub", (Q[0], Q[0]))
+
+    def test_repr_shows_iterations(self):
+        assert "x5" in repr(CallSite("sub", (Q[0],), iterations=5))
+        assert "x1" not in repr(CallSite("sub", (Q[0],)))

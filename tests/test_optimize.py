@@ -1,0 +1,242 @@
+"""Tests for the peephole optimization pass, including simulator-backed
+semantics preservation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import ProgramBuilder
+from repro.core.module import Module
+from repro.core.operation import CallSite, Operation
+from repro.core.qubits import Qubit
+from repro.passes.optimize import (
+    OptimizeStats,
+    optimize_module,
+    optimize_program,
+)
+from repro.sim.statevector import circuit_unitary
+from repro.sim.verify import equivalent_up_to_global_phase
+
+Q = [Qubit("q", i) for i in range(5)]
+
+
+def leaf(ops):
+    return Module("m", (), list(ops))
+
+
+def gates(module):
+    return [
+        (s.gate, s.qubits) if isinstance(s, Operation) else ("call", s.callee)
+        for s in module.body
+    ]
+
+
+class TestCancellation:
+    def test_adjacent_self_inverse_pair(self):
+        out = optimize_module(
+            leaf([Operation("H", (Q[0],)), Operation("H", (Q[0],))])
+        )
+        assert out.body == []
+
+    def test_dagger_pair(self):
+        out = optimize_module(
+            leaf([Operation("T", (Q[0],)), Operation("Tdag", (Q[0],))])
+        )
+        assert out.body == []
+
+    def test_cnot_pair(self):
+        out = optimize_module(
+            leaf(
+                [
+                    Operation("CNOT", (Q[0], Q[1])),
+                    Operation("CNOT", (Q[0], Q[1])),
+                ]
+            )
+        )
+        assert out.body == []
+
+    def test_reversed_cnot_not_cancelled(self):
+        ops = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("CNOT", (Q[1], Q[0])),
+        ]
+        assert len(optimize_module(leaf(ops)).body) == 2
+
+    def test_cascading(self):
+        ops = [
+            Operation("H", (Q[0],)),
+            Operation("T", (Q[0],)),
+            Operation("Tdag", (Q[0],)),
+            Operation("H", (Q[0],)),
+        ]
+        assert optimize_module(leaf(ops)).body == []
+
+    def test_intervening_op_blocks(self):
+        ops = [
+            Operation("H", (Q[0],)),
+            Operation("T", (Q[0],)),
+            Operation("H", (Q[0],)),
+        ]
+        assert len(optimize_module(leaf(ops)).body) == 3
+
+    def test_intervening_op_on_other_operand_blocks(self):
+        # CNOT / X(target) / CNOT must not cancel.
+        ops = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("X", (Q[1],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ]
+        assert len(optimize_module(leaf(ops)).body) == 3
+
+    def test_unrelated_qubits_untouched(self):
+        ops = [
+            Operation("H", (Q[0],)),
+            Operation("H", (Q[1],)),
+            Operation("H", (Q[0],)),
+        ]
+        # The two H(q0) are separated only by H(q1), which commutes in
+        # the dependence sense? No: adjacency is per-qubit; H(q1) does
+        # not touch q0, so the H(q0) pair is adjacent and cancels.
+        out = optimize_module(leaf(ops))
+        assert gates(out) == [("H", (Q[1],))]
+
+    def test_call_is_barrier(self):
+        ops = [
+            Operation("H", (Q[0],)),
+            CallSite("sub", (Q[0],)),
+            Operation("H", (Q[0],)),
+        ]
+        out = optimize_module(leaf(ops))
+        assert len(out.body) == 3
+
+    def test_stats_counted(self):
+        stats = OptimizeStats()
+        optimize_module(
+            leaf([Operation("S", (Q[0],)), Operation("Sdag", (Q[0],))]),
+            stats,
+        )
+        assert stats.cancelled_pairs == 1
+        assert stats.removed_ops == 2
+
+
+class TestRotationMerging:
+    def test_merge(self):
+        ops = [
+            Operation("Rz", (Q[0],), 0.3),
+            Operation("Rz", (Q[0],), 0.4),
+        ]
+        out = optimize_module(leaf(ops))
+        assert len(out.body) == 1
+        assert out.body[0].angle == pytest.approx(0.7)
+
+    def test_merge_to_zero_drops(self):
+        ops = [
+            Operation("Rz", (Q[0],), 0.3),
+            Operation("Rz", (Q[0],), -0.3),
+        ]
+        assert optimize_module(leaf(ops)).body == []
+
+    def test_full_turn_drops(self):
+        ops = [
+            Operation("Rz", (Q[0],), 1.5 * math.pi),
+            Operation("Rz", (Q[0],), 0.5 * math.pi),
+        ]
+        assert optimize_module(leaf(ops)).body == []
+
+    def test_merge_cascades(self):
+        ops = [Operation("Rz", (Q[0],), 0.25) for _ in range(4)]
+        out = optimize_module(leaf(ops))
+        assert len(out.body) == 1
+        assert out.body[0].angle == pytest.approx(1.0)
+
+    def test_different_axes_not_merged(self):
+        ops = [
+            Operation("Rz", (Q[0],), 0.3),
+            Operation("Rx", (Q[0],), 0.3),
+        ]
+        assert len(optimize_module(leaf(ops)).body) == 2
+
+    def test_crz_merging(self):
+        ops = [
+            Operation("CRz", (Q[0], Q[1]), 0.2),
+            Operation("CRz", (Q[0], Q[1]), 0.5),
+        ]
+        out = optimize_module(leaf(ops))
+        assert len(out.body) == 1
+        assert out.body[0].angle == pytest.approx(0.7)
+
+
+class TestProgramLevel:
+    def test_optimize_program(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        sub.h(p[0]).h(p[0]).t(p[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.x(q[0]).x(q[0])
+        main.call("sub", [q[0]])
+        prog, stats = optimize_program(pb.build("main"))
+        assert stats.cancelled_pairs == 2
+        assert prog.module("sub").direct_gate_count == 1
+        assert prog.entry_module.direct_gate_count == 0
+
+
+# --- semantics preservation (simulator-backed) -----------------------------
+
+_GATE_POOL = ["H", "T", "Tdag", "S", "Sdag", "X", "Z"]
+
+
+@st.composite
+def random_circuit(draw):
+    qs = Q[:3]
+    n = draw(st.integers(0, 25))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            ops.append(
+                Operation(
+                    draw(st.sampled_from(_GATE_POOL)),
+                    (draw(st.sampled_from(qs)),),
+                )
+            )
+        elif kind == 1:
+            pair = draw(
+                st.lists(st.sampled_from(qs), min_size=2, max_size=2,
+                         unique=True)
+            )
+            ops.append(Operation("CNOT", tuple(pair)))
+        else:
+            ops.append(
+                Operation(
+                    "Rz",
+                    (draw(st.sampled_from(qs)),),
+                    draw(st.sampled_from([0.3, -0.3, 1.1, math.pi])),
+                )
+            )
+    return ops
+
+
+class TestSemanticsPreserved:
+    @given(random_circuit())
+    @settings(max_examples=50, deadline=None)
+    def test_unitary_unchanged(self, ops):
+        out = optimize_module(leaf(ops))
+        u = circuit_unitary(ops, Q[:3])
+        v = circuit_unitary(list(out.operations()), Q[:3])
+        assert equivalent_up_to_global_phase(u, v)
+
+    @given(random_circuit())
+    @settings(max_examples=50, deadline=None)
+    def test_never_grows(self, ops):
+        out = optimize_module(leaf(ops))
+        assert len(out.body) <= len(ops)
+
+    @given(random_circuit())
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, ops):
+        once = optimize_module(leaf(ops))
+        twice = optimize_module(once)
+        assert once.body == twice.body

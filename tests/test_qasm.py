@@ -1,0 +1,172 @@
+"""Tests for QASM emission and parsing (round-trip fidelity)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.builder import ProgramBuilder
+from repro.core.operation import CallSite, Operation
+from repro.core.qasm import QasmSyntaxError, emit_qasm, parse_qasm
+from repro.core.qubits import Qubit
+
+
+def sample_program():
+    pb = ProgramBuilder()
+    sub = pb.module("rot_box")
+    p = sub.param_register("p", 1)
+    sub.rz(p[0], 0.325)
+    main = pb.module("main")
+    q = main.register("q", 3)
+    main.h(q[0]).cnot(q[0], q[1]).toffoli(q[0], q[1], q[2])
+    main.call("rot_box", [q[2]], iterations=7)
+    main.meas_z(q[2])
+    return pb.build("main")
+
+
+class TestEmit:
+    def test_contains_module_structure(self):
+        text = emit_qasm(sample_program())
+        assert ".module rot_box" in text
+        assert ".module main .entry" in text
+        assert text.count(".end") == 2
+
+    def test_call_iteration_syntax(self):
+        text = emit_qasm(sample_program())
+        assert "call[7] rot_box p" not in text  # args are actuals
+        assert "call[7] rot_box q[2]" in text
+
+    def test_angle_syntax(self):
+        text = emit_qasm(sample_program())
+        assert "Rz (0.325) p[0]" in text
+
+    def test_topological_emission_order(self):
+        text = emit_qasm(sample_program())
+        assert text.index(".module rot_box") < text.index(".module main")
+
+
+class TestRoundTrip:
+    def test_roundtrip_equality(self):
+        prog = sample_program()
+        parsed = parse_qasm(emit_qasm(prog))
+        assert parsed.entry == prog.entry
+        assert set(parsed.modules) == set(prog.modules)
+        for name, mod in prog.modules.items():
+            other = parsed.module(name)
+            assert other.params == mod.params
+            assert other.body == mod.body
+
+    def test_roundtrip_preserves_angles_exactly(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 1)
+        angle = math.pi / 7
+        main.rz(q[0], angle)
+        parsed = parse_qasm(emit_qasm(pb.build("main")))
+        op = next(parsed.entry_module.operations())
+        assert op.angle == angle  # repr round-trip is exact
+
+    def test_roundtrip_benchmark(self):
+        from repro.benchmarks import build_grovers
+
+        prog = build_grovers(n=4, iterations=2)
+        parsed = parse_qasm(emit_qasm(prog))
+        for name, mod in prog.modules.items():
+            assert parsed.module(name).body == mod.body
+
+
+class TestParseErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(QasmSyntaxError, match="unknown gate"):
+            parse_qasm(".module m .entry\n    BLORP q[0]\n.end\n")
+
+    def test_bad_qubit(self):
+        with pytest.raises(QasmSyntaxError, match="bad qubit"):
+            parse_qasm(".module m .entry\n    H nope\n.end\n")
+
+    def test_missing_end(self):
+        with pytest.raises(QasmSyntaxError, match="missing .end"):
+            parse_qasm(".module m .entry\n    H q[0]\n")
+
+    def test_nested_module(self):
+        with pytest.raises(QasmSyntaxError, match="nested"):
+            parse_qasm(".module a\n.module b\n.end\n.end\n")
+
+    def test_instruction_outside_module(self):
+        with pytest.raises(QasmSyntaxError, match="outside module"):
+            parse_qasm("H q[0]\n")
+
+    def test_empty_text(self):
+        with pytest.raises(QasmSyntaxError, match="no modules"):
+            parse_qasm("; just a comment\n")
+
+    def test_arity_error_carries_line(self):
+        with pytest.raises(QasmSyntaxError, match="line 2"):
+            parse_qasm(".module m .entry\n    CNOT q[0]\n.end\n")
+
+    def test_unterminated_angle(self):
+        with pytest.raises(QasmSyntaxError, match="unterminated"):
+            parse_qasm(".module m .entry\n    Rz (0.5 q[0]\n.end\n")
+
+    def test_comments_and_blanks_ignored(self):
+        prog = parse_qasm(
+            "; header\n\n.module m .entry\n    H q[0] ; flip\n\n.end\n"
+        )
+        assert prog.entry_module.direct_gate_count == 1
+
+    def test_default_entry_is_last_module(self):
+        prog = parse_qasm(
+            ".module a\n    H q[0]\n.end\n.module b\n    T q[0]\n.end\n"
+        )
+        assert prog.entry == "b"
+
+
+# --- property: emit/parse is the identity on random programs --------------
+
+@st.composite
+def random_program(draw):
+    pb = ProgramBuilder()
+    sub = pb.module("sub")
+    sp = sub.param_register("p", 2)
+    for _ in range(draw(st.integers(1, 5))):
+        sub.gate(
+            draw(st.sampled_from(["H", "T", "X", "S"])),
+            sp[draw(st.integers(0, 1))],
+        )
+    main = pb.module("main")
+    q = main.register("q", 4)
+    for _ in range(draw(st.integers(1, 10))):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            main.gate(
+                draw(st.sampled_from(["H", "T", "Z"])),
+                q[draw(st.integers(0, 3))],
+            )
+        elif choice == 1:
+            i, j = draw(
+                st.lists(st.integers(0, 3), min_size=2, max_size=2,
+                         unique=True)
+            )
+            main.cnot(q[i], q[j])
+        else:
+            i, j = draw(
+                st.lists(st.integers(0, 3), min_size=2, max_size=2,
+                         unique=True)
+            )
+            main.call(
+                "sub", [q[i], q[j]],
+                iterations=draw(st.integers(1, 100)),
+            )
+    return pb.build("main")
+
+
+class TestRoundTripProperty:
+    @given(random_program())
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, prog):
+        parsed = parse_qasm(emit_qasm(prog))
+        assert parsed.entry == prog.entry
+        for name, mod in prog.modules.items():
+            other = parsed.module(name)
+            assert other.params == mod.params
+            assert other.body == mod.body

@@ -1,0 +1,127 @@
+"""Tests for the concatenated-code QECC overhead model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.qecc import (
+    ConcatenatedCode,
+    qecc_requirement,
+    speedup_leverage,
+)
+
+CODE = ConcatenatedCode()
+
+
+class TestCode:
+    def test_level_zero_is_physical(self):
+        assert CODE.logical_error(0, 1e-4) == pytest.approx(1e-4)
+
+    def test_doubly_exponential_suppression(self):
+        p = 1e-4
+        e1 = CODE.logical_error(1, p)
+        e2 = CODE.logical_error(2, p)
+        assert e1 == pytest.approx(CODE.threshold * (p / CODE.threshold) ** 2)
+        assert e2 == pytest.approx(CODE.threshold * (p / CODE.threshold) ** 4)
+        assert e2 < e1 < p
+
+    def test_above_threshold_no_suppression(self):
+        assert CODE.logical_error(3, 0.05) == 0.05
+        with pytest.raises(ValueError, match="threshold"):
+            CODE.required_level(1e-9, 0.05)
+
+    def test_required_level_monotone_in_target(self):
+        lax = CODE.required_level(1e-5, 1e-4)
+        strict = CODE.required_level(1e-15, 1e-4)
+        assert strict >= lax
+
+    def test_required_level_achieves_target(self):
+        for target in (1e-6, 1e-10, 1e-14):
+            level = CODE.required_level(target, 1e-4)
+            assert CODE.logical_error(level, 1e-4) <= target
+            if level > 0:
+                assert CODE.logical_error(level - 1, 1e-4) > target
+
+    def test_overheads_exponential(self):
+        assert CODE.qubit_overhead(2) == 49
+        assert CODE.time_overhead(2) == pytest.approx(36.0)
+
+    def test_max_level_guard(self):
+        small = ConcatenatedCode(max_level=1)
+        with pytest.raises(ValueError, match="levels"):
+            small.required_level(1e-300, 9e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcatenatedCode(qubits_per_level=1)
+        with pytest.raises(ValueError):
+            ConcatenatedCode(time_per_level=1.0)
+        with pytest.raises(ValueError):
+            ConcatenatedCode(threshold=2.0)
+
+
+class TestRequirement:
+    def test_bigger_programs_need_deeper_codes(self):
+        small = qecc_requirement(10 ** 6)
+        huge = qecc_requirement(10 ** 12)
+        assert huge.level >= small.level
+        assert huge.per_gate_budget < small.per_gate_budget
+
+    def test_budget_scales_with_success_target(self):
+        lax = qecc_requirement(10 ** 9, target_success=0.5)
+        strict = qecc_requirement(10 ** 9, target_success=0.999)
+        assert strict.per_gate_budget < lax.per_gate_budget
+        assert strict.level >= lax.level
+
+    def test_physical_figures(self):
+        req = qecc_requirement(
+            10 ** 9, logical_qubits=100, logical_time=10 ** 7
+        )
+        assert req.physical_qubits == 100 * req.qubit_overhead
+        assert req.physical_time == pytest.approx(
+            10 ** 7 * req.time_overhead
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            qecc_requirement(0)
+
+
+class TestLeverage:
+    def test_logical_speedup_reported(self):
+        rep = speedup_leverage(10 ** 10, 10 ** 9, logical_qubits=100)
+        assert rep.logical_speedup == pytest.approx(10.0)
+        assert rep.physical_speedup >= rep.logical_speedup
+
+    def test_level_drop_amplifies_speedup(self):
+        """Find a runtime pair straddling a level boundary and check
+        the physical speedup exceeds the logical one."""
+        base_rt = 10 ** 11
+        fast_rt = 10 ** 7
+        rep = speedup_leverage(base_rt, fast_rt, logical_qubits=1000)
+        if rep.level_dropped:
+            assert rep.physical_speedup > rep.logical_speedup
+            assert rep.qubit_saving > 1.0
+
+    def test_no_level_drop_keeps_logical_speedup(self):
+        rep = speedup_leverage(1000, 999, logical_qubits=10)
+        assert rep.baseline.level == rep.accelerated.level
+        assert rep.physical_speedup == pytest.approx(
+            rep.logical_speedup
+        )
+
+    def test_faster_must_be_faster(self):
+        with pytest.raises(ValueError):
+            speedup_leverage(100, 200, logical_qubits=1)
+
+    @given(
+        st.integers(10 ** 3, 10 ** 14),
+        st.floats(1.1, 10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_physical_speedup_never_below_logical(self, base, factor):
+        fast = max(1, int(base / factor))
+        rep = speedup_leverage(base, fast, logical_qubits=100)
+        assert rep.physical_speedup >= rep.logical_speedup - 1e-9
+        assert rep.qubit_saving >= 1.0

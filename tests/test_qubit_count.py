@@ -1,0 +1,109 @@
+"""Tests for the minimum-qubit (Table 1 ``Q``) analysis."""
+
+from repro.core.builder import ProgramBuilder
+from repro.passes.qubit_count import local_footprints, minimum_qubits
+
+
+class TestLocalFootprints:
+    def test_params_excluded(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 2)
+        local = sub.register("scratch", 3)
+        sub.cnot(p[0], local[0])
+        sub.cnot(p[1], local[1])
+        sub.h(local[2])
+        main = pb.module("main")
+        q = main.register("q", 2)
+        main.call("sub", list(q))
+        prog = pb.build("main")
+        fp = local_footprints(prog)
+        assert fp["sub"] == 3
+        assert fp["main"] == 2
+
+    def test_unreferenced_locals_not_counted(self):
+        # Only qubits actually touched count.
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 10)
+        main.h(q[0])
+        prog = pb.build("main")
+        assert local_footprints(prog)["main"] == 1
+
+
+class TestMinimumQubits:
+    def test_flat_program(self):
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        q = main.register("q", 4)
+        for qb in q:
+            main.h(qb)
+        assert minimum_qubits(pb.build("main")) == 4
+
+    def test_sibling_calls_share_ancillas(self):
+        """Two sibling calls to modules with big local footprints reuse
+        the same pool: Q takes the max, not the sum."""
+        pb = ProgramBuilder()
+        for name, locals_n in (("a", 5), ("b", 3)):
+            mb = pb.module(name)
+            p = mb.param_register("p", 1)
+            scratch = mb.register("s", locals_n)
+            for s in scratch:
+                mb.cnot(p[0], s)
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.call("a", [q[0]])
+        main.call("b", [q[0]])
+        prog = pb.build("main")
+        # 1 (main's q) + max(5, 3).
+        assert minimum_qubits(prog) == 6
+
+    def test_nested_calls_accumulate(self):
+        """A call chain's locals are all live at once: Q sums down the
+        deepest chain."""
+        pb = ProgramBuilder()
+        inner = pb.module("inner")
+        ip = inner.param_register("p", 1)
+        iloc = inner.register("s", 2)
+        inner.cnot(ip[0], iloc[0])
+        inner.cnot(ip[0], iloc[1])
+        outer = pb.module("outer")
+        op = outer.param_register("p", 1)
+        oloc = outer.register("s", 3)
+        for s in oloc:
+            outer.cnot(op[0], s)
+        outer.call("inner", [op[0]])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.call("outer", [q[0]])
+        prog = pb.build("main")
+        # 1 + outer's 3 + inner's 2.
+        assert minimum_qubits(prog) == 6
+
+    def test_iterations_do_not_inflate_q(self):
+        """Repeating a call reuses the same qubits; Q is iteration
+        independent."""
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        s = sub.register("s", 4)
+        for sq in s:
+            sub.cnot(p[0], sq)
+        for iters in (1, 1000):
+            pb2 = ProgramBuilder()
+            sub2 = pb2.module("sub")
+            p2 = sub2.param_register("p", 1)
+            s2 = sub2.register("s", 4)
+            for sq in s2:
+                sub2.cnot(p2[0], sq)
+            main = pb2.module("main")
+            q = main.register("q", 1)
+            main.call("sub", [q[0]], iterations=iters)
+            assert minimum_qubits(pb2.build("main")) == 5
+
+    def test_benchmark_q_values_are_positive(self):
+        from repro.benchmarks import BENCHMARKS
+
+        for spec in BENCHMARKS.values():
+            q = minimum_qubits(spec.build())
+            assert q > 0

@@ -1,0 +1,123 @@
+"""Unit tests for qubits, registers, and the ancilla pool."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.qubits import AncillaAllocator, Qubit, QubitRegister
+
+
+class TestQubit:
+    def test_equality_and_hash(self):
+        assert Qubit("a", 0) == Qubit("a", 0)
+        assert Qubit("a", 0) != Qubit("a", 1)
+        assert Qubit("a", 0) != Qubit("b", 0)
+        assert len({Qubit("a", 0), Qubit("a", 0), Qubit("a", 1)}) == 2
+
+    def test_ordering(self):
+        assert Qubit("a", 0) < Qubit("a", 1) < Qubit("b", 0)
+
+    def test_repr(self):
+        assert repr(Qubit("reg", 3)) == "reg[3]"
+
+
+class TestQubitRegister:
+    def test_basic_indexing(self):
+        reg = QubitRegister("r", 4)
+        assert reg[0] == Qubit("r", 0)
+        assert reg[3] == Qubit("r", 3)
+        assert reg[-1] == Qubit("r", 3)
+
+    def test_len_and_iter(self):
+        reg = QubitRegister("r", 5)
+        assert len(reg) == 5
+        assert list(reg) == [Qubit("r", i) for i in range(5)]
+
+    def test_slice_returns_list(self):
+        reg = QubitRegister("r", 5)
+        assert reg[1:3] == [Qubit("r", 1), Qubit("r", 2)]
+
+    def test_empty_register(self):
+        reg = QubitRegister("r", 0)
+        assert len(reg) == 0
+        assert list(reg) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            QubitRegister("r", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            QubitRegister("", 1)
+
+    def test_out_of_range_raises(self):
+        reg = QubitRegister("r", 2)
+        with pytest.raises(IndexError):
+            reg[5]
+
+
+class TestAncillaAllocator:
+    def test_alloc_mints_sequential_indices(self):
+        pool = AncillaAllocator()
+        qs = pool.alloc(3)
+        assert qs == [Qubit("anc", 0), Qubit("anc", 1), Qubit("anc", 2)]
+
+    def test_freed_qubits_are_reused_before_minting(self):
+        pool = AncillaAllocator()
+        first = pool.alloc(2)
+        pool.free(first)
+        second = pool.alloc(3)
+        # Two reused plus one fresh.
+        assert set(first) <= set(second)
+        assert pool.high_water_mark == 3
+
+    def test_high_water_mark_tracks_peak(self):
+        pool = AncillaAllocator()
+        a = pool.alloc(4)
+        pool.free(a)
+        pool.alloc(2)
+        assert pool.high_water_mark == 4
+        assert pool.live_count == 2
+
+    def test_double_free_rejected(self):
+        pool = AncillaAllocator()
+        q = pool.alloc(1)
+        pool.free(q)
+        with pytest.raises(ValueError, match="double free"):
+            pool.free(q)
+
+    def test_foreign_qubit_rejected(self):
+        pool = AncillaAllocator()
+        with pytest.raises(ValueError, match="not allocated"):
+            pool.free([Qubit("other", 0)])
+
+    def test_unminted_index_rejected(self):
+        pool = AncillaAllocator()
+        pool.alloc(1)
+        with pytest.raises(ValueError, match="not allocated"):
+            pool.free([Qubit("anc", 99)])
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            AncillaAllocator().alloc(-1)
+
+    def test_alloc_zero(self):
+        assert AncillaAllocator().alloc(0) == []
+
+    def test_custom_prefix(self):
+        pool = AncillaAllocator(prefix="scratch")
+        assert pool.alloc_one() == Qubit("scratch", 0)
+
+    def test_all_qubits(self):
+        pool = AncillaAllocator()
+        pool.alloc(3)
+        assert pool.all_qubits() == [Qubit("anc", i) for i in range(3)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=20))
+    def test_reuse_never_exceeds_live_peak(self, sizes):
+        """Property: with free-after-use, HWM equals the max batch."""
+        pool = AncillaAllocator()
+        for size in sizes:
+            batch = pool.alloc(size)
+            pool.free(batch)
+        assert pool.high_water_mark == max(sizes, default=0)
+        assert pool.live_count == 0

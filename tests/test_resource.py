@@ -1,0 +1,107 @@
+"""Tests for hierarchical resource estimation (Figure 5 substrate)."""
+
+import pytest
+
+from repro.core.builder import ProgramBuilder
+from repro.passes.resource import (
+    GATE_COUNT_BINS,
+    estimate_resources,
+    gate_count_histogram,
+    module_invocation_counts,
+    total_gate_counts,
+)
+
+
+def iterated_program(iters=1000):
+    pb = ProgramBuilder()
+    inner = pb.module("inner")
+    p = inner.param_register("p", 1)
+    inner.t(p[0]).h(p[0])  # 2 gates
+    outer = pb.module("outer")
+    q = outer.param_register("q", 1)
+    outer.x(q[0])
+    outer.call("inner", [q[0]], iterations=iters)
+    main = pb.module("main")
+    mq = main.register("q", 1)
+    main.call("outer", [mq[0]], iterations=3)
+    return pb.build("main")
+
+
+class TestTotals:
+    def test_iteration_multiplication(self):
+        counts = total_gate_counts(iterated_program(1000))
+        assert counts["inner"] == 2
+        assert counts["outer"] == 1 + 1000 * 2
+        assert counts["main"] == 3 * 2001
+
+    def test_paper_scale_counts_are_exact_integers(self):
+        # 10^12-scale counts must not overflow or lose precision.
+        counts = total_gate_counts(iterated_program(10 ** 12))
+        assert counts["main"] == 3 * (1 + 2 * 10 ** 12)
+
+    def test_empty_entry(self):
+        pb = ProgramBuilder()
+        pb.module("main")
+        assert total_gate_counts(pb.build("main"))["main"] == 0
+
+
+class TestInvocations:
+    def test_invocation_counts(self):
+        inv = module_invocation_counts(iterated_program(10))
+        assert inv["main"] == 1
+        assert inv["outer"] == 3
+        assert inv["inner"] == 30
+
+    def test_unreachable_modules_zero(self):
+        pb = ProgramBuilder()
+        orphan = pb.module("orphan")
+        q = orphan.register("q", 1)
+        orphan.t(q[0])
+        main = pb.module("main")
+        mq = main.register("q", 1)
+        main.h(mq[0])
+        inv = module_invocation_counts(pb.build("main"))
+        assert "orphan" not in inv or inv.get("orphan", 0) == 0
+
+
+class TestEstimate:
+    def test_gate_mix_dynamic_counts(self):
+        est = estimate_resources(iterated_program(10))
+        # inner runs 30 times with one T and one H; outer has 3 X.
+        assert est.gate_mix["T"] == 30
+        assert est.gate_mix["H"] == 30
+        assert est.gate_mix["X"] == 3
+
+    def test_direct_vs_total(self):
+        est = estimate_resources(iterated_program(10))
+        assert est.module_direct["outer"] == 1
+        assert est.module_totals["outer"] == 21
+        assert est.total_gates == 63
+
+
+class TestHistogram:
+    def test_bins_cover_all_magnitudes(self):
+        lows = [lo for _, lo, _ in GATE_COUNT_BINS]
+        his = [hi for _, _, hi in GATE_COUNT_BINS]
+        assert lows[0] == 0
+        assert his[-1] == float("inf")
+        # contiguous
+        for hi, lo_next in zip(his[:-1], lows[1:]):
+            assert hi == lo_next
+
+    def test_histogram_percentages_sum_to_100(self):
+        hist = gate_count_histogram(iterated_program(10))
+        assert sum(hist.values()) == pytest.approx(100.0)
+
+    def test_histogram_placement(self):
+        prog = iterated_program(1000)  # totals: 2, 2001, 6003
+        hist = gate_count_histogram(prog)
+        assert hist["0 - 1k"] == pytest.approx(100.0 / 3)
+        assert hist["1k - 5k"] == pytest.approx(100.0 / 3)
+        assert hist["5k - 10k"] == pytest.approx(100.0 / 3)
+
+    def test_empty_program(self):
+        pb = ProgramBuilder()
+        pb.module("main")
+        hist = gate_count_histogram(pb.build("main"))
+        assert hist["0 - 1k"] == 100.0

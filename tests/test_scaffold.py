@@ -1,0 +1,284 @@
+"""Tests for the Scaffold-dialect front-end."""
+
+import math
+
+import pytest
+
+from repro.core.operation import CallSite, Operation
+from repro.core.qubits import Qubit
+from repro.core.scaffold import ScaffoldSyntaxError, parse_scaffold
+
+
+def q(reg, i=0):
+    return Qubit(reg, i)
+
+
+class TestBasics:
+    def test_minimal_module(self):
+        prog = parse_scaffold("module main ( ) { qbit a; H(a); }")
+        assert prog.entry == "main"
+        assert list(prog.entry_module.operations()) == [
+            Operation("H", (q("a"),))
+        ]
+
+    def test_qreg_and_indexing(self):
+        prog = parse_scaffold(
+            "module main ( ) { qreg r[3]; CNOT(r[0], r[2]); }"
+        )
+        op = next(prog.entry_module.operations())
+        assert op.qubits == (q("r", 0), q("r", 2))
+
+    def test_parameters(self):
+        prog = parse_scaffold(
+            """
+            module bell ( qbit a, qbit b ) { H(a); CNOT(a, b); }
+            module main ( ) { qreg x[2]; bell(x[0], x[1]); }
+            """
+        )
+        bell = prog.module("bell")
+        assert bell.params == (q("a"), q("b"))
+        call = next(prog.entry_module.calls())
+        assert call.callee == "bell"
+        assert call.args == (q("x", 0), q("x", 1))
+
+    def test_qreg_parameter(self):
+        prog = parse_scaffold(
+            """
+            module f ( qreg r[2] ) { CNOT(r[0], r[1]); }
+            module main ( ) { qreg x[2]; f(x[0], x[1]); }
+            """
+        )
+        assert prog.module("f").params == (q("r", 0), q("r", 1))
+
+    def test_comments(self):
+        prog = parse_scaffold(
+            """
+            // line comment
+            module main ( ) {
+                qbit a;
+                /* block
+                   comment */
+                H(a); // trailing
+            }
+            """
+        )
+        assert prog.entry_module.direct_gate_count == 1
+
+    def test_entry_defaults_to_main(self):
+        prog = parse_scaffold(
+            """
+            module zz ( qbit a ) { Z(a); }
+            module main ( ) { qbit b; zz(b); }
+            """
+        )
+        assert prog.entry == "main"
+
+    def test_entry_falls_back_to_last(self):
+        prog = parse_scaffold("module only ( ) { qbit a; X(a); }")
+        assert prog.entry == "only"
+
+
+class TestAngles:
+    def test_literal_angle(self):
+        prog = parse_scaffold("module main ( ) { qbit a; Rz(a, 0.5); }")
+        op = next(prog.entry_module.operations())
+        assert op.angle == pytest.approx(0.5)
+
+    def test_pi_expression(self):
+        prog = parse_scaffold(
+            "module main ( ) { qbit a; Rz(a, pi / 4); }"
+        )
+        op = next(prog.entry_module.operations())
+        assert op.angle == pytest.approx(math.pi / 4)
+
+    def test_compound_expression(self):
+        prog = parse_scaffold(
+            "module main ( ) { qbit a; Rz(a, 2 * pi / 8 + 0.25); }"
+        )
+        op = next(prog.entry_module.operations())
+        assert op.angle == pytest.approx(2 * math.pi / 8 + 0.25)
+
+    def test_negative_angle(self):
+        prog = parse_scaffold(
+            "module main ( ) { qbit a; Rz(a, -pi / 2); }"
+        )
+        op = next(prog.entry_module.operations())
+        assert op.angle == pytest.approx(-math.pi / 2)
+
+    def test_missing_angle_rejected(self):
+        with pytest.raises(ScaffoldSyntaxError, match="angle"):
+            parse_scaffold("module main ( ) { qbit a; Rz(a); }")
+
+    def test_unexpected_angle_rejected(self):
+        with pytest.raises(ScaffoldSyntaxError, match="no angle"):
+            parse_scaffold("module main ( ) { qbit a; H(a, 0.5); }")
+
+
+class TestLoops:
+    def test_for_unrolls_with_index_arithmetic(self):
+        prog = parse_scaffold(
+            """
+            module main ( ) {
+                qreg r[4];
+                for i in 0 .. 2 { CNOT(r[i], r[i + 1]); }
+            }
+            """
+        )
+        ops = list(prog.entry_module.operations())
+        assert [op.qubits for op in ops] == [
+            (q("r", 0), q("r", 1)),
+            (q("r", 1), q("r", 2)),
+            (q("r", 2), q("r", 3)),
+        ]
+
+    def test_nested_for(self):
+        prog = parse_scaffold(
+            """
+            module main ( ) {
+                qreg r[4];
+                for i in 0 .. 1 { for j in 2 .. 3 { CNOT(r[i], r[j]); } }
+            }
+            """
+        )
+        assert prog.entry_module.direct_gate_count == 4
+
+    def test_loop_variable_in_angle(self):
+        prog = parse_scaffold(
+            """
+            module main ( ) {
+                qreg r[3];
+                for i in 0 .. 2 { Rz(r[i], pi / (i + 1)); }
+            }
+            """
+        )
+        angles = [op.angle for op in prog.entry_module.operations()]
+        assert angles == pytest.approx(
+            [math.pi, math.pi / 2, math.pi / 3]
+        )
+
+    def test_repeat_call_uses_iterations(self):
+        prog = parse_scaffold(
+            """
+            module step ( qbit a ) { T(a); }
+            module main ( ) {
+                qbit x;
+                repeat 1000000000 { step(x); }
+            }
+            """
+        )
+        call = next(prog.entry_module.calls())
+        assert call.iterations == 1_000_000_000
+        # never unrolled
+        assert len(prog.entry_module.body) == 1
+
+    def test_repeat_gates_unrolls(self):
+        prog = parse_scaffold(
+            "module main ( ) { qbit a; repeat 3 { T(a); } }"
+        )
+        assert prog.entry_module.direct_gate_count == 3
+
+    def test_repeat_gate_unroll_limit(self):
+        with pytest.raises(ScaffoldSyntaxError, match="unroll"):
+            parse_scaffold(
+                "module main ( ) { qbit a; repeat 1000000 { T(a); } }"
+            )
+
+    def test_for_unroll_limit(self):
+        with pytest.raises(ScaffoldSyntaxError, match="unroll"):
+            parse_scaffold(
+                "module main ( ) { qbit a;"
+                " for i in 0 .. 9999999 { T(a); } }"
+            )
+
+    def test_nested_repeat_multiplies(self):
+        prog = parse_scaffold(
+            """
+            module step ( qbit a ) { T(a); }
+            module main ( ) {
+                qbit x;
+                repeat 10 { repeat 20 { step(x); } }
+            }
+            """
+        )
+        call = next(prog.entry_module.calls())
+        assert call.iterations == 200
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("module main ( ) { qbit a; BLORP(a); }", "unknown module"),
+            ("module main ( ) { qbit a; H(b); }", "undeclared"),
+            ("module main ( ) { qreg r[2]; H(r); }", "needs an index"),
+            ("module main ( ) { qreg r[2]; H(r[5]); }", "out of range"),
+            ("module main ( ) { qbit a; qbit a; H(a); }", "duplicate"),
+            ("module main ( ) { qbit a; H(a) }", "expected"),
+            ("module main ( ) { qbit a; CNOT(a); }", "line"),
+            ("", "no modules"),
+            ("module main ( ) { qbit a; H(a);", "missing"),
+        ],
+    )
+    def test_syntax_errors(self, source, match):
+        with pytest.raises(Exception, match=match):
+            parse_scaffold(source)
+
+    def test_line_numbers_in_errors(self):
+        source = "module main ( ) {\n  qbit a;\n  H(a) ;\n  X(); \n}\n"
+        with pytest.raises(ScaffoldSyntaxError, match="line 4"):
+            parse_scaffold(source)
+
+
+class TestEndToEnd:
+    def test_scaffold_through_toolflow(self):
+        from repro.arch.machine import MultiSIMD
+        from repro.toolflow import compile_and_schedule
+
+        prog = parse_scaffold(
+            """
+            module toffoli_box ( qbit a, qbit b, qbit c ) {
+                Toffoli(a, b, c);
+            }
+            module main ( ) {
+                qreg r[5];
+                toffoli_box(r[0], r[1], r[2]);
+                toffoli_box(r[0], r[3], r[4]);
+            }
+            """
+        )
+        result = compile_and_schedule(prog, MultiSIMD(k=2), fth=2 ** 62)
+        assert result.total_gates == 30
+        assert result.schedule_length < 24  # Figure 4's effect
+
+    def test_scaffold_semantics_via_simulator(self):
+        from repro.sim.compile_check import verify_compilation
+        from repro.core.builder import ProgramBuilder
+
+        prog = parse_scaffold(
+            """
+            module main ( ) {
+                qreg r[2];
+                H(r[0]);
+                CNOT(r[0], r[1]);
+                Rz(r[1], pi / 4);
+            }
+            """
+        )
+        pb = ProgramBuilder()
+        main = pb.module("main")
+        r = main.register("r", 2)
+        main.h(r[0]).cnot(r[0], r[1]).rz(r[1], math.pi / 4)
+        assert verify_compilation(pb.build("main"), prog)
+
+    def test_roundtrip_through_qasm(self):
+        from repro.core.qasm import emit_qasm, parse_qasm
+
+        prog = parse_scaffold(
+            """
+            module inner ( qbit a ) { T(a); }
+            module main ( ) { qbit x; repeat 7 { inner(x); } H(x); }
+            """
+        )
+        back = parse_qasm(emit_qasm(prog))
+        assert back.entry == "main"
+        assert next(back.entry_module.calls()).iterations == 7

@@ -1,0 +1,158 @@
+"""Tests for schedule data structures and invariant validation."""
+
+import pytest
+
+from repro.core.dag import DependenceDAG
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.sched.types import Move, Schedule, ScheduleError, Timestep
+
+Q = [Qubit("q", i) for i in range(6)]
+
+
+def simple_dag():
+    return DependenceDAG(
+        [
+            Operation("H", (Q[0],)),
+            Operation("H", (Q[1],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ]
+    )
+
+
+def build_schedule(dag, placements, k=2):
+    """placements: list of timesteps, each a list of per-region node
+    lists."""
+    sched = Schedule(dag, k=k)
+    for regions in placements:
+        ts = sched.append_timestep()
+        for r, nodes in enumerate(regions):
+            ts.regions[r].extend(nodes)
+    return sched
+
+
+class TestMove:
+    def test_kinds(self):
+        Move(Q[0], ("global",), ("region", 0), "teleport")
+        Move(Q[0], ("region", 0), ("local", 0), "local")
+        with pytest.raises(ValueError, match="kind"):
+            Move(Q[0], ("global",), ("region", 0), "walk")
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            Move(Q[0], ("global",), ("global",), "teleport")
+
+
+class TestTimestep:
+    def test_active_regions_and_width(self):
+        ts = Timestep(regions=[[0], [], [1, 2]])
+        assert ts.active_regions() == [0, 2]
+        assert ts.width == 2
+        assert ts.all_nodes() == [0, 1, 2]
+
+
+class TestScheduleShape:
+    def test_lengths_and_counts(self):
+        dag = simple_dag()
+        sched = build_schedule(dag, [[[0], [1]], [[2], []]])
+        assert sched.length == 2
+        assert sched.op_count == 3
+        assert sched.max_width == 2
+        sched.validate()
+
+    def test_placement(self):
+        dag = simple_dag()
+        sched = build_schedule(dag, [[[0], [1]], [[2], []]])
+        assert sched.placement() == {0: (0, 0), 1: (0, 1), 2: (1, 0)}
+
+    def test_move_counters(self):
+        dag = simple_dag()
+        sched = build_schedule(dag, [[[0], [1]], [[2], []]])
+        sched.timesteps[0].moves = [
+            Move(Q[0], ("global",), ("region", 0), "teleport"),
+            Move(Q[1], ("region", 1), ("local", 1), "local"),
+        ]
+        assert sched.total_moves == 2
+        assert sched.teleport_moves == 1
+        assert sched.local_moves == 1
+
+
+class TestValidation:
+    def test_missing_op_detected(self):
+        dag = simple_dag()
+        sched = build_schedule(dag, [[[0], [1]]])
+        with pytest.raises(ScheduleError, match="unscheduled"):
+            sched.validate()
+
+    def test_duplicate_op_detected(self):
+        dag = simple_dag()
+        sched = build_schedule(dag, [[[0], [1]], [[2], [0]]])
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_dependence_violation_detected(self):
+        dag = simple_dag()
+        # CNOT (node 2) scheduled with its predecessor H (node 0).
+        sched = build_schedule(dag, [[[0], [2]], [[1], []]])
+        with pytest.raises(ScheduleError, match="dependence"):
+            sched.validate()
+
+    def test_mixed_gate_types_in_region_detected(self):
+        dag = DependenceDAG(
+            [Operation("H", (Q[0],)), Operation("T", (Q[1],))]
+        )
+        sched = build_schedule(dag, [[[0, 1], []]])
+        with pytest.raises(ScheduleError, match="SIMD requires one"):
+            sched.validate()
+
+    def test_d_limit_enforced(self):
+        dag = DependenceDAG(
+            [Operation("H", (Q[i],)) for i in range(3)]
+        )
+        sched = Schedule(dag, k=1, d=2)
+        ts = sched.append_timestep()
+        ts.regions[0].extend([0, 1, 2])
+        with pytest.raises(ScheduleError, match="d=2"):
+            sched.validate()
+
+    def test_qubit_conflict_across_regions_detected(self):
+        dag = DependenceDAG(
+            [Operation("H", (Q[0],)), Operation("H", (Q[1],))]
+        )
+        # Manually mis-place: both H's in one timestep but pretend
+        # node 1 also touches Q[0] — craft with CNOTs instead.
+        dag2 = DependenceDAG(
+            [
+                Operation("CNOT", (Q[0], Q[1])),
+                Operation("CNOT", (Q[2], Q[3])),
+            ]
+        )
+        sched = build_schedule(dag2, [[[0], [1]]])
+        sched.validate()  # disjoint: fine
+        dag3 = DependenceDAG(
+            [
+                Operation("CNOT", (Q[0], Q[1])),
+                Operation("CNOT", (Q[2], Q[3])),
+            ]
+        )
+        bad = build_schedule(dag3, [[[0, 1], []]])
+        # same region, same gate type, disjoint qubits: legal
+        bad.validate()
+
+    def test_same_qubit_same_timestep_detected(self):
+        # Two X ops on different qubits then a manual conflict.
+        dag = DependenceDAG(
+            [Operation("X", (Q[0],)), Operation("X", (Q[0],))]
+        )
+        sched = build_schedule(dag, [[[0], [1]]])
+        with pytest.raises(ScheduleError):
+            sched.validate()
+
+    def test_operation_accessor_type_error(self):
+        from repro.core.operation import CallSite
+        from repro.core.module import Module
+
+        dag = DependenceDAG([CallSite("x", (Q[0],))])
+        sched = Schedule(dag, k=1)
+        with pytest.raises(TypeError):
+            sched.operation(0)

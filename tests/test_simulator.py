@@ -1,0 +1,186 @@
+"""Unit tests for the statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.sim.statevector import Simulator, circuit_unitary, gate_matrix
+
+Q = [Qubit("q", i) for i in range(4)]
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize(
+        "gate,dim",
+        [("X", 2), ("H", 2), ("T", 2), ("CNOT", 4), ("CZ", 4),
+         ("SWAP", 4), ("Toffoli", 8), ("Fredkin", 8), ("CCZ", 8)],
+    )
+    def test_dimensions_and_unitarity(self, gate, dim):
+        u = gate_matrix(gate)
+        assert u.shape == (dim, dim)
+        assert np.allclose(u.conj().T @ u, np.eye(dim), atol=1e-12)
+
+    @pytest.mark.parametrize("gate", ["Rz", "Rx", "Ry", "CRz", "CRx"])
+    def test_rotation_unitarity(self, gate):
+        u = gate_matrix(gate, 0.7)
+        dim = u.shape[0]
+        assert np.allclose(u.conj().T @ u, np.eye(dim), atol=1e-12)
+
+    def test_t_squared_is_s(self):
+        t, s = gate_matrix("T"), gate_matrix("S")
+        assert np.allclose(t @ t, s, atol=1e-12)
+
+    def test_s_squared_is_z(self):
+        s, z = gate_matrix("S"), gate_matrix("Z")
+        assert np.allclose(s @ s, z, atol=1e-12)
+
+    def test_hxh_is_z(self):
+        h, x, z = gate_matrix("H"), gate_matrix("X"), gate_matrix("Z")
+        assert np.allclose(h @ x @ h, z, atol=1e-12)
+
+    def test_non_unitary_raises(self):
+        with pytest.raises(ValueError):
+            gate_matrix("MeasZ")
+
+
+class TestSimulator:
+    def test_initial_state_all_zero(self):
+        sim = Simulator(Q[:2])
+        assert sim.basis_state() == 0
+
+    def test_x_flips_bit(self):
+        sim = Simulator(Q[:2])
+        sim.apply(Operation("X", (Q[1],)))
+        assert sim.basis_state() == 0b10
+        assert sim.bit_of(Q[1]) == 1
+        assert sim.bit_of(Q[0]) == 0
+
+    def test_cnot_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                sim = Simulator(Q[:2])
+                sim.set_bits({Q[0]: a, Q[1]: b})
+                sim.apply(Operation("CNOT", (Q[0], Q[1])))
+                assert sim.bit_of(Q[1]) == a ^ b
+                assert sim.bit_of(Q[0]) == a
+
+    def test_toffoli_truth_table(self):
+        for bits in range(8):
+            sim = Simulator(Q[:3])
+            sim.reset(bits)
+            sim.apply(Operation("Toffoli", (Q[0], Q[1], Q[2])))
+            a, b, c = bits & 1, (bits >> 1) & 1, (bits >> 2) & 1
+            assert sim.bit_of(Q[2]) == c ^ (a & b)
+
+    def test_fredkin_swaps_under_control(self):
+        sim = Simulator(Q[:3])
+        sim.set_bits({Q[0]: 1, Q[1]: 1, Q[2]: 0})
+        sim.apply(Operation("Fredkin", (Q[0], Q[1], Q[2])))
+        assert (sim.bit_of(Q[1]), sim.bit_of(Q[2])) == (0, 1)
+
+    def test_fredkin_idle_without_control(self):
+        sim = Simulator(Q[:3])
+        sim.set_bits({Q[1]: 1})
+        sim.apply(Operation("Fredkin", (Q[0], Q[1], Q[2])))
+        assert (sim.bit_of(Q[1]), sim.bit_of(Q[2])) == (1, 0)
+
+    def test_hadamard_superposition(self):
+        sim = Simulator(Q[:1])
+        sim.apply(Operation("H", (Q[0],)))
+        probs = sim.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[1] == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            sim.basis_state()
+
+    def test_bell_state_probability(self):
+        sim = Simulator(Q[:2])
+        sim.run([
+            Operation("H", (Q[0],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ])
+        assert sim.probability_of({Q[0]: 0, Q[1]: 0}) == pytest.approx(0.5)
+        assert sim.probability_of({Q[0]: 1, Q[1]: 1}) == pytest.approx(0.5)
+        assert sim.probability_of({Q[0]: 0, Q[1]: 1}) == pytest.approx(0.0)
+
+    def test_measure_collapses(self):
+        rng = np.random.default_rng(7)
+        sim = Simulator(Q[:2])
+        sim.run([
+            Operation("H", (Q[0],)),
+            Operation("CNOT", (Q[0], Q[1])),
+        ])
+        outcome = sim.measure(Q[0], rng=rng)
+        # After measuring one half of a Bell pair, the other matches.
+        assert sim.bit_of(Q[1]) == outcome
+
+    def test_prep_z_resets(self):
+        sim = Simulator(Q[:1])
+        sim.apply(Operation("X", (Q[0],)))
+        sim.apply(Operation("PrepZ", (Q[0],)))
+        assert sim.basis_state() == 0
+
+    def test_prep_x_gives_plus(self):
+        sim = Simulator(Q[:1])
+        sim.apply(Operation("PrepX", (Q[0],)))
+        assert sim.probability_of({Q[0]: 1}) == pytest.approx(0.5)
+
+    def test_measure_op_raises(self):
+        sim = Simulator(Q[:1])
+        with pytest.raises(ValueError, match="measure"):
+            sim.apply(Operation("MeasZ", (Q[0],)))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Simulator([Q[0], Q[0]])
+
+    def test_qubit_limit(self):
+        with pytest.raises(ValueError, match="limit"):
+            Simulator([Qubit("big", i) for i in range(23)])
+
+    def test_reset_out_of_range(self):
+        sim = Simulator(Q[:2])
+        with pytest.raises(ValueError):
+            sim.reset(4)
+
+    def test_set_bits_rejects_non_binary(self):
+        sim = Simulator(Q[:1])
+        with pytest.raises(ValueError):
+            sim.set_bits({Q[0]: 2})
+
+    def test_norm_preserved_by_unitaries(self):
+        sim = Simulator(Q[:3])
+        sim.run([
+            Operation("H", (Q[0],)),
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("T", (Q[1],)),
+            Operation("Toffoli", (Q[0], Q[1], Q[2])),
+            Operation("Rz", (Q[2],), 0.3),
+        ])
+        assert np.linalg.norm(sim.state) == pytest.approx(1.0)
+
+
+class TestCircuitUnitary:
+    def test_identity_circuit(self):
+        u = circuit_unitary([], Q[:2])
+        assert np.allclose(u, np.eye(4))
+
+    def test_x_circuit(self):
+        u = circuit_unitary([Operation("X", (Q[0],))], Q[:1])
+        assert np.allclose(u, gate_matrix("X"))
+
+    def test_composition_order(self):
+        # Circuit [H, X] applies H first: U = X @ H.
+        u = circuit_unitary(
+            [Operation("H", (Q[0],)), Operation("X", (Q[0],))], Q[:1]
+        )
+        assert np.allclose(u, gate_matrix("X") @ gate_matrix("H"))
+
+    def test_operand_order_convention(self):
+        # CNOT(q1, q0): control is q1 (bit 1), target q0 (bit 0).
+        u = circuit_unitary([Operation("CNOT", (Q[1], Q[0]))], Q[:2])
+        sim_state = u[:, 0b10]  # input: q1=1, q0=0
+        assert np.argmax(np.abs(sim_state)) == 0b11

@@ -1,0 +1,115 @@
+"""Unit tests for the verification helpers."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.sim.verify import (
+    check_permutation,
+    circuits_equivalent,
+    equivalent_up_to_global_phase,
+    truth_table,
+)
+
+Q = [Qubit("q", i) for i in range(4)]
+
+
+class TestGlobalPhase:
+    def test_identical_matrices(self):
+        u = np.eye(2, dtype=complex)
+        assert equivalent_up_to_global_phase(u, u)
+
+    def test_pure_phase_difference(self):
+        u = np.eye(2, dtype=complex)
+        v = cmath.exp(1j * 0.321) * u
+        assert equivalent_up_to_global_phase(u, v)
+
+    def test_relative_phase_not_equivalent(self):
+        u = np.eye(2, dtype=complex)
+        v = np.diag([1, cmath.exp(1j * 0.3)])
+        assert not equivalent_up_to_global_phase(u, v)
+
+    def test_different_shapes(self):
+        assert not equivalent_up_to_global_phase(
+            np.eye(2, dtype=complex), np.eye(4, dtype=complex)
+        )
+
+    def test_magnitude_difference_rejected(self):
+        u = np.eye(2, dtype=complex)
+        assert not equivalent_up_to_global_phase(u, 2.0 * u)
+
+
+class TestCircuitsEquivalent:
+    def test_hxh_equals_z(self):
+        a = [
+            Operation("H", (Q[0],)),
+            Operation("X", (Q[0],)),
+            Operation("H", (Q[0],)),
+        ]
+        b = [Operation("Z", (Q[0],))]
+        assert circuits_equivalent(a, b, Q[:1])
+
+    def test_tt_equals_s(self):
+        a = [Operation("T", (Q[0],)), Operation("T", (Q[0],))]
+        b = [Operation("S", (Q[0],))]
+        assert circuits_equivalent(a, b, Q[:1])
+
+    def test_x_not_equal_z(self):
+        assert not circuits_equivalent(
+            [Operation("X", (Q[0],))], [Operation("Z", (Q[0],))], Q[:1]
+        )
+
+    def test_swap_as_three_cnots(self):
+        three = [
+            Operation("CNOT", (Q[0], Q[1])),
+            Operation("CNOT", (Q[1], Q[0])),
+            Operation("CNOT", (Q[0], Q[1])),
+        ]
+        assert circuits_equivalent(
+            three, [Operation("SWAP", (Q[0], Q[1]))], Q[:2]
+        )
+
+
+class TestTruthTable:
+    def test_cnot_table(self):
+        ops = [Operation("CNOT", (Q[0], Q[1]))]
+        tbl = truth_table(ops, Q[:2], [Q[1]])
+        assert tbl == {0: 0, 1: 1, 2: 1, 3: 0}
+
+    def test_non_classical_circuit_raises(self):
+        ops = [Operation("H", (Q[0],))]
+        with pytest.raises(ValueError):
+            truth_table(ops, [Q[0]], [Q[0]])
+
+    def test_explicit_qubit_universe(self):
+        ops = [Operation("CNOT", (Q[0], Q[2]))]
+        tbl = truth_table(ops, [Q[0]], [Q[2]], all_qubits=Q[:3])
+        assert tbl == {0: 0, 1: 1}
+
+
+class TestPermutation:
+    def test_x_is_bit_flip_permutation(self):
+        assert check_permutation(
+            [Operation("X", (Q[0],))], Q[:1], lambda j: j ^ 1
+        )
+
+    def test_swap_permutation(self):
+        assert check_permutation(
+            [Operation("SWAP", (Q[0], Q[1]))],
+            Q[:2],
+            lambda j: ((j & 1) << 1) | ((j >> 1) & 1),
+        )
+
+    def test_wrong_permutation_detected(self):
+        assert not check_permutation(
+            [Operation("X", (Q[0],))], Q[:1], lambda j: j
+        )
+
+    def test_non_permutation_detected(self):
+        assert not check_permutation(
+            [Operation("H", (Q[0],))], Q[:1], lambda j: j
+        )
