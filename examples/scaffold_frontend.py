@@ -1,12 +1,17 @@
 """Compile a program written in the Scaffold dialect.
 
 The paper's input language is Scaffold, a C-like quantum language; this
-example writes Shor's-style period finding directly in our Scaffold
-dialect, parses it, and runs the full toolflow — source text to
-Multi-SIMD schedule.
+example reads Shor's-style period finding written in our Scaffold
+dialect (``period_finding.scd``), parses it, and runs the full toolflow
+— source text to Multi-SIMD schedule. The same file can be linted from
+the command line::
+
+    python -m repro lint examples/period_finding.scd
 
 Run:  python examples/scaffold_frontend.py
 """
+
+from pathlib import Path
 
 from repro import (
     MultiSIMD,
@@ -15,35 +20,12 @@ from repro import (
     parse_scaffold,
 )
 
-SOURCE = """
-// A toy period-finding kernel in the Scaffold dialect.
-module phase_kick ( qbit c, qbit t ) {
-    CRz(c, t, pi / 4);
-}
-
-module controlled_step ( qbit c, qreg tgt[4] ) {
-    for i in 0 .. 3 {
-        phase_kick(c, tgt[i]);
-    }
-    CNOT(tgt[0], tgt[1]);
-    CNOT(tgt[2], tgt[3]);
-}
-
-module main ( ) {
-    qreg ctl[4];
-    qreg tgt[4];
-    for i in 0 .. 3 { H(ctl[i]); }
-    X(tgt[0]);
-    for i in 0 .. 3 {
-        repeat 8 { controlled_step(ctl[i], tgt[0], tgt[1], tgt[2], tgt[3]); }
-    }
-    for i in 0 .. 3 { MeasZ(ctl[i]); }
-}
-"""
+SOURCE_PATH = Path(__file__).with_name("period_finding.scd")
 
 
 def main() -> None:
-    program = parse_scaffold(SOURCE)
+    source = SOURCE_PATH.read_text()
+    program = parse_scaffold(source, filename=SOURCE_PATH.name)
     print(f"parsed {len(program.modules)} modules; "
           f"entry = {program.entry!r}")
     for alg in ("rcp", "lpfs"):
@@ -52,6 +34,7 @@ def main() -> None:
             MultiSIMD(k=4, local_memory=8),
             SchedulerConfig(alg),
             fth=4096,
+            strict=True,
         )
         print(
             f"{alg:4s}: {result.total_gates:,} gates -> "

@@ -25,6 +25,18 @@ Quickstart::
     print(result.schedule_length, result.parallel_speedup)
 """
 
+from .analysis import (
+    AnalysisError,
+    Diagnostic,
+    DiagnosticSet,
+    Severity,
+    analyze_program,
+    audit_replay,
+    audit_schedule,
+    lint_qasm_source,
+    lint_scaffold_source,
+    registered_rules,
+)
 from .arch import (
     EPRAccounting,
     EPRPlan,
@@ -93,12 +105,15 @@ from .toolflow import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
     "AncillaAllocator",
     "CallSite",
     "CommStats",
     "CompileResult",
     "DecomposeConfig",
     "DependenceDAG",
+    "Diagnostic",
+    "DiagnosticSet",
     "EPRAccounting",
     "EPRPlan",
     "GATE_CYCLES",
@@ -122,7 +137,11 @@ __all__ = [
     "Schedule",
     "SchedulerConfig",
     "Scratchpad",
+    "Severity",
     "TELEPORT_CYCLES",
+    "analyze_program",
+    "audit_replay",
+    "audit_schedule",
     "comm_speedup",
     "emit_qasm",
     "numa_runtime",
@@ -138,7 +157,10 @@ __all__ = [
     "flatten_program",
     "gate_count_histogram",
     "hierarchical_critical_path",
+    "lint_qasm_source",
+    "lint_scaffold_source",
     "minimum_qubits",
+    "registered_rules",
     "naive_runtime",
     "parallel_speedup",
     "schedule_coarse",

@@ -1,0 +1,59 @@
+"""``repro.analysis`` — the static analyzer ("qlint").
+
+A program- and schedule-level analysis layer over the toolflow: a
+structured diagnostics framework with stable codes (``QL001`` ...), a
+rule registry with a battery of dataflow analyses over the hierarchical
+IR, front-end lint for the Scaffold/QASM surface syntaxes, and a
+schedule auditor that re-checks every Multi-SIMD structural and
+physical invariant while collecting *all* violations.
+
+Entry points:
+
+* :func:`analyze_program` — run the registered rules on a Program;
+* :func:`lint_scaffold_source` / :func:`lint_qasm_source` — lint
+  surface text without raising;
+* :func:`audit_schedule` / :func:`audit_replay` — post-hoc schedule
+  auditing with collected diagnostics;
+* ``python -m repro lint`` — the CLI surface;
+* ``compile_and_schedule(strict=True)`` — in-toolflow enforcement.
+"""
+
+from .diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    DiagnosticSet,
+    Severity,
+)
+from .frontend import (
+    FrontendLint,
+    lint_qasm_source,
+    lint_scaffold_source,
+)
+from .registry import (
+    Reporter,
+    Rule,
+    analyze_program,
+    registered_rules,
+    rule,
+)
+from .schedule_audit import audit_replay, audit_schedule
+
+# Importing the module registers the built-in QL0xx rules.
+from . import program_rules  # noqa: F401
+
+__all__ = [
+    "AnalysisError",
+    "Diagnostic",
+    "DiagnosticSet",
+    "FrontendLint",
+    "Reporter",
+    "Rule",
+    "Severity",
+    "analyze_program",
+    "audit_replay",
+    "audit_schedule",
+    "lint_qasm_source",
+    "lint_scaffold_source",
+    "registered_rules",
+    "rule",
+]

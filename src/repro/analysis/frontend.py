@@ -1,0 +1,142 @@
+"""Front-end linting: surface-syntax findings as diagnostics.
+
+Bridges the Scaffold and QASM parsers into the diagnostics engine
+(codes ``QL1xx``): fatal parse errors become ERROR diagnostics carrying
+the parser's line/column instead of exceptions, and the Scaffold
+parser's non-fatal loop-bound findings (Section 3.1's classically
+bounded control flow) become WARNING diagnostics. When parsing
+succeeds, the resulting program can be fed straight into
+:func:`~repro.analysis.registry.analyze_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.module import Program, ProgramValidationError
+from ..core.qasm import QasmSyntaxError, parse_qasm
+from ..core.scaffold import (
+    ScaffoldSyntaxError,
+    ScaffoldWarning,
+    parse_scaffold,
+)
+from ..core.source import SourceLocation
+from .diagnostics import Diagnostic, DiagnosticSet, Severity
+
+__all__ = [
+    "FrontendLint",
+    "lint_scaffold_source",
+    "lint_qasm_source",
+]
+
+#: Code for fatal surface-syntax errors.
+CODE_SYNTAX = "QL101"
+#: Code for loop-bound sanity findings (degenerate / near-limit loops).
+CODE_LOOP_BOUNDS = "QL102"
+#: Code for call-resolution errors (unknown module/gate, arity).
+CODE_CALL_RESOLUTION = "QL103"
+#: Code for IR-level validation failures (cycles, duplicate modules).
+CODE_VALIDATION = "QL104"
+
+
+@dataclass
+class FrontendLint:
+    """Outcome of linting one source text.
+
+    Attributes:
+        program: the parsed program, or ``None`` if parsing failed.
+        diagnostics: every front-end finding, fatal and non-fatal.
+    """
+
+    program: Optional[Program]
+    diagnostics: DiagnosticSet
+
+    @property
+    def ok(self) -> bool:
+        return self.program is not None
+
+
+def lint_scaffold_source(
+    source: str, filename: Optional[str] = None
+) -> FrontendLint:
+    """Lint Scaffold-dialect source text.
+
+    Never raises on malformed input: syntax errors (``QL101``),
+    call-resolution errors (``QL103``) and program-validation failures
+    (``QL104``) are returned as ERROR diagnostics; loop-bound sanity
+    findings (``QL102``) as warnings.
+    """
+    diags = DiagnosticSet()
+    warnings: List[ScaffoldWarning] = []
+    program: Optional[Program] = None
+    try:
+        program = parse_scaffold(
+            source, filename=filename, warnings=warnings
+        )
+    except ScaffoldSyntaxError as exc:
+        diags.add(
+            Diagnostic(
+                code=exc.code,
+                severity=Severity.ERROR,
+                message=exc.bare_message,
+                loc=SourceLocation(exc.line, exc.column, filename),
+                rule="scaffold-parse",
+            )
+        )
+    except ProgramValidationError as exc:
+        diags.add(
+            Diagnostic(
+                code=CODE_VALIDATION,
+                severity=Severity.ERROR,
+                message=str(exc),
+                rule="program-validation",
+            )
+        )
+    for w in warnings:
+        diags.add(
+            Diagnostic(
+                code=CODE_LOOP_BOUNDS,
+                severity=Severity.WARNING,
+                message=w.message,
+                loc=w.loc,
+                rule=f"loop-bounds/{w.kind}",
+            )
+        )
+    return FrontendLint(program, diags)
+
+
+def lint_qasm_source(
+    source: str, filename: Optional[str] = None
+) -> FrontendLint:
+    """Lint hierarchical-QASM source text (codes as for Scaffold)."""
+    diags = DiagnosticSet()
+    program: Optional[Program] = None
+    try:
+        program = parse_qasm(source)
+    except QasmSyntaxError as exc:
+        line = getattr(exc, "line_no", 0)
+        # QasmSyntaxError prefixes the message with "line N: ".
+        message = str(exc)
+        prefix = f"line {line}: "
+        if message.startswith(prefix):
+            message = message[len(prefix):]
+        diags.add(
+            Diagnostic(
+                code=CODE_SYNTAX,
+                severity=Severity.ERROR,
+                message=message,
+                loc=SourceLocation(line, 0, filename),
+                rule="qasm-parse",
+            )
+        )
+    except ProgramValidationError as exc:
+        diags.add(
+            Diagnostic(
+                code=CODE_VALIDATION,
+                severity=Severity.ERROR,
+                message=str(exc),
+                rule="program-validation",
+            )
+        )
+    return FrontendLint(program, diags)

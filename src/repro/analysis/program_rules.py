@@ -1,0 +1,389 @@
+"""The built-in program-level dataflow rules (codes ``QL001``-``QL007``).
+
+Each rule walks the hierarchical IR (:class:`~repro.core.module.Program`)
+per module: the paper's programs have classically-known control flow
+(Section 3.1), so a module body is a straight-line statement list and
+ordinary forward dataflow is exact at module granularity. Call sites are
+treated conservatively — a called module may measure, prepare, or
+entangle its arguments, so per-qubit state is weakened at calls rather
+than guessed.
+
+Severities are calibrated so that *well-formed* programs (including all
+eight benchmark generators) produce no ERROR findings: errors are
+reserved for constructs that are wrong under any interpretation of the
+IR (no-cloning aliasing hazards, operating on collapsed qubits), while
+stylistic and likely-bug findings are warnings or infos.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set
+
+from ..core.gates import gate_spec
+from ..core.module import Module, Program
+from ..core.operation import CallSite, Operation
+from ..core.qubits import Qubit
+from .diagnostics import Severity
+from .registry import Reporter, rule
+
+__all__ = ["PREP_GATES", "MEAS_GATES"]
+
+#: Preparation operations: reset a qubit to a known basis state.
+PREP_GATES = frozenset({"PrepZ", "PrepX"})
+
+#: Measurement operations: collapse a qubit.
+MEAS_GATES = frozenset({"MeasZ", "MeasX"})
+
+
+def _qname(q: Qubit) -> str:
+    return f"{q.register}[{q.index}]"
+
+
+def _call_args(mod: Module) -> Set[Qubit]:
+    """Every qubit the module passes to a call site."""
+    out: Set[Qubit] = set()
+    for call in mod.calls():
+        out.update(call.args)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# QL001 — use-before-init
+# ---------------------------------------------------------------------------
+
+@rule(
+    "QL001",
+    "use-before-init",
+    Severity.WARNING,
+    "A qubit is consumed before any preparation in a module that "
+    "prepares explicitly, or measured before anything acts on it.",
+)
+def check_use_before_init(program: Program, out: Reporter) -> None:
+    for mod in program:
+        params = set(mod.params)
+        explicit_prep = any(
+            op.gate in PREP_GATES for op in mod.operations()
+        )
+        touched: Set[Qubit] = set()
+        for idx, stmt in enumerate(mod.body):
+            if isinstance(stmt, CallSite):
+                touched.update(stmt.args)
+                continue
+            for q in stmt.qubits:
+                if q not in touched and q not in params:
+                    if stmt.gate in MEAS_GATES:
+                        out.emit(
+                            f"{_qname(q)} is measured before any "
+                            f"operation acts on it (result is the "
+                            f"fixed initial state)",
+                            module=mod.name,
+                            stmt=idx,
+                            qubit=_qname(q),
+                            loc=stmt.loc,
+                        )
+                    elif (
+                        explicit_prep
+                        and stmt.gate not in PREP_GATES
+                    ):
+                        out.emit(
+                            f"{_qname(q)} is used by {stmt.gate} "
+                            f"without preparation, but module "
+                            f"{mod.name!r} prepares other qubits "
+                            f"explicitly",
+                            module=mod.name,
+                            stmt=idx,
+                            qubit=_qname(q),
+                            loc=stmt.loc,
+                        )
+                touched.add(q)
+
+
+# ---------------------------------------------------------------------------
+# QL002 — no-cloning aliasing at call sites
+# ---------------------------------------------------------------------------
+
+@rule(
+    "QL002",
+    "call-aliasing",
+    Severity.ERROR,
+    "A call site binds a qubit that aliases a qubit the callee "
+    "already references, violating no-cloning under name-based "
+    "binding.",
+)
+def check_call_aliasing(program: Program, out: Reporter) -> None:
+    # Cache each module's non-parameter qubit set.
+    locals_of: Dict[str, Set[Qubit]] = {}
+    for mod in program:
+        locals_of[mod.name] = set(mod.qubits()) - set(mod.params)
+    for mod in program:
+        for idx, stmt in enumerate(mod.body):
+            if not isinstance(stmt, CallSite):
+                continue
+            callee = program.modules.get(stmt.callee)
+            if callee is None:
+                continue  # Program.validate rejects this already.
+            # Same qubit bound to two formals (constructors reject the
+            # direct form; re-check to cover hand-built statements).
+            seen: Set[Qubit] = set()
+            for q in stmt.args:
+                if q in seen:
+                    out.emit(
+                        f"call to {stmt.callee!r} passes "
+                        f"{_qname(q)} to two parameters (no-cloning "
+                        f"violation)",
+                        module=mod.name,
+                        stmt=idx,
+                        qubit=_qname(q),
+                        loc=stmt.loc,
+                    )
+                seen.add(q)
+            # Argument captures a callee-local qubit of the same name:
+            # under name-based binding the callee would operate on one
+            # qubit through two names.
+            for q in sorted(set(stmt.args) & locals_of[stmt.callee]):
+                out.emit(
+                    f"call to {stmt.callee!r} passes {_qname(q)}, "
+                    f"which {stmt.callee!r} also uses as a local "
+                    f"qubit — the argument aliases callee state "
+                    f"(no-cloning hazard)",
+                    module=mod.name,
+                    stmt=idx,
+                    qubit=_qname(q),
+                    loc=stmt.loc,
+                )
+
+
+# ---------------------------------------------------------------------------
+# QL003 — ancilla leak
+# ---------------------------------------------------------------------------
+
+def _uncomputed(ops: List[Operation]) -> bool:
+    """Heuristic: the op sequence on one qubit returns it to its
+    initial state.
+
+    Recognises the compute/use/uncompute palindrome (each prefix op
+    undone by the mirrored suffix op on the same operands) and
+    re-preparation as the final op. Single-op sequences only count when
+    the op is a preparation.
+    """
+    if ops and ops[-1].gate in PREP_GATES:
+        return True
+    n = len(ops)
+    if n < 2:
+        return False
+    for i in range(n // 2):
+        a, b = ops[i], ops[n - 1 - i]
+        spec = gate_spec(a.gate)
+        if spec.inverse != b.gate or a.qubits != b.qubits:
+            return False
+        if a.angle is not None:
+            if b.angle is None or a.angle != -b.angle:
+                return False
+    if n % 2 == 1:
+        mid = ops[n // 2]
+        mid_spec = gate_spec(mid.gate)
+        if not mid_spec.is_self_inverse:
+            return False
+    return True
+
+
+@rule(
+    "QL003",
+    "ancilla-leak",
+    Severity.WARNING,
+    "A local qubit of a non-entry module is neither measured nor "
+    "uncomputed before the module returns.",
+)
+def check_ancilla_leak(program: Program, out: Reporter) -> None:
+    for mod in program:
+        if mod.name == program.entry:
+            continue  # the entry's leftovers are program outputs
+        params = set(mod.params)
+        escaping = _call_args(mod)
+        per_qubit: Dict[Qubit, List[Operation]] = {}
+        first_stmt: Dict[Qubit, int] = {}
+        for idx, stmt in enumerate(mod.body):
+            if isinstance(stmt, Operation):
+                for q in stmt.qubits:
+                    per_qubit.setdefault(q, []).append(stmt)
+                    first_stmt.setdefault(q, idx)
+        for q, ops in per_qubit.items():
+            if q in params or q in escaping:
+                continue  # callee may consume / caller owns it
+            if any(op.gate in MEAS_GATES for op in ops):
+                continue
+            if _uncomputed(ops):
+                continue
+            out.emit(
+                f"local qubit {_qname(q)} of module {mod.name!r} is "
+                f"left entangled/dirty: never measured, uncomputed, "
+                f"or re-prepared before the module returns "
+                f"(ancilla leak)",
+                module=mod.name,
+                stmt=first_stmt[q],
+                qubit=_qname(q),
+                loc=ops[0].loc,
+            )
+
+
+# ---------------------------------------------------------------------------
+# QL004 — dead qubit
+# ---------------------------------------------------------------------------
+
+@rule(
+    "QL004",
+    "dead-qubit",
+    Severity.WARNING,
+    "A module parameter is never referenced by the module body.",
+)
+def check_dead_qubit(program: Program, out: Reporter) -> None:
+    for mod in program:
+        used: Set[Qubit] = set()
+        for stmt in mod.body:
+            if isinstance(stmt, Operation):
+                used.update(stmt.qubits)
+            else:
+                used.update(stmt.args)
+        for q in mod.params:
+            if q not in used:
+                out.emit(
+                    f"parameter {_qname(q)} of module {mod.name!r} "
+                    f"is never used",
+                    module=mod.name,
+                    qubit=_qname(q),
+                    loc=mod.loc,
+                )
+
+
+# ---------------------------------------------------------------------------
+# QL005 — unreachable module
+# ---------------------------------------------------------------------------
+
+@rule(
+    "QL005",
+    "unreachable-module",
+    Severity.WARNING,
+    "A module is not reachable from the program entry point.",
+)
+def check_unreachable_module(
+    program: Program, out: Reporter
+) -> None:
+    reachable = program.reachable()
+    for name, mod in program.modules.items():
+        if name not in reachable:
+            out.emit(
+                f"module {name!r} is unreachable from entry "
+                f"{program.entry!r}",
+                module=name,
+                loc=mod.loc,
+            )
+
+
+# ---------------------------------------------------------------------------
+# QL006 — gate misuse: operating on measured qubits
+# ---------------------------------------------------------------------------
+
+@rule(
+    "QL006",
+    "use-after-measure",
+    Severity.ERROR,
+    "A gate is applied to a qubit after measurement without "
+    "re-preparation (the qubit has collapsed).",
+)
+def check_use_after_measure(program: Program, out: Reporter) -> None:
+    for mod in program:
+        measured: Set[Qubit] = set()
+        prepped: Set[Qubit] = set()
+        for idx, stmt in enumerate(mod.body):
+            if isinstance(stmt, CallSite):
+                # The callee may measure or re-prepare its arguments;
+                # weaken to unknown.
+                measured.difference_update(stmt.args)
+                prepped.difference_update(stmt.args)
+                continue
+            gate = stmt.gate
+            for q in stmt.qubits:
+                if gate in PREP_GATES:
+                    if q in prepped:
+                        out.emit(
+                            f"{_qname(q)} is prepared twice with no "
+                            f"intervening use",
+                            module=mod.name,
+                            stmt=idx,
+                            qubit=_qname(q),
+                            loc=stmt.loc,
+                            severity=Severity.WARNING,
+                        )
+                    measured.discard(q)
+                    prepped.add(q)
+                    continue
+                if q in measured:
+                    if gate in MEAS_GATES:
+                        out.emit(
+                            f"{_qname(q)} is measured twice without "
+                            f"re-preparation (second result is "
+                            f"redundant)",
+                            module=mod.name,
+                            stmt=idx,
+                            qubit=_qname(q),
+                            loc=stmt.loc,
+                            severity=Severity.WARNING,
+                        )
+                    else:
+                        out.emit(
+                            f"gate {gate} applied to {_qname(q)} "
+                            f"after measurement without "
+                            f"re-preparation",
+                            module=mod.name,
+                            stmt=idx,
+                            qubit=_qname(q),
+                            loc=stmt.loc,
+                        )
+                    # Report each collapsed qubit once, then move on.
+                    measured.discard(q)
+                    continue
+                prepped.discard(q)
+                if gate in MEAS_GATES:
+                    measured.add(q)
+
+
+# ---------------------------------------------------------------------------
+# QL007 — angle sanity
+# ---------------------------------------------------------------------------
+
+_TWO_PI = 2 * math.pi + 1e-9
+
+
+@rule(
+    "QL007",
+    "angle-sanity",
+    Severity.WARNING,
+    "A rotation angle is degenerate (zero) or unreduced (magnitude "
+    "above 2*pi).",
+)
+def check_angle_sanity(program: Program, out: Reporter) -> None:
+    for mod in program:
+        for idx, stmt in enumerate(mod.body):
+            if not isinstance(stmt, Operation):
+                continue
+            if stmt.angle is None:
+                continue
+            if stmt.angle == 0.0:
+                out.emit(
+                    f"zero-angle {stmt.gate} is the identity "
+                    f"(dead rotation)",
+                    module=mod.name,
+                    stmt=idx,
+                    loc=stmt.loc,
+                    severity=Severity.INFO,
+                )
+            elif abs(stmt.angle) > _TWO_PI:
+                out.emit(
+                    f"{stmt.gate} angle {stmt.angle:.6g} exceeds "
+                    f"2*pi in magnitude; reduce it modulo 2*pi to "
+                    f"keep rotation synthesis cost bounded",
+                    module=mod.name,
+                    stmt=idx,
+                    loc=stmt.loc,
+                )

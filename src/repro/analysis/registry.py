@@ -1,0 +1,141 @@
+"""Rule registry for the program-level analyzer.
+
+Rules are plain functions registered with the :func:`rule` decorator;
+each owns a stable diagnostic code, a short name, a default severity,
+and a one-line summary. :func:`analyze_program` runs a battery of rules
+over a validated :class:`~repro.core.module.Program` and returns the
+combined :class:`~.diagnostics.DiagnosticSet`.
+
+The registry is the extension point: downstream code can register
+additional rules (with fresh codes) and they are picked up by the CLI's
+``lint`` verb and by ``compile_and_schedule(strict=True)`` alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.module import Program
+from ..core.source import SourceLocation
+from .diagnostics import Diagnostic, DiagnosticSet, Severity
+
+__all__ = ["Rule", "Reporter", "rule", "registered_rules", "analyze_program"]
+
+
+class Reporter:
+    """Emission facade handed to rules; binds the rule's defaults."""
+
+    def __init__(self, sink: DiagnosticSet, rule: "Rule"):
+        self._sink = sink
+        self._rule = rule
+
+    def emit(
+        self,
+        message: str,
+        *,
+        module: Optional[str] = None,
+        stmt: Optional[int] = None,
+        qubit: Optional[str] = None,
+        loc: Optional[SourceLocation] = None,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        """Record one finding under the rule's code.
+
+        ``severity`` overrides the rule's default for findings that are
+        graver (or milder) than the rule's typical output.
+        """
+        self._sink.add(
+            Diagnostic(
+                code=self._rule.code,
+                severity=severity or self._rule.severity,
+                message=message,
+                module=module,
+                stmt=stmt,
+                qubit=qubit,
+                loc=loc,
+                rule=self._rule.name,
+            )
+        )
+
+
+RuleFn = Callable[[Program, Reporter], None]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered analyzer rule.
+
+    Attributes:
+        code: stable diagnostic code (``QL001`` ...), unique.
+        name: short kebab-case rule name.
+        severity: default severity of the rule's findings.
+        summary: one-line description (shown by ``lint --list-rules``).
+        fn: the rule body; called as ``fn(program, reporter)``.
+    """
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    fn: RuleFn
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> Callable[[RuleFn], RuleFn]:
+    """Register a program-analysis rule under ``code``.
+
+    Raises:
+        ValueError: if ``code`` or ``name`` is already registered.
+    """
+
+    def decorator(fn: RuleFn) -> RuleFn:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code!r}")
+        if any(r.name == name for r in _REGISTRY.values()):
+            raise ValueError(f"duplicate rule name {name!r}")
+        _REGISTRY[code] = Rule(code, name, severity, summary, fn)
+        return fn
+
+    return decorator
+
+
+def registered_rules() -> List[Rule]:
+    """All registered rules, ordered by code."""
+    return [_REGISTRY[c] for c in sorted(_REGISTRY)]
+
+
+def analyze_program(
+    program: Program,
+    codes: Optional[Iterable[str]] = None,
+) -> DiagnosticSet:
+    """Run the registered rule battery over ``program``.
+
+    Args:
+        program: a validated program.
+        codes: restrict to these diagnostic codes (default: all).
+
+    Returns:
+        the combined :class:`DiagnosticSet` of every selected rule.
+
+    Raises:
+        KeyError: if ``codes`` names an unregistered code.
+    """
+    selected: List[Rule]
+    if codes is None:
+        selected = registered_rules()
+    else:
+        missing = [c for c in codes if c not in _REGISTRY]
+        if missing:
+            raise KeyError(
+                f"unknown rule code(s): {', '.join(sorted(missing))}"
+            )
+        selected = [_REGISTRY[c] for c in sorted(set(codes))]
+    out = DiagnosticSet()
+    for r in selected:
+        r.fn(program, Reporter(out, r))
+    return out

@@ -22,7 +22,7 @@ Given a movement-annotated schedule, this module derives:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..sched.types import Schedule

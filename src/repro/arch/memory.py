@@ -9,7 +9,6 @@ qubit can be parked locally or must pay a global teleport.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 

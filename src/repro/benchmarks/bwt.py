@@ -17,11 +17,10 @@ paper runs n=300, s=3000).
 from __future__ import annotations
 
 import math
-from typing import List
 
 from ..core.builder import ProgramBuilder
 from ..core.module import Program
-from ..core.qubits import AncillaAllocator, Qubit
+from ..core.qubits import AncillaAllocator
 from ..passes import ctqg
 from .common import hadamard_all
 

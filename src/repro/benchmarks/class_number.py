@@ -14,7 +14,6 @@ runs p=6); registers are ``4 * p`` bits wide (integer + fraction).
 
 from __future__ import annotations
 
-from typing import List
 
 from ..core.builder import ProgramBuilder
 from ..core.module import Program

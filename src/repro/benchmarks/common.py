@@ -10,7 +10,7 @@ level and lowered later by the decompose pass.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..core.operation import Operation
 from ..core.qubits import AncillaAllocator, Qubit

@@ -14,12 +14,11 @@ Parameters: ``n`` — the search register width (the paper runs n=40).
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 from ..core.builder import ProgramBuilder
 from ..core.module import Program
-from ..core.operation import Operation
-from ..core.qubits import AncillaAllocator, Qubit
+from ..core.qubits import AncillaAllocator
 from .common import hadamard_all, mcz_ops
 
 __all__ = ["build_grovers", "grover_iteration_count"]

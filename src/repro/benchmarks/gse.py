@@ -21,8 +21,6 @@ parameterisation; we map it directly to orbital count).
 
 from __future__ import annotations
 
-import math
-from typing import Optional
 
 from ..core.builder import ProgramBuilder
 from ..core.module import Program

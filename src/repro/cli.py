@@ -7,6 +7,19 @@ Usage (also available as ``python -m repro``)::
     python -m repro compile GSE -k 4 --scheduler lpfs --local-mem inf
     python -m repro compile program.qasm -k 2 --timeline
     python -m repro emit Grovers -o grovers.qasm
+    python -m repro lint Grovers
+    python -m repro lint program.scd --format json
+    python -m repro lint all --fail-on warning
+
+Exit codes form a stable contract (tested in ``tests/test_cli.py``):
+
+* ``0`` — success;
+* ``1`` — lint findings at or above the ``--fail-on`` threshold, or a
+  strict-mode analysis failure;
+* ``2`` — usage / input errors (unknown benchmark, unreadable file,
+  bad option values);
+* ``3`` — parse or program-validation errors in a source file;
+* ``4`` — schedule or replay invariant violations.
 """
 
 from __future__ import annotations
@@ -15,23 +28,53 @@ import argparse
 import json
 import math
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
+from .analysis import (
+    AnalysisError,
+    DiagnosticSet,
+    Severity,
+    analyze_program,
+    lint_qasm_source,
+    lint_scaffold_source,
+)
 from .arch.machine import MultiSIMD
 from .benchmarks import BENCHMARKS, benchmark_names
-from .core.module import Program
-from .core.qasm import emit_qasm, parse_qasm
-from .core.scaffold import parse_scaffold
+from .core.module import Program, ProgramValidationError
+from .core.qasm import QasmSyntaxError, emit_qasm, parse_qasm
+from .core.scaffold import ScaffoldSyntaxError, parse_scaffold
 from .passes.qubit_count import minimum_qubits
 from .passes.resource import estimate_resources, gate_count_histogram
+from .sched.replay import ReplayError
 from .sched.report import (
     compile_result_to_dict,
     profile_table,
     render_timeline,
 )
+from .sched.types import ScheduleError
 from .toolflow import SchedulerConfig, compile_and_schedule
 
-__all__ = ["main"]
+__all__ = ["main", "CLIError"]
+
+#: Exit code for lint findings / strict-analysis failures.
+EXIT_LINT = 1
+#: Exit code for usage and input errors.
+EXIT_USAGE = 2
+#: Exit code for parse / validation errors.
+EXIT_PARSE = 3
+#: Exit code for schedule / replay invariant violations.
+EXIT_SCHEDULE = 4
+
+
+class CLIError(Exception):
+    """A usage or input error (unknown source, bad option value)."""
+
+    exit_code = EXIT_USAGE
+
+
+def _is_scaffold_path(source: str) -> bool:
+    return source.endswith((".scaffold", ".scd"))
 
 
 def _load_program(source: str) -> Program:
@@ -43,13 +86,13 @@ def _load_program(source: str) -> Program:
     try:
         with open(source) as fh:
             text = fh.read()
-    except FileNotFoundError:
-        raise SystemExit(
-            f"error: {source!r} is neither a benchmark "
+    except (FileNotFoundError, IsADirectoryError):
+        raise CLIError(
+            f"{source!r} is neither a benchmark "
             f"({', '.join(benchmark_names())}) nor a readable file"
         )
-    if source.endswith((".scaffold", ".scd")):
-        return parse_scaffold(text)
+    if _is_scaffold_path(source):
+        return parse_scaffold(text, filename=source)
     return parse_qasm(text)
 
 
@@ -61,9 +104,9 @@ def _parse_capacity(text: Optional[str]) -> Optional[float]:
     try:
         value = float(text)
     except ValueError:
-        raise SystemExit(f"error: bad local-memory capacity {text!r}")
+        raise CLIError(f"bad local-memory capacity {text!r}")
     if value < 0:
-        raise SystemExit("error: local-memory capacity must be >= 0")
+        raise CLIError("local-memory capacity must be >= 0")
     return value
 
 
@@ -115,6 +158,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         SchedulerConfig(args.scheduler),
         fth=fth,
         optimize=args.optimize,
+        strict=args.strict,
     )
     if args.json:
         print(json.dumps(compile_result_to_dict(result), indent=2))
@@ -129,6 +173,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print(f"comm-aware speedup: {result.comm_aware_speedup:.2f}x "
           f"(vs naive {result.naive_runtime:,})")
     print(f"modules flattened:  {result.flattened_percent:.0f}%")
+    if args.strict and result.diagnostics:
+        print(f"strict diagnostics: {len(result.diagnostics)} "
+              "(warnings/info only)")
     if args.profile:
         print("\nblackbox dimensions (comm-aware runtime):")
         print(profile_table(result, metric="runtime"))
@@ -159,6 +206,62 @@ def _cmd_emit(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(text)
     return 0
+
+
+def _lint_one(source: str) -> DiagnosticSet:
+    """Lint one source (benchmark key or file path) into diagnostics.
+
+    File sources go through the front-end linter (parse errors become
+    ``QL1xx`` diagnostics rather than exceptions); any program that
+    parses — and every benchmark — is run through the full rule
+    battery (``QL0xx``).
+    """
+    if source in BENCHMARKS:
+        return analyze_program(BENCHMARKS[source].build())
+    try:
+        with open(source) as fh:
+            text = fh.read()
+    except (FileNotFoundError, IsADirectoryError):
+        raise CLIError(
+            f"{source!r} is neither a benchmark "
+            f"({', '.join(benchmark_names())}), 'all', nor a readable "
+            "file"
+        )
+    if _is_scaffold_path(source):
+        lint = lint_scaffold_source(text, filename=source)
+    else:
+        lint = lint_qasm_source(text, filename=source)
+    diags = lint.diagnostics
+    if lint.program is not None:
+        diags.extend(analyze_program(lint.program))
+    return diags
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    sources = (
+        list(benchmark_names()) if args.source == "all"
+        else [args.source]
+    )
+    diags = DiagnosticSet()
+    for source in sources:
+        found = _lint_one(source)
+        if args.source == "all":
+            # Anchor benchmark findings to their benchmark key so an
+            # aggregated report stays attributable.
+            for d in found:
+                diags.add(
+                    d if d.module else replace(d, module=source)
+                )
+        else:
+            diags.extend(found)
+    if args.format == "json":
+        print(diags.to_json())
+    else:
+        print(diags.render())
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.from_name(args.fail_on)
+    return EXIT_LINT if diags.at_least(threshold) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run peephole cancellation/merging before decomposition",
     )
     p_c.add_argument(
+        "--strict", action="store_true",
+        help="run the static analyzer between passes; fail on errors",
+    )
+    p_c.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
     p_c.add_argument(
@@ -220,12 +327,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_e.add_argument("source", help="benchmark key or QASM file")
     p_e.add_argument("-o", "--output", default=None)
     p_e.set_defaults(fn=_cmd_emit)
+
+    p_l = sub.add_parser(
+        "lint", help="run the static analyzer (qlint)"
+    )
+    p_l.add_argument(
+        "source",
+        help=(
+            "benchmark key, 'all' for the whole registry, or a "
+            "Scaffold/QASM file"
+        ),
+    )
+    p_l.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_l.add_argument(
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
+        help=(
+            "lowest severity that makes the exit code non-zero "
+            "(default error)"
+        ),
+    )
+    p_l.set_defaults(fn=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except (
+        ScaffoldSyntaxError, QasmSyntaxError, ProgramValidationError
+    ) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_PARSE
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_LINT
+    except (ScheduleError, ReplayError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SCHEDULE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,7 +17,8 @@ from .gates import (
 from .module import Module, Program, ProgramValidationError
 from .operation import CallSite, Operation, Statement
 from .qasm import QasmSyntaxError, emit_qasm, parse_qasm
-from .scaffold import ScaffoldSyntaxError, parse_scaffold
+from .scaffold import ScaffoldSyntaxError, ScaffoldWarning, parse_scaffold
+from .source import SourceLocation
 from .qubits import AncillaAllocator, Qubit, QubitRegister
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "QASM_PRIMITIVES",
     "QasmSyntaxError",
     "ScaffoldSyntaxError",
+    "ScaffoldWarning",
+    "SourceLocation",
     "Qubit",
     "QubitRegister",
     "ROTATION_GATES",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .operation import CallSite, Operation, Statement
+from .operation import Operation, Statement
 from .qubits import Qubit
 
 __all__ = ["DependenceDAG"]

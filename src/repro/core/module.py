@@ -10,10 +10,11 @@ module defines that IR.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .operation import CallSite, Operation, Statement
 from .qubits import Qubit
+from .source import SourceLocation
 
 __all__ = ["Module", "Program", "ProgramValidationError"]
 
@@ -30,11 +31,16 @@ class Module:
         name: unique module name within its program.
         params: formal qubit parameters (bound positionally at call sites).
         body: ordered statements (:class:`Operation` / :class:`CallSite`).
+        loc: source position of the module header, when the module came
+            from a front-end. Non-comparing.
     """
 
     name: str
     params: Tuple[Qubit, ...] = ()
     body: List[Statement] = field(default_factory=list)
+    loc: Optional[SourceLocation] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.params = tuple(self.params)

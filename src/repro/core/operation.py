@@ -16,6 +16,7 @@ from typing import Optional, Tuple, Union
 
 from .gates import gate_spec
 from .qubits import Qubit
+from .source import SourceLocation
 
 __all__ = ["Operation", "CallSite", "Statement"]
 
@@ -34,11 +35,16 @@ class Operation:
             operands must be distinct (a gate cannot use one qubit twice).
         angle: rotation angle in radians; required iff the gate is
             parametric.
+        loc: originating source position, when the operation came from a
+            front-end. Non-comparing: it never affects equality/hashing.
     """
 
     gate: str
     qubits: Tuple[Qubit, ...]
     angle: Optional[float] = None
+    loc: Optional[SourceLocation] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         spec = gate_spec(self.gate)
@@ -82,11 +88,16 @@ class CallSite:
             compact encoding of compile-time-known loops so that
             paper-scale programs (up to 10^12 gates) never have to be
             unrolled (Section 3.1). Must be >= 1.
+        loc: originating source position, when the call came from a
+            front-end. Non-comparing: it never affects equality/hashing.
     """
 
     callee: str
     args: Tuple[Qubit, ...]
     iterations: int = 1
+    loc: Optional[SourceLocation] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

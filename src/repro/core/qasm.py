@@ -20,7 +20,7 @@ scheduling relies on.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .gates import gate_spec
 from .module import Module, Program

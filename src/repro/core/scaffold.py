@@ -37,31 +37,82 @@ Supported constructs:
   never-unroll strategy for 10^12-gate programs).
 
 The front-end produces the same validated :class:`~repro.core.module.
-Program` the builder DSL does.
+Program` the builder DSL does, with every statement and module carrying
+a :class:`~repro.core.source.SourceLocation` (line and column) so the
+static analyzer can anchor diagnostics to the source text. Errors are
+reported as :class:`ScaffoldSyntaxError` with the offending line and
+column; non-fatal findings (degenerate or near-limit loop bounds) are
+reported as :class:`ScaffoldWarning` objects through the optional
+``warnings`` sink of :func:`parse_scaffold`.
 """
 
 from __future__ import annotations
 
 import math
 import re
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from .gates import GATES, gate_spec
 from .module import Module, Program
 from .operation import CallSite, Operation, Statement
 from .qubits import Qubit
+from .source import SourceLocation
 
-__all__ = ["parse_scaffold", "ScaffoldSyntaxError"]
+__all__ = ["parse_scaffold", "ScaffoldSyntaxError", "ScaffoldWarning"]
 
 _MAX_UNROLL = 100_000
 
+#: Unrolled trip counts above this are legal but draw a lint warning.
+_WARN_UNROLL = 10_000
+
 
 class ScaffoldSyntaxError(ValueError):
-    """Raised on malformed Scaffold source."""
+    """Raised on malformed Scaffold source.
 
-    def __init__(self, line: int, message: str):
-        super().__init__(f"line {line}: {message}")
+    Attributes:
+        line: 1-based line of the offending token.
+        column: 1-based column of the offending token (0 if unknown).
+        code: stable diagnostic code this error maps to when surfaced
+            through the :mod:`repro.analysis` linter (``QL101`` for
+            syntax errors, ``QL103`` for call-resolution errors).
+    """
+
+    def __init__(
+        self,
+        line: int,
+        message: str,
+        column: int = 0,
+        code: str = "QL101",
+    ):
+        where = f"line {line}"
+        if column:
+            where += f", col {column}"
+        super().__init__(f"{where}: {message}")
         self.line = line
+        self.column = column
+        self.code = code
+        self.bare_message = message
+
+    @property
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column)
+
+
+@dataclass(frozen=True)
+class ScaffoldWarning:
+    """A non-fatal front-end finding (loop-bound sanity, Section 3.1).
+
+    Attributes:
+        kind: machine-readable category (``degenerate-loop``,
+            ``degenerate-repeat``, ``large-unroll``).
+        message: human-readable description.
+        loc: source position of the construct.
+    """
+
+    kind: str
+    message: str
+    loc: SourceLocation
 
 
 _TOKEN_RE = re.compile(
@@ -78,38 +129,51 @@ _TOKEN_RE = re.compile(
 
 
 class _Token:
-    __slots__ = ("kind", "text", "line")
+    __slots__ = ("kind", "text", "line", "col")
 
-    def __init__(self, kind: str, text: str, line: int):
+    def __init__(self, kind: str, text: str, line: int, col: int):
         self.kind = kind
         self.text = text
         self.line = line
+        self.col = col
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"{self.kind}:{self.text!r}@{self.line}"
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.col}"
 
 
 def _tokenize(source: str) -> List[_Token]:
     tokens: List[_Token] = []
     line = 1
+    line_start = 0  # offset of the first character of the current line
     for m in _TOKEN_RE.finditer(source):
         kind = m.lastgroup
         text = m.group()
-        if kind in ("ws", "comment"):
-            line += text.count("\n")
-            continue
+        col = m.start() - line_start + 1
         if kind == "bad":
-            raise ScaffoldSyntaxError(line, f"unexpected character {text!r}")
-        tokens.append(_Token(kind, text, line))
-        line += text.count("\n")
-    tokens.append(_Token("eof", "", line))
+            raise ScaffoldSyntaxError(
+                line, f"unexpected character {text!r}", col
+            )
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = m.start() + text.rfind("\n") + 1
+    tokens.append(_Token("eof", "", line, len(source) - line_start + 1))
     return tokens
 
 
 class _Parser:
-    def __init__(self, tokens: List[_Token]):
+    def __init__(
+        self,
+        tokens: List[_Token],
+        filename: Optional[str] = None,
+        warnings: Optional[List[ScaffoldWarning]] = None,
+    ):
         self.tokens = tokens
         self.pos = 0
+        self.filename = filename
+        self.warnings = warnings
 
     # -- token helpers -----------------------------------------------------
 
@@ -122,18 +186,32 @@ class _Parser:
         self.pos += 1
         return tok
 
+    def loc(self, tok: _Token) -> SourceLocation:
+        return SourceLocation(tok.line, tok.col, self.filename)
+
+    def err(
+        self, tok: _Token, message: str, code: str = "QL101"
+    ) -> ScaffoldSyntaxError:
+        return ScaffoldSyntaxError(tok.line, message, tok.col, code)
+
+    def warn(self, tok: _Token, kind: str, message: str) -> None:
+        if self.warnings is not None:
+            self.warnings.append(
+                ScaffoldWarning(kind, message, self.loc(tok))
+            )
+
     def expect(self, text: str) -> _Token:
         if self.cur.text != text:
-            raise ScaffoldSyntaxError(
-                self.cur.line,
+            raise self.err(
+                self.cur,
                 f"expected {text!r}, found {self.cur.text or 'EOF'!r}",
             )
         return self.advance()
 
     def expect_name(self) -> _Token:
         if self.cur.kind != "name":
-            raise ScaffoldSyntaxError(
-                self.cur.line, f"expected a name, found {self.cur.text!r}"
+            raise self.err(
+                self.cur, f"expected a name, found {self.cur.text!r}"
             )
         return self.advance()
 
@@ -151,12 +229,40 @@ class _Parser:
             modules.append(self.parse_module())
         if not modules:
             raise ScaffoldSyntaxError(1, "no modules in source")
+        self._resolve_calls(modules)
         names = {m.name for m in modules}
         entry = "main" if "main" in names else modules[-1].name
         return Program(modules, entry)
 
+    def _resolve_calls(self, modules: List[Module]) -> None:
+        """Link-time checks with source locations: every call site must
+        name a known module (or it is a typo'd gate) with matching
+        arity. ``Program.validate`` re-checks the same invariants, but
+        only the front-end can report line/column."""
+        by_name = {m.name: m for m in modules}
+        for mod in modules:
+            for call in mod.calls():
+                loc = call.loc or SourceLocation(0)
+                callee = by_name.get(call.callee)
+                if callee is None:
+                    raise ScaffoldSyntaxError(
+                        loc.line,
+                        f"unknown module or gate {call.callee!r}",
+                        loc.column,
+                        code="QL103",
+                    )
+                if len(call.args) != len(callee.params):
+                    raise ScaffoldSyntaxError(
+                        loc.line,
+                        f"call to {call.callee!r} has {len(call.args)} "
+                        f"argument(s); module expects "
+                        f"{len(callee.params)}",
+                        loc.column,
+                        code="QL103",
+                    )
+
     def parse_module(self) -> Module:
-        self.expect("module")
+        kw = self.expect("module")
         name = self.expect_name().text
         self.expect("(")
         params: List[Qubit] = []
@@ -168,18 +274,20 @@ class _Parser:
                     break
         self.expect(")")
         body = self._parse_block(registers, {})
-        return Module(name, tuple(params), body)
+        return Module(name, tuple(params), body, loc=self.loc(kw))
 
     def _parse_decl(self, registers: Dict[str, int]) -> List[Qubit]:
-        kind = self.expect_name().text
+        kind_tok = self.expect_name()
+        kind = kind_tok.text
         if kind not in ("qbit", "qreg"):
-            raise ScaffoldSyntaxError(
-                self.cur.line, f"expected qbit/qreg, found {kind!r}"
+            raise self.err(
+                kind_tok, f"expected qbit/qreg, found {kind!r}"
             )
-        name = self.expect_name().text
+        name_tok = self.expect_name()
+        name = name_tok.text
         if name in registers:
-            raise ScaffoldSyntaxError(
-                self.cur.line, f"duplicate declaration of {name!r}"
+            raise self.err(
+                name_tok, f"duplicate declaration of {name!r}"
             )
         if kind == "qbit":
             registers[name] = 1
@@ -187,9 +295,7 @@ class _Parser:
         self.expect("[")
         size_tok = self.advance()
         if size_tok.kind != "number" or "." in size_tok.text:
-            raise ScaffoldSyntaxError(
-                size_tok.line, "qreg size must be an integer"
-            )
+            raise self.err(size_tok, "qreg size must be an integer")
         size = int(size_tok.text)
         self.expect("]")
         registers[name] = size
@@ -202,7 +308,7 @@ class _Parser:
         body: List[Statement] = []
         while not self.accept("}"):
             if self.cur.kind == "eof":
-                raise ScaffoldSyntaxError(self.cur.line, "missing '}'")
+                raise self.err(self.cur, "missing '}'")
             body.extend(self._parse_statement(registers, loop_vars))
         return body
 
@@ -220,28 +326,45 @@ class _Parser:
             return self._parse_repeat(registers, loop_vars)
         if tok.kind == "name":
             return [self._parse_invocation(registers, loop_vars)]
-        raise ScaffoldSyntaxError(
-            tok.line, f"unexpected token {tok.text!r}"
-        )
+        raise self.err(tok, f"unexpected token {tok.text!r}")
 
     def _parse_for(
         self, registers: Dict[str, int], loop_vars: Dict[str, int]
     ) -> List[Statement]:
-        line = self.expect("for").line
-        var = self.expect_name().text
+        kw = self.expect("for")
+        var_tok = self.expect_name()
+        var = var_tok.text
         if var in loop_vars:
-            raise ScaffoldSyntaxError(line, f"loop variable {var!r} shadows")
+            raise self.err(
+                var_tok, f"loop variable {var!r} shadows"
+            )
         self.expect("in")
         lo = self._parse_int_expr(loop_vars)
         self.expect("..")
         hi = self._parse_int_expr(loop_vars)
         if hi < lo:
-            raise ScaffoldSyntaxError(line, "empty loop range")
-        if hi - lo + 1 > _MAX_UNROLL:
-            raise ScaffoldSyntaxError(
-                line,
-                f"loop of {hi - lo + 1} iterations exceeds the unroll "
+            raise self.err(kw, "empty loop range", code="QL101")
+        trips = hi - lo + 1
+        if trips > _MAX_UNROLL:
+            raise self.err(
+                kw,
+                f"loop of {trips} iterations exceeds the unroll "
                 f"limit; use 'repeat' around a call instead",
+            )
+        if trips == 1:
+            self.warn(
+                kw,
+                "degenerate-loop",
+                f"loop over {var!r} executes exactly once "
+                f"({lo} .. {hi})",
+            )
+        elif trips > _WARN_UNROLL:
+            self.warn(
+                kw,
+                "large-unroll",
+                f"loop over {var!r} unrolls {trips} iterations "
+                f"(limit {_MAX_UNROLL}); consider 'repeat' around a "
+                f"call",
             )
         # Parse the body once per iteration value (re-scan the token
         # stream; simplest correct unrolling).
@@ -257,22 +380,36 @@ class _Parser:
     def _parse_repeat(
         self, registers: Dict[str, int], loop_vars: Dict[str, int]
     ) -> List[Statement]:
-        line = self.expect("repeat").line
+        kw = self.expect("repeat")
         count = self._parse_int_expr(loop_vars)
         if count < 1:
-            raise ScaffoldSyntaxError(line, "repeat count must be >= 1")
+            raise self.err(kw, "repeat count must be >= 1")
+        if count == 1:
+            self.warn(
+                kw, "degenerate-repeat", "repeat 1 has no effect"
+            )
         body = self._parse_block(dict(registers), loop_vars)
         # Call-only bodies lower to iterated calls (never unrolled).
         if body and all(isinstance(s, CallSite) for s in body):
             return [
-                CallSite(c.callee, c.args, c.iterations * count)
+                CallSite(
+                    c.callee, c.args, c.iterations * count, loc=c.loc
+                )
                 for c in body
             ]
         if count > _MAX_UNROLL:
-            raise ScaffoldSyntaxError(
-                line,
+            raise self.err(
+                kw,
                 "repeat bodies with raw gates cannot exceed the unroll "
                 "limit; wrap the gates in a module",
+            )
+        if count > _WARN_UNROLL:
+            self.warn(
+                kw,
+                "large-unroll",
+                f"repeat of {count} gate-level iterations unrolls "
+                f"in place (limit {_MAX_UNROLL}); wrap the gates in a "
+                f"module to keep the program compact",
             )
         return body * count
 
@@ -292,8 +429,8 @@ class _Parser:
                     )
                 else:
                     if angle is not None:
-                        raise ScaffoldSyntaxError(
-                            self.cur.line, "multiple angle arguments"
+                        raise self.err(
+                            self.cur, "multiple angle arguments"
                         )
                     angle = self._parse_angle_expr(loop_vars)
                 if not self.accept(","):
@@ -303,22 +440,27 @@ class _Parser:
         if name in GATES:
             spec = gate_spec(name)
             if spec.takes_angle and angle is None:
-                raise ScaffoldSyntaxError(
-                    name_tok.line, f"{name} requires an angle argument"
+                raise self.err(
+                    name_tok, f"{name} requires an angle argument"
                 )
             if not spec.takes_angle and angle is not None:
-                raise ScaffoldSyntaxError(
-                    name_tok.line, f"{name} takes no angle"
-                )
+                raise self.err(name_tok, f"{name} takes no angle")
             try:
-                return Operation(name, tuple(qubits), angle)
+                return Operation(
+                    name, tuple(qubits), angle, loc=self.loc(name_tok)
+                )
             except ValueError as exc:
-                raise ScaffoldSyntaxError(name_tok.line, str(exc)) from None
+                raise self.err(name_tok, str(exc)) from None
         if angle is not None:
-            raise ScaffoldSyntaxError(
-                name_tok.line, "module calls take only qubit arguments"
+            raise self.err(
+                name_tok, "module calls take only qubit arguments"
             )
-        return CallSite(name, tuple(qubits))
+        try:
+            return CallSite(
+                name, tuple(qubits), loc=self.loc(name_tok)
+            )
+        except ValueError as exc:
+            raise self.err(name_tok, str(exc)) from None
 
     # -- operands & expressions ------------------------------------------
 
@@ -339,20 +481,20 @@ class _Parser:
         reg = name_tok.text
         size = registers.get(reg)
         if size is None:
-            raise ScaffoldSyntaxError(
-                name_tok.line, f"undeclared register {reg!r}"
+            raise self.err(
+                name_tok, f"undeclared register {reg!r}"
             )
         index = 0
         if self.accept("["):
             index = self._parse_int_expr(loop_vars)
             self.expect("]")
         elif size != 1:
-            raise ScaffoldSyntaxError(
-                name_tok.line, f"register {reg!r} needs an index"
+            raise self.err(
+                name_tok, f"register {reg!r} needs an index"
             )
         if not 0 <= index < size:
-            raise ScaffoldSyntaxError(
-                name_tok.line,
+            raise self.err(
+                name_tok,
                 f"index {index} out of range for {reg}[{size}]",
             )
         return Qubit(reg, index)
@@ -369,18 +511,16 @@ class _Parser:
         tok = self.advance()
         if tok.kind == "number":
             if "." in tok.text or "e" in tok.text or "E" in tok.text:
-                raise ScaffoldSyntaxError(
-                    tok.line, "expected an integer"
-                )
+                raise self.err(tok, "expected an integer")
             return int(tok.text)
         if tok.kind == "name":
             if tok.text not in loop_vars:
-                raise ScaffoldSyntaxError(
-                    tok.line, f"unknown loop variable {tok.text!r}"
+                raise self.err(
+                    tok, f"unknown loop variable {tok.text!r}"
                 )
             return loop_vars[tok.text]
-        raise ScaffoldSyntaxError(
-            tok.line, f"expected an integer, found {tok.text!r}"
+        raise self.err(
+            tok, f"expected an integer, found {tok.text!r}"
         )
 
     def _parse_angle_expr(self, loop_vars: Dict[str, int]) -> float:
@@ -398,8 +538,8 @@ class _Parser:
             rhs = self._parse_angle_factor(loop_vars)
             if op == "/":
                 if rhs == 0:
-                    raise ScaffoldSyntaxError(
-                        self.cur.line, "division by zero in angle"
+                    raise self.err(
+                        self.cur, "division by zero in angle"
                     )
                 value = value / rhs
             else:
@@ -421,16 +561,33 @@ class _Parser:
                 return math.pi
             if tok.text in loop_vars:
                 return float(loop_vars[tok.text])
-            raise ScaffoldSyntaxError(
-                tok.line,
+            raise self.err(
+                tok,
                 f"undeclared register or unknown identifier "
                 f"{tok.text!r}",
             )
-        raise ScaffoldSyntaxError(
-            tok.line, f"unexpected {tok.text!r} in angle expression"
+        raise self.err(
+            tok, f"unexpected {tok.text!r} in angle expression"
         )
 
 
-def parse_scaffold(source: str) -> Program:
-    """Parse Scaffold-dialect source text into a validated Program."""
-    return _Parser(_tokenize(source)).parse_program()
+def parse_scaffold(
+    source: str,
+    filename: Optional[str] = None,
+    warnings: Optional[List[ScaffoldWarning]] = None,
+) -> Program:
+    """Parse Scaffold-dialect source text into a validated Program.
+
+    Args:
+        source: the Scaffold-dialect text.
+        filename: attached to the source locations of the produced IR
+            (shown in diagnostics).
+        warnings: optional sink; when given, non-fatal front-end
+            findings (:class:`ScaffoldWarning`) are appended to it.
+
+    Raises:
+        ScaffoldSyntaxError: on malformed source, with line/column.
+    """
+    return _Parser(
+        _tokenize(source), filename=filename, warnings=warnings
+    ).parse_program()

@@ -11,7 +11,7 @@ of modules in every benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.module import Module, Program
 from ..core.operation import CallSite, Operation, Statement

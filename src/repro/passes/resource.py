@@ -13,10 +13,10 @@ counts multiplying callee totals. These totals drive:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..core.module import Program
-from ..core.operation import CallSite, Operation
+from ..core.operation import Operation
 
 __all__ = [
     "ResourceEstimate",

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.dag import DependenceDAG
 from ..core.module import Module
-from ..core.operation import CallSite, Operation
+from ..core.operation import Operation
 
 __all__ = ["Placement", "CoarseResult", "best_dim", "schedule_coarse"]
 

@@ -24,7 +24,7 @@ gate count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..arch.machine import (
     GATE_CYCLES,

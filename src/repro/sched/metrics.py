@@ -19,7 +19,7 @@ from typing import Dict
 
 from ..core.dag import DependenceDAG
 from ..core.module import Program
-from ..core.operation import CallSite, Operation
+from ..core.operation import Operation
 
 __all__ = [
     "hierarchical_critical_path",

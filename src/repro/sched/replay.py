@@ -18,13 +18,25 @@ Multi-SIMD(k,d) machine:
 
 Used by tests as an oracle against the movement planner, and usable by
 library consumers to validate hand-built or externally modified
-schedules.
+schedules. Two failure modes are offered:
+
+* the default raises :class:`ReplayError` on the **first** violation
+  (the historical behaviour);
+* passing ``on_violation`` collects **every** violation — the replay
+  repairs its tracked state after each one and keeps going, which is
+  what the static auditor (:func:`repro.analysis.audit_replay`) uses
+  to report a complete picture of a broken plan.
+
+Violation codes (shared with :mod:`repro.analysis`): ``QL301`` operand
+not resident, ``QL302`` move source mismatch, ``QL303`` invalid
+ballistic endpoints, ``QL304`` scratchpad capacity/absence, ``QL305``
+passive-storage violation, ``QL306`` schedule/machine shape mismatch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..arch.machine import (
     GATE_CYCLES,
@@ -35,11 +47,28 @@ from ..arch.machine import (
 from ..core.qubits import Qubit
 from .types import Move, Schedule
 
-__all__ = ["ReplayError", "ReplayReport", "replay_schedule"]
+__all__ = [
+    "ReplayError",
+    "ReplayReport",
+    "replay_schedule",
+]
 
 
-class ReplayError(AssertionError):
-    """A schedule's movement plan is physically unrealisable."""
+class ReplayError(Exception):
+    """A schedule's movement plan is physically unrealisable.
+
+    Historically this subclassed :class:`AssertionError`, which made
+    replay validation silently vanish under ``python -O``; it is now a
+    plain :class:`Exception`. ``ReplayAssertionError`` remains as a
+    deprecated alias for the old name.
+    """
+
+
+#: Deprecated alias for the pre-1.1 AssertionError-based class.
+ReplayAssertionError = ReplayError
+
+#: Signature of a violation collector: ``(code, message, timestep)``.
+ViolationHandler = Callable[[str, str, int], None]
 
 
 @dataclass
@@ -51,6 +80,8 @@ class ReplayReport:
         teleport_epochs / local_epochs: epoch counts by billed kind.
         peak_scratchpad: max scratchpad occupancy observed per region.
         final_locations: where every qubit ended up.
+        violations: number of violations tolerated (always 0 unless an
+            ``on_violation`` collector was supplied).
     """
 
     runtime: int
@@ -58,19 +89,42 @@ class ReplayReport:
     local_epochs: int
     peak_scratchpad: Dict[int, int] = field(default_factory=dict)
     final_locations: Dict[Qubit, tuple] = field(default_factory=dict)
+    violations: int = 0
 
 
 def replay_schedule(
-    sched: Schedule, machine: MultiSIMD
+    sched: Schedule,
+    machine: MultiSIMD,
+    on_violation: Optional[ViolationHandler] = None,
 ) -> ReplayReport:
     """Replay ``sched`` (with moves attached) on ``machine``.
 
+    Args:
+        sched: the movement-annotated schedule.
+        machine: the target machine model.
+        on_violation: when given, called as ``(code, message,
+            timestep)`` for *every* physical-invariant violation and
+            the replay continues best-effort (repairing its tracked
+            state) instead of aborting.
+
     Raises:
-        ReplayError: on any physical-invariant violation.
+        ReplayError: on the first violation, when ``on_violation`` is
+            not supplied.
     """
+    count = 0
+
+    def emit(code: str, message: str, t: int = -1) -> None:
+        nonlocal count
+        if on_violation is None:
+            raise ReplayError(message)
+        count += 1
+        on_violation(code, message, t)
+
     if machine.k < sched.k:
-        raise ReplayError(
-            f"schedule uses {sched.k} regions, machine has {machine.k}"
+        emit(
+            "QL306",
+            f"schedule uses {sched.k} regions, machine has "
+            f"{machine.k}",
         )
     location: Dict[Qubit, tuple] = {}
     pad_occupancy: Dict[int, Set[Qubit]] = {
@@ -85,7 +139,7 @@ def replay_schedule(
         # --- movement epoch preceding the timestep ----------------------
         kinds = set()
         for move in ts.moves:
-            _apply_move(move, t, location, pad_occupancy, machine)
+            _apply_move(move, t, location, pad_occupancy, machine, emit)
             kinds.add(move.kind)
         for r, pad in pad_occupancy.items():
             if len(pad) > peak[r]:
@@ -108,10 +162,18 @@ def replay_schedule(
                 for q in op.qubits:
                     where = location.get(q, ("global",))
                     if where != ("region", r):
-                        raise ReplayError(
+                        emit(
+                            "QL301",
                             f"t={t}: operand {q!r} of node {n} is at "
-                            f"{where}, not in region {r}"
+                            f"{where}, not in region {r}",
+                            t,
                         )
+                        # Repair: pretend the qubit arrived so later
+                        # timesteps report their own violations rather
+                        # than echoes of this one.
+                        if where[0] == "local":
+                            pad_occupancy[where[1]].discard(q)
+                        location[q] = ("region", r)
                     used_here[q] = r
         # Passive-storage rule: a qubit resident in an *active* region
         # but not used this timestep would be hit by the region's SIMD
@@ -125,9 +187,11 @@ def replay_schedule(
                 and q not in used_here
                 and q in remaining
             ):
-                raise ReplayError(
+                emit(
+                    "QL305",
                     f"t={t}: live qubit {q!r} idles in active region "
-                    f"{where[1]}"
+                    f"{where[1]}",
+                    t,
                 )
         runtime += GATE_CYCLES
     return ReplayReport(
@@ -136,6 +200,7 @@ def replay_schedule(
         local_epochs=local_epochs,
         peak_scratchpad=peak,
         final_locations=dict(location),
+        violations=count,
     )
 
 
@@ -145,13 +210,19 @@ def _apply_move(
     location: Dict[Qubit, tuple],
     pads: Dict[int, Set[Qubit]],
     machine: MultiSIMD,
+    emit: Callable[[str, str, int], None],
 ) -> None:
     actual = location.get(move.qubit, ("global",))
     if actual != move.src:
-        raise ReplayError(
+        emit(
+            "QL302",
             f"t={t}: move of {move.qubit!r} claims src {move.src}, "
-            f"but it is at {actual}"
+            f"but it is at {actual}",
+            t,
         )
+        # Repair: take the qubit from wherever it actually is.
+        if actual[0] == "local" and actual[1] in pads:
+            pads[actual[1]].discard(move.qubit)
     if move.kind == "local":
         ok = (
             move.src[0] == "region"
@@ -161,24 +232,33 @@ def _apply_move(
             and move.dst == ("region", move.src[1])
         )
         if not ok:
-            raise ReplayError(
+            emit(
+                "QL303",
                 f"t={t}: ballistic move {move.src} -> {move.dst} is "
-                "not between a region and its own scratchpad"
+                "not between a region and its own scratchpad",
+                t,
             )
-    if move.src[0] == "local":
+    if move.src[0] == "local" and move.src[1] in pads:
         pads[move.src[1]].discard(move.qubit)
     if move.dst[0] == "local":
         if machine.local_memory is None:
-            raise ReplayError(
+            emit(
+                "QL304",
                 f"t={t}: move into scratchpad on a machine without "
-                "local memory"
+                "local memory",
+                t,
             )
-        pad = pads[move.dst[1]]
+        pad = pads.setdefault(move.dst[1], set())
         pad.add(move.qubit)
-        if len(pad) > machine.local_memory:
-            raise ReplayError(
+        if (
+            machine.local_memory is not None
+            and len(pad) > machine.local_memory
+        ):
+            emit(
+                "QL304",
                 f"t={t}: scratchpad {move.dst[1]} over capacity "
-                f"({len(pad)} > {machine.local_memory})"
+                f"({len(pad)} > {machine.local_memory})",
+                t,
             )
     location[move.qubit] = move.dst
 

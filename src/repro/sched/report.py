@@ -12,7 +12,6 @@ Rendering helpers used by the examples, the CLI, and downstream tools:
 
 from __future__ import annotations
 
-import json
 import math
 from typing import Any, Dict, List, Optional
 

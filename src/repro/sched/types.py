@@ -15,17 +15,49 @@ the paper is the ``moves`` field here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.dag import DependenceDAG
 from ..core.operation import Operation
 from ..core.qubits import Qubit
 
-__all__ = ["Move", "Timestep", "Schedule", "ScheduleError"]
+__all__ = [
+    "Move",
+    "Timestep",
+    "Schedule",
+    "ScheduleError",
+    "ScheduleViolation",
+]
 
 
-class ScheduleError(AssertionError):
-    """Raised when a schedule violates a Multi-SIMD execution invariant."""
+class ScheduleError(Exception):
+    """Raised when a schedule violates a Multi-SIMD execution invariant.
+
+    Historically this subclassed :class:`AssertionError`, which made the
+    checks vanish under ``python -O``; it is now a plain
+    :class:`Exception` (``ScheduleAssertionError`` remains as a
+    deprecated alias).
+    """
+
+
+#: Deprecated alias for the pre-1.1 AssertionError-based name.
+ScheduleAssertionError = ScheduleError
+
+
+@dataclass(frozen=True)
+class ScheduleViolation:
+    """One structural invariant violation found in a schedule.
+
+    Attributes:
+        code: stable diagnostic code (``QL201`` ...), shared with the
+            :mod:`repro.analysis` vocabulary.
+        message: human-readable description.
+        timestep: offending timestep index, if applicable.
+    """
+
+    code: str
+    message: str
+    timestep: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -158,56 +190,95 @@ class Schedule:
 
     # -- validation ------------------------------------------------------
 
-    def validate(self) -> None:
-        """Check every Multi-SIMD execution invariant:
+    def iter_violations(self) -> Iterator[ScheduleViolation]:
+        """Yield *every* structural invariant violation, in order.
+
+        The checks cover:
 
         * every DAG node scheduled exactly once;
         * dependencies strictly ordered across timesteps;
         * at most ``k`` regions used, each with at most ``d`` ops;
         * one gate *type* per region per timestep (SIMD semantics);
         * no qubit touched twice within a timestep.
+
+        :meth:`validate` raises on the first violation; the static
+        auditor (:func:`repro.analysis.audit_schedule`) drains the
+        full stream into diagnostics.
         """
         placed = self.placement()
+        occurrences: Dict[int, int] = {}
+        for ts in self.timesteps:
+            for n in ts.all_nodes():
+                occurrences[n] = occurrences.get(n, 0) + 1
         if len(placed) != self.dag.n:
             missing = set(range(self.dag.n)) - set(placed)
-            raise ScheduleError(
-                f"{len(missing)} ops unscheduled (e.g. {sorted(missing)[:5]})"
+            yield ScheduleViolation(
+                "QL201",
+                f"{len(missing)} ops unscheduled "
+                f"(e.g. {sorted(missing)[:5]})",
             )
+        for n, count in sorted(occurrences.items()):
+            if count > 1:
+                yield ScheduleViolation(
+                    "QL201",
+                    f"node {n} scheduled {count} times",
+                )
         for node in range(self.dag.n):
+            if node not in placed:
+                continue
             t, _ = placed[node]
             for p in self.dag.preds[node]:
+                if p not in placed:
+                    continue
                 tp, _ = placed[p]
                 if tp >= t:
-                    raise ScheduleError(
+                    yield ScheduleViolation(
+                        "QL202",
                         f"dependence violated: node {p} (ts {tp}) must "
-                        f"precede node {node} (ts {t})"
+                        f"precede node {node} (ts {t})",
+                        timestep=t,
                     )
         for t, ts in enumerate(self.timesteps):
             if len(ts.regions) > self.k:
-                raise ScheduleError(
-                    f"timestep {t} uses {len(ts.regions)} regions (k={self.k})"
+                yield ScheduleViolation(
+                    "QL203",
+                    f"timestep {t} uses {len(ts.regions)} regions "
+                    f"(k={self.k})",
+                    timestep=t,
                 )
             seen_qubits: Dict[Qubit, int] = {}
             for r, nodes in enumerate(ts.regions):
                 if self.d is not None and len(nodes) > self.d:
-                    raise ScheduleError(
-                        f"timestep {t} region {r} holds {len(nodes)} ops "
-                        f"(d={self.d})"
+                    yield ScheduleViolation(
+                        "QL203",
+                        f"timestep {t} region {r} holds {len(nodes)} "
+                        f"ops (d={self.d})",
+                        timestep=t,
                     )
                 gate_types = {self.operation(n).gate for n in nodes}
                 if len(gate_types) > 1:
-                    raise ScheduleError(
+                    yield ScheduleViolation(
+                        "QL204",
                         f"timestep {t} region {r} mixes gate types "
-                        f"{sorted(gate_types)} (SIMD requires one)"
+                        f"{sorted(gate_types)} (SIMD requires one)",
+                        timestep=t,
                     )
                 for n in nodes:
                     for q in self.operation(n).qubits:
                         if q in seen_qubits:
-                            raise ScheduleError(
-                                f"timestep {t}: qubit {q!r} used by nodes "
-                                f"{seen_qubits[q]} and {n}"
+                            yield ScheduleViolation(
+                                "QL205",
+                                f"timestep {t}: qubit {q!r} used by "
+                                f"nodes {seen_qubits[q]} and {n}",
+                                timestep=t,
                             )
                         seen_qubits[q] = n
+
+    def validate(self) -> None:
+        """Check every Multi-SIMD execution invariant; raise
+        :class:`ScheduleError` on the first violation found."""
+        for violation in self.iter_violations():
+            raise ScheduleError(violation.message)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

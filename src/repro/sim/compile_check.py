@@ -15,7 +15,7 @@ budget rather than silently skipping.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..core.module import Program
 from ..core.operation import Operation

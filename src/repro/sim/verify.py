@@ -6,7 +6,7 @@ the CTQG arithmetic library implement exactly what they claim.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 

@@ -13,15 +13,22 @@ baselines, and the estimated critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from .analysis import (
+    AnalysisError,
+    Diagnostic,
+    DiagnosticSet,
+    analyze_program,
+    audit_schedule,
+)
 from .arch.machine import (
     GATE_CYCLES,
     MultiSIMD,
     TELEPORT_CYCLES,
 )
 from .core.dag import DependenceDAG
-from .core.module import Module, Program
+from .core.module import Program
 from .passes.decompose import DecomposeConfig, decompose_program
 from .passes.flatten import DEFAULT_FTH, flatten_program
 from .passes.optimize import optimize_program
@@ -100,6 +107,8 @@ class CompileResult:
     total_gates: int
     critical_path: int
     flattened_percent: float
+    #: Diagnostics gathered by strict-mode analysis (empty otherwise).
+    diagnostics: Tuple[Diagnostic, ...] = ()
 
     @property
     def entry_profile(self) -> ModuleProfile:
@@ -172,6 +181,7 @@ def compile_and_schedule(
     decompose_config: Optional[DecomposeConfig] = None,
     optimize: bool = False,
     keep_schedules: bool = True,
+    strict: bool = False,
 ) -> CompileResult:
     """Run the full toolflow on ``program`` for ``machine``.
 
@@ -189,17 +199,39 @@ def compile_and_schedule(
             rotation merging) before decomposition.
         keep_schedules: retain each leaf's full-width schedule for
             inspection (memory permitting).
+        strict: run the static analyzer (:mod:`repro.analysis`)
+            between passes — on the input program and again after
+            decomposition/flattening — and audit every retained
+            schedule; raise :class:`~repro.analysis.AnalysisError` on
+            any ERROR-severity finding. All collected diagnostics
+            (warnings included) are attached to the result's
+            ``diagnostics`` field.
 
     Returns:
         a :class:`CompileResult`.
+
+    Raises:
+        AnalysisError: in strict mode, when analysis finds errors.
     """
     scheduler = scheduler or SchedulerConfig()
+    collected = DiagnosticSet()
+
+    def strict_gate(prog: Program, stage: str) -> None:
+        diags = analyze_program(prog)
+        collected.extend(diags)
+        if diags.has_errors:
+            raise AnalysisError(diags, stage=stage)
+
+    if strict:
+        strict_gate(program, "input")
     if optimize:
         program, _ = optimize_program(program)
     if decompose:
         program = decompose_program(program, decompose_config)
     flat = flatten_program(program, fth=fth)
     program = flat.program
+    if strict:
+        strict_gate(program, "flattened")
 
     k, d = machine.k, machine.d
     widths = _candidate_widths(k)
@@ -246,6 +278,14 @@ def compile_and_schedule(
                 )
         profiles[name] = profile
 
+    if strict:
+        audit = DiagnosticSet()
+        for name, sched in schedules.items():
+            audit.extend(audit_schedule(sched, machine, module=name))
+        collected.extend(audit)
+        if audit.has_errors:
+            raise AnalysisError(audit, stage="schedule")
+
     resources = estimate_resources(program)
     cp = hierarchical_critical_path(program)
     return CompileResult(
@@ -257,4 +297,5 @@ def compile_and_schedule(
         total_gates=resources.total_gates,
         critical_path=max(cp[program.entry], 1),
         flattened_percent=flat.percent_flattened,
+        diagnostics=tuple(collected.sorted()),
     )

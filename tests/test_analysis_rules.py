@@ -1,0 +1,329 @@
+"""Tests for the built-in program-level lint rules (QL001-QL007).
+
+Each rule gets one clean and one dirty fixture; a property test then
+checks the central calibration claim: every registry benchmark is free
+of ERROR-severity findings.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ProgramBuilder
+from repro.analysis import Severity, analyze_program
+from repro.benchmarks import BENCHMARKS, benchmark_names
+from repro.core.operation import CallSite
+
+
+def _clean_entry(pb: ProgramBuilder) -> None:
+    """Add a well-formed entry module calling nothing."""
+    m = pb.module("main")
+    q = m.register("q", 2)
+    m.prep_z(q[0]).prep_z(q[1])
+    m.h(q[0]).cnot(q[0], q[1])
+    m.meas_z(q[0]).meas_z(q[1])
+
+
+def _codes(program, code=None):
+    diags = analyze_program(program)
+    if code is None:
+        return diags.codes()
+    return diags.by_code(code)
+
+
+class TestUseBeforeInit:  # QL001
+    def test_dirty_measure_first(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.meas_z(q[0])
+        found = _codes(pb.build("main"), "QL001")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "measured before" in found[0].message
+        assert found[0].qubit == "q[0]"
+
+    def test_dirty_unprepared_in_prepping_module(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 2)
+        m.prep_z(q[0]).h(q[0])
+        m.h(q[1])  # q[1] never prepared, but the module preps q[0]
+        m.meas_z(q[0]).meas_z(q[1])
+        found = _codes(pb.build("main"), "QL001")
+        assert len(found) == 1
+        assert found[0].qubit == "q[1]"
+        assert "without preparation" in found[0].message
+
+    def test_clean(self):
+        pb = ProgramBuilder()
+        _clean_entry(pb)
+        assert not _codes(pb.build("main"), "QL001")
+
+    def test_params_are_exempt(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        sub.h(p[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.prep_z(q[0]).call(sub, [q[0]]).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL001")
+
+
+class TestCallAliasing:  # QL002
+    def test_dirty_argument_captures_callee_local(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        anc = sub.register("anc", 1)
+        sub.cnot(p[0], anc[0])
+        main = pb.module("main")
+        # The caller's 'anc' register collides with the callee's local
+        # 'anc': under name-based binding the argument aliases it.
+        anc_m = main.register("anc", 1)
+        main.prep_z(anc_m[0]).call(sub, [anc_m[0]])
+        found = _codes(pb.build("main"), "QL002")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert "aliases" in found[0].message
+        assert found[0].module == "main"
+
+    def test_dirty_duplicate_args_on_handbuilt_call(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 2)
+        sub.cnot(p[0], p[1])
+        main = pb.module("main")
+        q = main.register("q", 2)
+        main.prep_z(q[0]).prep_z(q[1]).call(sub, [q[0], q[1]])
+        program = pb.build("main")
+        # The constructor rejects duplicate args, so forge the call the
+        # way an external deserialiser might.
+        call = next(
+            s for s in program.module("main").body
+            if isinstance(s, CallSite)
+        )
+        object.__setattr__(call, "args", (q[0], q[0]))
+        found = _codes(program, "QL002")
+        assert any("two parameters" in d.message for d in found)
+
+    def test_clean(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        anc = sub.register("anc", 1)
+        sub.cnot(p[0], anc[0]).cnot(p[0], anc[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.prep_z(q[0]).call(sub, [q[0]]).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL002")
+
+
+class TestAncillaLeak:  # QL003
+    def test_dirty_leaked_ancilla(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        anc = sub.register("anc", 1)
+        sub.cnot(p[0], anc[0])  # entangled, never uncomputed
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.prep_z(q[0]).call(sub, [q[0]]).meas_z(q[0])
+        found = _codes(pb.build("main"), "QL003")
+        assert len(found) == 1
+        assert found[0].module == "sub"
+        assert found[0].qubit == "anc[0]"
+        assert "ancilla leak" in found[0].message
+
+    def test_clean_uncompute_palindrome(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        anc = sub.register("anc", 1)
+        # compute / use / uncompute on the ancilla
+        sub.cnot(p[0], anc[0])
+        sub.cz(anc[0], p[0])
+        sub.cnot(p[0], anc[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.prep_z(q[0]).call(sub, [q[0]]).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL003")
+
+    def test_clean_measured_ancilla(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        anc = sub.register("anc", 1)
+        sub.cnot(p[0], anc[0]).meas_z(anc[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.prep_z(q[0]).call(sub, [q[0]]).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL003")
+
+    def test_entry_module_is_exempt(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 2)
+        m.prep_z(q[0]).prep_z(q[1]).cnot(q[0], q[1])
+        assert not _codes(pb.build("main"), "QL003")
+
+
+class TestDeadQubit:  # QL004
+    def test_dirty_unused_parameter(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 2)
+        sub.h(p[0])  # p[1] unused
+        main = pb.module("main")
+        q = main.register("q", 2)
+        main.prep_z(q[0]).prep_z(q[1])
+        main.call(sub, [q[0], q[1]])
+        main.meas_z(q[0]).meas_z(q[1])
+        found = _codes(pb.build("main"), "QL004")
+        assert len(found) == 1
+        assert found[0].qubit == "p[1]"
+
+    def test_clean(self):
+        pb = ProgramBuilder()
+        _clean_entry(pb)
+        assert not _codes(pb.build("main"), "QL004")
+
+
+class TestUnreachableModule:  # QL005
+    def test_dirty_orphan_module(self):
+        pb = ProgramBuilder()
+        orphan = pb.module("orphan")
+        p = orphan.param_register("p", 1)
+        orphan.h(p[0])
+        _clean_entry(pb)
+        found = _codes(pb.build("main"), "QL005")
+        assert len(found) == 1
+        assert found[0].module == "orphan"
+
+    def test_clean(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        sub.h(p[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.prep_z(q[0]).call(sub, [q[0]]).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL005")
+
+
+class TestUseAfterMeasure:  # QL006
+    def test_dirty_gate_after_measure(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).meas_z(q[0]).h(q[0])
+        found = _codes(pb.build("main"), "QL006")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert "after measurement" in found[0].message
+
+    def test_dirty_double_measure_is_warning(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).h(q[0]).meas_z(q[0]).meas_z(q[0])
+        found = _codes(pb.build("main"), "QL006")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "measured twice" in found[0].message
+
+    def test_dirty_double_prep_is_warning(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).prep_z(q[0]).h(q[0]).meas_z(q[0])
+        found = _codes(pb.build("main"), "QL006")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "prepared twice" in found[0].message
+
+    def test_clean_reprepared_qubit(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).h(q[0]).meas_z(q[0])
+        m.prep_z(q[0]).h(q[0]).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL006")
+
+    def test_call_weakens_measured_state(self):
+        pb = ProgramBuilder()
+        sub = pb.module("sub")
+        p = sub.param_register("p", 1)
+        sub.prep_z(p[0])
+        main = pb.module("main")
+        q = main.register("q", 1)
+        main.prep_z(q[0]).meas_z(q[0])
+        main.call(sub, [q[0]])  # callee may re-prepare
+        main.h(q[0]).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL006")
+
+
+class TestAngleSanity:  # QL007
+    def test_dirty_unreduced_angle(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).rz(q[0], 9.0).meas_z(q[0])
+        found = _codes(pb.build("main"), "QL007")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "exceeds" in found[0].message
+
+    def test_zero_angle_is_info(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).rz(q[0], 0.0).meas_z(q[0])
+        found = _codes(pb.build("main"), "QL007")
+        assert len(found) == 1
+        assert found[0].severity is Severity.INFO
+
+    def test_clean(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).rz(q[0], math.pi / 4).meas_z(q[0])
+        assert not _codes(pb.build("main"), "QL007")
+
+
+class TestAnalyzeProgram:
+    def test_codes_filter(self):
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.meas_z(q[0])  # QL001
+        m.rz(q[0], 0.0)  # QL007 (info) -- also QL006 error
+        program = pb.build("main")
+        only = analyze_program(program, codes=["QL007"])
+        assert only.codes() == {"QL007"}
+
+    def test_unknown_code_rejected(self):
+        pb = ProgramBuilder()
+        _clean_entry(pb)
+        with pytest.raises(KeyError):
+            analyze_program(pb.build("main"), codes=["QL999"])
+
+
+# Cache built benchmarks: hypothesis revisits keys, builds are costly.
+_BUILT = {}
+
+
+def _built(key):
+    if key not in _BUILT:
+        _BUILT[key] = BENCHMARKS[key].build()
+    return _BUILT[key]
+
+
+class TestBenchmarkCalibration:
+    @settings(deadline=None, max_examples=8)
+    @given(st.sampled_from(benchmark_names()))
+    def test_registry_benchmarks_have_no_errors(self, key):
+        diags = analyze_program(_built(key))
+        assert not diags.has_errors, diags.render()

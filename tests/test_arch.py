@@ -3,7 +3,6 @@ teleportation (including state-transfer fidelity), and EPR accounting."""
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.arch.machine import (

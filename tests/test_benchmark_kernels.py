@@ -7,9 +7,7 @@ its adjacency matrix, Grover's phase oracle, and the SHA-1 round's
 adder semantics.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.benchmarks.boolean_formula import build_boolean_formula

@@ -1,6 +1,5 @@
 """Tests for the benchmark suite: structure, registry, and scaling."""
 
-import math
 
 import pytest
 
@@ -25,9 +24,8 @@ from repro.benchmarks.common import (
     mcz_ops,
     qft_ops,
 )
-from repro.core.dag import DependenceDAG
 from repro.core.qubits import AncillaAllocator, Qubit
-from repro.passes.resource import estimate_resources, total_gate_counts
+from repro.passes.resource import estimate_resources
 from repro.sim.statevector import circuit_unitary
 from repro.sim.verify import equivalent_up_to_global_phase, truth_table
 

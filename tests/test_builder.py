@@ -1,11 +1,10 @@
 """Unit tests for the Scaffold-style program builder DSL."""
 
-import math
 
 import pytest
 
 from repro.core.builder import ModuleBuilder, ProgramBuilder
-from repro.core.operation import CallSite, Operation
+from repro.core.operation import Operation
 from repro.core.qubits import Qubit
 
 

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.arch.machine import MultiSIMD, NAIVE_FACTOR, TELEPORT_CYCLES
 from repro.core.dag import DependenceDAG

@@ -15,7 +15,6 @@ from repro.core.qubits import Qubit
 from repro.passes.decompose import (
     DecomposeConfig,
     RotationSynthesizer,
-    decompose_module,
     decompose_operation,
     decompose_program,
     toffoli_network,

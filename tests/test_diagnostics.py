@@ -1,0 +1,220 @@
+"""Tests for the diagnostics engine (repro.analysis.diagnostics)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    Diagnostic,
+    DiagnosticSet,
+    Severity,
+    registered_rules,
+)
+from repro.core.source import SourceLocation
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase(self):
+        assert str(Severity.WARNING) == "warning"
+        assert str(Severity.ERROR) == "error"
+
+    def test_from_name(self):
+        assert Severity.from_name("error") is Severity.ERROR
+        assert Severity.from_name("Info") is Severity.INFO
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_name("fatal")
+
+
+class TestSourceLocation:
+    def test_str_with_file(self):
+        loc = SourceLocation(4, 7, "prog.scd")
+        assert str(loc) == "prog.scd:4:7"
+
+    def test_str_without_file(self):
+        assert str(SourceLocation(4, 7)) == "4:7"
+
+    def test_describe(self):
+        assert "line 4" in SourceLocation(4, 7).describe()
+
+    def test_ordering(self):
+        assert SourceLocation(2, 9) < SourceLocation(3, 1)
+        assert SourceLocation(3, 1) < SourceLocation(3, 2)
+
+    def test_to_dict(self):
+        d = SourceLocation(4, 7, "prog.scd").to_dict()
+        assert d["line"] == 4
+        assert d["column"] == 7
+        assert d["file"] == "prog.scd"
+
+
+class TestDiagnostic:
+    def test_render_with_module_anchor(self):
+        d = Diagnostic(
+            code="QL001",
+            severity=Severity.WARNING,
+            message="something odd",
+            module="main",
+            stmt=3,
+        )
+        text = d.render()
+        assert "warning[QL001]" in text
+        assert "module 'main' stmt 3" in text
+        assert "something odd" in text
+
+    def test_render_prefers_source_location(self):
+        d = Diagnostic(
+            code="QL101",
+            severity=Severity.ERROR,
+            message="bad syntax",
+            loc=SourceLocation(4, 7, "prog.scd"),
+        )
+        assert "prog.scd:4:7" in d.render()
+
+    def test_to_dict_omits_unset_anchors(self):
+        d = Diagnostic(
+            code="QL005",
+            severity=Severity.WARNING,
+            message="m",
+        )
+        out = d.to_dict()
+        assert out == {
+            "code": "QL005",
+            "severity": "warning",
+            "message": "m",
+        }
+
+    def test_to_dict_includes_location(self):
+        d = Diagnostic(
+            code="QL101",
+            severity=Severity.ERROR,
+            message="m",
+            loc=SourceLocation(2, 5, "x.scd"),
+            rule="scaffold-parse",
+        )
+        out = d.to_dict()
+        assert out["location"] == {
+            "line": 2, "column": 5, "file": "x.scd",
+        }
+        assert out["rule"] == "scaffold-parse"
+
+
+def _diag(code, sev, module=None, stmt=None, line=None):
+    return Diagnostic(
+        code=code,
+        severity=sev,
+        message=f"{code} message",
+        module=module,
+        stmt=stmt,
+        loc=SourceLocation(line, 0) if line is not None else None,
+    )
+
+
+class TestDiagnosticSet:
+    def test_container_protocol(self):
+        ds = DiagnosticSet()
+        assert not ds
+        assert len(ds) == 0
+        ds.add(_diag("QL001", Severity.WARNING))
+        ds.extend([_diag("QL002", Severity.ERROR)])
+        assert ds
+        assert len(ds) == 2
+        assert ds[0].code == "QL001"
+        assert [d.code for d in ds] == ["QL001", "QL002"]
+
+    def test_severity_queries(self):
+        ds = DiagnosticSet([
+            _diag("QL007", Severity.INFO),
+            _diag("QL001", Severity.WARNING),
+            _diag("QL002", Severity.ERROR),
+        ])
+        assert ds.has_errors
+        assert ds.max_severity is Severity.ERROR
+        assert [d.code for d in ds.errors] == ["QL002"]
+        assert [d.code for d in ds.warnings] == ["QL001"]
+        assert len(ds.at_least(Severity.WARNING)) == 2
+        assert ds.counts() == {"info": 1, "warning": 1, "error": 1}
+
+    def test_empty_set_queries(self):
+        ds = DiagnosticSet()
+        assert not ds.has_errors
+        assert ds.max_severity is None
+        assert ds.counts() == {"info": 0, "warning": 0, "error": 0}
+
+    def test_codes_and_by_code(self):
+        ds = DiagnosticSet([
+            _diag("QL001", Severity.WARNING),
+            _diag("QL001", Severity.WARNING),
+            _diag("QL004", Severity.WARNING),
+        ])
+        assert ds.codes() == {"QL001", "QL004"}
+        assert len(ds.by_code("QL001")) == 2
+
+    def test_sorted_orders_by_module_then_location(self):
+        ds = DiagnosticSet([
+            _diag("QL001", Severity.WARNING, module="zeta", line=1),
+            _diag("QL002", Severity.ERROR, module="alpha", line=9),
+            _diag("QL003", Severity.WARNING, module="alpha", line=2),
+        ])
+        assert [d.code for d in ds.sorted()] == [
+            "QL003", "QL002", "QL001",
+        ]
+
+    def test_render_summary(self):
+        ds = DiagnosticSet([
+            _diag("QL002", Severity.ERROR),
+            _diag("QL001", Severity.WARNING),
+            _diag("QL001", Severity.WARNING),
+        ])
+        text = ds.render()
+        assert text.endswith("1 error, 2 warnings")
+
+    def test_render_empty(self):
+        assert DiagnosticSet().render() == "no findings"
+
+    def test_to_json_round_trips(self):
+        ds = DiagnosticSet([_diag("QL002", Severity.ERROR)])
+        data = json.loads(ds.to_json())
+        assert data["counts"]["error"] == 1
+        assert data["diagnostics"][0]["code"] == "QL002"
+
+
+class TestAnalysisError:
+    def test_carries_diagnostics_and_stage(self):
+        ds = DiagnosticSet([_diag("QL002", Severity.ERROR)])
+        exc = AnalysisError(ds, stage="flattened")
+        assert exc.diagnostics is ds
+        assert exc.stage == "flattened"
+        assert "1 error(s)" in str(exc)
+        assert "flattened" in str(exc)
+        assert "QL002" in str(exc)
+
+    def test_truncates_long_error_lists(self):
+        ds = DiagnosticSet(
+            [_diag("QL002", Severity.ERROR) for _ in range(14)]
+        )
+        assert "... and 4 more" in str(AnalysisError(ds))
+
+
+class TestRuleRegistry:
+    def test_builtin_rules_registered(self):
+        rules = registered_rules()
+        codes = [r.code for r in rules]
+        assert codes == sorted(codes)
+        assert len(set(codes)) == len(codes)
+        for expected in (
+            "QL001", "QL002", "QL003", "QL004", "QL005", "QL006",
+            "QL007",
+        ):
+            assert expected in codes
+
+    def test_rules_carry_metadata(self):
+        for r in registered_rules():
+            assert r.name
+            assert r.summary
+            assert isinstance(r.severity, Severity)

@@ -1,6 +1,5 @@
 """Tests for static EPR pre-distribution planning."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.builder import ProgramBuilder
-from repro.core.operation import CallSite, Operation
+from repro.core.operation import Operation
 from repro.core.qubits import Qubit
 from repro.passes.decompose import decompose_program
 from repro.passes.flatten import (

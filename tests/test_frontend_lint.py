@@ -1,0 +1,93 @@
+"""Tests for front-end linting (repro.analysis.frontend)."""
+
+from repro.analysis import lint_qasm_source, lint_scaffold_source
+
+CLEAN = """
+module main ( ) {
+    qreg q[2];
+    PrepZ(q[0]);
+    PrepZ(q[1]);
+    H(q[0]);
+    CNOT(q[0], q[1]);
+    MeasZ(q[0]);
+    MeasZ(q[1]);
+}
+"""
+
+
+class TestScaffoldLint:
+    def test_clean_source(self):
+        lint = lint_scaffold_source(CLEAN, filename="clean.scd")
+        assert lint.ok
+        assert lint.program is not None
+        assert len(lint.diagnostics) == 0
+
+    def test_syntax_error_becomes_ql101(self):
+        lint = lint_scaffold_source(
+            "module main ( ) { qbit a; H(a) }", filename="x.scd"
+        )
+        assert not lint.ok
+        assert lint.program is None
+        codes = lint.diagnostics.codes()
+        assert codes == {"QL101"}
+        d = lint.diagnostics[0]
+        assert d.loc is not None
+        assert d.loc.file == "x.scd"
+
+    def test_unknown_gate_becomes_ql103(self):
+        lint = lint_scaffold_source(
+            "module main ( ) { qbit a; BLORP(a); }"
+        )
+        assert not lint.ok
+        assert lint.diagnostics.codes() == {"QL103"}
+        assert "BLORP" in lint.diagnostics[0].message
+
+    def test_validation_error_becomes_ql104(self):
+        # Mutual recursion fails IR validation, not parsing.
+        lint = lint_scaffold_source(
+            "module a ( qbit x ) { b(x); }\n"
+            "module b ( qbit x ) { a(x); }\n"
+            "module main ( ) { qbit y; a(y); }\n"
+        )
+        assert not lint.ok
+        assert lint.diagnostics.codes() == {"QL104"}
+
+    def test_loop_warnings_become_ql102(self):
+        lint = lint_scaffold_source(
+            "module main ( ) {\n"
+            "    qbit a;\n"
+            "    for i in 1 .. 1 { H(a); }\n"
+            "    repeat 1 { H(a); }\n"
+            "}\n"
+        )
+        assert lint.ok  # warnings are non-fatal
+        assert lint.diagnostics.codes() == {"QL102"}
+        assert len(lint.diagnostics) == 2
+        assert not lint.diagnostics.has_errors
+        rules = {d.rule for d in lint.diagnostics}
+        assert rules == {
+            "loop-bounds/degenerate-loop",
+            "loop-bounds/degenerate-repeat",
+        }
+
+
+class TestQasmLint:
+    def test_clean_source(self):
+        from repro import parse_scaffold, emit_qasm
+
+        text = emit_qasm(parse_scaffold(CLEAN))
+        lint = lint_qasm_source(text)
+        assert lint.ok
+        assert len(lint.diagnostics) == 0
+
+    def test_syntax_error_becomes_ql101(self):
+        lint = lint_qasm_source(
+            ".module main .entry\n    frobnicate q\n"
+        )
+        assert not lint.ok
+        assert lint.diagnostics.codes() == {"QL101"}
+        d = lint.diagnostics[0]
+        assert d.loc is not None
+        assert d.loc.line == 2
+        # the "line N:" prefix is stripped (the location carries it)
+        assert not d.message.startswith("line ")

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.builder import ProgramBuilder
 from repro.core.module import Module, Program, ProgramValidationError
 from repro.core.operation import CallSite, Operation
 from repro.core.qubits import Qubit

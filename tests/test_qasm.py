@@ -6,9 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.builder import ProgramBuilder
-from repro.core.operation import CallSite, Operation
 from repro.core.qasm import QasmSyntaxError, emit_qasm, parse_qasm
-from repro.core.qubits import Qubit
 
 
 def sample_program():

@@ -1,6 +1,5 @@
 """Tests for the concatenated-code QECC overhead model."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

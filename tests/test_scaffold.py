@@ -4,9 +4,13 @@ import math
 
 import pytest
 
-from repro.core.operation import CallSite, Operation
+from repro.core.operation import Operation
 from repro.core.qubits import Qubit
-from repro.core.scaffold import ScaffoldSyntaxError, parse_scaffold
+from repro.core.scaffold import (
+    ScaffoldSyntaxError,
+    ScaffoldWarning,
+    parse_scaffold,
+)
 
 
 def q(reg, i=0):
@@ -227,6 +231,141 @@ class TestErrors:
         source = "module main ( ) {\n  qbit a;\n  H(a) ;\n  X(); \n}\n"
         with pytest.raises(ScaffoldSyntaxError, match="line 4"):
             parse_scaffold(source)
+
+
+class TestLocations:
+    def test_error_carries_line_and_column(self):
+        source = "module main ( ) {\n    qbit a;\n    H(b);\n}\n"
+        with pytest.raises(ScaffoldSyntaxError) as ei:
+            parse_scaffold(source)
+        exc = ei.value
+        assert exc.line == 3
+        assert exc.column == 7  # the 'b' operand
+        assert "line 3, col 7" in str(exc)
+        assert "undeclared" in exc.bare_message
+
+    def test_malformed_module_header_location(self):
+        source = "module main qbit a ) { H(a); }"
+        with pytest.raises(ScaffoldSyntaxError) as ei:
+            parse_scaffold(source)
+        assert ei.value.line == 1
+        assert ei.value.code == "QL101"
+
+    def test_bad_loop_bounds_location(self):
+        source = (
+            "module main ( ) {\n"
+            "    qbit a;\n"
+            "    for i in 5 .. 2 { H(a); }\n"
+            "}\n"
+        )
+        with pytest.raises(
+            ScaffoldSyntaxError, match="empty loop range"
+        ) as ei:
+            parse_scaffold(source)
+        assert ei.value.line == 3
+
+    def test_unknown_gate_location_and_code(self):
+        source = "module main ( ) {\n    qbit a;\n    BLORP(a);\n}\n"
+        with pytest.raises(ScaffoldSyntaxError) as ei:
+            parse_scaffold(source)
+        exc = ei.value
+        assert exc.code == "QL103"
+        assert exc.line == 3
+        assert exc.column == 5
+        assert "BLORP" in exc.bare_message
+
+    def test_call_arity_error_location(self):
+        source = (
+            "module box ( qbit a, qbit b ) { CNOT(a, b); }\n"
+            "module main ( ) {\n"
+            "    qbit x;\n"
+            "    box(x);\n"
+            "}\n"
+        )
+        with pytest.raises(
+            ScaffoldSyntaxError, match="expects 2"
+        ) as ei:
+            parse_scaffold(source)
+        assert ei.value.line == 4
+        assert ei.value.code == "QL103"
+
+    def test_statement_locations_attached(self):
+        source = (
+            "module main ( ) {\n"
+            "    qbit a;\n"
+            "    H(a);\n"
+            "    MeasZ(a);\n"
+            "}\n"
+        )
+        prog = parse_scaffold(source, filename="t.scd")
+        ops = list(prog.entry_module.operations())
+        assert ops[0].loc is not None
+        assert ops[0].loc.line == 3
+        assert ops[0].loc.file == "t.scd"
+        assert ops[1].loc.line == 4
+        assert prog.entry_module.loc.line == 1
+
+    def test_call_site_location_attached(self):
+        source = (
+            "module box ( qbit a ) { H(a); }\n"
+            "module main ( ) {\n"
+            "    qbit x;\n"
+            "    box(x);\n"
+            "}\n"
+        )
+        prog = parse_scaffold(source)
+        call = next(prog.entry_module.calls())
+        assert call.loc.line == 4
+
+    def test_locations_do_not_affect_equality(self):
+        with_loc = parse_scaffold(
+            "module main ( ) { qbit a; H(a); }"
+        ).entry_module.body[0]
+        assert with_loc.loc is not None
+        assert with_loc == Operation("H", (q("a"),))
+
+
+class TestWarningsSink:
+    def test_degenerate_loop_warning(self):
+        warnings = []
+        parse_scaffold(
+            "module main ( ) {\n"
+            "    qbit a;\n"
+            "    for i in 2 .. 2 { H(a); }\n"
+            "}\n",
+            warnings=warnings,
+        )
+        assert len(warnings) == 1
+        w = warnings[0]
+        assert isinstance(w, ScaffoldWarning)
+        assert w.kind == "degenerate-loop"
+        assert w.loc.line == 3
+
+    def test_degenerate_repeat_warning(self):
+        warnings = []
+        parse_scaffold(
+            "module main ( ) { qbit a; repeat 1 { H(a); } }",
+            warnings=warnings,
+        )
+        assert [w.kind for w in warnings] == ["degenerate-repeat"]
+
+    def test_no_sink_no_error(self):
+        # Warnings are silently dropped without a sink.
+        prog = parse_scaffold(
+            "module main ( ) { qbit a; repeat 1 { H(a); } }"
+        )
+        assert prog.entry_module is not None
+
+    def test_clean_source_produces_no_warnings(self):
+        warnings = []
+        parse_scaffold(
+            "module main ( ) {\n"
+            "    qreg r[4];\n"
+            "    for i in 0 .. 3 { H(r[i]); }\n"
+            "}\n",
+            warnings=warnings,
+        )
+        assert warnings == []
 
 
 class TestEndToEnd:

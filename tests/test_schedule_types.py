@@ -150,7 +150,6 @@ class TestValidation:
 
     def test_operation_accessor_type_error(self):
         from repro.core.operation import CallSite
-        from repro.core.module import Module
 
         dag = DependenceDAG([CallSite("x", (Q[0],))])
         sched = Schedule(dag, k=1)

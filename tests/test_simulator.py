@@ -1,6 +1,5 @@
 """Unit tests for the statevector simulator."""
 
-import math
 
 import numpy as np
 import pytest

@@ -6,7 +6,6 @@ import pytest
 
 from repro.arch.machine import MultiSIMD
 from repro.toolflow import (
-    CompileResult,
     SchedulerConfig,
     compile_and_schedule,
 )
@@ -152,3 +151,63 @@ class TestHierarchicalComposition:
         )
         assert result.total_gates == 10 ** 9
         assert result.runtime > 10 ** 9
+
+
+class TestStrictMode:
+    def _machine(self):
+        return MultiSIMD(k=2)
+
+    def test_clean_program_compiles_with_diagnostics(
+        self, two_toffoli_program
+    ):
+        result = compile_and_schedule(
+            two_toffoli_program, self._machine(), strict=True
+        )
+        assert isinstance(result.diagnostics, tuple)
+        assert not any(
+            d.severity.name == "ERROR" for d in result.diagnostics
+        )
+
+    def test_default_mode_collects_nothing(self, two_toffoli_program):
+        result = compile_and_schedule(
+            two_toffoli_program, self._machine()
+        )
+        assert result.diagnostics == ()
+
+    def test_input_stage_errors_raise(self):
+        from repro.analysis import AnalysisError
+        from repro.core import ProgramBuilder
+
+        pb = ProgramBuilder()
+        m = pb.module("main")
+        q = m.register("q", 1)
+        m.prep_z(q[0]).meas_z(q[0]).h(q[0])  # use after measure
+        with pytest.raises(AnalysisError) as ei:
+            compile_and_schedule(
+                pb.build("main"), self._machine(), strict=True
+            )
+        exc = ei.value
+        assert exc.stage == "input"
+        assert "QL006" in {d.code for d in exc.diagnostics}
+
+    def test_diagnostics_are_canonically_sorted(
+        self, two_toffoli_program
+    ):
+        from repro.analysis import DiagnosticSet
+
+        result = compile_and_schedule(
+            two_toffoli_program, self._machine(), strict=True
+        )
+        canonical = DiagnosticSet(result.diagnostics).sorted()
+        assert list(result.diagnostics) == canonical
+
+    def test_kept_schedules_are_audited(self, two_toffoli_program):
+        from repro.analysis import audit_schedule
+
+        result = compile_and_schedule(
+            two_toffoli_program, self._machine(), strict=True
+        )
+        for name, sched in result.schedules.items():
+            assert not audit_schedule(
+                sched, result.machine, module=name
+            ).has_errors

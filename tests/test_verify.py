@@ -1,7 +1,6 @@
 """Unit tests for the verification helpers."""
 
 import cmath
-import math
 
 import numpy as np
 import pytest
