@@ -14,17 +14,18 @@ additionally record how long each figure's scheduling work takes.
 
 from __future__ import annotations
 
-import math
 from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence
 
 from repro.arch.machine import MultiSIMD
 from repro.benchmarks import BENCHMARKS, benchmark_names
 from repro.passes.qubit_count import minimum_qubits
-from repro.toolflow import CompileResult, SchedulerConfig, compile_and_schedule
+from repro.service import CompileService, default_cache_dir
+from repro.toolflow import CompileResult, SchedulerConfig
 
 __all__ = [
     "ALGORITHMS",
+    "SERVICE",
     "benchmark_names",
     "compile_benchmark",
     "min_qubits",
@@ -33,8 +34,10 @@ __all__ = [
 
 ALGORITHMS = ("rcp", "lpfs")
 
-#: local-memory capacity encodings usable as cache keys.
-_LOCAL = {"none": None, "inf": math.inf}
+#: One shared compile service: in-memory LRU within a bench run, the
+#: on-disk artifact store across runs (set ``REPRO_CACHE_DIR`` to move
+#: it off ``./.repro-cache``).
+SERVICE = CompileService(cache_dir=default_cache_dir())
 
 
 @lru_cache(maxsize=None)
@@ -48,7 +51,6 @@ def min_qubits(key: str) -> int:
     return minimum_qubits(_build(key))
 
 
-@lru_cache(maxsize=None)
 def compile_benchmark(
     key: str,
     algorithm: str = "lpfs",
@@ -58,10 +60,13 @@ def compile_benchmark(
     """Compile one benchmark through the full toolflow (cached).
 
     ``local`` is the scratchpad capacity (None disables; fractions of Q
-    are passed as plain floats).
+    are passed as plain floats). Results come from the content-addressed
+    :data:`SERVICE`, so repeated figure regenerations — and anything
+    else sharing the artifact store, like ``python -m repro bench`` —
+    pay for each configuration once.
     """
     spec = BENCHMARKS[key]
-    return compile_and_schedule(
+    return SERVICE.compile(
         _build(key),
         MultiSIMD(k=k, local_memory=local),
         SchedulerConfig(algorithm),

@@ -95,6 +95,15 @@ from .sched import (
     schedule_rcp,
     schedule_sequential,
 )
+from .instrument import SpanRecorder, record_spans, span
+from .service import (
+    CompileService,
+    JobSpec,
+    SweepGrid,
+    fingerprint_program,
+    fingerprint_request,
+    run_sweep,
+)
 from .toolflow import (
     CompileResult,
     ModuleProfile,
@@ -110,6 +119,7 @@ __all__ = [
     "CallSite",
     "CommStats",
     "CompileResult",
+    "CompileService",
     "DecomposeConfig",
     "DependenceDAG",
     "Diagnostic",
@@ -117,6 +127,7 @@ __all__ = [
     "EPRAccounting",
     "EPRPlan",
     "GATE_CYCLES",
+    "JobSpec",
     "LOCAL_MOVE_CYCLES",
     "MemoryMap",
     "Module",
@@ -138,6 +149,8 @@ __all__ = [
     "SchedulerConfig",
     "Scratchpad",
     "Severity",
+    "SpanRecorder",
+    "SweepGrid",
     "TELEPORT_CYCLES",
     "analyze_program",
     "audit_replay",
@@ -154,6 +167,8 @@ __all__ = [
     "decompose_program",
     "derive_movement",
     "estimate_resources",
+    "fingerprint_program",
+    "fingerprint_request",
     "flatten_program",
     "gate_count_histogram",
     "hierarchical_critical_path",
@@ -163,10 +178,13 @@ __all__ = [
     "registered_rules",
     "naive_runtime",
     "parallel_speedup",
+    "record_spans",
+    "run_sweep",
     "schedule_coarse",
     "schedule_lpfs",
     "schedule_rcp",
     "schedule_sequential",
+    "span",
     "teleportation_ops",
     "total_gate_counts",
     "__version__",

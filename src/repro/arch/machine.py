@@ -23,7 +23,15 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
-__all__ = ["MultiSIMD", "GATE_CYCLES", "TELEPORT_CYCLES", "LOCAL_MOVE_CYCLES", "NAIVE_FACTOR"]
+__all__ = [
+    "MultiSIMD",
+    "GATE_CYCLES",
+    "TELEPORT_CYCLES",
+    "LOCAL_MOVE_CYCLES",
+    "NAIVE_FACTOR",
+    "parse_capacity",
+    "capacity_label",
+]
 
 #: Cycles per logical gate (all gates normalised to the slowest — Sec 3.2).
 GATE_CYCLES = 1
@@ -88,3 +96,39 @@ class MultiSIMD:
             else f", local={self.local_memory:g}"
         )
         return f"Multi-SIMD({self.k},{d}{lm})"
+
+
+def parse_capacity(text: Optional[str]) -> Optional[float]:
+    """Parse a local-memory capacity spelling.
+
+    The one canonical encoding used by the CLI, the sweep grid, and the
+    figure benches: ``None``/``"none"`` disables local memories,
+    ``"inf"`` models unbounded ones, any other spelling must parse as a
+    non-negative number.
+
+    Raises:
+        ValueError: on a non-numeric or negative spelling.
+    """
+    if text is None or text == "none":
+        return None
+    if text == "inf":
+        return math.inf
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad local-memory capacity {text!r} "
+            "(expected 'none', 'inf', or a number)"
+        ) from None
+    if value < 0:
+        raise ValueError("local-memory capacity must be >= 0")
+    return value
+
+
+def capacity_label(value: Optional[float]) -> str:
+    """Inverse of :func:`parse_capacity`, for reports and JSON keys."""
+    if value is None:
+        return "none"
+    if math.isinf(value):
+        return "inf"
+    return f"{value:g}"

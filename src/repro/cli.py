@@ -10,12 +10,15 @@ Usage (also available as ``python -m repro``)::
     python -m repro lint Grovers
     python -m repro lint program.scd --format json
     python -m repro lint all --fail-on warning
+    python -m repro bench GSE,TFP --schedulers rcp,lpfs -k 2,4
+    python -m repro bench all -o BENCH_sweep.json
 
 Exit codes form a stable contract (tested in ``tests/test_cli.py``):
 
 * ``0`` — success;
-* ``1`` — lint findings at or above the ``--fail-on`` threshold, or a
-  strict-mode analysis failure;
+* ``1`` — lint findings at or above the ``--fail-on`` threshold, a
+  strict-mode analysis failure, or a failed/timed-out sweep job not
+  attributable to a more specific class below;
 * ``2`` — usage / input errors (unknown benchmark, unreadable file,
   bad option values);
 * ``3`` — parse or program-validation errors in a source file;
@@ -26,7 +29,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -39,7 +41,7 @@ from .analysis import (
     lint_qasm_source,
     lint_scaffold_source,
 )
-from .arch.machine import MultiSIMD
+from .arch.machine import MultiSIMD, parse_capacity
 from .benchmarks import BENCHMARKS, benchmark_names
 from .core.module import Program, ProgramValidationError
 from .core.qasm import QasmSyntaxError, emit_qasm, parse_qasm
@@ -97,17 +99,10 @@ def _load_program(source: str) -> Program:
 
 
 def _parse_capacity(text: Optional[str]) -> Optional[float]:
-    if text is None or text == "none":
-        return None
-    if text == "inf":
-        return math.inf
     try:
-        value = float(text)
-    except ValueError:
-        raise CLIError(f"bad local-memory capacity {text!r}")
-    if value < 0:
-        raise CLIError("local-memory capacity must be >= 0")
-    return value
+        return parse_capacity(text)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -264,6 +259,93 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return EXIT_LINT if diags.at_least(threshold) else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .service import (
+        SweepGrid,
+        build_sweep_payload,
+        default_cache_dir,
+        run_sweep,
+        validate_sweep_payload,
+    )
+
+    try:
+        grid = SweepGrid.parse(
+            benchmarks=args.source,
+            schedulers=args.schedulers,
+            ks=args.k,
+            ds=args.d,
+            local_memories=args.local_mem,
+            fth=args.fth,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    jobs = grid.expand()
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    run = run_sweep(
+        jobs,
+        cache_dir=cache_dir,
+        parallel=not args.serial,
+        max_workers=args.jobs,
+        timeout=args.timeout,
+        use_cache=not args.no_cache,
+    )
+    payload = build_sweep_payload(run, grid)
+    problems = validate_sweep_payload(payload)
+    for problem in problems:  # defensive; the runner emits valid docs
+        print(f"warning: invalid sweep payload: {problem}",
+              file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        header = (
+            f"{'benchmark':<10} {'sched':<5} {'k':>2} {'d':>4} "
+            f"{'local':>6} {'status':<8} {'cache':<7} "
+            f"{'runtime':>10} {'comm x':>7} {'time':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for outcome in run.outcomes:
+            job = outcome["job"]
+            metrics = outcome.get("metrics") or {}
+            runtime = metrics.get("runtime")
+            speedup = metrics.get("comm_aware_speedup")
+            print(
+                f"{job['benchmark']:<10} {job['algorithm']:<5} "
+                f"{job['k']:>2} "
+                f"{job['d'] if job['d'] is not None else 'inf':>4} "
+                f"{job['local_memory']:>6} "
+                f"{outcome['status']:<8} "
+                f"{outcome.get('cached') or 'miss':<7} "
+                f"{runtime if runtime is not None else '-':>10} "
+                f"{f'{speedup:.2f}' if speedup is not None else '-':>7} "
+                f"{outcome['elapsed_s']:>7.2f}s"
+            )
+        print(
+            f"\n{len(run.ok)}/{len(run.outcomes)} jobs ok, "
+            f"{run.cache_hits} served from cache "
+            f"({100 * run.hit_rate:.0f}%), wall {run.wall_s:.2f}s"
+            + (", degraded to serial" if run.degraded_to_serial else "")
+        )
+        if args.output:
+            print(f"wrote {args.output}")
+    if not run.failed:
+        return 0
+    kinds = {
+        (outcome.get("error") or {}).get("kind")
+        for outcome in run.failed
+    }
+    if "schedule" in kinds:
+        return EXIT_SCHEDULE
+    if "parse" in kinds:
+        return EXIT_PARSE
+    return EXIT_LINT
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -351,6 +433,75 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_l.set_defaults(fn=_cmd_lint)
+
+    p_b = sub.add_parser(
+        "bench",
+        help="run a cached, parallel benchmark sweep",
+    )
+    p_b.add_argument(
+        "source", nargs="?", default="all",
+        help=(
+            "comma-separated benchmark keys, or 'all' for the whole "
+            "suite (default all)"
+        ),
+    )
+    p_b.add_argument(
+        "--schedulers", default="lpfs",
+        help="comma-separated schedulers: rcp, lpfs (default lpfs)",
+    )
+    p_b.add_argument(
+        "-k", default="4",
+        help="comma-separated SIMD region counts (default 4)",
+    )
+    p_b.add_argument(
+        "-d", default="inf",
+        help="comma-separated region capacities, or inf (default inf)",
+    )
+    p_b.add_argument(
+        "--local-mem", default="none", dest="local_mem",
+        help=(
+            "comma-separated scratchpad capacities: none, a number, "
+            "or inf (default none)"
+        ),
+    )
+    p_b.add_argument(
+        "--fth", type=int, default=None,
+        help="flattening threshold in ops (default: per-benchmark)",
+    )
+    p_b.add_argument(
+        "--serial", action="store_true",
+        help="run jobs in-process instead of over a worker pool",
+    )
+    p_b.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker pool size (default: CPU count)",
+    )
+    p_b.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job timeout in seconds (default: none)",
+    )
+    p_b.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "artifact store directory (default: $REPRO_CACHE_DIR or "
+            "./.repro-cache)"
+        ),
+    )
+    p_b.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the compile cache entirely",
+    )
+    p_b.add_argument(
+        "-o", "--output", default="BENCH_sweep.json",
+        help=(
+            "sweep report path (default BENCH_sweep.json; '' to skip)"
+        ),
+    )
+    p_b.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (default text)",
+    )
+    p_b.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -12,6 +12,7 @@ import time
 from typing import Callable, Dict, List, Tuple
 
 from ..core.module import Program
+from ..instrument import span
 
 __all__ = ["PassManager"]
 
@@ -31,13 +32,19 @@ class PassManager:
         return self
 
     def run(self, program: Program) -> Program:
-        """Run all passes in order, validating after each."""
+        """Run all passes in order, validating after each.
+
+        Each pass is timed twice over: into :attr:`timings` (local to
+        this manager) and as a ``pass:<name>`` span against any active
+        :func:`repro.instrument.record_spans` scope.
+        """
         self.timings = {}
         for name, fn in self._passes:
             start = time.perf_counter()
-            program = fn(program)
+            with span(f"pass:{name}"):
+                program = fn(program)
+                program.validate()
             self.timings[name] = time.perf_counter() - start
-            program.validate()
         return program
 
     def __len__(self) -> int:

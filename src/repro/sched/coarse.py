@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.dag import DependenceDAG
 from ..core.module import Module
 from ..core.operation import Operation
+from ..instrument import spanned
 
 __all__ = ["Placement", "CoarseResult", "best_dim", "schedule_coarse"]
 
@@ -92,6 +93,7 @@ class CoarseResult:
         return count
 
 
+@spanned("schedule:coarse")
 def schedule_coarse(
     module: Module,
     callee_dims: Dict[str, Dims],

@@ -36,6 +36,7 @@ from ..arch.machine import (
 from ..arch.memory import MemoryMap
 from ..arch.teleport import EPRAccounting
 from ..core.qubits import Qubit
+from ..instrument import spanned
 from .types import Move, Schedule
 
 __all__ = ["CommStats", "derive_movement", "naive_runtime"]
@@ -79,6 +80,7 @@ def _loc_label(loc: tuple) -> str:
     return f"{loc[0]}{loc[1]}"
 
 
+@spanned("comm:derive_movement")
 def derive_movement(
     sched: Schedule, machine: MultiSIMD
 ) -> CommStats:

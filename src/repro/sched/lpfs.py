@@ -28,11 +28,13 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
 from ..core.dag import DependenceDAG
+from ..instrument import spanned
 from .types import Schedule
 
 __all__ = ["schedule_lpfs"]
 
 
+@spanned("schedule:lpfs")
 def schedule_lpfs(
     dag: DependenceDAG,
     k: int,

@@ -26,6 +26,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.dag import DependenceDAG
 from ..core.qubits import Qubit
+from ..instrument import spanned
 from .types import Schedule
 
 __all__ = ["RCPWeights", "schedule_rcp"]
@@ -42,6 +43,7 @@ class RCPWeights:
         self.w_slack = w_slack
 
 
+@spanned("schedule:rcp")
 def schedule_rcp(
     dag: DependenceDAG,
     k: int,

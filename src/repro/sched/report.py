@@ -5,8 +5,11 @@ Rendering helpers used by the examples, the CLI, and downstream tools:
 * :func:`render_timeline` — the paper's Figure-4-style cycle-by-cycle
   listing of a fine-grained schedule (one column per SIMD region, the
   movement epoch annotated per the "0th region" convention);
-* :func:`schedule_to_dict` / :func:`compile_result_to_dict` — JSON-safe
-  exports of schedules and whole compile results;
+* :func:`schedule_to_dict` / :func:`schedule_from_dict` and
+  :func:`compile_result_to_dict` / :func:`compile_result_from_dict` —
+  JSON-safe exports of schedules and whole compile results, and the
+  loaders that reconstruct them (the round-trip the service-layer
+  artifact cache is built on);
 * :func:`profile_table` — per-module blackbox dimension tables.
 """
 
@@ -15,13 +18,22 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional
 
-from .types import Schedule
+from ..analysis.diagnostics import Diagnostic
+from ..arch.machine import MultiSIMD
+from ..core.dag import DependenceDAG
+from ..core.module import Module, Program
+from ..core.operation import CallSite, Operation
+from ..core.qubits import Qubit
+from .comm import CommStats
+from .types import Move, Schedule
 
 __all__ = [
     "render_coarse_gantt",
     "render_timeline",
     "schedule_to_dict",
+    "schedule_from_dict",
     "compile_result_to_dict",
+    "compile_result_from_dict",
     "profile_table",
 ]
 
@@ -81,8 +93,26 @@ def render_timeline(
     return "\n".join(lines)
 
 
+def _qubit_name(q: Qubit) -> str:
+    return f"{q.register}[{q.index}]"
+
+
+def _parse_qubit(name: str) -> Qubit:
+    """Inverse of :func:`_qubit_name` (``reg[i]`` -> :class:`Qubit`)."""
+    register, _, index = name.rpartition("[")
+    if not register or not index.endswith("]"):
+        raise ValueError(f"malformed qubit name {name!r}")
+    return Qubit(register, int(index[:-1]))
+
+
 def schedule_to_dict(sched: Schedule) -> Dict[str, Any]:
-    """A JSON-safe dict of one fine-grained schedule."""
+    """A JSON-safe dict of one fine-grained schedule.
+
+    The export is self-contained for round-tripping: ``statements``
+    lists every DAG node's operation in node order, and each placed op
+    carries its ``node`` index, so :func:`schedule_from_dict` can
+    rebuild the dependence DAG and the exact placement.
+    """
     return {
         "algorithm": sched.algorithm,
         "k": sched.k,
@@ -92,14 +122,25 @@ def schedule_to_dict(sched: Schedule) -> Dict[str, Any]:
         "max_width": sched.max_width,
         "teleport_moves": sched.teleport_moves,
         "local_moves": sched.local_moves,
+        "statements": [
+            {
+                "gate": op.gate,
+                "qubits": [_qubit_name(q) for q in op.qubits],
+                **({"angle": op.angle} if op.angle is not None else {}),
+            }
+            for op in (
+                sched.operation(n) for n in range(sched.dag.n)
+            )
+        ],
         "timesteps": [
             {
                 "regions": [
                     [
                         {
+                            "node": n,
                             "gate": sched.operation(n).gate,
                             "qubits": [
-                                f"{q.register}[{q.index}]"
+                                _qubit_name(q)
                                 for q in sched.operation(n).qubits
                             ],
                         }
@@ -109,7 +150,7 @@ def schedule_to_dict(sched: Schedule) -> Dict[str, Any]:
                 ],
                 "moves": [
                     {
-                        "qubit": f"{m.qubit.register}[{m.qubit.index}]",
+                        "qubit": _qubit_name(m.qubit),
                         "src": list(m.src),
                         "dst": list(m.dst),
                         "kind": m.kind,
@@ -122,19 +163,116 @@ def schedule_to_dict(sched: Schedule) -> Dict[str, Any]:
     }
 
 
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Reconstruct a :class:`Schedule` from :func:`schedule_to_dict`
+    output (dependence DAG included)."""
+    ops = [
+        Operation(
+            s["gate"],
+            tuple(_parse_qubit(q) for q in s["qubits"]),
+            angle=s.get("angle"),
+        )
+        for s in data["statements"]
+    ]
+    sched = Schedule(
+        DependenceDAG(ops),
+        k=data["k"],
+        d=data.get("d"),
+        algorithm=data.get("algorithm", ""),
+    )
+    for ts_data in data["timesteps"]:
+        ts = sched.append_timestep()
+        for r, entries in enumerate(ts_data["regions"]):
+            ts.regions[r] = [e["node"] for e in entries]
+        ts.moves = [
+            Move(
+                _parse_qubit(m["qubit"]),
+                tuple(m["src"]),
+                tuple(m["dst"]),
+                m["kind"],
+            )
+            for m in ts_data["moves"]
+        ]
+    return sched
+
+
 def _json_num(value: float) -> Any:
     if isinstance(value, float) and math.isinf(value):
         return "inf"
     return value
 
 
-def compile_result_to_dict(result) -> Dict[str, Any]:
-    """A JSON-safe summary of a :class:`~repro.toolflow.CompileResult`
-    (schedule bodies omitted; use :func:`schedule_to_dict` for those)."""
-    machine = result.machine
+def _parse_num(value: Any) -> Optional[float]:
+    """Inverse of :func:`_json_num` (``"inf"`` -> ``math.inf``)."""
+    if value == "inf":
+        return math.inf
+    return value
+
+
+def _comm_to_dict(stats: CommStats) -> Dict[str, Any]:
     return {
+        "gate_cycles": stats.gate_cycles,
+        "comm_cycles": stats.comm_cycles,
+        "teleports": stats.teleports,
+        "local_moves": stats.local_moves,
+        "teleport_epochs": stats.teleport_epochs,
+        "local_epochs": stats.local_epochs,
+        "epr": {
+            "total_pairs": stats.epr.total_pairs,
+            "peak_epoch_demand": stats.epr.peak_epoch_demand,
+            "pair_counts": [
+                [src, dst, count]
+                for (src, dst), count in sorted(stats.epr.pair_counts.items())
+            ],
+        },
+    }
+
+
+def _comm_from_dict(data: Dict[str, Any]) -> CommStats:
+    from ..arch.teleport import EPRAccounting
+
+    epr_data = data["epr"]
+    epr = EPRAccounting(
+        pair_counts={
+            (src, dst): count
+            for src, dst, count in epr_data["pair_counts"]
+        },
+        total_pairs=epr_data["total_pairs"],
+        peak_epoch_demand=epr_data["peak_epoch_demand"],
+    )
+    return CommStats(
+        gate_cycles=data["gate_cycles"],
+        comm_cycles=data["comm_cycles"],
+        teleports=data["teleports"],
+        local_moves=data["local_moves"],
+        teleport_epochs=data["teleport_epochs"],
+        local_epochs=data["local_epochs"],
+        epr=epr,
+    )
+
+
+def compile_result_to_dict(
+    result, include_schedules: bool = False
+) -> Dict[str, Any]:
+    """A JSON-safe export of a :class:`~repro.toolflow.CompileResult`.
+
+    The export carries everything :func:`compile_result_from_dict`
+    needs to rebuild a metrics-equivalent result: the full scheduler
+    configuration, per-module blackbox dimensions with communication
+    stats, the call-graph skeleton (``callees``), and all analyzer
+    diagnostics. Schedule bodies are omitted unless
+    ``include_schedules`` is set (they dominate the payload size).
+    """
+    machine = result.machine
+    out = {
         "entry": result.program.entry,
         "scheduler": result.scheduler.algorithm,
+        "scheduler_config": {
+            "algorithm": result.scheduler.algorithm,
+            "lpfs_l": result.scheduler.lpfs_l,
+            "lpfs_simd": result.scheduler.lpfs_simd,
+            "lpfs_refill": result.scheduler.lpfs_refill,
+        },
         "machine": {
             "k": machine.k,
             "d": _json_num(machine.d if machine.d is not None else "inf"),
@@ -153,15 +291,96 @@ def compile_result_to_dict(result) -> Dict[str, Any]:
         "cp_speedup": result.cp_speedup,
         "comm_aware_speedup": result.comm_aware_speedup,
         "flattened_percent": result.flattened_percent,
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
         "modules": {
             name: {
                 "is_leaf": p.is_leaf,
+                "callees": sorted(
+                    result.program.module(name).callees()
+                ) if name in result.program else [],
                 "length": {str(w): c for w, c in sorted(p.length.items())},
                 "runtime": {str(w): c for w, c in sorted(p.runtime.items())},
+                "comm": {
+                    str(w): _comm_to_dict(s)
+                    for w, s in sorted(p.comm.items())
+                },
             }
             for name, p in result.profiles.items()
         },
     }
+    if include_schedules:
+        out["schedules"] = {
+            name: schedule_to_dict(s)
+            for name, s in sorted(result.schedules.items())
+        }
+    return out
+
+
+def compile_result_from_dict(data: Dict[str, Any]):
+    """Reconstruct a :class:`~repro.toolflow.CompileResult` from
+    :func:`compile_result_to_dict` output.
+
+    The program is rebuilt as a *skeleton*: modules keep their names and
+    call-graph edges (as zero-argument call sites) but not their gate
+    bodies, which is exactly what the result's metrics properties and
+    :func:`profile_table` consume. Schedule bodies are restored when the
+    export included them (``include_schedules=True``), else
+    ``schedules`` is empty.
+    """
+    # Imported here: toolflow imports sched submodules, so a module-level
+    # import would be cyclic.
+    from ..toolflow import CompileResult, ModuleProfile, SchedulerConfig
+
+    modules = [
+        Module(
+            name,
+            params=(),
+            body=[CallSite(c, ()) for c in spec.get("callees", ())],
+        )
+        for name, spec in data["modules"].items()
+    ]
+    program = Program(modules, entry=data["entry"])
+    cfg = data.get("scheduler_config") or {"algorithm": data["scheduler"]}
+    scheduler = SchedulerConfig(
+        algorithm=cfg["algorithm"],
+        lpfs_l=cfg.get("lpfs_l", 1),
+        lpfs_simd=cfg.get("lpfs_simd", True),
+        lpfs_refill=cfg.get("lpfs_refill", True),
+    )
+    m = data["machine"]
+    d = _parse_num(m["d"])
+    machine = MultiSIMD(
+        k=m["k"],
+        d=None if d is None or math.isinf(d) else int(d),
+        local_memory=_parse_num(m["local_memory"]),
+    )
+    profiles = {}
+    for name, spec in data["modules"].items():
+        profile = ModuleProfile(name, spec["is_leaf"])
+        profile.length = {int(w): c for w, c in spec["length"].items()}
+        profile.runtime = {int(w): c for w, c in spec["runtime"].items()}
+        profile.comm = {
+            int(w): _comm_from_dict(s)
+            for w, s in spec.get("comm", {}).items()
+        }
+        profiles[name] = profile
+    schedules = {
+        name: schedule_from_dict(s)
+        for name, s in data.get("schedules", {}).items()
+    }
+    return CompileResult(
+        program=program,
+        machine=machine,
+        scheduler=scheduler,
+        profiles=profiles,
+        schedules=schedules,
+        total_gates=data["total_gates"],
+        critical_path=data["critical_path"],
+        flattened_percent=data["flattened_percent"],
+        diagnostics=tuple(
+            Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+        ),
+    )
 
 
 def profile_table(result, metric: str = "runtime") -> str:

@@ -11,11 +11,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.dag import DependenceDAG
+from ..instrument import spanned
 from .types import Schedule
 
 __all__ = ["schedule_sequential"]
 
 
+@spanned("schedule:sequential")
 def schedule_sequential(
     dag: DependenceDAG, k: int = 1, d: Optional[int] = None
 ) -> Schedule:

@@ -1,0 +1,71 @@
+"""repro.service — the compilation-service subsystem.
+
+Three pillars on top of the core toolflow:
+
+1. **content-addressed caching** (:mod:`.fingerprint`, :mod:`.store`,
+   :mod:`.core`) — compile requests are canonically serialized and
+   SHA-256 fingerprinted; results live in an in-memory LRU backed by an
+   on-disk JSON artifact store shared across processes and runs;
+2. **parallel batch sweeps** (:mod:`.sweep`) — configuration grids fan
+   out over a process pool with per-job timeouts, crash retry, and
+   graceful serial degradation, emitting a versioned
+   ``BENCH_sweep.json`` report;
+3. **instrumentation** (:mod:`repro.instrument`, re-exported here) —
+   per-stage span timings recorded during every fresh compute and
+   carried with the cached artifact.
+
+Exposed on the CLI as ``python -m repro bench``.
+"""
+
+from ..instrument import SpanRecorder, record_spans, span
+from .core import CompileService, ServiceEntry
+from .fingerprint import (
+    PIPELINE_VERSION,
+    canonical_program,
+    canonical_request,
+    fingerprint_program,
+    fingerprint_request,
+)
+from .store import (
+    ARTIFACT_SCHEMA,
+    ArtifactStore,
+    CacheStats,
+    LRUCache,
+    default_cache_dir,
+)
+from .sweep import (
+    SWEEP_SCHEMA,
+    JobSpec,
+    SweepGrid,
+    SweepRun,
+    build_sweep_payload,
+    execute_job,
+    run_sweep,
+    validate_sweep_payload,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactStore",
+    "CacheStats",
+    "CompileService",
+    "JobSpec",
+    "LRUCache",
+    "PIPELINE_VERSION",
+    "SWEEP_SCHEMA",
+    "ServiceEntry",
+    "SpanRecorder",
+    "SweepGrid",
+    "SweepRun",
+    "build_sweep_payload",
+    "canonical_program",
+    "canonical_request",
+    "default_cache_dir",
+    "execute_job",
+    "fingerprint_program",
+    "fingerprint_request",
+    "record_spans",
+    "run_sweep",
+    "span",
+    "validate_sweep_payload",
+]

@@ -1,0 +1,198 @@
+"""Content-addressed fingerprints for compile requests.
+
+A *compile request* — ``(Program, MultiSIMD, SchedulerConfig, FTh,
+decomposition settings, pipeline version)`` — is reduced to a canonical
+JSON document and hashed with SHA-256. Two requests that would produce
+the same :class:`~repro.toolflow.CompileResult` fingerprint identically,
+and the fingerprint is stable across processes, interpreter hash seeds,
+and module insertion orders.
+
+Determinism rules the canonical form enforces (the hash must never see
+an iteration-order or ``repr`` leak):
+
+* modules are emitted **sorted by name**, never in ``Program.modules``
+  insertion order;
+* statement bodies keep their (semantically meaningful) order; every
+  statement is emitted as an explicit list, never via ``repr``;
+* qubits are emitted as ``[register, index]`` pairs;
+* ``set``-typed structures (e.g. :meth:`Module.callees`) are never
+  consumed — the canonical form only reads ordered fields;
+* floats (gate angles, local-memory capacities, decomposition epsilon)
+  are emitted via :func:`float.hex` — exact, locale-independent, and
+  immune to repr changes;
+* non-semantic metadata (source locations) is excluded: a program
+  parsed from a file and the identical program built in memory
+  fingerprint the same;
+* :data:`PIPELINE_VERSION` is mixed in so that behavioural changes to
+  passes/schedulers invalidate previously stored artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from ..arch.machine import MultiSIMD
+from ..core.module import Module, Program
+from ..core.operation import CallSite, Operation
+from ..core.qubits import Qubit
+from ..passes.decompose import DecomposeConfig
+from ..passes.flatten import DEFAULT_FTH
+from ..toolflow import SchedulerConfig
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "canonical_program",
+    "canonical_machine",
+    "canonical_scheduler",
+    "canonical_request",
+    "fingerprint_request",
+    "fingerprint_program",
+]
+
+#: Version of the compilation pipeline's *behaviour*. Bump whenever a
+#: pass, scheduler, or the cost model changes in a way that alters
+#: results — every stored artifact fingerprinted under the old version
+#: becomes unreachable (see ``DESIGN.md``, "Fingerprint recipe").
+PIPELINE_VERSION = "2025.1"
+
+
+def _num(value: Optional[float]) -> Any:
+    """Canonical JSON encoding for an optional numeric field."""
+    if value is None:
+        return None
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        return value.hex()
+    return value
+
+
+def _qubit(q: Qubit) -> List[Any]:
+    return [q.register, q.index]
+
+
+def _statement(stmt) -> List[Any]:
+    if isinstance(stmt, Operation):
+        return [
+            "op",
+            stmt.gate,
+            [_qubit(q) for q in stmt.qubits],
+            _num(stmt.angle),
+        ]
+    if isinstance(stmt, CallSite):
+        return [
+            "call",
+            stmt.callee,
+            [_qubit(q) for q in stmt.args],
+            stmt.iterations,
+        ]
+    raise TypeError(f"unknown statement type {type(stmt).__name__}")
+
+
+def _module(mod: Module) -> Dict[str, Any]:
+    return {
+        "name": mod.name,
+        "params": [_qubit(q) for q in mod.params],
+        "body": [_statement(s) for s in mod.body],
+    }
+
+
+def canonical_program(program: Program) -> Dict[str, Any]:
+    """The canonical (order-stable, repr-free) form of a program."""
+    return {
+        "entry": program.entry,
+        "modules": [
+            _module(program.modules[name])
+            for name in sorted(program.modules)
+        ],
+    }
+
+
+def canonical_machine(machine: MultiSIMD) -> Dict[str, Any]:
+    return {
+        "k": machine.k,
+        "d": machine.d,
+        "local_memory": _num(machine.local_memory),
+    }
+
+
+def canonical_scheduler(scheduler: SchedulerConfig) -> Dict[str, Any]:
+    return {
+        "algorithm": scheduler.algorithm,
+        "lpfs_l": scheduler.lpfs_l,
+        "lpfs_simd": scheduler.lpfs_simd,
+        "lpfs_refill": scheduler.lpfs_refill,
+    }
+
+
+def _canonical_decompose(config: Optional[DecomposeConfig]) -> Dict[str, Any]:
+    config = config or DecomposeConfig()
+    return {
+        "epsilon": _num(config.epsilon),
+        "length_scale": _num(config.length_scale),
+        "length_offset": config.length_offset,
+    }
+
+
+def canonical_request(
+    program: Program,
+    machine: MultiSIMD,
+    scheduler: Optional[SchedulerConfig] = None,
+    fth: int = DEFAULT_FTH,
+    decompose: bool = True,
+    decompose_config: Optional[DecomposeConfig] = None,
+    optimize: bool = False,
+    strict: bool = False,
+) -> Dict[str, Any]:
+    """Canonical form of a full compile request (pre-hash)."""
+    return {
+        "pipeline": PIPELINE_VERSION,
+        "program": canonical_program(program),
+        "machine": canonical_machine(machine),
+        "scheduler": canonical_scheduler(scheduler or SchedulerConfig()),
+        "fth": fth,
+        "decompose": decompose,
+        "decompose_config": _canonical_decompose(decompose_config),
+        "optimize": optimize,
+        "strict": strict,
+    }
+
+
+def _digest(doc: Any) -> str:
+    text = json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def fingerprint_program(program: Program) -> str:
+    """SHA-256 over the canonical program alone (no machine/config)."""
+    return _digest(canonical_program(program))
+
+
+def fingerprint_request(
+    program: Program,
+    machine: MultiSIMD,
+    scheduler: Optional[SchedulerConfig] = None,
+    fth: int = DEFAULT_FTH,
+    decompose: bool = True,
+    decompose_config: Optional[DecomposeConfig] = None,
+    optimize: bool = False,
+    strict: bool = False,
+) -> str:
+    """SHA-256 hex fingerprint of a full compile request."""
+    return _digest(
+        canonical_request(
+            program,
+            machine,
+            scheduler,
+            fth=fth,
+            decompose=decompose,
+            decompose_config=decompose_config,
+            optimize=optimize,
+            strict=strict,
+        )
+    )

@@ -1,0 +1,212 @@
+"""On-disk artifact store and the in-memory LRU that fronts it.
+
+Artifacts are JSON documents keyed by request fingerprint (see
+:mod:`.fingerprint`), sharded into two-character prefix directories
+(``<root>/ab/abcdef....json``) so a large store never puts tens of
+thousands of files in one directory. Writes go through a temp file +
+:func:`os.replace` so concurrent sweep workers racing to store the same
+fingerprint can never leave a torn artifact.
+
+Every artifact embeds the pipeline version it was produced under;
+:meth:`ArtifactStore.load` refuses (and deletes) artifacts from any
+other version — stale results can never be served after a behavioural
+change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from .fingerprint import PIPELINE_VERSION
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactStore",
+    "CacheStats",
+    "LRUCache",
+    "default_cache_dir",
+]
+
+#: Version tag of the artifact JSON layout itself.
+ARTIFACT_SCHEMA = "repro.artifact/1"
+
+
+def default_cache_dir() -> Path:
+    """The shared artifact directory: ``$REPRO_CACHE_DIR`` if set, else
+    ``.repro-cache`` under the current working directory. Used by both
+    the ``repro bench`` CLI and the figure benches so they share
+    artifacts."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else Path(".repro-cache")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/evict counters for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when no lookups yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class LRUCache:
+    """A bounded least-recently-used mapping (fingerprint -> object)."""
+
+    max_entries: int = 128
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[str, Any]" = field(default_factory=OrderedDict)
+
+    def get(self, key: str) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def pop(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifact storage on disk.
+
+    Args:
+        root: store directory (created lazily on first save).
+        pipeline_version: artifacts saved/accepted under this version;
+            defaults to the package's current
+            :data:`~repro.service.fingerprint.PIPELINE_VERSION`.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        pipeline_version: str = PIPELINE_VERSION,
+        stats: Optional[CacheStats] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.pipeline_version = pipeline_version
+        self.stats = stats if stats is not None else CacheStats()
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def save(self, fingerprint: str, payload: Dict[str, Any]) -> Path:
+        """Atomically persist ``payload`` under ``fingerprint``.
+
+        The payload is wrapped in an envelope recording the artifact
+        schema and pipeline version.
+        """
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": ARTIFACT_SCHEMA,
+            "pipeline_version": self.pipeline_version,
+            "fingerprint": fingerprint,
+            "payload": payload,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, separators=(",", ":")))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def load(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored payload, or ``None`` on miss / stale version.
+
+        Artifacts whose envelope doesn't match the current artifact
+        schema and pipeline version are deleted (explicit invalidation
+        on code-version change) and counted in
+        ``stats.invalidations``.
+        """
+        path = self._path(fingerprint)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.invalidate(fingerprint)
+            return None
+        if (
+            doc.get("schema") != ARTIFACT_SCHEMA
+            or doc.get("pipeline_version") != self.pipeline_version
+        ):
+            self.invalidate(fingerprint)
+            return None
+        return doc["payload"]
+
+    def invalidate(self, fingerprint: str) -> None:
+        """Delete one artifact (no-op when absent)."""
+        try:
+            self._path(fingerprint).unlink()
+            self.stats.invalidations += 1
+        except FileNotFoundError:
+            pass
+
+    def fingerprints(self) -> Iterator[str]:
+        """Iterate the fingerprints currently on disk (sorted)."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        for fp in list(self.fingerprints()):
+            self.invalidate(fp)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore({str(self.root)!r})"

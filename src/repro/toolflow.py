@@ -29,8 +29,10 @@ from .arch.machine import (
 )
 from .core.dag import DependenceDAG
 from .core.module import Program
+from .instrument import span
 from .passes.decompose import DecomposeConfig, decompose_program
-from .passes.flatten import DEFAULT_FTH, flatten_program
+from .passes.flatten import DEFAULT_FTH, FlattenResult, flatten_program
+from .passes.manager import PassManager
 from .passes.optimize import optimize_program
 from .passes.resource import estimate_resources
 from .sched.coarse import best_dim, schedule_coarse
@@ -217,19 +219,35 @@ def compile_and_schedule(
     collected = DiagnosticSet()
 
     def strict_gate(prog: Program, stage: str) -> None:
-        diags = analyze_program(prog)
+        with span("toolflow:analysis"):
+            diags = analyze_program(prog)
         collected.extend(diags)
         if diags.has_errors:
             raise AnalysisError(diags, stage=stage)
 
     if strict:
         strict_gate(program, "input")
+
+    # The front-end pipeline runs through the PassManager so every pass
+    # gets a ``pass:*`` instrumentation span and a validation step.
+    flat_holder: Dict[str, FlattenResult] = {}
+
+    def _flatten(prog: Program) -> Program:
+        result = flatten_program(prog, fth=fth)
+        flat_holder["result"] = result
+        return result.program
+
+    pipeline = PassManager()
     if optimize:
-        program, _ = optimize_program(program)
+        pipeline.add("optimize", lambda prog: optimize_program(prog)[0])
     if decompose:
-        program = decompose_program(program, decompose_config)
-    flat = flatten_program(program, fth=fth)
-    program = flat.program
+        pipeline.add(
+            "decompose",
+            lambda prog: decompose_program(prog, decompose_config),
+        )
+    pipeline.add("flatten", _flatten)
+    program = pipeline.run(program)
+    flat = flat_holder["result"]
     if strict:
         strict_gate(program, "flattened")
 
@@ -238,56 +256,59 @@ def compile_and_schedule(
     profiles: Dict[str, ModuleProfile] = {}
     schedules: Dict[str, Schedule] = {}
 
-    for name in program.topological_order():
-        mod = program.module(name)
-        profile = ModuleProfile(name, mod.is_leaf)
-        if mod.is_leaf:
-            dag = DependenceDAG(list(mod.body))
-            for w in widths:
-                sched = scheduler.schedule(dag, k=w, d=d)
-                stats = derive_movement(sched, machine.with_k(w))
-                profile.length[w] = max(sched.length, 1)
-                profile.runtime[w] = max(stats.runtime, 1)
-                profile.comm[w] = stats
-                if keep_schedules and w == k:
-                    schedules[name] = sched
-        else:
-            length_dims = {
-                c: profiles[c].length for c in mod.callees()
-            }
-            runtime_dims = {
-                c: profiles[c].runtime for c in mod.callees()
-            }
-            for w in widths:
-                profile.length[w] = max(
-                    schedule_coarse(
-                        mod, length_dims, k=w, gate_cost=GATE_CYCLES,
-                        call_overhead=0,
-                    ).total_length,
-                    1,
-                )
-                profile.runtime[w] = max(
-                    schedule_coarse(
-                        mod,
-                        runtime_dims,
-                        k=w,
-                        gate_cost=GATE_CYCLES + TELEPORT_CYCLES,
-                        call_overhead=TELEPORT_CYCLES,
-                    ).total_length,
-                    1,
-                )
-        profiles[name] = profile
+    with span("toolflow:schedule"):
+        for name in program.topological_order():
+            mod = program.module(name)
+            profile = ModuleProfile(name, mod.is_leaf)
+            if mod.is_leaf:
+                dag = DependenceDAG(list(mod.body))
+                for w in widths:
+                    sched = scheduler.schedule(dag, k=w, d=d)
+                    stats = derive_movement(sched, machine.with_k(w))
+                    profile.length[w] = max(sched.length, 1)
+                    profile.runtime[w] = max(stats.runtime, 1)
+                    profile.comm[w] = stats
+                    if keep_schedules and w == k:
+                        schedules[name] = sched
+            else:
+                # Sorted for cross-process determinism: callees() is a
+                # set, and set iteration order varies with the hash
+                # seed.
+                callees = sorted(mod.callees())
+                length_dims = {c: profiles[c].length for c in callees}
+                runtime_dims = {c: profiles[c].runtime for c in callees}
+                for w in widths:
+                    profile.length[w] = max(
+                        schedule_coarse(
+                            mod, length_dims, k=w, gate_cost=GATE_CYCLES,
+                            call_overhead=0,
+                        ).total_length,
+                        1,
+                    )
+                    profile.runtime[w] = max(
+                        schedule_coarse(
+                            mod,
+                            runtime_dims,
+                            k=w,
+                            gate_cost=GATE_CYCLES + TELEPORT_CYCLES,
+                            call_overhead=TELEPORT_CYCLES,
+                        ).total_length,
+                        1,
+                    )
+            profiles[name] = profile
 
     if strict:
-        audit = DiagnosticSet()
-        for name, sched in schedules.items():
-            audit.extend(audit_schedule(sched, machine, module=name))
+        with span("toolflow:analysis"):
+            audit = DiagnosticSet()
+            for name, sched in schedules.items():
+                audit.extend(audit_schedule(sched, machine, module=name))
         collected.extend(audit)
         if audit.has_errors:
             raise AnalysisError(audit, stage="schedule")
 
-    resources = estimate_resources(program)
-    cp = hierarchical_critical_path(program)
+    with span("toolflow:estimate"):
+        resources = estimate_resources(program)
+        cp = hierarchical_critical_path(program)
     return CompileResult(
         program=program,
         machine=machine,

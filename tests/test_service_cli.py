@@ -1,0 +1,107 @@
+"""Tests for the ``repro bench`` CLI verb."""
+
+import json
+
+from repro.cli import main
+from repro.service import SWEEP_SCHEMA, validate_sweep_payload
+
+
+def _bench(tmp_path, *extra, out="sweep.json"):
+    path = tmp_path / out
+    argv = [
+        "bench", "BF", "-k", "2", "--serial",
+        "--cache-dir", str(tmp_path / "cache"),
+        "-o", str(path),
+        *extra,
+    ]
+    return main(argv), path
+
+
+class TestBenchCommand:
+    def test_text_output_and_report(self, tmp_path, capsys):
+        code, path = _bench(tmp_path)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BF" in out
+        assert "1/1 jobs ok" in out
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SWEEP_SCHEMA
+        assert validate_sweep_payload(payload) == []
+        job = payload["jobs"][0]
+        assert job["status"] == "ok"
+        assert job["metrics"]["total_gates"] > 0
+        # Per-stage instrumentation made it into the report.
+        assert any(k.startswith("pass:") for k in job["spans"])
+        assert any(k.startswith("schedule:") for k in job["spans"])
+
+    def test_second_run_hits_cache_with_identical_metrics(
+        self, tmp_path, capsys
+    ):
+        code, cold_path = _bench(tmp_path, out="cold.json")
+        assert code == 0
+        code, warm_path = _bench(tmp_path, out="warm.json")
+        assert code == 0
+        assert "1 served from cache (100%)" in capsys.readouterr().out
+        cold = json.loads(cold_path.read_text())
+        warm = json.loads(warm_path.read_text())
+        assert warm["cache"]["hit_rate"] >= 0.9
+        assert warm["jobs"][0]["cached"] in ("memory", "disk")
+        assert [j["metrics"] for j in warm["jobs"]] == [
+            j["metrics"] for j in cold["jobs"]
+        ]
+        assert [j["fingerprint"] for j in warm["jobs"]] == [
+            j["fingerprint"] for j in cold["jobs"]
+        ]
+
+    def test_json_format(self, tmp_path, capsys):
+        code, _ = _bench(tmp_path, "--format", "json")
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == SWEEP_SCHEMA
+        assert len(payload["jobs"]) == 1
+
+    def test_grid_options(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        code = main([
+            "bench", "BF,Grovers", "--schedulers", "rcp,lpfs",
+            "-k", "2", "--serial", "--no-cache",
+            "-o", str(path),
+        ])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["jobs"]) == 4
+        assert payload["grid"]["benchmarks"] == ["BF", "Grovers"]
+        assert payload["grid"]["algorithms"] == ["rcp", "lpfs"]
+        capsys.readouterr()
+
+    def test_unknown_benchmark_is_usage_error(self, capsys):
+        code = main([
+            "bench", "NOPE", "--serial", "-o", "",
+        ])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bad_scheduler_is_usage_error(self, capsys):
+        code = main([
+            "bench", "BF", "--schedulers", "fifo", "--serial",
+            "-o", "",
+        ])
+        assert code == 2
+        assert "unknown scheduler" in capsys.readouterr().err
+
+    def test_empty_output_skips_report(self, tmp_path, capsys):
+        code = main([
+            "bench", "BF", "-k", "2", "--serial", "--no-cache",
+            "-o", "",
+        ])
+        assert code == 0
+        assert "wrote" not in capsys.readouterr().out
+
+    def test_no_cache_never_hits(self, tmp_path, capsys):
+        for _ in range(2):
+            code = main([
+                "bench", "BF", "-k", "2", "--serial", "--no-cache",
+                "-o", "",
+            ])
+            assert code == 0
+        assert "0 served from cache" in capsys.readouterr().out

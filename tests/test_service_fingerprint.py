@@ -1,0 +1,189 @@
+"""Tests for content-addressed compile-request fingerprints."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.machine import MultiSIMD
+from repro.core import Module, Program, ProgramBuilder
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.core.source import SourceLocation
+from repro.service import (
+    canonical_program,
+    fingerprint_program,
+    fingerprint_request,
+)
+from repro.toolflow import SchedulerConfig
+
+
+def _grover_like(angle: float = 0.25) -> Program:
+    pb = ProgramBuilder()
+    main = pb.module("main")
+    q = main.register("q", 3)
+    main.h(q[0]).cnot(q[0], q[1]).rz(q[2], angle)
+    main.toffoli(q[0], q[1], q[2])
+    return pb.build("main")
+
+
+class TestProgramFingerprint:
+    def test_identical_programs_fingerprint_identically(self):
+        # Built twice, entirely independently: no shared objects.
+        assert fingerprint_program(_grover_like()) == fingerprint_program(
+            _grover_like()
+        )
+
+    def test_differing_angle_changes_fingerprint(self):
+        assert fingerprint_program(
+            _grover_like(0.25)
+        ) != fingerprint_program(_grover_like(0.5))
+
+    def test_statement_order_is_significant(self):
+        q = [Qubit("q", i) for i in range(2)]
+        a = Program(
+            [Module("main", (), [Operation("H", (q[0],)),
+                                 Operation("X", (q[1],))])],
+            "main",
+        )
+        b = Program(
+            [Module("main", (), [Operation("X", (q[1],)),
+                                 Operation("H", (q[0],))])],
+            "main",
+        )
+        assert fingerprint_program(a) != fingerprint_program(b)
+
+    def test_module_insertion_order_is_not_significant(self):
+        def leaf():
+            return Module("leaf", (Qubit("a", 0),),
+                          [Operation("H", (Qubit("a", 0),))])
+
+        def main():
+            return Module("main", (), [Operation("H", (Qubit("q", 0),))])
+
+        ab = Program([main(), leaf()], "main")
+        ba = Program([leaf(), main()], "main")
+        assert fingerprint_program(ab) == fingerprint_program(ba)
+
+    def test_source_locations_are_excluded(self):
+        q = Qubit("q", 0)
+        with_loc = Program(
+            [Module("main", (),
+                    [Operation("H", (q,),
+                               loc=SourceLocation(3, 1, "f.qasm"))])],
+            "main",
+        )
+        without = Program(
+            [Module("main", (), [Operation("H", (q,))])], "main"
+        )
+        assert fingerprint_program(with_loc) == fingerprint_program(
+            without
+        )
+
+    def test_canonical_form_is_json_and_repr_free(self):
+        import json
+
+        doc = canonical_program(_grover_like())
+        text = json.dumps(doc, sort_keys=True)
+        assert "object at 0x" not in text
+        assert "Qubit(" not in text
+
+
+class TestRequestFingerprint:
+    def test_config_changes_invalidate(self):
+        prog = _grover_like()
+        base = fingerprint_request(prog, MultiSIMD(k=4))
+        assert base != fingerprint_request(prog, MultiSIMD(k=2))
+        assert base != fingerprint_request(
+            prog, MultiSIMD(k=4, d=1024)
+        )
+        assert base != fingerprint_request(
+            prog, MultiSIMD(k=4, local_memory=math.inf)
+        )
+        assert base != fingerprint_request(
+            prog, MultiSIMD(k=4), SchedulerConfig("rcp")
+        )
+        assert base != fingerprint_request(
+            prog, MultiSIMD(k=4), fth=16
+        )
+        assert base != fingerprint_request(
+            prog, MultiSIMD(k=4), optimize=True
+        )
+        assert base != fingerprint_request(
+            prog, MultiSIMD(k=4), strict=True
+        )
+
+    def test_default_scheduler_matches_explicit_default(self):
+        prog = _grover_like()
+        assert fingerprint_request(
+            prog, MultiSIMD(k=4)
+        ) == fingerprint_request(prog, MultiSIMD(k=4), SchedulerConfig())
+
+    def test_pipeline_version_is_mixed_in(self, monkeypatch):
+        from repro.service import fingerprint as fp_mod
+
+        prog = _grover_like()
+        before = fingerprint_request(prog, MultiSIMD(k=4))
+        monkeypatch.setattr(fp_mod, "PIPELINE_VERSION", "9999.test")
+        assert fingerprint_request(prog, MultiSIMD(k=4)) != before
+
+
+_GATES_1Q = st.sampled_from(["H", "X", "Y", "Z", "S", "T"])
+
+
+@st.composite
+def _programs(draw):
+    """A random single-module program over a 4-qubit register."""
+    q = [Qubit("q", i) for i in range(4)]
+    n = draw(st.integers(min_value=1, max_value=12))
+    body = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["1q", "cnot", "rz"]))
+        if kind == "1q":
+            body.append(
+                Operation(draw(_GATES_1Q), (q[draw(st.integers(0, 3))],))
+            )
+        elif kind == "cnot":
+            i = draw(st.integers(0, 3))
+            j = draw(st.integers(0, 3).filter(lambda v: v != i))
+            body.append(Operation("CNOT", (q[i], q[j])))
+        else:
+            angle = draw(
+                st.floats(
+                    min_value=-math.pi,
+                    max_value=math.pi,
+                    allow_nan=False,
+                )
+            )
+            body.append(
+                Operation("Rz", (q[draw(st.integers(0, 3))],),
+                          angle=angle)
+            )
+    return [("op", op.gate, tuple(op.qubits), op.angle) for op in body]
+
+
+def _realize(spec) -> Program:
+    body = [
+        Operation(gate, qubits, angle=angle)
+        for _, gate, qubits, angle in spec
+    ]
+    return Program([Module("main", (), body)], "main")
+
+
+class TestFingerprintProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(_programs())
+    def test_independent_builds_fingerprint_identically(self, spec):
+        # Two structurally identical programs built from scratch (no
+        # shared Operation/Qubit objects) must collide exactly.
+        assert fingerprint_program(_realize(spec)) == fingerprint_program(
+            _realize(spec)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(_programs(), _programs())
+    def test_distinct_programs_fingerprint_distinctly(self, a, b):
+        if a == b:
+            return
+        assert fingerprint_program(_realize(a)) != fingerprint_program(
+            _realize(b)
+        )

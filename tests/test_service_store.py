@@ -1,0 +1,224 @@
+"""Tests for the artifact store, LRU tier, and compile service."""
+
+import json
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.core import ProgramBuilder
+from repro.service import (
+    ARTIFACT_SCHEMA,
+    ArtifactStore,
+    CacheStats,
+    CompileService,
+    LRUCache,
+    fingerprint_request,
+)
+from repro.toolflow import SchedulerConfig
+
+
+def _program(n: int = 3):
+    pb = ProgramBuilder()
+    main = pb.module("main")
+    q = main.register("q", n)
+    for i in range(n - 1):
+        main.cnot(q[i], q[i + 1])
+    return pb.build("main")
+
+
+FP = "ab" + "0" * 62
+FP2 = "cd" + "1" * 62
+
+
+class TestLRUCache:
+    def test_get_put_and_eviction_order(self):
+        lru = LRUCache(max_entries=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh 'a'
+        lru.put("c", 3)  # evicts 'b', the LRU entry
+        assert "b" not in lru
+        assert lru.get("a") == 1 and lru.get("c") == 3
+        assert lru.stats.evictions == 1
+
+    def test_pop_and_clear(self):
+        lru = LRUCache(max_entries=4)
+        lru.put("a", 1)
+        lru.pop("a")
+        lru.pop("a")  # absent: no-op
+        assert lru.get("a") is None
+        lru.put("b", 2)
+        lru.clear()
+        assert len(lru) == 0
+
+
+class TestArtifactStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        payload = {"result": {"x": 1}, "spans": {}}
+        path = store.save(FP, payload)
+        assert path.parent.name == FP[:2]  # prefix sharding
+        assert store.load(FP) == payload
+        assert list(store.fingerprints()) == [FP]
+        assert len(store) == 1
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).load(FP) is None
+
+    def test_corrupt_artifact_is_invalidated(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(FP, {"x": 1})
+        store._path(FP).write_text("{not json")
+        assert store.load(FP) is None
+        assert not store._path(FP).exists()
+        assert store.stats.invalidations == 1
+
+    def test_stale_pipeline_version_is_invalidated(self, tmp_path):
+        old = ArtifactStore(tmp_path, pipeline_version="2024.0")
+        old.save(FP, {"x": 1})
+        new = ArtifactStore(tmp_path, pipeline_version="2025.9")
+        assert new.load(FP) is None  # refused...
+        assert not new._path(FP).exists()  # ...and deleted
+
+    def test_stale_schema_is_invalidated(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(FP, {"x": 1})
+        doc = json.loads(store._path(FP).read_text())
+        doc["schema"] = "something/else"
+        store._path(FP).write_text(json.dumps(doc))
+        assert store.load(FP) is None
+
+    def test_envelope_fields(self, tmp_path):
+        store = ArtifactStore(tmp_path, pipeline_version="v1")
+        store.save(FP, {"x": 1})
+        doc = json.loads(store._path(FP).read_text())
+        assert doc["schema"] == ARTIFACT_SCHEMA
+        assert doc["pipeline_version"] == "v1"
+        assert doc["fingerprint"] == FP
+
+    def test_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(FP, {"x": 1})
+        store.save(FP2, {"x": 2})
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(memory_hits=3, disk_hits=1, misses=4)
+        assert stats.hits == 4
+        assert stats.lookups == 8
+        assert stats.hit_rate == 0.5
+        assert CacheStats().hit_rate == 0.0
+
+    def test_to_dict_is_json_safe(self):
+        json.dumps(CacheStats().to_dict())
+
+
+class TestCompileService:
+    def test_miss_then_memory_hit(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        prog, machine = _program(), MultiSIMD(k=2)
+        cold = service.lookup(prog, machine)
+        assert cold.cached is None
+        assert cold.spans  # fresh compute records stage spans
+        warm = service.lookup(_program(), machine)  # rebuilt program
+        assert warm.cached == "memory"
+        assert warm.result is cold.result
+        assert warm.fingerprint == cold.fingerprint
+        assert service.stats.memory_hits == 1
+        assert service.stats.misses == 1
+
+    def test_disk_hit_across_service_instances(self, tmp_path):
+        a = CompileService(cache_dir=tmp_path)
+        prog, machine = _program(), MultiSIMD(k=2)
+        cold = a.lookup(prog, machine)
+
+        b = CompileService(cache_dir=tmp_path)  # fresh memory tier
+        warm = b.lookup(_program(), machine)
+        assert warm.cached == "disk"
+        assert b.stats.disk_hits == 1
+        r, c = warm.result, cold.result
+        assert r.total_gates == c.total_gates
+        assert r.schedule_length == c.schedule_length
+        assert r.runtime == c.runtime
+        assert r.parallel_speedup == pytest.approx(c.parallel_speedup)
+        assert r.comm_aware_speedup == pytest.approx(
+            c.comm_aware_speedup
+        )
+        # Spans from the original compute travel with the artifact.
+        assert warm.spans == cold.spans
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        a = CompileService(cache_dir=tmp_path)
+        a.lookup(_program(), MultiSIMD(k=2))
+        b = CompileService(cache_dir=tmp_path)
+        assert b.lookup(_program(), MultiSIMD(k=2)).cached == "disk"
+        assert b.lookup(_program(), MultiSIMD(k=2)).cached == "memory"
+
+    def test_config_change_misses(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        service.lookup(_program(), MultiSIMD(k=2))
+        entry = service.lookup(
+            _program(), MultiSIMD(k=2), SchedulerConfig("rcp")
+        )
+        assert entry.cached is None
+        assert service.stats.misses == 2
+
+    def test_pipeline_version_change_invalidates(self, tmp_path):
+        a = CompileService(cache_dir=tmp_path, pipeline_version="v1")
+        a.lookup(_program(), MultiSIMD(k=2))
+        assert len(a.store) == 1
+        b = CompileService(cache_dir=tmp_path, pipeline_version="v2")
+        # Same fingerprint paths aside, v2 requests also fingerprint
+        # differently only via PIPELINE_VERSION constant; force the
+        # point by loading the stored artifact directly.
+        fp = next(iter(a.store.fingerprints()))
+        assert b.store.load(fp) is None
+        assert b.stats.invalidations == 1
+
+    def test_explicit_invalidate_and_clear(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        entry = service.lookup(_program(), MultiSIMD(k=2))
+        service.invalidate(entry.fingerprint)
+        assert service.lookup(_program(), MultiSIMD(k=2)).cached is None
+        service.clear()
+        assert len(service.memory) == 0
+        assert len(service.store) == 0
+
+    def test_use_cache_false_recomputes_and_refreshes(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        service.lookup(_program(), MultiSIMD(k=2))
+        entry = service.lookup(
+            _program(), MultiSIMD(k=2), use_cache=False
+        )
+        assert entry.cached is None
+        # ... but the artifact is refreshed for later callers.
+        assert service.lookup(
+            _program(), MultiSIMD(k=2)
+        ).cached == "memory"
+
+    def test_memory_only_service(self):
+        service = CompileService(cache_dir=None)
+        assert service.store is None
+        service.lookup(_program(), MultiSIMD(k=2))
+        assert service.lookup(
+            _program(), MultiSIMD(k=2)
+        ).cached == "memory"
+
+    def test_memory_eviction_falls_back_to_disk(self, tmp_path):
+        service = CompileService(
+            cache_dir=tmp_path, max_memory_entries=1
+        )
+        service.lookup(_program(2), MultiSIMD(k=2))
+        service.lookup(_program(3), MultiSIMD(k=2))  # evicts first
+        assert service.stats.evictions == 1
+        entry = service.lookup(_program(2), MultiSIMD(k=2))
+        assert entry.cached == "disk"
+
+    def test_fingerprint_matches_free_function(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        prog, machine = _program(), MultiSIMD(k=2)
+        entry = service.lookup(prog, machine)
+        assert entry.fingerprint == fingerprint_request(prog, machine)

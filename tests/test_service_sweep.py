@@ -1,0 +1,247 @@
+"""Tests for the parallel batch sweep runner.
+
+The fault-injection workers below must be module-level (picklable) to
+cross the process-pool boundary. ``_MAIN_PID`` is captured at import so
+a worker can tell whether it is running in a pool child (crash) or
+in-process after serial degradation (succeed).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.service import (
+    JobSpec,
+    SweepGrid,
+    build_sweep_payload,
+    execute_job,
+    run_sweep,
+    validate_sweep_payload,
+)
+
+_MAIN_PID = os.getpid()
+
+
+def _ok_worker(job, cache_dir, use_cache):
+    return {
+        "job": job.to_dict(),
+        "label": job.label,
+        "status": "ok",
+        "cached": None,
+        "fingerprint": "f" * 64,
+        "elapsed_s": 0.0,
+        "compute_s": 0.0,
+        "spans": {},
+        "metrics": None,
+        "error": None,
+        "attempts": 1,
+    }
+
+
+def _always_crashing_worker(job, cache_dir, use_cache):
+    if os.getpid() != _MAIN_PID:  # pool child: die without cleanup
+        os._exit(1)
+    out = _ok_worker(job, cache_dir, use_cache)
+    out["ran_in_main"] = True
+    return out
+
+
+def _crash_once_worker(job, cache_dir, use_cache):
+    """Dies in the first pool; succeeds once a sentinel exists."""
+    sentinel = os.path.join(cache_dir, "crashed-once")
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("x")
+        os._exit(1)
+    return _ok_worker(job, cache_dir, use_cache)
+
+
+def _slow_worker(job, cache_dir, use_cache):
+    time.sleep(3)
+    return _ok_worker(job, cache_dir, use_cache)
+
+
+class TestSweepGrid:
+    def test_parse_and_expand_order(self):
+        grid = SweepGrid.parse(
+            benchmarks="BF,Grovers", schedulers="rcp,lpfs", ks="2,4"
+        )
+        jobs = grid.expand()
+        assert [
+            (j.benchmark, j.algorithm, j.k) for j in jobs
+        ] == [
+            ("BF", "rcp", 2), ("BF", "rcp", 4),
+            ("BF", "lpfs", 2), ("BF", "lpfs", 4),
+            ("Grovers", "rcp", 2), ("Grovers", "rcp", 4),
+            ("Grovers", "lpfs", 2), ("Grovers", "lpfs", 4),
+        ]
+        # Expansion is deterministic.
+        assert grid.expand() == jobs
+
+    def test_parse_all(self):
+        from repro.benchmarks import benchmark_names
+
+        grid = SweepGrid.parse()
+        assert grid.benchmarks == tuple(benchmark_names())
+
+    def test_parse_d_and_local_memory(self):
+        import math
+
+        grid = SweepGrid.parse(
+            benchmarks="BF", ds="inf,64", local_memories="none,inf,0.5"
+        )
+        assert grid.ds == (None, 64)
+        assert grid.local_memories == (None, math.inf, 0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"benchmarks": "NOPE"},
+            {"benchmarks": "BF", "schedulers": "fifo"},
+            {"benchmarks": "BF", "ks": "two"},
+            {"benchmarks": "BF", "ks": "0"},
+            {"benchmarks": "BF", "ds": "x"},
+            {"benchmarks": "BF", "local_memories": "lots"},
+            {"benchmarks": ""},
+        ],
+    )
+    def test_parse_rejects_bad_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepGrid.parse(**kwargs)
+
+    def test_job_spec_roundtrip(self):
+        import math
+
+        job = JobSpec("BF", "rcp", k=2, d=64,
+                      local_memory=math.inf, fth=128)
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_job_label(self):
+        job = JobSpec("BF", "rcp", k=2)
+        assert job.label == "BF rcp k=2 d=inf local=none"
+
+
+class TestExecuteJob:
+    def test_ok_outcome(self, tmp_path):
+        outcome = execute_job(JobSpec("BF", k=2), str(tmp_path))
+        assert outcome["status"] == "ok"
+        assert outcome["cached"] is None
+        assert outcome["metrics"]["total_gates"] > 0
+        assert outcome["spans"]  # stage spans recorded
+        warm = execute_job(JobSpec("BF", k=2), str(tmp_path))
+        assert warm["status"] == "ok"
+        assert warm["cached"] == "memory"
+        assert warm["metrics"] == outcome["metrics"]
+        assert warm["spans"] == outcome["spans"]
+
+    def test_error_outcome_never_raises(self):
+        bad = JobSpec("BF", k=0)  # MultiSIMD rejects k<1
+        outcome = execute_job(bad)
+        assert outcome["status"] == "error"
+        assert outcome["error"]["kind"] == "error"
+        assert outcome["metrics"] is None
+
+
+class TestRunSweep:
+    def test_serial_run(self, tmp_path):
+        jobs = [JobSpec("BF", a, k=2) for a in ("rcp", "lpfs")]
+        run = run_sweep(jobs, cache_dir=tmp_path, parallel=False)
+        assert not run.parallel
+        assert len(run.ok) == 2
+        assert [o["job"]["algorithm"] for o in run.outcomes] == [
+            "rcp", "lpfs",
+        ]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        jobs = SweepGrid.parse(
+            benchmarks="BF,Grovers", schedulers="rcp,lpfs", ks="2"
+        ).expand()
+        serial = run_sweep(
+            jobs, cache_dir=tmp_path / "s", parallel=False
+        )
+        par = run_sweep(
+            jobs, cache_dir=tmp_path / "p", parallel=True,
+            max_workers=2,
+        )
+        assert len(par.ok) == len(serial.ok) == len(jobs)
+        for a, b in zip(serial.outcomes, par.outcomes):
+            assert a["job"] == b["job"]  # deterministic order
+            assert a["metrics"] == b["metrics"]
+            assert a["fingerprint"] == b["fingerprint"]
+
+    def test_worker_crash_degrades_to_serial(self, tmp_path):
+        jobs = [JobSpec("BF", k=2)]
+        run = run_sweep(
+            jobs,
+            cache_dir=tmp_path,
+            max_workers=1,
+            worker=_always_crashing_worker,
+        )
+        assert run.degraded_to_serial
+        assert run.pool_restarts >= 1
+        assert run.outcomes[0]["status"] == "ok"
+        assert run.outcomes[0]["ran_in_main"]
+        assert run.outcomes[0]["attempts"] == 3
+
+    def test_worker_crash_retry_succeeds_in_fresh_pool(self, tmp_path):
+        jobs = [JobSpec("BF", k=2)]
+        run = run_sweep(
+            jobs,
+            cache_dir=tmp_path,
+            max_workers=1,
+            worker=_crash_once_worker,
+        )
+        assert run.outcomes[0]["status"] == "ok"
+        assert run.pool_restarts == 1
+        assert not run.degraded_to_serial
+        assert run.outcomes[0]["attempts"] == 2
+
+    def test_timeout_outcome(self, tmp_path):
+        jobs = [JobSpec("BF", k=2)]
+        run = run_sweep(
+            jobs,
+            cache_dir=tmp_path,
+            max_workers=1,
+            timeout=0.5,
+            worker=_slow_worker,
+        )
+        assert run.outcomes[0]["status"] == "timeout"
+        assert run.outcomes[0]["error"]["kind"] == "timeout"
+        assert len(run.failed) == 1
+
+    def test_cache_hits_counted(self, tmp_path):
+        jobs = [JobSpec("BF", k=2), JobSpec("BF", k=2)]
+        run = run_sweep(jobs, cache_dir=tmp_path, parallel=False)
+        assert run.cache_hits >= 1
+        assert 0.0 < run.hit_rate <= 1.0
+
+
+class TestSweepPayload:
+    def test_payload_is_schema_valid(self, tmp_path):
+        import json
+
+        grid = SweepGrid.parse(benchmarks="BF", ks="2")
+        run = run_sweep(
+            grid.expand(), cache_dir=tmp_path, parallel=False
+        )
+        payload = build_sweep_payload(run, grid)
+        assert validate_sweep_payload(payload) == []
+        json.dumps(payload)  # JSON-safe throughout
+
+    def test_validator_flags_problems(self):
+        assert validate_sweep_payload([]) == ["payload is not an object"]
+        problems = validate_sweep_payload({"schema": "wrong"})
+        assert any("schema" in p for p in problems)
+        assert any("jobs" in p for p in problems)
+
+    def test_validator_flags_bad_job(self, tmp_path):
+        grid = SweepGrid.parse(benchmarks="BF", ks="2")
+        run = run_sweep(
+            grid.expand(), cache_dir=tmp_path, parallel=False
+        )
+        payload = build_sweep_payload(run, grid)
+        payload["jobs"][0]["status"] = "exploded"
+        assert any(
+            "status" in p for p in validate_sweep_payload(payload)
+        )
