@@ -14,9 +14,18 @@ from .machine import (
     MultiSIMD,
     NAIVE_FACTOR,
     TELEPORT_CYCLES,
+    epoch_cycles,
+    split_epoch,
 )
 from .memory import MemoryMap, Scratchpad
-from .numa import NUMAConfig, NUMAStats, assign_banks, numa_runtime
+from .numa import (
+    NUMAConfig,
+    NUMAStats,
+    assign_banks,
+    epoch_teleport_loads,
+    numa_runtime,
+    serialize_rounds,
+)
 from .qecc import (
     ConcatenatedCode,
     LeverageReport,
@@ -43,9 +52,13 @@ __all__ = [
     "Scratchpad",
     "TELEPORT_CYCLES",
     "assign_banks",
+    "epoch_cycles",
+    "epoch_teleport_loads",
     "epr_demand_timeline",
     "numa_runtime",
     "plan_epr_distribution",
+    "serialize_rounds",
+    "split_epoch",
     "qecc_requirement",
     "speedup_leverage",
     "teleportation_ops",

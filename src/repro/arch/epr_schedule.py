@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..sched.types import Schedule
-from .machine import GATE_CYCLES, LOCAL_MOVE_CYCLES, TELEPORT_CYCLES
+from .machine import GATE_CYCLES, epoch_cycles, split_epoch
 
 __all__ = ["EPRDemand", "EPRPlan", "epr_demand_timeline", "plan_epr_distribution"]
 
@@ -95,8 +95,7 @@ def epr_demand_timeline(sched: Schedule) -> Tuple[List[EPRDemand], int]:
     demands: List[EPRDemand] = []
     cycle = 0
     for ts in sched.timesteps:
-        teleports = [m for m in ts.moves if m.kind == "teleport"]
-        locals_ = [m for m in ts.moves if m.kind == "local"]
+        teleports, locals_ = split_epoch(ts.moves)
         if teleports:
             channels: Dict[Tuple[str, str], int] = {}
             for m in teleports:
@@ -106,9 +105,7 @@ def epr_demand_timeline(sched: Schedule) -> Tuple[List[EPRDemand], int]:
                 EPRDemand(cycle=cycle, pairs=len(teleports),
                           channels=channels)
             )
-            cycle += TELEPORT_CYCLES
-        elif locals_:
-            cycle += LOCAL_MOVE_CYCLES
+        cycle += epoch_cycles(len(teleports), len(locals_))
         cycle += GATE_CYCLES
     return demands, cycle
 

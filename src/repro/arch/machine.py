@@ -31,6 +31,8 @@ __all__ = [
     "NAIVE_FACTOR",
     "parse_capacity",
     "capacity_label",
+    "split_epoch",
+    "epoch_cycles",
 ]
 
 #: Cycles per logical gate (all gates normalised to the slowest — Sec 3.2).
@@ -96,6 +98,50 @@ class MultiSIMD:
             else f", local={self.local_memory:g}"
         )
         return f"Multi-SIMD({self.k},{d}{lm})"
+
+
+def split_epoch(moves):
+    """Partition one movement epoch's moves by kind.
+
+    The canonical classification step every billing path shares
+    (movement derivation, EPR planning, NUMA re-billing, replay, and
+    the execution engine). ``moves`` is any iterable of objects with a
+    ``kind`` attribute of ``"teleport"`` or ``"local"``.
+
+    Returns:
+        ``(teleports, local_moves)`` as two lists, preserving order.
+    """
+    teleports = [m for m in moves if m.kind == "teleport"]
+    locals_ = [m for m in moves if m.kind == "local"]
+    return teleports, locals_
+
+
+def epoch_cycles(
+    teleports: int, local_moves: int, teleport_rounds: int = 1
+) -> int:
+    """Canonical cost of one movement epoch.
+
+    The paper's rule (Sections 2.5, 3.2): an epoch with any
+    teleportation costs :data:`TELEPORT_CYCLES` ("If any SIMD regions
+    in a timestep have a global move, the full four cycle move time is
+    retained"), an epoch with only ballistic local moves costs
+    :data:`LOCAL_MOVE_CYCLES`, and an empty epoch is free.
+
+    Args:
+        teleports / local_moves: move counts by kind.
+        teleport_rounds: serialization factor for bandwidth-limited
+            teleport epochs (see :func:`repro.arch.numa.numa_runtime`);
+            1 for the unconstrained model.
+    """
+    if teleport_rounds < 1:
+        raise ValueError(
+            f"teleport_rounds must be >= 1, got {teleport_rounds}"
+        )
+    if teleports:
+        return TELEPORT_CYCLES * teleport_rounds
+    if local_moves:
+        return LOCAL_MOVE_CYCLES
+    return 0
 
 
 def parse_capacity(text: Optional[str]) -> Optional[float]:

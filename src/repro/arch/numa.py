@@ -31,9 +31,16 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.qubits import Qubit
 from ..sched.types import Schedule
-from .machine import GATE_CYCLES, LOCAL_MOVE_CYCLES, TELEPORT_CYCLES
+from .machine import GATE_CYCLES, epoch_cycles, split_epoch
 
-__all__ = ["NUMAConfig", "NUMAStats", "assign_banks", "numa_runtime"]
+__all__ = [
+    "NUMAConfig",
+    "NUMAStats",
+    "assign_banks",
+    "epoch_teleport_loads",
+    "serialize_rounds",
+    "numa_runtime",
+]
 
 
 @dataclass(frozen=True)
@@ -128,6 +135,63 @@ def assign_banks(
     return bank_of
 
 
+def epoch_teleport_loads(
+    teleports,
+    bank_of: Dict[Qubit, int],
+    config: NUMAConfig,
+    k: int,
+) -> Tuple[Dict[Tuple[int, int], float], Dict[int, float]]:
+    """Per-channel and per-bank capacity loads of one epoch's teleports.
+
+    A pair crossing ``h`` hops occupies ``1 + h`` units of channel (and
+    bank-egress) capacity. Moves between two regions are routed through
+    the destination region's nearest bank (pairs are generated at
+    memory, Section 2.3). Shared by :func:`numa_runtime` and the
+    execution engine so both bill from one implementation.
+
+    Returns:
+        ``(channel_load, bank_load)`` keyed by ``(bank, region)`` and
+        ``bank`` respectively.
+    """
+    channel_load: Dict[Tuple[int, int], float] = {}
+    bank_load: Dict[int, float] = {}
+    for m in teleports:
+        region = _endpoint_region(m)
+        bank = bank_of.get(m.qubit, 0)
+        cost = 1.0 + config.distance(bank, region, k)
+        key = (bank, region)
+        channel_load[key] = channel_load.get(key, 0.0) + cost
+        bank_load[bank] = bank_load.get(bank, 0.0) + cost
+    return channel_load, bank_load
+
+
+def serialize_rounds(
+    channel_load: Dict[Tuple[int, int], float],
+    bank_load: Dict[int, float],
+    config: NUMAConfig,
+) -> int:
+    """Teleport rounds one epoch serializes into, given its loads.
+
+    The busiest channel and the busiest bank egress each bound the
+    epoch; the round count is the larger of the two ceilings (1 when
+    both limits are unconstrained or the epoch is empty).
+    """
+    rounds = 1
+    if channel_load and not math.isinf(config.channel_bandwidth):
+        rounds = max(
+            rounds,
+            math.ceil(
+                max(channel_load.values()) / config.channel_bandwidth
+            ),
+        )
+    if bank_load and not math.isinf(config.bank_egress):
+        rounds = max(
+            rounds,
+            math.ceil(max(bank_load.values()) / config.bank_egress),
+        )
+    return rounds
+
+
 def numa_runtime(
     sched: Schedule,
     config: NUMAConfig,
@@ -147,41 +211,22 @@ def numa_runtime(
     bank_loads: Dict[int, float] = {b: 0.0 for b in range(config.banks)}
 
     for ts in sched.timesteps:
-        teleports = [m for m in ts.moves if m.kind == "teleport"]
-        locals_ = [m for m in ts.moves if m.kind == "local"]
+        teleports, locals_ = split_epoch(ts.moves)
+        epoch_rounds = 1
         if teleports:
-            channel_load: Dict[Tuple[int, int], float] = {}
-            epoch_bank_load: Dict[int, float] = {}
-            for m in teleports:
-                region = _endpoint_region(m)
-                bank = bank_of.get(m.qubit, 0)
-                cost = 1.0 + config.distance(bank, region, sched.k)
-                key = (bank, region)
-                channel_load[key] = channel_load.get(key, 0.0) + cost
-                epoch_bank_load[bank] = (
-                    epoch_bank_load.get(bank, 0.0) + cost
-                )
-                bank_loads[bank] += cost
-            worst = max(channel_load.values())
-            peak = max(peak, worst)
-            epoch_rounds = 1
-            if not math.isinf(config.channel_bandwidth):
-                epoch_rounds = max(
-                    epoch_rounds,
-                    math.ceil(worst / config.channel_bandwidth),
-                )
-            if not math.isinf(config.bank_egress):
-                epoch_rounds = max(
-                    epoch_rounds,
-                    math.ceil(
-                        max(epoch_bank_load.values())
-                        / config.bank_egress
-                    ),
-                )
-            runtime += TELEPORT_CYCLES * epoch_rounds
+            channel_load, epoch_bank_load = epoch_teleport_loads(
+                teleports, bank_of, config, sched.k
+            )
+            for bank, load in epoch_bank_load.items():
+                bank_loads[bank] += load
+            peak = max(peak, max(channel_load.values()))
+            epoch_rounds = serialize_rounds(
+                channel_load, epoch_bank_load, config
+            )
             rounds += epoch_rounds
-        elif locals_:
-            runtime += LOCAL_MOVE_CYCLES
+        runtime += epoch_cycles(
+            len(teleports), len(locals_), epoch_rounds
+        )
         runtime += GATE_CYCLES
     return NUMAStats(
         runtime=runtime,

@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro lint all --fail-on warning
     python -m repro bench GSE,TFP --schedulers rcp,lpfs -k 2,4
     python -m repro bench all -o BENCH_sweep.json
+    python -m repro execute Grovers -k 4 --epr-rate 0.5 --trace g.trace
+    python -m repro execute BF --fault-epr 0.1 --seed 7 --json
 
 Exit codes form a stable contract (tested in ``tests/test_cli.py``):
 
@@ -22,7 +24,8 @@ Exit codes form a stable contract (tested in ``tests/test_cli.py``):
 * ``2`` — usage / input errors (unknown benchmark, unreadable file,
   bad option values);
 * ``3`` — parse or program-validation errors in a source file;
-* ``4`` — schedule or replay invariant violations.
+* ``4`` — schedule or replay invariant violations (including engine
+  preflight refusals).
 """
 
 from __future__ import annotations
@@ -276,6 +279,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ds=args.d,
             local_memories=args.local_mem,
             fth=args.fth,
+            engine=args.engine,
+            epr_rate=args.epr_rate,
         )
     except ValueError as exc:
         raise CLIError(str(exc)) from None
@@ -346,6 +351,177 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return EXIT_LINT
 
 
+def _parse_rate(text: str) -> float:
+    if text in ("inf", "infinite"):
+        return float("inf")
+    try:
+        rate = float(text)
+    except ValueError:
+        raise CLIError(
+            f"invalid rate {text!r} (expected a number or 'inf')"
+        ) from None
+    if rate <= 0:
+        raise CLIError(f"rate must be positive, got {text!r}")
+    return rate
+
+
+def _engine_config(args: argparse.Namespace):
+    """Build an :class:`~repro.engine.EngineConfig` from CLI flags."""
+    import math
+
+    from .arch.numa import NUMAConfig
+    from .engine import EngineConfig, FaultConfig
+
+    numa = None
+    if (
+        args.banks is not None
+        or args.channel_bw is not None
+        or args.bank_egress is not None
+    ):
+        try:
+            numa = NUMAConfig(
+                banks=args.banks if args.banks is not None else 1,
+                channel_bandwidth=(
+                    _parse_rate(args.channel_bw)
+                    if args.channel_bw is not None
+                    else math.inf
+                ),
+                bank_egress=(
+                    _parse_rate(args.bank_egress)
+                    if args.bank_egress is not None
+                    else math.inf
+                ),
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+    faults = None
+    if args.qecc_level is not None:
+        try:
+            faults = FaultConfig.from_qecc(
+                args.qecc_level,
+                epr_failure_prob=args.fault_epr,
+                region_failure_prob=args.fault_region,
+                region_downtime=args.fault_downtime,
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+    elif args.fault_epr or args.fault_region or args.gate_error_rate:
+        try:
+            faults = FaultConfig(
+                epr_failure_prob=args.fault_epr,
+                region_failure_prob=args.fault_region,
+                region_downtime=args.fault_downtime,
+                gate_error_rate=args.gate_error_rate,
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from None
+    return EngineConfig(
+        epr_rate=_parse_rate(args.epr_rate),
+        numa=numa,
+        faults=faults,
+        seed=args.seed,
+        collect_trace=args.trace is not None,
+    )
+
+
+def _cmd_execute(args: argparse.Namespace) -> int:
+    from .engine import (
+        EngineError,
+        PreflightError,
+        execute_result,
+        validate_trace_payload,
+        write_chrome_trace,
+    )
+
+    config = _engine_config(args)
+    prog = _load_program(args.source)
+    fth = args.fth
+    if fth is None:
+        fth = (
+            BENCHMARKS[args.source].fth
+            if args.source in BENCHMARKS
+            else 4096
+        )
+    machine = MultiSIMD(
+        k=args.k,
+        d=args.d,
+        local_memory=_parse_capacity(args.local_mem),
+    )
+    result = compile_and_schedule(
+        prog, machine, SchedulerConfig(args.scheduler), fth=fth
+    )
+    try:
+        execution = execute_result(
+            result, config, preflight=not args.no_preflight
+        )
+    except PreflightError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for code, message, _t in exc.violations[:10]:
+            print(f"  {code}: {message}", file=sys.stderr)
+        if len(exc.violations) > 10:
+            print(
+                f"  ... {len(exc.violations) - 10} more",
+                file=sys.stderr,
+            )
+        return EXIT_SCHEDULE
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    trace_events = None
+    if args.trace:
+        payload = execution.to_trace_payload()
+        problems = validate_trace_payload(payload)
+        for problem in problems:  # defensive; the engine emits valid docs
+            print(
+                f"warning: invalid trace payload: {problem}",
+                file=sys.stderr,
+            )
+        trace_events = write_chrome_trace(args.trace, payload)
+    if args.json:
+        doc = execution.to_dict()
+        doc["scheduler"] = args.scheduler
+        doc["machine"] = {
+            "k": machine.k,
+            "d": machine.d,
+            "local_memory": machine.local_memory,
+        }
+        doc["metrics"] = execution.metrics()
+        print(json.dumps(doc, indent=2))
+        return 0
+    stalls = execution.stalls
+    print(f"machine:           {machine}")
+    print(f"scheduler:         {args.scheduler}")
+    print(f"entry module:      {execution.entry} "
+          f"({len(execution.leaves)} leaf, "
+          f"{len(execution.coarse)} coarse)")
+    print(f"analytic runtime:  {execution.analytic_runtime:,} cycles")
+    print(f"realized runtime:  {execution.realized_runtime:,} cycles"
+          + ("  (= analytic)" if execution.ideal_match else ""))
+    print(f"stall cycles:      {stalls.total:,} "
+          f"(epr {stalls.epr:,}, bandwidth {stalls.bandwidth:,}, "
+          f"fault {stalls.fault:,})")
+    print(f"utilization:       {100 * execution.utilization:.1f}%")
+    print(f"teleport rounds:   {execution.teleport_rounds:,}")
+    log = execution.fault_log
+    if log.total_events:
+        print(f"faults injected:   {log.total_events:,} "
+              f"(epr regen {log.epr_regenerations:,}, region down "
+              f"{log.region_down_events:,}, gate errors "
+              f"{log.gate_errors:,})")
+    if execution.leaves and any(
+        r.preflight_violations is not None
+        for r in execution.leaves.values()
+    ):
+        print("preflight:         passed (0 violations)")
+    elif args.no_preflight:
+        print("preflight:         skipped (--no-preflight)")
+    if args.trace:
+        print(f"wrote {trace_events} trace events to {args.trace} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -374,7 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="qubits per region (default unbounded)",
     )
     p_c.add_argument(
-        "--scheduler", choices=("rcp", "lpfs"), default="lpfs"
+        "--scheduler", choices=("sequential", "rcp", "lpfs"),
+        default="lpfs",
     )
     p_c.add_argument(
         "--local-mem", default=None,
@@ -447,7 +624,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_b.add_argument(
         "--schedulers", default="lpfs",
-        help="comma-separated schedulers: rcp, lpfs (default lpfs)",
+        help=(
+            "comma-separated schedulers: sequential, rcp, lpfs "
+            "(default lpfs)"
+        ),
     )
     p_b.add_argument(
         "-k", default="4",
@@ -467,6 +647,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_b.add_argument(
         "--fth", type=int, default=None,
         help="flattening threshold in ops (default: per-benchmark)",
+    )
+    p_b.add_argument(
+        "--engine", action="store_true",
+        help=(
+            "also execute each job on the discrete-event engine, "
+            "adding engine_* columns (schema repro.bench-sweep/2)"
+        ),
+    )
+    p_b.add_argument(
+        "--epr-rate", default=None, metavar="R",
+        help=(
+            "engine EPR generation rate in pairs/cycle, or 'inf' "
+            "(default inf; only with --engine)"
+        ),
     )
     p_b.add_argument(
         "--serial", action="store_true",
@@ -502,6 +696,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="stdout format (default text)",
     )
     p_b.set_defaults(fn=_cmd_bench)
+
+    p_x = sub.add_parser(
+        "execute",
+        help="execute a compiled schedule on the discrete-event engine",
+    )
+    p_x.add_argument("source", help="benchmark key or QASM file")
+    p_x.add_argument("-k", type=int, default=4, help="SIMD regions")
+    p_x.add_argument(
+        "-d", type=int, default=None,
+        help="qubits per region (default unbounded)",
+    )
+    p_x.add_argument(
+        "--scheduler", choices=("sequential", "rcp", "lpfs"),
+        default="lpfs",
+    )
+    p_x.add_argument(
+        "--local-mem", default=None,
+        help="scratchpad capacity per region: none, a number, or inf",
+    )
+    p_x.add_argument(
+        "--fth", type=int, default=None,
+        help="flattening threshold in ops (default: per-benchmark)",
+    )
+    p_x.add_argument(
+        "--epr-rate", default="inf", metavar="R",
+        help=(
+            "steady EPR generation rate in pairs/cycle, or 'inf' for "
+            "fully masked pre-distribution (default inf)"
+        ),
+    )
+    p_x.add_argument(
+        "--banks", type=int, default=None, metavar="N",
+        help="distributed-memory banks (enables NUMA billing)",
+    )
+    p_x.add_argument(
+        "--channel-bw", default=None, metavar="B",
+        help="per-(bank,region) channel bandwidth per teleport round",
+    )
+    p_x.add_argument(
+        "--bank-egress", default=None, metavar="B",
+        help="per-bank egress capacity per teleport round",
+    )
+    p_x.add_argument(
+        "--fault-epr", type=float, default=0.0, metavar="P",
+        help="EPR generation failure probability (retried)",
+    )
+    p_x.add_argument(
+        "--fault-region", type=float, default=0.0, metavar="P",
+        help="per-timestep transient region-failure probability",
+    )
+    p_x.add_argument(
+        "--fault-downtime", type=int, default=8, metavar="N",
+        help="cycles a failed region stays down (default 8)",
+    )
+    p_x.add_argument(
+        "--gate-error-rate", type=float, default=0.0, metavar="P",
+        help="per-gate logical error probability",
+    )
+    p_x.add_argument(
+        "--qecc-level", type=int, default=None, metavar="L",
+        help=(
+            "derive the gate error rate from a level-L concatenated "
+            "code instead of --gate-error-rate"
+        ),
+    )
+    p_x.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection RNG seed (default 0)",
+    )
+    p_x.add_argument(
+        "--no-preflight", action="store_true",
+        help=(
+            "skip the replay preflight (by default QL3xx violations "
+            "refuse execution with exit code 4)"
+        ),
+    )
+    p_x.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help=(
+            "write a Chrome trace-event file (chrome://tracing / "
+            "Perfetto)"
+        ),
+    )
+    p_x.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_x.set_defaults(fn=_cmd_execute)
     return parser
 
 

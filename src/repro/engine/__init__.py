@@ -1,0 +1,54 @@
+"""Discrete-event Multi-SIMD execution engine.
+
+Runs movement-annotated schedules (and whole compile results) on a
+stateful machine model with configurable EPR generation rate, NUMA
+bandwidth limits and seeded fault injection, producing realized
+runtimes, stall breakdowns, fault logs and exportable event traces
+(``repro.trace/1`` native / Chrome trace-event format).
+"""
+
+from .config import EngineConfig
+from .executor import (
+    EngineError,
+    EngineResult,
+    PreflightError,
+    ProgramExecution,
+    StallBreakdown,
+    execute_result,
+    run_schedule,
+)
+from .faults import FaultConfig, FaultEvent, FaultInjector, FaultLog
+from .state import EPRPool, MachineState
+from .trace import (
+    TRACE_SCHEMA,
+    EventTrace,
+    TraceEvent,
+    build_payload,
+    chrome_trace_events,
+    validate_trace_payload,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "EngineConfig",
+    "EngineError",
+    "EngineResult",
+    "EPRPool",
+    "EventTrace",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "MachineState",
+    "PreflightError",
+    "ProgramExecution",
+    "StallBreakdown",
+    "TRACE_SCHEMA",
+    "TraceEvent",
+    "build_payload",
+    "chrome_trace_events",
+    "execute_result",
+    "run_schedule",
+    "validate_trace_payload",
+    "write_chrome_trace",
+]

@@ -1,0 +1,81 @@
+"""Execution-engine configuration."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..arch.numa import NUMAConfig
+from .faults import FaultConfig
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs for one engine run (defaults reproduce the analytic model).
+
+    Attributes:
+        epr_rate: steady EPR generation rate in pairs/cycle (``inf`` =
+            fully masked pre-distribution, the paper's idealisation).
+        numa: distributed-global-memory configuration; ``None`` bills
+            every teleport epoch one unserialized round (centralized
+            memory, unbounded bandwidth).
+        faults: fault-injection configuration; ``None`` disables
+            injection entirely.
+        seed: base RNG seed for fault injection (scoped per module).
+        collect_trace: record per-event traces (disable for large
+            sweeps where only the aggregate metrics matter).
+
+    With the defaults — infinite rate, no NUMA limits, no faults — the
+    realized runtime equals the analytic schedule runtime exactly; every
+    tightened knob can only add stall cycles (tested invariants).
+    """
+
+    epr_rate: float = math.inf
+    numa: Optional[NUMAConfig] = None
+    faults: Optional[FaultConfig] = None
+    seed: int = 0
+    collect_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epr_rate <= 0:
+            raise ValueError(
+                f"epr_rate must be positive, got {self.epr_rate}"
+            )
+
+    @property
+    def ideal(self) -> bool:
+        """Whether this config reproduces the analytic model exactly."""
+        return (
+            math.isinf(self.epr_rate)
+            and self.numa is None
+            and (self.faults is None or not self.faults.enabled)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "epr_rate": (
+                "inf" if math.isinf(self.epr_rate) else self.epr_rate
+            ),
+            "seed": self.seed,
+        }
+        if self.numa is not None:
+            out["numa"] = {
+                "banks": self.numa.banks,
+                "channel_bandwidth": (
+                    "inf"
+                    if math.isinf(self.numa.channel_bandwidth)
+                    else self.numa.channel_bandwidth
+                ),
+                "bank_egress": (
+                    "inf"
+                    if math.isinf(self.numa.bank_egress)
+                    else self.numa.bank_egress
+                ),
+                "placement": self.numa.placement,
+            }
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out

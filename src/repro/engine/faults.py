@@ -1,0 +1,247 @@
+"""Seeded, deterministic fault injection for the execution engine.
+
+Three fault classes, each mapped to a physical mechanism the paper's
+analytic model idealises away:
+
+* **EPR generation failure** — pair generation at the global memory is
+  probabilistic in practice; a failed attempt is regenerated and
+  retried (Section 2.3's pre-distribution assumes this is masked).
+  Failed attempts waste generator throughput, so at a finite
+  generation rate they surface as extra stall cycles; at an infinite
+  rate regeneration is free but still logged.
+* **Transient region downtime** — an operating region drops out for a
+  fixed number of cycles (e.g. a recalibration). The machine is
+  lock-step SIMD, so a down region stalls the whole timestep.
+* **Per-gate logical errors** — every executed gate carries the
+  logical error rate of the provisioned QECC level
+  (:mod:`repro.arch.qecc`); the engine counts expected and sampled
+  errors rather than corrupting state (errors are assumed corrected,
+  at the cost already folded into the cycle time).
+
+Determinism contract (tested): the injector derives its RNG stream
+from ``(seed, scope)`` only — same seed, same schedule, same config
+always produce an identical :class:`FaultLog`, trace, and realized
+runtime, independent of ``PYTHONHASHSEED`` or process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..arch.qecc import ConcatenatedCode
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultLog",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs (all off by default).
+
+    Attributes:
+        epr_failure_prob: probability one EPR generation attempt fails
+            (failed attempts regenerate and retry).
+        region_failure_prob: probability an *active* region goes down
+            in a given timestep.
+        region_downtime: cycles a down region stays down (the whole
+            lock-step machine stalls for them).
+        gate_error_rate: per-executed-gate logical error probability;
+            use :meth:`from_qecc` to derive it from a concatenated-code
+            provisioning.
+    """
+
+    epr_failure_prob: float = 0.0
+    region_failure_prob: float = 0.0
+    region_downtime: int = 8
+    gate_error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "epr_failure_prob",
+            "region_failure_prob",
+            "gate_error_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        if self.region_downtime < 1:
+            raise ValueError(
+                f"region_downtime must be >= 1, got {self.region_downtime}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.epr_failure_prob > 0
+            or self.region_failure_prob > 0
+            or self.gate_error_rate > 0
+        )
+
+    @classmethod
+    def from_qecc(
+        cls,
+        level: int,
+        physical_error: float = 1e-4,
+        code: Optional[ConcatenatedCode] = None,
+        **kwargs: Any,
+    ) -> "FaultConfig":
+        """A config whose gate error rate is the logical error of a
+        concatenated code at ``level`` (Section 2.2's model)."""
+        code = code or ConcatenatedCode()
+        return cls(
+            gate_error_rate=code.logical_error(level, physical_error),
+            **kwargs,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epr_failure_prob": self.epr_failure_prob,
+            "region_failure_prob": self.region_failure_prob,
+            "region_downtime": self.region_downtime,
+            "gate_error_rate": self.gate_error_rate,
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence.
+
+    Attributes:
+        kind: ``"epr_regen"``, ``"region_down"`` or ``"gate_error"``.
+        cycle: engine clock when the fault struck.
+        timestep: schedule timestep being processed.
+        count: multiplicity (e.g. failed generation attempts in one
+            epoch, errored gates in one region-timestep).
+        region: affected region, where applicable.
+        detail: human-readable description.
+    """
+
+    kind: str
+    cycle: int
+    timestep: int
+    count: int = 1
+    region: Optional[int] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "timestep": self.timestep,
+            "count": self.count,
+        }
+        if self.region is not None:
+            out["region"] = self.region
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass
+class FaultLog:
+    """Structured record of every fault injected during one run.
+
+    Attributes:
+        seed: the run's base seed.
+        scope: the injector scope (module name for program runs).
+        events: every fault occurrence, in injection order.
+        epr_regenerations: failed generation attempts that were retried.
+        region_down_events / region_downtime_cycles: downtime tallies.
+        gate_errors: sampled per-gate logical errors.
+        expected_gate_errors: sum of per-gate error probabilities (the
+            analytic expectation the sample can be checked against).
+    """
+
+    seed: int = 0
+    scope: str = ""
+    events: List[FaultEvent] = field(default_factory=list)
+    epr_regenerations: int = 0
+    region_down_events: int = 0
+    region_downtime_cycles: int = 0
+    gate_errors: int = 0
+    expected_gate_errors: float = 0.0
+
+    def record(self, event: FaultEvent) -> None:
+        self.events.append(event)
+        if event.kind == "epr_regen":
+            self.epr_regenerations += event.count
+        elif event.kind == "region_down":
+            self.region_down_events += 1
+        elif event.kind == "gate_error":
+            self.gate_errors += event.count
+
+    @property
+    def total_events(self) -> int:
+        return len(self.events)
+
+    def merge(self, other: "FaultLog") -> None:
+        """Fold another log (e.g. a callee module's) into this one."""
+        self.events.extend(other.events)
+        self.epr_regenerations += other.epr_regenerations
+        self.region_down_events += other.region_down_events
+        self.region_downtime_cycles += other.region_downtime_cycles
+        self.gate_errors += other.gate_errors
+        self.expected_gate_errors += other.expected_gate_errors
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "scope": self.scope,
+            "epr_regenerations": self.epr_regenerations,
+            "region_down_events": self.region_down_events,
+            "region_downtime_cycles": self.region_downtime_cycles,
+            "gate_errors": self.gate_errors,
+            "expected_gate_errors": self.expected_gate_errors,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+class FaultInjector:
+    """Draws fault outcomes from a seeded, scope-isolated RNG stream.
+
+    Seeding uses ``random.Random(f"{seed}:{scope}")`` — CPython seeds
+    string arguments through SHA-512, so streams are stable across
+    processes and hash-seed randomisation, and two modules executed
+    under the same base seed get independent, order-insensitive
+    streams.
+    """
+
+    def __init__(
+        self, config: FaultConfig, seed: int = 0, scope: str = ""
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.scope = scope
+        self._rng = random.Random(f"{seed}:{scope}")
+
+    def epr_generation_attempts(self, pairs: int) -> int:
+        """Total generation attempts needed to produce ``pairs`` good
+        pairs (geometric retries per pair); >= ``pairs``."""
+        p = self.config.epr_failure_prob
+        if p <= 0 or pairs <= 0:
+            return pairs
+        attempts = 0
+        for _ in range(pairs):
+            attempts += 1
+            while self._rng.random() < p:
+                attempts += 1
+        return attempts
+
+    def region_goes_down(self, region: int) -> bool:
+        """Whether ``region`` suffers transient downtime this
+        timestep."""
+        p = self.config.region_failure_prob
+        return p > 0 and self._rng.random() < p
+
+    def sample_gate_errors(self, ops: int) -> int:
+        """Errored gates among ``ops`` executed this region-timestep."""
+        p = self.config.gate_error_rate
+        if p <= 0 or ops <= 0:
+            return 0
+        return sum(1 for _ in range(ops) if self._rng.random() < p)

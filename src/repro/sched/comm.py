@@ -28,10 +28,10 @@ from typing import Dict, List, Tuple
 
 from ..arch.machine import (
     GATE_CYCLES,
-    LOCAL_MOVE_CYCLES,
     MultiSIMD,
     NAIVE_FACTOR,
-    TELEPORT_CYCLES,
+    epoch_cycles,
+    split_epoch,
 )
 from ..arch.memory import MemoryMap
 from ..arch.teleport import EPRAccounting
@@ -182,19 +182,18 @@ def derive_movement(
 
 
 def _bill_epoch(epoch: List[Move], stats: CommStats) -> None:
-    """Charge one movement epoch per the paper's cost rule."""
-    if not epoch:
-        return
-    teleports = [m for m in epoch if m.kind == "teleport"]
-    locals_ = [m for m in epoch if m.kind == "local"]
+    """Charge one movement epoch per the paper's cost rule
+    (:func:`~repro.arch.machine.epoch_cycles` — the one canonical
+    implementation, shared with EPR planning, NUMA re-billing, replay
+    and the execution engine)."""
+    teleports, locals_ = split_epoch(epoch)
     stats.teleports += len(teleports)
     stats.local_moves += len(locals_)
+    stats.comm_cycles += epoch_cycles(len(teleports), len(locals_))
     if teleports:
-        stats.comm_cycles += TELEPORT_CYCLES
         stats.teleport_epochs += 1
         stats.epr.record_epoch(
             [(_loc_label(m.src), _loc_label(m.dst)) for m in teleports]
         )
-    else:
-        stats.comm_cycles += LOCAL_MOVE_CYCLES
+    elif locals_:
         stats.local_epochs += 1

@@ -40,9 +40,9 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..arch.machine import (
     GATE_CYCLES,
-    LOCAL_MOVE_CYCLES,
     MultiSIMD,
-    TELEPORT_CYCLES,
+    epoch_cycles,
+    split_epoch,
 )
 from ..core.qubits import Qubit
 from .types import Move, Schedule
@@ -137,18 +137,16 @@ def replay_schedule(
 
     for t, ts in enumerate(sched.timesteps):
         # --- movement epoch preceding the timestep ----------------------
-        kinds = set()
         for move in ts.moves:
             _apply_move(move, t, location, pad_occupancy, machine, emit)
-            kinds.add(move.kind)
         for r, pad in pad_occupancy.items():
             if len(pad) > peak[r]:
                 peak[r] = len(pad)
-        if "teleport" in kinds:
-            runtime += TELEPORT_CYCLES
+        teleports, locals_ = split_epoch(ts.moves)
+        runtime += epoch_cycles(len(teleports), len(locals_))
+        if teleports:
             teleport_epochs += 1
-        elif "local" in kinds:
-            runtime += LOCAL_MOVE_CYCLES
+        elif locals_:
             local_epochs += 1
         # --- execute the timestep ----------------------------------------
         active: Set[int] = set()

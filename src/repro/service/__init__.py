@@ -34,6 +34,7 @@ from .store import (
     default_cache_dir,
 )
 from .sweep import (
+    ACCEPTED_SCHEMAS,
     SWEEP_SCHEMA,
     JobSpec,
     SweepGrid,
@@ -45,6 +46,7 @@ from .sweep import (
 )
 
 __all__ = [
+    "ACCEPTED_SCHEMAS",
     "ARTIFACT_SCHEMA",
     "ArtifactStore",
     "CacheStats",

@@ -43,6 +43,7 @@ from .core import CompileService
 from .fingerprint import PIPELINE_VERSION
 
 __all__ = [
+    "ACCEPTED_SCHEMAS",
     "SWEEP_SCHEMA",
     "JobSpec",
     "SweepGrid",
@@ -53,8 +54,13 @@ __all__ = [
     "validate_sweep_payload",
 ]
 
-#: Version tag of the ``BENCH_sweep.json`` document layout.
-SWEEP_SCHEMA = "repro.bench-sweep/1"
+#: Version tag of the ``BENCH_sweep.json`` document layout. ``/2``
+#: added the opt-in engine columns (``engine_*`` metrics, ``engine`` /
+#: ``epr_rate`` job fields); ``/1`` documents remain valid.
+SWEEP_SCHEMA = "repro.bench-sweep/2"
+
+#: Schema tags :func:`validate_sweep_payload` accepts.
+ACCEPTED_SCHEMAS = ("repro.bench-sweep/1", SWEEP_SCHEMA)
 
 #: Scalar metrics exported per job (attribute names on CompileResult).
 _METRIC_FIELDS = (
@@ -69,13 +75,29 @@ _METRIC_FIELDS = (
     "flattened_percent",
 )
 
+#: Engine metrics added per job when ``engine=True`` (schema ``/2``).
+_ENGINE_METRIC_FIELDS = (
+    "engine_runtime",
+    "engine_analytic_runtime",
+    "engine_stall_cycles",
+    "engine_stall_epr",
+    "engine_stall_bandwidth",
+    "engine_stall_fault",
+    "engine_utilization",
+    "engine_teleport_rounds",
+    "engine_faults",
+)
+
 
 @dataclass(frozen=True)
 class JobSpec:
     """One point of a sweep grid.
 
     ``fth=None`` means "use the benchmark registry's per-benchmark
-    flattening threshold".
+    flattening threshold". ``engine=True`` additionally executes the
+    compiled schedules on the discrete-event engine
+    (:mod:`repro.engine`) at EPR generation rate ``epr_rate``
+    (``None`` = infinite), adding the ``engine_*`` metric columns.
     """
 
     benchmark: str
@@ -84,6 +106,8 @@ class JobSpec:
     d: Optional[int] = None
     local_memory: Optional[float] = None
     fth: Optional[int] = None
+    engine: bool = False
+    epr_rate: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -97,10 +121,15 @@ class JobSpec:
         ]
         if self.fth is not None:
             parts.append(f"fth={self.fth}")
+        if self.engine:
+            rate = (
+                "inf" if self.epr_rate is None else f"{self.epr_rate:g}"
+            )
+            parts.append(f"engine(rate={rate})")
         return " ".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "benchmark": self.benchmark,
             "algorithm": self.algorithm,
             "k": self.k,
@@ -108,6 +137,10 @@ class JobSpec:
             "local_memory": capacity_label(self.local_memory),
             "fth": self.fth,
         }
+        if self.engine:
+            out["engine"] = True
+            out["epr_rate"] = self.epr_rate
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
@@ -118,6 +151,8 @@ class JobSpec:
             d=data.get("d"),
             local_memory=parse_capacity(data.get("local_memory")),
             fth=data.get("fth"),
+            engine=bool(data.get("engine", False)),
+            epr_rate=data.get("epr_rate"),
         )
 
 
@@ -131,6 +166,8 @@ class SweepGrid:
     ds: Tuple[Optional[int], ...] = (None,)
     local_memories: Tuple[Optional[float], ...] = (None,)
     fth: Optional[int] = None
+    engine: bool = False
+    epr_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         unknown = [b for b in self.benchmarks if b not in BENCHMARKS]
@@ -139,7 +176,11 @@ class SweepGrid:
                 f"unknown benchmark(s) {unknown} "
                 f"(have {', '.join(benchmark_names())})"
             )
-        bad = [a for a in self.algorithms if a not in ("rcp", "lpfs")]
+        bad = [
+            a
+            for a in self.algorithms
+            if a not in ("sequential", "rcp", "lpfs")
+        ]
         if bad:
             raise ValueError(f"unknown scheduler(s) {bad}")
         if not self.benchmarks:
@@ -148,6 +189,8 @@ class SweepGrid:
             raise ValueError("k must be >= 1")
         if any(d is not None and d < 1 for d in self.ds):
             raise ValueError("d must be >= 1 or 'inf'")
+        if self.epr_rate is not None and self.epr_rate <= 0:
+            raise ValueError("epr_rate must be positive or 'inf'")
 
     @classmethod
     def parse(
@@ -158,13 +201,16 @@ class SweepGrid:
         ds: str = "inf",
         local_memories: str = "none",
         fth: Optional[int] = None,
+        engine: bool = False,
+        epr_rate: Optional[str] = None,
     ) -> "SweepGrid":
         """Build a grid from comma-separated CLI spellings.
 
         ``benchmarks`` is ``"all"`` or a comma-separated subset of the
         registry; ``ds`` entries are integers or ``"inf"``;
         ``local_memories`` entries follow
-        :func:`~repro.arch.machine.parse_capacity`.
+        :func:`~repro.arch.machine.parse_capacity`; ``epr_rate`` is a
+        number or ``"inf"`` (only meaningful with ``engine=True``).
 
         Raises:
             ValueError: on any unknown or malformed entry.
@@ -189,6 +235,14 @@ class SweepGrid:
             except ValueError:
                 raise ValueError(f"bad d value {text!r}") from None
 
+        rate: Optional[float] = None
+        if epr_rate is not None and epr_rate.strip() not in ("", "inf"):
+            try:
+                rate = float(epr_rate)
+            except ValueError:
+                raise ValueError(
+                    f"bad epr_rate {epr_rate!r} (number or 'inf')"
+                ) from None
         return cls(
             benchmarks=keys,
             algorithms=tuple(
@@ -202,6 +256,8 @@ class SweepGrid:
                 if v.strip()
             ),
             fth=fth,
+            engine=engine,
+            epr_rate=rate,
         )
 
     def expand(self) -> List[JobSpec]:
@@ -214,6 +270,8 @@ class SweepGrid:
                 d=d,
                 local_memory=local,
                 fth=self.fth,
+                engine=self.engine,
+                epr_rate=self.epr_rate,
             )
             for b in self.benchmarks
             for alg in self.algorithms
@@ -232,6 +290,8 @@ class SweepGrid:
                 capacity_label(v) for v in self.local_memories
             ],
             "fth": self.fth,
+            "engine": self.engine,
+            "epr_rate": self.epr_rate,
         }
 
 
@@ -251,6 +311,8 @@ def _service_for(cache_dir: Optional[str]) -> CompileService:
 
 
 def _error_kind(exc: BaseException) -> str:
+    from ..engine import PreflightError
+
     if isinstance(exc, AnalysisError):
         return "analysis"
     if isinstance(
@@ -258,7 +320,7 @@ def _error_kind(exc: BaseException) -> str:
         (ScaffoldSyntaxError, QasmSyntaxError, ProgramValidationError),
     ):
         return "parse"
-    if isinstance(exc, (ScheduleError, ReplayError)):
+    if isinstance(exc, (ScheduleError, ReplayError, PreflightError)):
         return "schedule"
     return "error"
 
@@ -320,8 +382,49 @@ def execute_job(
         name: getattr(result, name) for name in _METRIC_FIELDS
     }
     outcome["metrics"]["diagnostics"] = len(result.diagnostics)
+    if job.engine:
+        try:
+            outcome["metrics"].update(
+                _engine_metrics(job, result, service, machine, spec)
+            )
+        except Exception as exc:  # noqa: BLE001 - classified, reported
+            outcome["status"] = "error"
+            outcome["error"] = {
+                "kind": _error_kind(exc),
+                "message": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=10),
+            }
     outcome["elapsed_s"] = time.perf_counter() - started
     return outcome
+
+
+def _engine_metrics(job, result, service, machine, spec):
+    """Execute a job's compile result on the engine and return the
+    ``engine_*`` metric columns.
+
+    Disk-cached compile results are stored without their schedules, so
+    an engine job whose result came from the cache recompiles once with
+    the cache bypassed (the compile itself is what the cache
+    accelerates; the engine always needs live schedules).
+    """
+    import math
+
+    from ..engine import EngineConfig, execute_result
+
+    if not result.schedules:
+        entry = service.lookup(
+            spec.build(),
+            machine,
+            SchedulerConfig(job.algorithm),
+            fth=job.fth if job.fth is not None else spec.fth,
+            use_cache=False,
+        )
+        result = entry.result
+    config = EngineConfig(
+        epr_rate=job.epr_rate if job.epr_rate is not None else math.inf,
+        collect_trace=False,
+    )
+    return execute_result(result, config).metrics()
 
 
 def _timeout_outcome(job: JobSpec, timeout: float) -> Dict[str, Any]:
@@ -536,9 +639,9 @@ def validate_sweep_payload(payload: Dict[str, Any]) -> List[str]:
 
     if not isinstance(payload, dict):
         return ["payload is not an object"]
-    if payload.get("schema") != SWEEP_SCHEMA:
+    if payload.get("schema") not in ACCEPTED_SCHEMAS:
         problems.append(
-            f"schema: expected {SWEEP_SCHEMA!r}, got "
+            f"schema: expected one of {ACCEPTED_SCHEMAS}, got "
             f"{payload.get('schema')!r}"
         )
     need(payload, "pipeline_version", str, "$")
@@ -569,6 +672,13 @@ def validate_sweep_payload(payload: Dict[str, Any]) -> List[str]:
             metrics = need(outcome, "metrics", dict, where)
             for name in _METRIC_FIELDS:
                 if metrics is not None:
+                    need(metrics, name, (int, float), f"{where}.metrics")
+            if (
+                metrics is not None
+                and job is not None
+                and job.get("engine")
+            ):
+                for name in _ENGINE_METRIC_FIELDS:
                     need(metrics, name, (int, float), f"{where}.metrics")
             if outcome.get("cached") not in (None, "memory", "disk"):
                 problems.append(

@@ -44,6 +44,7 @@ from .sched.metrics import (
     parallel_speedup,
 )
 from .sched.rcp import schedule_rcp
+from .sched.sequential import schedule_sequential
 from .sched.types import Schedule
 
 __all__ = ["SchedulerConfig", "ModuleProfile", "CompileResult", "compile_and_schedule"]
@@ -53,8 +54,10 @@ __all__ = ["SchedulerConfig", "ModuleProfile", "CompileResult", "compile_and_sch
 class SchedulerConfig:
     """Fine-grained scheduler selection and options.
 
-    ``algorithm`` is ``"rcp"`` or ``"lpfs"``. The LPFS options default to
-    the paper's experimental configuration (l=1, SIMD and Refill on).
+    ``algorithm`` is ``"sequential"`` (the one-op-per-timestep baseline
+    the paper's speedups are measured against), ``"rcp"`` or
+    ``"lpfs"``. The LPFS options default to the paper's experimental
+    configuration (l=1, SIMD and Refill on).
     """
 
     algorithm: str = "lpfs"
@@ -63,13 +66,15 @@ class SchedulerConfig:
     lpfs_refill: bool = True
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ("rcp", "lpfs"):
+        if self.algorithm not in ("sequential", "rcp", "lpfs"):
             raise ValueError(
                 f"unknown scheduler {self.algorithm!r} "
-                "(expected 'rcp' or 'lpfs')"
+                "(expected 'sequential', 'rcp' or 'lpfs')"
             )
 
     def schedule(self, dag: DependenceDAG, k: int, d: Optional[int]) -> Schedule:
+        if self.algorithm == "sequential":
+            return schedule_sequential(dag, k=k, d=d)
         if self.algorithm == "rcp":
             return schedule_rcp(dag, k=k, d=d)
         return schedule_lpfs(

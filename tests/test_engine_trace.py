@@ -1,0 +1,190 @@
+"""Tests for trace export: the ``repro.trace/1`` native payload, its
+validator, and the Chrome trace-event conversion."""
+
+import json
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.core.dag import DependenceDAG
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.engine import (
+    TRACE_SCHEMA,
+    EventTrace,
+    TraceEvent,
+    build_payload,
+    chrome_trace_events,
+    run_schedule,
+    validate_trace_payload,
+    write_chrome_trace,
+)
+from repro.sched.comm import derive_movement
+from repro.sched.rcp import schedule_rcp
+
+Q = [Qubit("q", i) for i in range(6)]
+
+
+def traced_run(k=2, n=16):
+    machine = MultiSIMD(k=k)
+    ops = []
+    for i in range(n):
+        a, b = Q[i % 4], Q[(i + 2) % 4]
+        ops.append(
+            Operation("CNOT", (a, b))
+            if i % 3 == 0
+            else Operation("H", (a,))
+        )
+    sched = schedule_rcp(DependenceDAG(ops), k=k)
+    derive_movement(sched, machine)
+    return run_schedule(sched, machine, scope="mod")
+
+
+class TestTraceEvent:
+    def test_rejects_unknown_category(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", "bogus", 0, 1, "region0")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", "gate", -1, 1, "region0")
+        with pytest.raises(ValueError):
+            TraceEvent("x", "gate", 0, -1, "region0")
+
+    def test_to_dict_omits_empty_args(self):
+        assert "args" not in TraceEvent(
+            "x", "gate", 0, 1, "region0"
+        ).to_dict()
+        assert TraceEvent(
+            "x", "gate", 0, 1, "region0", {"ops": 2}
+        ).to_dict()["args"] == {"ops": 2}
+
+
+class TestEventTrace:
+    def test_busy_excludes_stalls(self):
+        trace = EventTrace("m")
+        trace.emit("H", "gate", 0, 1, "region0")
+        trace.emit("teleport-epoch", "move", 1, 4, "memory")
+        trace.emit("epr-stall", "stall", 5, 3, "memory")
+        assert trace.busy_by_track() == {"region0": 1, "memory": 4}
+        assert trace.stall_cycles() == {"epr-stall": 3}
+
+    def test_payload_structure(self):
+        trace = EventTrace("m")
+        trace.emit("H", "gate", 0, 1, "region0")
+        payload = trace.to_payload(runtime=10)
+        assert payload["schema"] == TRACE_SCHEMA
+        assert payload["runtime_cycles"] == 10
+        assert payload["events"][0]["pid"] == "m"
+        assert validate_trace_payload(payload) == []
+
+
+class TestValidator:
+    def _payload(self):
+        trace = EventTrace("m")
+        trace.emit("H", "gate", 0, 1, "region0")
+        return trace.to_payload(runtime=5)
+
+    def test_accepts_engine_output(self):
+        run = traced_run()
+        payload = run.trace.to_payload(runtime=run.realized_runtime)
+        assert validate_trace_payload(payload) == []
+
+    def test_rejects_non_object(self):
+        assert validate_trace_payload([]) == [
+            "payload is not an object"
+        ]
+
+    def test_rejects_wrong_schema(self):
+        payload = self._payload()
+        payload["schema"] = "repro.trace/0"
+        assert any(
+            "schema" in p for p in validate_trace_payload(payload)
+        )
+
+    def test_rejects_bad_runtime(self):
+        payload = self._payload()
+        payload["runtime_cycles"] = -3
+        assert any(
+            "runtime_cycles" in p
+            for p in validate_trace_payload(payload)
+        )
+
+    def test_rejects_unknown_category(self):
+        payload = self._payload()
+        payload["events"][0]["cat"] = "bogus"
+        assert any(
+            "unknown category" in p
+            for p in validate_trace_payload(payload)
+        )
+
+    def test_rejects_event_past_runtime(self):
+        payload = self._payload()
+        payload["events"][0]["dur"] = 99
+        assert any(
+            "extends past" in p
+            for p in validate_trace_payload(payload)
+        )
+
+    def test_rejects_missing_keys(self):
+        payload = self._payload()
+        del payload["events"][0]["track"]
+        assert any(
+            ".track" in p for p in validate_trace_payload(payload)
+        )
+
+
+class TestChromeExport:
+    def test_metadata_and_complete_events(self):
+        run = traced_run()
+        payload = run.trace.to_payload(runtime=run.realized_runtime)
+        records = chrome_trace_events(payload)
+        phases = {r["ph"] for r in records}
+        assert "M" in phases  # process/thread names
+        assert "X" in phases  # complete events
+        names = {
+            r["args"]["name"] for r in records if r["ph"] == "M"
+        }
+        assert "mod" in names  # the process
+        assert any(n.startswith("region") for n in names)
+        # every X event has the required keys
+        for r in records:
+            if r["ph"] == "X":
+                assert {"name", "cat", "pid", "tid", "ts", "dur"} <= set(r)
+
+    def test_instant_markers_for_zero_duration(self):
+        trace = EventTrace("m")
+        trace.emit("region-down", "fault", 3, 0, "region0")
+        records = chrome_trace_events(trace.to_payload(runtime=5))
+        instants = [r for r in records if r["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "t"
+
+    def test_write_loadable_file(self, tmp_path):
+        run = traced_run()
+        payload = run.trace.to_payload(runtime=run.realized_runtime)
+        path = tmp_path / "out.trace"
+        count = write_chrome_trace(str(path), payload)
+        doc = json.loads(path.read_text())
+        # The object form chrome://tracing / Perfetto loads.
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == count
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+
+    def test_multi_scope_payload_keeps_processes_apart(self):
+        a, b = EventTrace("alpha"), EventTrace("beta")
+        a.emit("H", "gate", 0, 1, "region0")
+        b.emit("T", "gate", 0, 1, "region0")
+        payload = build_payload([("alpha", a), ("beta", b)], runtime=2)
+        assert validate_trace_payload(payload) == []
+        records = chrome_trace_events(payload)
+        pids = {
+            r["pid"] for r in records if r["ph"] == "X"
+        }
+        assert len(pids) == 2
+
+    def test_utilization_stats(self):
+        trace = EventTrace("m")
+        trace.emit("H", "gate", 0, 5, "region0")
+        payload = trace.to_payload(runtime=10)
+        assert payload["stats"]["utilization"]["m"]["region0"] == 0.5

@@ -245,3 +245,108 @@ class TestSweepPayload:
         assert any(
             "status" in p for p in validate_sweep_payload(payload)
         )
+
+
+class TestEngineSweep:
+    """The opt-in engine columns and the /2 payload schema."""
+
+    def test_grid_parse_engine_and_rate(self):
+        grid = SweepGrid.parse(
+            benchmarks="BF", ks="2", engine=True, epr_rate="0.5"
+        )
+        assert grid.engine
+        assert grid.epr_rate == 0.5
+        job = grid.expand()[0]
+        assert job.engine
+        assert job.epr_rate == 0.5
+        assert "engine(rate=0.5)" in job.label
+
+    def test_grid_parse_inf_rate(self):
+        grid = SweepGrid.parse(
+            benchmarks="BF", ks="2", engine=True, epr_rate="inf"
+        )
+        assert grid.epr_rate is None
+        assert "engine(rate=inf)" in grid.expand()[0].label
+
+    @pytest.mark.parametrize("rate", ["fast", "0", "-1"])
+    def test_grid_rejects_bad_rate(self, rate):
+        with pytest.raises(ValueError):
+            SweepGrid.parse(
+                benchmarks="BF", ks="2", engine=True, epr_rate=rate
+            )
+
+    def test_engine_job_roundtrip(self):
+        job = JobSpec("BF", k=2, engine=True, epr_rate=0.5)
+        assert JobSpec.from_dict(job.to_dict()) == job
+        # Non-engine jobs keep the legacy dict shape.
+        assert "engine" not in JobSpec("BF", k=2).to_dict()
+
+    def test_engine_metrics_ideal(self, tmp_path):
+        outcome = execute_job(
+            JobSpec("BF", k=2, engine=True), str(tmp_path)
+        )
+        assert outcome["status"] == "ok"
+        metrics = outcome["metrics"]
+        assert (
+            metrics["engine_runtime"]
+            == metrics["engine_analytic_runtime"]
+        )
+        assert metrics["engine_stall_cycles"] == 0
+
+    def test_engine_metrics_finite_rate(self, tmp_path):
+        outcome = execute_job(
+            JobSpec("Grovers", k=2, engine=True, epr_rate=0.05),
+            str(tmp_path),
+        )
+        assert outcome["status"] == "ok"
+        metrics = outcome["metrics"]
+        assert metrics["engine_stall_epr"] > 0
+        assert (
+            metrics["engine_runtime"]
+            > metrics["engine_analytic_runtime"]
+        )
+
+    def test_disk_cache_hit_still_computes_engine(self, tmp_path):
+        """Disk-cached CompileResults drop their schedules; the
+        engine branch must recompile rather than fail."""
+        from repro.service import sweep as sweep_mod
+
+        job = JobSpec("BF", k=2, engine=True)
+        cold = execute_job(job, str(tmp_path))
+        # Drop the process-global service so the memory cache is
+        # empty and the second run hits the disk cache.
+        sweep_mod._SERVICES.pop(str(tmp_path), None)
+        warm = execute_job(job, str(tmp_path))
+        assert warm["cached"] == "disk"
+        assert warm["metrics"] == cold["metrics"]
+
+    def test_payload_schema_v2(self, tmp_path):
+        grid = SweepGrid.parse(benchmarks="BF", ks="2", engine=True)
+        run = run_sweep(
+            grid.expand(), cache_dir=tmp_path, parallel=False
+        )
+        payload = build_sweep_payload(run, grid)
+        assert payload["schema"] == "repro.bench-sweep/2"
+        assert validate_sweep_payload(payload) == []
+        assert payload["grid"]["engine"] is True
+
+    def test_validator_accepts_legacy_v1(self, tmp_path):
+        grid = SweepGrid.parse(benchmarks="BF", ks="2")
+        run = run_sweep(
+            grid.expand(), cache_dir=tmp_path, parallel=False
+        )
+        payload = build_sweep_payload(run, grid)
+        payload["schema"] = "repro.bench-sweep/1"
+        assert validate_sweep_payload(payload) == []
+
+    def test_validator_requires_engine_metrics(self, tmp_path):
+        grid = SweepGrid.parse(benchmarks="BF", ks="2", engine=True)
+        run = run_sweep(
+            grid.expand(), cache_dir=tmp_path, parallel=False
+        )
+        payload = build_sweep_payload(run, grid)
+        del payload["jobs"][0]["metrics"]["engine_runtime"]
+        assert any(
+            "engine_runtime" in p
+            for p in validate_sweep_payload(payload)
+        )
