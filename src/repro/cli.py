@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro lint all --fail-on warning
     python -m repro bench GSE,TFP --schedulers rcp,lpfs -k 2,4
     python -m repro bench all -o BENCH_sweep.json
+    python -m repro perf --repeats 2 -o BENCH_perf.json
+    python -m repro perf --baseline BENCH_perf.json -o ''
     python -m repro execute Grovers -k 4 --epr-rate 0.5 --trace g.trace
     python -m repro execute BF --fault-epr 0.1 --seed 7 --json
 
@@ -349,6 +351,101 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if "parse" in kinds:
         return EXIT_PARSE
     return EXIT_LINT
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .service import (
+        compare_perf_payloads,
+        run_perf,
+        validate_perf_payload,
+    )
+
+    if args.repeats < 1:
+        raise CLIError(f"--repeats must be >= 1, got {args.repeats}")
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (FileNotFoundError, IsADirectoryError):
+            raise CLIError(f"baseline {args.baseline!r} is not readable")
+        except json.JSONDecodeError as exc:
+            raise CLIError(
+                f"baseline {args.baseline!r} is not JSON: {exc}"
+            )
+        problems = validate_perf_payload(baseline)
+        if problems:
+            raise CLIError(
+                f"baseline {args.baseline!r} is not a valid perf "
+                f"document: {'; '.join(problems[:3])}"
+            )
+    payload = run_perf(
+        repeats=args.repeats,
+        include_reference=not args.no_reference,
+    )
+    problems = validate_perf_payload(payload)
+    for problem in problems:  # defensive; run_perf emits valid docs
+        print(f"warning: invalid perf payload: {problem}",
+              file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    fast = payload["fast"]
+    reference = payload["reference"]
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"pinned grid: {len(fast['per_job'])} jobs x "
+            f"{payload['repeats']} repeat(s), serial, uncached"
+        )
+        print(f"{'stage':<28} {'calls':>7} {'fast':>9} {'reference':>10}")
+        print("-" * 57)
+        ref_stages = (reference or {}).get("stages", {})
+        for name, stat in sorted(
+            fast["stages"].items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            ref = ref_stages.get(name)
+            ref_s = f"{ref['seconds']:>9.3f}s" if ref else "         -"
+            print(
+                f"{name:<28} {stat['calls']:>7} "
+                f"{stat['seconds']:>8.3f}s {ref_s}"
+            )
+        print("-" * 57)
+        ref_total = (
+            f"{reference['total_compute_s']:>9.3f}s" if reference
+            else "         -"
+        )
+        print(
+            f"{'total compute':<28} {'':>7} "
+            f"{fast['total_compute_s']:>8.3f}s {ref_total}"
+        )
+        if fast["peak_rss_kb"] is not None:
+            print(f"peak RSS: {fast['peak_rss_kb'] / 1024:.0f} MiB")
+        if payload["speedup"] is not None:
+            print(f"fast-path speedup: {payload['speedup']:.2f}x")
+        if args.output:
+            print(f"wrote {args.output}")
+    failed = set(fast["failed_jobs"])
+    if reference:
+        failed |= set(reference["failed_jobs"])
+    if failed:
+        print(
+            f"error: {len(failed)} job(s) failed: "
+            + ", ".join(sorted(failed)[:5]),
+            file=sys.stderr,
+        )
+        return EXIT_LINT
+    if baseline is not None:
+        regressions = compare_perf_payloads(
+            payload, baseline, tolerance=args.tolerance
+        )
+        for regression in regressions:
+            print(f"regression: {regression}", file=sys.stderr)
+        if regressions:
+            return EXIT_LINT
+        print(f"no regressions vs {args.baseline}")
+    return 0
 
 
 def _parse_rate(text: str) -> float:
@@ -696,6 +793,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="stdout format (default text)",
     )
     p_b.set_defaults(fn=_cmd_bench)
+
+    p_p = sub.add_parser(
+        "perf",
+        help=(
+            "benchmark the pipeline on the pinned grid "
+            "(fast path vs reference)"
+        ),
+    )
+    p_p.add_argument(
+        "--repeats", type=int, default=2, metavar="N",
+        help="measurement repeats; minimums are kept (default 2)",
+    )
+    p_p.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the reference-pipeline measurement (faster; "
+             "disables speedup and machine-scaled baseline compare)",
+    )
+    p_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "committed BENCH_perf.json to compare against; any stage "
+            ">25%% over its machine-scaled budget fails with exit 1"
+        ),
+    )
+    p_p.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="T",
+        help="allowed fractional slowdown per stage (default 0.25)",
+    )
+    p_p.add_argument(
+        "-o", "--output", default="BENCH_perf.json",
+        help="perf report path (default BENCH_perf.json; '' to skip)",
+    )
+    p_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (default text)",
+    )
+    p_p.set_defaults(fn=_cmd_perf)
 
     p_x = sub.add_parser(
         "execute",

@@ -13,12 +13,21 @@ nodes never changes the height of an unscheduled node, because all
 descendants of an unscheduled node are themselves unscheduled. LPFS'
 ``getNextLongestPath`` exploits this by greedily following maximum-height
 successors.
+
+Construction is a single O(V+E) pass over the statement list with a
+per-qubit last-writer map; the heights/depths/slack analyses are
+computed once and memoized (they are static for a given DAG, and the
+schedulers consult slack per ready-set decision). The pre-optimization
+construction is kept in :mod:`repro.sched._reference` and produces
+identical ``preds``/``succs`` arrays — ``tests/test_differential.py``
+checks that on generated programs.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..fastpath import fast_path_enabled
 from .operation import Operation, Statement
 from .qubits import Qubit
 
@@ -27,6 +36,37 @@ __all__ = ["DependenceDAG"]
 
 def _operands(stmt: Statement) -> Tuple[Qubit, ...]:
     return stmt.qubits if isinstance(stmt, Operation) else stmt.args
+
+
+def _build_edges_fast(
+    statements: List[Statement],
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Single-pass edge construction with a per-qubit last-writer map.
+
+    Operations carry 1-3 operands, so direct-predecessor lists are
+    deduplicated inline (an ``in`` test on a <=3 element list) instead
+    of through a per-node set + sort.
+    """
+    n = len(statements)
+    preds: List[List[int]] = [[] for _ in range(n)]
+    succs: List[List[int]] = [[] for _ in range(n)]
+    last_touch: Dict[Qubit, int] = {}
+    get_last = last_touch.get
+    for i, stmt in enumerate(statements):
+        operands = (
+            stmt.qubits if stmt.__class__ is Operation else _operands(stmt)
+        )
+        plist = preds[i]
+        for q in operands:
+            prev = get_last(q)
+            if prev is not None and prev not in plist:
+                plist.append(prev)
+            last_touch[q] = i
+        if len(plist) > 1:
+            plist.sort()
+        for p in plist:
+            succs[p].append(i)
+    return preds, succs
 
 
 class DependenceDAG:
@@ -60,21 +100,15 @@ class DependenceDAG:
                     f"{len(weights)} weights for {n} statements"
                 )
             self.weights = list(weights)
-        self.preds: List[List[int]] = [[] for _ in range(n)]
-        self.succs: List[List[int]] = [[] for _ in range(n)]
-        last_touch: Dict[Qubit, int] = {}
-        for i, stmt in enumerate(self.statements):
-            pred_set = set()
-            for q in _operands(stmt):
-                prev = last_touch.get(q)
-                if prev is not None:
-                    pred_set.add(prev)
-                last_touch[q] = i
-            for p in sorted(pred_set):
-                self.preds[i].append(p)
-                self.succs[p].append(i)
+        if fast_path_enabled():
+            self.preds, self.succs = _build_edges_fast(self.statements)
+        else:
+            from ..sched._reference import dag_edges_reference
+
+            self.preds, self.succs = dag_edges_reference(self.statements)
         self._heights: Optional[List[int]] = None
         self._depths: Optional[List[int]] = None
+        self._slack: Optional[List[int]] = None
 
     # -- basic shape ------------------------------------------------------
 
@@ -103,10 +137,17 @@ class DependenceDAG:
         """Longest weighted path from each node to any sink, inclusive of
         the node's own weight. Static across scheduler consumption."""
         if self._heights is None:
-            h = [0] * self.n
-            for i in range(self.n - 1, -1, -1):
-                below = max((h[s] for s in self.succs[i]), default=0)
-                h[i] = self.weights[i] + below
+            n = len(self.statements)
+            h = [0] * n
+            weights = self.weights
+            succs = self.succs
+            for i in range(n - 1, -1, -1):
+                below = 0
+                for s in succs[i]:
+                    hs = h[s]
+                    if hs > below:
+                        below = hs
+                h[i] = weights[i] + below
             self._heights = h
         return self._heights
 
@@ -114,10 +155,17 @@ class DependenceDAG:
         """Longest weighted path from any source to each node, inclusive
         of the node's own weight (the paper's distance-from-top tag)."""
         if self._depths is None:
-            d = [0] * self.n
-            for i in range(self.n):
-                above = max((d[p] for p in self.preds[i]), default=0)
-                d[i] = self.weights[i] + above
+            n = len(self.statements)
+            d = [0] * n
+            weights = self.weights
+            preds = self.preds
+            for i in range(n):
+                above = 0
+                for p in preds[i]:
+                    dp = d[p]
+                    if dp > above:
+                        above = dp
+                d[i] = weights[i] + above
             self._depths = d
         return self._depths
 
@@ -182,10 +230,15 @@ class DependenceDAG:
 
         Zero for nodes on a critical path; larger for nodes whose
         scheduling can be deferred. Used by RCP's priority term.
+        Memoized: slack is static for a given DAG.
         """
-        cp = self.critical_path_length()
-        d, h, w = self.depths(), self.heights(), self.weights
-        return [cp - (d[i] + h[i] - w[i]) for i in range(self.n)]
+        if self._slack is None:
+            cp = self.critical_path_length()
+            d, h, w = self.depths(), self.heights(), self.weights
+            self._slack = [
+                cp - (d[i] + h[i] - w[i]) for i in range(self.n)
+            ]
+        return self._slack
 
     def validate_acyclic(self) -> None:
         """Sanity check: edges only point forward in program order (the

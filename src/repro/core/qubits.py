@@ -21,10 +21,23 @@ __all__ = ["Qubit", "QubitRegister", "AncillaAllocator"]
 
 @dataclass(frozen=True, order=True)
 class Qubit:
-    """A single logical qubit: ``register[index]``."""
+    """A single logical qubit: ``register[index]``.
+
+    Qubits key every hot dictionary in the pipeline (last-writer maps,
+    memory maps, residency tables), so the hash is computed once at
+    construction rather than per lookup.
+    """
 
     register: str
     index: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.register, self.index))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.register}[{self.index}]"

@@ -1,0 +1,66 @@
+"""Fast-path / reference-pipeline switch for the compile→schedule stack.
+
+The scheduler hot paths (DAG construction, RCP, LPFS, movement
+derivation, coarse scheduling) each ship in two implementations:
+
+* the **fast path** — the algorithmically optimized default (per-qubit
+  last-writer maps, bucketed lazy-deletion ready sets, batched
+  width profiling, resident-set eviction scans);
+* the **reference pipeline** — the straightforward pre-optimization
+  code, kept verbatim in :mod:`repro.sched._reference`.
+
+Both produce *bit-identical* schedules; the differential battery in
+``tests/test_differential.py`` enforces that, and the ``perf`` harness
+(:mod:`repro.service.perf`) measures the speedup between them.
+
+The switch is deliberately dumb: one module-level boolean, checked once
+per schedule/derive call (never per node). It can be flipped three
+ways:
+
+* :func:`reference_pipeline` — a context manager, for tests and
+  in-process measurement;
+* :func:`set_fast_path` — a process-wide toggle;
+* the ``REPRO_FASTPATH=0`` environment variable — for subprocesses
+  (sweep workers inherit the environment, not the interpreter state).
+
+This is a leaf module (no repro imports) so every pipeline stage can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "fast_path_enabled",
+    "set_fast_path",
+    "reference_pipeline",
+]
+
+_ENABLED: bool = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+def fast_path_enabled() -> bool:
+    """True when the optimized implementations are active."""
+    return _ENABLED
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Set the process-wide switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def reference_pipeline() -> Iterator[None]:
+    """Run the enclosed block on the pre-optimization reference
+    implementations (restores the previous state on exit)."""
+    previous = set_fast_path(False)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)

@@ -1,7 +1,13 @@
 """Schedulers: sequential baseline, RCP, LPFS, hierarchical coarse
 scheduling, movement derivation and metrics."""
 
-from .coarse import CoarseResult, Placement, best_dim, schedule_coarse
+from .coarse import (
+    CoarseResult,
+    Placement,
+    best_dim,
+    coarse_length_profile,
+    schedule_coarse,
+)
 from .comm import CommStats, derive_movement, naive_runtime
 from .lpfs import schedule_lpfs
 from .metrics import (
@@ -38,6 +44,7 @@ __all__ = [
     "hierarchical_critical_path",
     "naive_runtime",
     "parallel_speedup",
+    "coarse_length_profile",
     "schedule_coarse",
     "schedule_lpfs",
     "schedule_rcp",

@@ -36,6 +36,7 @@ from ..arch.machine import (
 from ..arch.memory import MemoryMap
 from ..arch.teleport import EPRAccounting
 from ..core.qubits import Qubit
+from ..fastpath import fast_path_enabled
 from ..instrument import spanned
 from .types import Move, Schedule
 
@@ -88,17 +89,37 @@ def derive_movement(
 
     Populates each timestep's ``moves`` list in place (idempotent: any
     existing moves are cleared) and returns the communication profile.
+
+    The fast path tracks the set of region-resident qubits incrementally
+    instead of rescanning the whole memory map every timestep (the
+    pre-optimization scan made movement derivation O(qubits x
+    timesteps)); dead qubits are retired from the tracked set once their
+    use list is exhausted. Eviction candidates are visited in each
+    qubit's first-move order — the memory map's insertion order, which
+    is what the reference scan iterates — so the scratchpad fill
+    decisions and the emitted ``Move`` sequence are bit-identical to
+    :func:`repro.sched._reference.derive_movement_reference`.
     """
+    if not fast_path_enabled():
+        from ._reference import derive_movement_reference
+
+        return derive_movement_reference(sched, machine)
+
     for ts in sched.timesteps:
         ts.moves = []
 
+    statements = sched.dag.statements
+    timesteps = sched.timesteps
     # Per-qubit ordered use list: (timestep, region).
     uses: Dict[Qubit, List[Tuple[int, int]]] = {}
-    for t, ts in enumerate(sched.timesteps):
+    for t, ts in enumerate(timesteps):
         for r, nodes in enumerate(ts.regions):
             for n in nodes:
-                for q in sched.dag.statements[n].qubits:
-                    uses.setdefault(q, []).append((t, r))
+                for q in statements[n].qubits:
+                    ulist = uses.get(q)
+                    if ulist is None:
+                        ulist = uses[q] = []
+                    ulist.append((t, r))
     next_use_idx: Dict[Qubit, int] = {q: 0 for q in uses}
 
     mm = MemoryMap(k=sched.k, local_capacity=machine.local_memory)
@@ -111,15 +132,21 @@ def derive_movement(
         local_epochs=0,
     )
     pending_evictions: List[Move] = []
+    # Qubits currently sitting in a SIMD region, plus each qubit's
+    # first-move serial (== its position in mm.locations' insertion
+    # order, which the reference eviction scan iterates).
+    resident: Dict[Qubit, int] = {}
+    serial: Dict[Qubit, int] = {}
+    n_ts = len(timesteps)
 
-    for t, ts in enumerate(sched.timesteps):
-        epoch: List[Move] = list(pending_evictions)
+    for t, ts in enumerate(timesteps):
+        epoch: List[Move] = pending_evictions
         pending_evictions = []
         # --- fetch operands into their regions -------------------------
         for r, nodes in enumerate(ts.regions):
             target = ("region", r)
             for n in nodes:
-                for q in sched.dag.statements[n].qubits:
+                for q in statements[n].qubits:
                     src = mm.location(q)
                     if src == target:
                         continue
@@ -130,42 +157,54 @@ def derive_movement(
                     )
                     epoch.append(Move(q, src, target, kind))
                     mm.move(q, target)
+                    resident[q] = r
+                    if q not in serial:
+                        serial[q] = len(serial)
                 # Advance the qubit-use cursors past this timestep.
             for n in nodes:
-                for q in sched.dag.statements[n].qubits:
+                for q in statements[n].qubits:
+                    ulist = uses[q]
                     i = next_use_idx[q]
-                    while i < len(uses[q]) and uses[q][i][0] <= t:
+                    while i < len(ulist) and ulist[i][0] <= t:
                         i += 1
                     next_use_idx[q] = i
         ts.moves = epoch
         _bill_epoch(epoch, stats)
         # --- eviction decisions for the next epoch ----------------------
-        if t + 1 < len(sched.timesteps):
-            next_ts = sched.timesteps[t + 1]
+        if t + 1 < n_ts:
+            next_ts = timesteps[t + 1]
             active_next = {
                 r for r, nodes in enumerate(next_ts.regions) if nodes
             }
             used_next: Dict[Qubit, int] = {}
             for r, nodes in enumerate(next_ts.regions):
                 for n in nodes:
-                    for q in sched.dag.statements[n].qubits:
+                    for q in statements[n].qubits:
                         used_next[q] = r
-            for q, loc in list(mm.locations.items()):
-                if loc[0] != "region":
-                    continue
-                r = loc[1]
-                if used_next.get(q) is not None:
+            candidates: List[Tuple[int, Qubit]] = []
+            dead: List[Qubit] = []
+            for q, r in resident.items():
+                if q in used_next:
                     # Either stays for its next op or is fetched by the
                     # next timestep's operand pass.
                     continue
                 if r not in active_next:
                     continue  # idle regions store qubits passively
-                nu = next_use_idx[q]
-                if nu >= len(uses[q]):
+                if next_use_idx[q] >= len(uses[q]):
                     # Dead qubit: left behind and reabsorbed as ancilla
-                    # or EPR feedstock (Section 4.4) — no move billed.
+                    # or EPR feedstock (Section 4.4) — no move billed,
+                    # and no reason to ever reconsider it.
+                    dead.append(q)
                     continue
-                next_region = uses[q][nu][1]
+                candidates.append((serial[q], q))
+            for q in dead:
+                del resident[q]
+            # Scratchpad space is claimed in visit order, so the visit
+            # order must match the reference scan's (first-move order).
+            candidates.sort()
+            for _, q in candidates:
+                r = resident[q]
+                next_region = uses[q][next_use_idx[q]][1]
                 if (
                     next_region == r
                     and machine.has_local_memory
@@ -176,8 +215,9 @@ def derive_movement(
                 else:
                     dest = ("global",)
                     kind = "teleport"
-                pending_evictions.append(Move(q, loc, dest, kind))
+                pending_evictions.append(Move(q, ("region", r), dest, kind))
                 mm.move(q, dest)
+                del resident[q]
     return stats
 
 

@@ -16,7 +16,20 @@ extended here for the Multi-SIMD execution model with a priority over
 Each timestep repeatedly picks the highest-weight (region, gate-type)
 pair, extracts every ready op of that type into the region (up to ``d``),
 and removes the region from the available set, until regions or ready
-ops run out. All weights default to 1, as in the paper.
+ops run out. All weights default to 1, as in the paper. Weight ties are
+broken deterministically: smallest gate name first, then smallest
+region index (historically the tie went to whichever pair the scan
+encountered first, which depended on ready-list arrival order).
+
+The fast path keeps the ready set *bucketed by gate type* (arrival
+order preserved within each bucket), so type prevalence is an O(1)
+counter read and batch extraction pops one bucket instead of rescanning
+the whole ready deque; the (region, gate) selection enumerates each
+ready op's resident regions (at most its operand count) plus one
+zero-residency representative instead of every available region. The
+pre-optimization implementation is
+:func:`repro.sched._reference.schedule_rcp_reference`; both produce
+bit-identical schedules.
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.dag import DependenceDAG
 from ..core.qubits import Qubit
+from ..fastpath import fast_path_enabled
 from ..instrument import spanned
 from .types import Schedule
 
@@ -51,12 +65,29 @@ def schedule_rcp(
     weights: Optional[RCPWeights] = None,
 ) -> Schedule:
     """Schedule ``dag`` on a Multi-SIMD(k,d) machine with RCP."""
+    if not fast_path_enabled():
+        from ._reference import schedule_rcp_reference
+
+        return schedule_rcp_reference(dag, k, d, weights)
+
     w = weights or RCPWeights()
     sched = Schedule(dag, k=k, d=d, algorithm="rcp")
+    statements = dag.statements
+    succs = dag.succs
     indeg = dag.indegrees()
     slack = dag.slack()
-    ready: Deque[int] = deque(dag.sources())
-    in_ready = set(ready)
+    # Ready set, bucketed by gate type. Within a bucket nodes keep
+    # arrival order, which is all batch extraction needs; the bucket
+    # length doubles as the type-prevalence count.
+    buckets: Dict[str, Deque[int]] = {}
+    n_ready = 0
+    for node in dag.sources():
+        gate = statements[node].gate
+        bucket = buckets.get(gate)
+        if bucket is None:
+            bucket = buckets[gate] = deque()
+        bucket.append(node)
+        n_ready += 1
     # Region of last activity per qubit; None = memory (Section 3.2: all
     # qubits start in global memory).
     location: Dict[Qubit, Optional[int]] = {}
@@ -66,85 +97,97 @@ def schedule_rcp(
         ts = sched.append_timestep()
         available = list(range(k))
         placed_this_ts: List[int] = []
-        while available and ready:
-            region, gate = _max_weight_simd_optype(
-                dag, ready, available, location, slack, w
+        while available and n_ready:
+            region, gate = _pick_max_weight(
+                statements, buckets, available, location, slack, w
             )
-            batch = _extract_optype(dag, ready, in_ready, gate, d)
+            bucket = buckets[gate]
+            cap = len(bucket) if d is None else d
+            batch: List[int] = []
+            while bucket and len(batch) < cap:
+                batch.append(bucket.popleft())
+            if not bucket:
+                del buckets[gate]
+            n_ready -= len(batch)
             ts.regions[region].extend(batch)
             placed_this_ts.extend(batch)
             for node in batch:
-                for q in dag.statements[node].qubits:
+                for q in statements[node].qubits:
                     location[q] = region
             available.remove(region)
         # Ready-list update: children whose last dependency completed
         # this timestep become ready for the *next* timestep.
         for node in placed_this_ts:
-            for child in dag.succs[node]:
+            for child in succs[node]:
                 indeg[child] -= 1
-                if indeg[child] == 0 and child not in in_ready:
-                    ready.append(child)
-                    in_ready.add(child)
+                if indeg[child] == 0:
+                    gate = statements[child].gate
+                    bucket = buckets.get(gate)
+                    if bucket is None:
+                        bucket = buckets[gate] = deque()
+                    bucket.append(child)
+                    n_ready += 1
         scheduled += len(placed_this_ts)
         if not placed_this_ts:  # pragma: no cover - defensive
             raise RuntimeError("RCP made no progress (scheduler bug)")
     return sched
 
 
-def _max_weight_simd_optype(
-    dag: DependenceDAG,
-    ready: Deque[int],
+def _pick_max_weight(
+    statements,
+    buckets: Dict[str, Deque[int]],
     available: List[int],
     location: Dict[Qubit, Optional[int]],
     slack: List[int],
     w: RCPWeights,
 ) -> Tuple[int, str]:
-    """The paper's ``getMaxWeightSimdOpType``: the (region, gate-type)
-    pair maximising the scheduling priority over ready ops."""
-    # Prevalence of each ready gate type (the data-parallelism term).
-    optype_count: Dict[str, int] = {}
-    for node in ready:
-        gate = dag.statements[node].gate
-        optype_count[gate] = optype_count.get(gate, 0) + 1
+    """The paper's ``getMaxWeightSimdOpType`` over the bucketed ready
+    set: the (region, gate-type) pair maximising the scheduling
+    priority, ties broken by (gate name, region index).
 
-    best = None
+    For each ready op the candidate regions are the op's resident
+    regions (at most its operand count) plus the lowest-index available
+    region with zero residency — every other region yields the same
+    weight as the zero-residency representative but a larger index, so
+    the tie-break can never prefer it.
+    """
+    w_op, w_dist, w_slack = w.w_op, w.w_dist, w.w_slack
+    loc_get = location.get
+    avail_set = set(available)
     best_weight = float("-inf")
-    for region in available:
-        for node in ready:
-            op = dag.statements[node]
-            resident = sum(
-                1 for q in op.qubits if location.get(q) == region
-            )
-            weight = (
-                w.w_op * optype_count[op.gate]
-                + w.w_dist * resident
-                - w.w_slack * slack[node]
-            )
-            if weight > best_weight:
-                best_weight = weight
-                best = (region, op.gate)
-    assert best is not None
-    return best
-
-
-def _extract_optype(
-    dag: DependenceDAG,
-    ready: Deque[int],
-    in_ready: set,
-    gate: str,
-    d: Optional[int],
-) -> List[int]:
-    """Remove (up to ``d``) ready ops of type ``gate`` from the ready
-    list, preserving arrival order."""
-    cap = len(ready) if d is None else d
-    batch: List[int] = []
-    keep: List[int] = []
-    while ready:
-        node = ready.popleft()
-        if len(batch) < cap and dag.statements[node].gate == gate:
-            batch.append(node)
-            in_ready.discard(node)
-        else:
-            keep.append(node)
-    ready.extend(keep)
-    return batch
+    best_gate: Optional[str] = None
+    best_region = -1
+    for gate, bucket in buckets.items():
+        type_term = w_op * len(bucket)
+        for node in bucket:
+            base = type_term - w_slack * slack[node]
+            resident: Dict[int, int] = {}
+            for q in statements[node].qubits:
+                r = loc_get(q)
+                if r is not None:
+                    resident[r] = resident.get(r, 0) + 1
+            for r, count in resident.items():
+                if r not in avail_set:
+                    continue
+                weight = base + w_dist * count
+                if weight > best_weight or (
+                    weight == best_weight
+                    and (gate, r) < (best_gate, best_region)
+                ):
+                    best_weight = weight
+                    best_gate = gate
+                    best_region = r
+            for r in available:
+                if r not in resident:
+                    # Lowest-index zero-residency region; all others
+                    # score the same weight with a larger index.
+                    if base > best_weight or (
+                        base == best_weight
+                        and (gate, r) < (best_gate, best_region)
+                    ):
+                        best_weight = base
+                        best_gate = gate
+                        best_region = r
+                    break
+    assert best_gate is not None
+    return best_region, best_gate

@@ -19,6 +19,15 @@ Exposed on the CLI as ``python -m repro bench``.
 
 from ..instrument import SpanRecorder, record_spans, span
 from .core import CompileService, ServiceEntry
+from .perf import (
+    PERF_SCHEMA,
+    build_perf_payload,
+    compare_perf_payloads,
+    perf_grid,
+    perf_worker,
+    run_perf,
+    validate_perf_payload,
+)
 from .fingerprint import (
     PIPELINE_VERSION,
     canonical_program,
@@ -53,21 +62,27 @@ __all__ = [
     "CompileService",
     "JobSpec",
     "LRUCache",
+    "PERF_SCHEMA",
     "PIPELINE_VERSION",
     "SWEEP_SCHEMA",
     "ServiceEntry",
     "SpanRecorder",
     "SweepGrid",
     "SweepRun",
+    "build_perf_payload",
     "build_sweep_payload",
     "canonical_program",
     "canonical_request",
+    "compare_perf_payloads",
     "default_cache_dir",
     "execute_job",
     "fingerprint_program",
     "fingerprint_request",
+    "perf_grid",
+    "perf_worker",
     "record_spans",
+    "run_perf",
     "run_sweep",
     "span",
-    "validate_sweep_payload",
+    "validate_perf_payload",
 ]

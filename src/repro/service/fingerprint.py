@@ -56,7 +56,7 @@ __all__ = [
 #: pass, scheduler, or the cost model changes in a way that alters
 #: results — every stored artifact fingerprinted under the old version
 #: becomes unreachable (see ``DESIGN.md``, "Fingerprint recipe").
-PIPELINE_VERSION = "2025.1"
+PIPELINE_VERSION = "2025.2"
 
 
 def _num(value: Optional[float]) -> Any:

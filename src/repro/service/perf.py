@@ -1,0 +1,387 @@
+"""The ``perf`` harness: pinned-grid pipeline benchmarking.
+
+The scheduler fast path (:mod:`repro.fastpath`) promises wall-clock
+improvements with bit-identical output. This module makes that claim
+*measurable and regression-guarded*:
+
+* a **pinned grid** — every benchmark x {rcp, lpfs} at one fixed
+  Multi-SIMD(4,4) configuration — run serially, uncached, through the
+  existing sweep runner (:func:`repro.service.sweep.run_sweep`);
+* per-stage **wall time** aggregated from the pipeline's
+  :mod:`~repro.instrument` spans, and process **peak RSS** sampled per
+  job via ``resource.getrusage`` (no third-party profiler);
+* the same grid measured on the **reference pipeline**
+  (:func:`repro.fastpath.reference_pipeline`), yielding an honest
+  fast-vs-reference speedup from one run on one machine;
+* a schema-versioned report (``repro.bench-perf/1`` —
+  ``BENCH_perf.json``) with a hand-rolled validator, mirroring the
+  sweep report's conventions;
+* a **baseline comparison** for CI: because the committed baseline was
+  measured on different hardware, stage times are first rescaled by the
+  ratio of the two *reference-pipeline* totals (the reference acts as a
+  built-in machine-speed probe), then any stage slower than the scaled
+  baseline by more than ``tolerance`` is flagged.
+
+Timings take the **minimum across repeats** (the minimum is the
+standard low-noise estimator for benchmark wall times); peak RSS takes
+the maximum.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..fastpath import fast_path_enabled, reference_pipeline
+from .fingerprint import PIPELINE_VERSION
+from .sweep import JobSpec, SweepGrid, SweepRun, execute_job, run_sweep
+
+__all__ = [
+    "PERF_SCHEMA",
+    "STAGE_FLOOR_S",
+    "perf_grid",
+    "perf_worker",
+    "run_perf",
+    "build_perf_payload",
+    "validate_perf_payload",
+    "compare_perf_payloads",
+]
+
+#: Version tag of the ``BENCH_perf.json`` document layout.
+PERF_SCHEMA = "repro.bench-perf/1"
+
+#: Baseline stages faster than this (after machine rescaling) are too
+#: noisy to gate on and are skipped by :func:`compare_perf_payloads`.
+STAGE_FLOOR_S = 0.1
+
+#: Allowed slowdown before a stage counts as a regression (25%).
+DEFAULT_TOLERANCE = 0.25
+
+
+def perf_grid() -> SweepGrid:
+    """The pinned measurement grid.
+
+    Every benchmark in the registry, both fine-grained schedulers, at
+    one representative machine point — Multi-SIMD(k=4, d=4) with a
+    4-qubit scratchpad, the paper's favoured configuration family. The
+    grid is pinned so ``BENCH_perf.json`` documents are comparable
+    across commits; changing it invalidates committed baselines.
+    """
+    from ..benchmarks import benchmark_names
+
+    return SweepGrid(
+        benchmarks=tuple(benchmark_names()),
+        algorithms=("rcp", "lpfs"),
+        ks=(4,),
+        ds=(4,),
+        local_memories=(4.0,),
+    )
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process high-water RSS in KiB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    rss = usage.ru_maxrss
+    if rss <= 0:  # pragma: no cover - defensive
+        return None
+    # Linux reports KiB; macOS reports bytes.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - platform
+        rss //= 1024
+    return int(rss)
+
+
+def perf_worker(
+    job: JobSpec,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> Dict[str, Any]:
+    """:func:`~repro.service.sweep.execute_job` plus a peak-RSS sample.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so the sample
+    is monotone across a serial run; the report keeps the maximum,
+    which is exactly that watermark.
+    """
+    outcome = execute_job(job, cache_dir, use_cache)
+    outcome["peak_rss_kb"] = _peak_rss_kb()
+    return outcome
+
+
+def _aggregate(runs: Sequence[SweepRun]) -> Dict[str, Any]:
+    """Fold repeated runs of one grid into stage/total statistics.
+
+    Per-stage seconds and the compute total take the minimum across
+    repeats; call counts must agree across repeats (the pipeline is
+    deterministic) and peak RSS takes the maximum.
+    """
+    totals: List[float] = []
+    walls: List[float] = []
+    stage_runs: List[Dict[str, Dict[str, float]]] = []
+    peak_rss: Optional[int] = None
+    failures: List[str] = []
+    for run in runs:
+        total = 0.0
+        stages: Dict[str, Dict[str, float]] = {}
+        for outcome in run.outcomes:
+            if outcome["status"] != "ok":
+                failures.append(outcome["label"])
+                continue
+            total += outcome["compute_s"]
+            rss = outcome.get("peak_rss_kb")
+            if rss is not None and (peak_rss is None or rss > peak_rss):
+                peak_rss = rss
+            for name, stat in outcome["spans"].items():
+                agg = stages.get(name)
+                if agg is None:
+                    agg = stages[name] = {"calls": 0, "seconds": 0.0}
+                agg["calls"] += stat["calls"]
+                agg["seconds"] += stat["seconds"]
+        totals.append(total)
+        walls.append(run.wall_s)
+        stage_runs.append(stages)
+    names = sorted({name for stages in stage_runs for name in stages})
+    stages_min: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        per_repeat = [s[name] for s in stage_runs if name in s]
+        stages_min[name] = {
+            "calls": max(int(s["calls"]) for s in per_repeat),
+            "seconds": min(s["seconds"] for s in per_repeat),
+        }
+    return {
+        "repeats": len(runs),
+        "total_compute_s": min(totals) if totals else 0.0,
+        "wall_s": min(walls) if walls else 0.0,
+        "peak_rss_kb": peak_rss,
+        "stages": stages_min,
+        "failed_jobs": sorted(set(failures)),
+        "per_job": [
+            {
+                "label": outcome["label"],
+                "compute_s": min(
+                    run.outcomes[i]["compute_s"] for run in runs
+                ),
+                "status": outcome["status"],
+            }
+            for i, outcome in enumerate(runs[0].outcomes)
+        ],
+    }
+
+
+def run_perf(
+    repeats: int = 2,
+    include_reference: bool = True,
+    jobs: Optional[Sequence[JobSpec]] = None,
+) -> Dict[str, Any]:
+    """Measure the pinned grid and return the ``BENCH_perf`` payload.
+
+    The grid runs serially and uncached (the point is to measure
+    compute, not the artifact store), ``repeats`` times on the fast
+    path and — unless ``include_reference`` is false — ``repeats``
+    times on the reference pipeline in the same process.
+
+    Raises:
+        ValueError: when ``repeats < 1``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    grid = perf_grid() if jobs is None else None
+    job_list = list(jobs) if jobs is not None else grid.expand()
+
+    def _measure() -> List[SweepRun]:
+        return [
+            run_sweep(
+                job_list,
+                cache_dir=None,
+                parallel=False,
+                use_cache=False,
+                worker=perf_worker,
+            )
+            for _ in range(repeats)
+        ]
+
+    if not fast_path_enabled():  # pragma: no cover - defensive
+        raise RuntimeError(
+            "run_perf must start on the fast path "
+            "(unset REPRO_FASTPATH=0)"
+        )
+    # Warm-up: one unmeasured job so first-touch costs (module imports,
+    # lazily built tables) do not land inside the first measured job's
+    # spans and inflate small stages like pass:decompose.
+    if job_list:
+        perf_worker(job_list[0], None, False)
+    fast = _aggregate(_measure())
+    reference = None
+    if include_reference:
+        with reference_pipeline():
+            reference = _aggregate(_measure())
+    return build_perf_payload(grid, repeats, fast, reference)
+
+
+def build_perf_payload(
+    grid: Optional[SweepGrid],
+    repeats: int,
+    fast: Dict[str, Any],
+    reference: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Assemble the versioned ``BENCH_perf.json`` document."""
+    speedup = None
+    if (
+        reference is not None
+        and fast["total_compute_s"] > 0
+        and not fast["failed_jobs"]
+        and not reference["failed_jobs"]
+    ):
+        speedup = reference["total_compute_s"] / fast["total_compute_s"]
+    return {
+        "schema": PERF_SCHEMA,
+        "pipeline_version": PIPELINE_VERSION,
+        "created_unix": time.time(),
+        "grid": grid.to_dict() if grid is not None else None,
+        "repeats": repeats,
+        "fast": fast,
+        "reference": reference,
+        "speedup": speedup,
+    }
+
+
+def validate_perf_payload(payload: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``BENCH_perf.json`` document.
+
+    Returns a list of problems (empty when valid). Hand-rolled rather
+    than a jsonschema dependency, like
+    :func:`~repro.service.sweep.validate_sweep_payload`.
+    """
+    problems: List[str] = []
+
+    def need(obj: Dict[str, Any], key: str, types, where: str) -> Any:
+        if key not in obj:
+            problems.append(f"{where}: missing key {key!r}")
+            return None
+        value = obj[key]
+        if types is not None and not isinstance(value, types):
+            problems.append(
+                f"{where}.{key}: expected {types}, got "
+                f"{type(value).__name__}"
+            )
+            return None
+        return value
+
+    def check_side(side: Dict[str, Any], where: str) -> None:
+        need(side, "repeats", int, where)
+        need(side, "total_compute_s", (int, float), where)
+        need(side, "wall_s", (int, float), where)
+        if "peak_rss_kb" not in side:
+            problems.append(f"{where}: missing key 'peak_rss_kb'")
+        need(side, "failed_jobs", list, where)
+        stages = need(side, "stages", dict, where)
+        for name, stat in (stages or {}).items():
+            if not isinstance(stat, dict):
+                problems.append(f"{where}.stages[{name!r}]: not an object")
+                continue
+            need(stat, "calls", int, f"{where}.stages[{name!r}]")
+            need(
+                stat, "seconds", (int, float), f"{where}.stages[{name!r}]"
+            )
+        per_job = need(side, "per_job", list, where)
+        for i, job in enumerate(per_job or []):
+            if not isinstance(job, dict):
+                problems.append(f"{where}.per_job[{i}]: not an object")
+                continue
+            need(job, "label", str, f"{where}.per_job[{i}]")
+            need(job, "compute_s", (int, float), f"{where}.per_job[{i}]")
+            need(job, "status", str, f"{where}.per_job[{i}]")
+
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != PERF_SCHEMA:
+        problems.append(
+            f"schema: expected {PERF_SCHEMA!r}, got "
+            f"{payload.get('schema')!r}"
+        )
+    need(payload, "pipeline_version", str, "$")
+    need(payload, "created_unix", (int, float), "$")
+    need(payload, "repeats", int, "$")
+    fast = need(payload, "fast", dict, "$")
+    if fast is not None:
+        check_side(fast, "fast")
+    if "reference" not in payload:
+        problems.append("$: missing key 'reference'")
+    elif payload["reference"] is not None:
+        if not isinstance(payload["reference"], dict):
+            problems.append("$.reference: expected dict or null")
+        else:
+            check_side(payload["reference"], "reference")
+    if "speedup" not in payload:
+        problems.append("$: missing key 'speedup'")
+    elif payload["speedup"] is not None and not isinstance(
+        payload["speedup"], (int, float)
+    ):
+        problems.append("$.speedup: expected number or null")
+    return problems
+
+
+def compare_perf_payloads(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor_s: float = STAGE_FLOOR_S,
+) -> List[str]:
+    """Regression check of ``current`` against a committed ``baseline``.
+
+    The two documents generally come from different machines, so raw
+    seconds are not comparable. Both documents carry a
+    reference-pipeline measurement of the same pinned grid; the ratio
+    of the two reference totals is a machine-speed scale, and baseline
+    stage times are rescaled by it before comparison. A stage regresses
+    when::
+
+        current_stage > baseline_stage * scale * (1 + tolerance)
+
+    Stages below ``floor_s`` seconds (after rescaling) are skipped as
+    noise. Returns human-readable regression descriptions (empty =
+    pass). Documents without reference measurements fall back to
+    ``scale = 1`` (same-machine comparison).
+    """
+    problems: List[str] = []
+    cur_fast = current.get("fast") or {}
+    base_fast = baseline.get("fast") or {}
+    cur_ref = current.get("reference") or {}
+    base_ref = baseline.get("reference") or {}
+
+    scale = 1.0
+    cur_ref_total = cur_ref.get("total_compute_s") or 0.0
+    base_ref_total = base_ref.get("total_compute_s") or 0.0
+    if cur_ref_total > 0 and base_ref_total > 0:
+        scale = cur_ref_total / base_ref_total
+
+    def regressed(name: str, cur_s: float, base_s: float) -> None:
+        budget = base_s * scale
+        if budget < floor_s:
+            return
+        if cur_s > budget * (1.0 + tolerance):
+            problems.append(
+                f"{name}: {cur_s:.3f}s vs budget {budget:.3f}s "
+                f"(baseline {base_s:.3f}s x machine scale {scale:.2f} "
+                f"+ {tolerance:.0%})"
+            )
+
+    base_stages = base_fast.get("stages") or {}
+    cur_stages = cur_fast.get("stages") or {}
+    for name, stat in sorted(base_stages.items()):
+        cur = cur_stages.get(name)
+        if cur is None:
+            # A stage present in the baseline but absent now usually
+            # means the pipeline changed shape; not a perf regression.
+            continue
+        regressed(f"stage {name}", cur["seconds"], stat["seconds"])
+    regressed(
+        "total compute",
+        cur_fast.get("total_compute_s") or 0.0,
+        base_fast.get("total_compute_s") or 0.0,
+    )
+    return problems

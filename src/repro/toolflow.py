@@ -35,7 +35,7 @@ from .passes.flatten import DEFAULT_FTH, FlattenResult, flatten_program
 from .passes.manager import PassManager
 from .passes.optimize import optimize_program
 from .passes.resource import estimate_resources
-from .sched.coarse import best_dim, schedule_coarse
+from .sched.coarse import best_dim, coarse_length_profile
 from .sched.comm import CommStats, derive_movement, naive_runtime
 from .sched.lpfs import schedule_lpfs
 from .sched.metrics import (
@@ -282,24 +282,20 @@ def compile_and_schedule(
                 callees = sorted(mod.callees())
                 length_dims = {c: profiles[c].length for c in callees}
                 runtime_dims = {c: profiles[c].runtime for c in callees}
+                lengths = coarse_length_profile(
+                    mod, length_dims, widths, gate_cost=GATE_CYCLES,
+                    call_overhead=0,
+                )
+                runtimes = coarse_length_profile(
+                    mod,
+                    runtime_dims,
+                    widths,
+                    gate_cost=GATE_CYCLES + TELEPORT_CYCLES,
+                    call_overhead=TELEPORT_CYCLES,
+                )
                 for w in widths:
-                    profile.length[w] = max(
-                        schedule_coarse(
-                            mod, length_dims, k=w, gate_cost=GATE_CYCLES,
-                            call_overhead=0,
-                        ).total_length,
-                        1,
-                    )
-                    profile.runtime[w] = max(
-                        schedule_coarse(
-                            mod,
-                            runtime_dims,
-                            k=w,
-                            gate_cost=GATE_CYCLES + TELEPORT_CYCLES,
-                            call_overhead=TELEPORT_CYCLES,
-                        ).total_length,
-                        1,
-                    )
+                    profile.length[w] = max(lengths[w], 1)
+                    profile.runtime[w] = max(runtimes[w], 1)
             profiles[name] = profile
 
     if strict:

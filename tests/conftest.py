@@ -9,6 +9,21 @@ from repro.core.dag import DependenceDAG
 from repro.core.qubits import Qubit
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from current pipeline output",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should regenerate golden snapshots."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture
 def qubits():
     """Ten generic qubits q[0..9]."""

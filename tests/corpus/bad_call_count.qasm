@@ -1,0 +1,7 @@
+.module box p[0]
+H p[0]
+.end
+.module main
+.entry
+call[x] box q[0]
+.end

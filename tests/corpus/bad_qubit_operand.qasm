@@ -1,0 +1,4 @@
+.module main
+.entry
+H q
+.end

@@ -1,0 +1,3 @@
+.module helper
+H q[0]
+.end

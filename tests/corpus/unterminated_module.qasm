@@ -1,0 +1,2 @@
+.module main
+H q[0]

@@ -1,0 +1,80 @@
+"""The malformed-input corpus: the frontends must never traceback.
+
+``tests/corpus/`` holds deliberately broken and edge-case Scaffold
+(``.scd``) and hierarchical-QASM (``.qasm``) sources — unterminated
+modules, zero-qubit registers, self-referential calls, unicode
+identifiers, missing angles, bad operands. The contract under test is
+the one ``python -m repro lint`` sells: every input produces either a
+clean parse or structured diagnostics; no exception ever escapes the
+lint entry points.
+
+Add a file to the corpus and this test picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.frontend import lint_qasm_source, lint_scaffold_source
+from repro.analysis.diagnostics import Severity
+
+CORPUS = Path(__file__).parent / "corpus"
+CASES = sorted(
+    p for p in CORPUS.iterdir() if p.suffix in (".scd", ".qasm")
+)
+
+
+def test_corpus_is_populated():
+    assert len(CASES) >= 15, "corpus lost files"
+    assert any(p.suffix == ".scd" for p in CASES)
+    assert any(p.suffix == ".qasm" for p in CASES)
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.name)
+def test_corpus_lints_without_traceback(path):
+    source = path.read_text(encoding="utf-8")
+    lint = (
+        lint_scaffold_source(source, filename=path.name)
+        if path.suffix == ".scd"
+        else lint_qasm_source(source, filename=path.name)
+    )
+    if lint.ok:
+        # Clean parse: the program must be structurally sound enough
+        # to render and walk.
+        assert lint.program.entry_module is not None
+    else:
+        # Rejected: the failure must be a structured ERROR diagnostic
+        # with a code and a renderable message — not a traceback.
+        errors = lint.diagnostics.errors
+        assert errors, f"{path.name}: no program and no ERROR diagnostic"
+        for diag in errors:
+            assert diag.severity is Severity.ERROR
+            assert diag.code.startswith("QL")
+            assert diag.message.strip()
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "unterminated_module.scd",
+        "unknown_gate.scd",
+        "missing_angle.scd",
+        "call_undefined_module.scd",
+        "duplicate_operand.scd",
+        "unterminated_module.qasm",
+        "bad_qubit_operand.qasm",
+        "bad_call_count.qasm",
+    ],
+)
+def test_known_bad_inputs_are_rejected(name):
+    path = CORPUS / name
+    source = path.read_text(encoding="utf-8")
+    lint = (
+        lint_scaffold_source(source, filename=name)
+        if path.suffix == ".scd"
+        else lint_qasm_source(source, filename=name)
+    )
+    assert not lint.ok, f"{name} unexpectedly parsed"
+    assert lint.diagnostics.errors

@@ -1,0 +1,113 @@
+"""Golden snapshots of the paper-figure data at small configurations.
+
+The figure benches (``benchmarks/bench_fig*.py``) assert *shapes* —
+"flattening beats modular", "GSE gains most" — so a change that shifts
+every number while preserving the shape sails through them. These tests
+freeze the actual numbers for cheap configurations (k = 2) into
+``tests/golden/figdata.json`` and fail on any drift.
+
+When a drift is intentional (a scheduler change that legitimately moves
+the figures), regenerate the snapshot and review the diff::
+
+    python -m pytest tests/test_golden_figdata.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.arch.machine import MultiSIMD
+from repro.benchmarks import BENCHMARKS, benchmark_names
+from repro.core import ProgramBuilder
+from repro.toolflow import SchedulerConfig, compile_and_schedule
+
+GOLDEN = Path(__file__).parent / "golden" / "figdata.json"
+ALGORITHMS = ("rcp", "lpfs")
+
+
+def _two_toffoli_program():
+    """Figure 4's example: two Toffolis sharing qubit a, modularized."""
+    pb = ProgramBuilder()
+    tof = pb.module("toffoli_box")
+    p = tof.param_register("p", 3)
+    tof.toffoli(p[0], p[1], p[2])
+    main = pb.module("main")
+    q = main.register("q", 5)
+    main.call("toffoli_box", [q[0], q[1], q[2]])
+    main.call("toffoli_box", [q[0], q[3], q[4]])
+    return pb.build("main")
+
+
+def _fig4():
+    """Modular vs flattened schedule lengths on Multi-SIMD(2, inf)."""
+    out = {}
+    for alg in ALGORITHMS:
+        out[alg] = {}
+        for label, fth in (("modular", 0), ("flattened", 2 ** 62)):
+            result = compile_and_schedule(
+                _two_toffoli_program(),
+                MultiSIMD(k=2),
+                SchedulerConfig(alg),
+                fth=fth,
+            )
+            out[alg][label] = result.schedule_length
+    return out
+
+
+def _fig6_fig7():
+    """Per-benchmark k=2 speedups (Figure 6) and communication-aware
+    speedups (Figure 7), off one compile per (benchmark, scheduler)."""
+    fig6 = {}
+    fig7 = {}
+    for key in benchmark_names():
+        spec = BENCHMARKS[key]
+        program = spec.build()
+        fig6[key] = {}
+        fig7[key] = {}
+        for alg in ALGORITHMS:
+            result = compile_and_schedule(
+                program,
+                MultiSIMD(k=2),
+                SchedulerConfig(alg),
+                fth=spec.fth,
+            )
+            fig6[key][alg] = {
+                "schedule_length": result.schedule_length,
+                "parallel_speedup": round(result.parallel_speedup, 6),
+            }
+            fig7[key][alg] = round(result.comm_aware_speedup, 6)
+        fig6[key]["cp_speedup"] = round(result.cp_speedup, 6)
+    return fig6, fig7
+
+
+def _compute_figdata():
+    fig6, fig7 = _fig6_fig7()
+    return {"fig4": _fig4(), "fig6": fig6, "fig7": fig7}
+
+
+def test_figdata_matches_golden(update_golden):
+    current = _compute_figdata()
+    if update_golden:
+        GOLDEN.parent.mkdir(exist_ok=True)
+        GOLDEN.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n"
+        )
+    assert GOLDEN.exists(), (
+        "no golden snapshot; run pytest tests/test_golden_figdata.py "
+        "--update-golden"
+    )
+    golden = json.loads(GOLDEN.read_text())
+    assert current == golden, (
+        "figure data drifted from tests/golden/figdata.json; if "
+        "intentional, regenerate with --update-golden and review"
+    )
+
+
+def test_fig4_paper_shape():
+    """The frozen numbers still tell the paper's story: flattening
+    exposes the inter-blackbox parallelism (21 < 24 cycles)."""
+    fig4 = _fig4()
+    for alg in ALGORITHMS:
+        assert fig4[alg]["flattened"] < fig4[alg]["modular"]
+        assert fig4[alg]["flattened"] <= 24

@@ -1,0 +1,233 @@
+"""Unit tests for the ``perf`` harness (:mod:`repro.service.perf`)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    PERF_SCHEMA,
+    JobSpec,
+    SweepRun,
+    build_perf_payload,
+    compare_perf_payloads,
+    perf_grid,
+    run_perf,
+    validate_perf_payload,
+)
+from repro.service.perf import STAGE_FLOOR_S, _aggregate
+
+
+def _outcome(label="BF|rcp", status="ok", compute_s=1.0, spans=None,
+             rss=2048):
+    return {
+        "label": label,
+        "status": status,
+        "compute_s": compute_s,
+        "spans": spans
+        if spans is not None
+        else {"schedule:rcp": {"calls": 2, "seconds": compute_s}},
+        "peak_rss_kb": rss,
+    }
+
+
+def _run(outcomes, wall=1.0):
+    return SweepRun(
+        jobs=[], outcomes=outcomes, parallel=False, workers=1,
+        wall_s=wall,
+    )
+
+
+class TestPerfGrid:
+    def test_grid_is_pinned(self):
+        jobs = perf_grid().expand()
+        assert len(jobs) == 16  # 8 benchmarks x {rcp, lpfs}
+        assert {j.algorithm for j in jobs} == {"rcp", "lpfs"}
+        assert {(j.k, j.d, j.local_memory) for j in jobs} == {(4, 4, 4.0)}
+
+
+class TestAggregate:
+    def test_min_seconds_max_rss_across_repeats(self):
+        runs = [
+            _run([_outcome(compute_s=2.0, rss=1000)], wall=3.0),
+            _run([_outcome(compute_s=1.5, rss=4000)], wall=2.5),
+        ]
+        agg = _aggregate(runs)
+        assert agg["repeats"] == 2
+        assert agg["total_compute_s"] == 1.5
+        assert agg["wall_s"] == 2.5
+        assert agg["peak_rss_kb"] == 4000
+        assert agg["stages"]["schedule:rcp"]["seconds"] == 1.5
+        assert agg["stages"]["schedule:rcp"]["calls"] == 2
+        assert agg["failed_jobs"] == []
+        assert agg["per_job"][0]["compute_s"] == 1.5
+
+    def test_failed_jobs_recorded_and_excluded(self):
+        runs = [
+            _run(
+                [
+                    _outcome(label="good", compute_s=1.0),
+                    _outcome(label="bad", status="error", compute_s=9.0),
+                ]
+            )
+        ]
+        agg = _aggregate(runs)
+        assert agg["failed_jobs"] == ["bad"]
+        assert agg["total_compute_s"] == 1.0
+
+
+class TestPayload:
+    def _fast(self):
+        return _aggregate([_run([_outcome(compute_s=1.0)])])
+
+    def _ref(self):
+        return _aggregate([_run([_outcome(compute_s=2.0)])])
+
+    def test_build_and_validate_round_trip(self):
+        payload = build_perf_payload(perf_grid(), 1, self._fast(),
+                                     self._ref())
+        assert payload["schema"] == PERF_SCHEMA
+        assert payload["speedup"] == pytest.approx(2.0)
+        assert validate_perf_payload(payload) == []
+        # JSON round-trip stays valid (what CI reads back from disk).
+        assert validate_perf_payload(json.loads(json.dumps(payload))) == []
+
+    def test_no_reference_means_no_speedup(self):
+        payload = build_perf_payload(None, 1, self._fast(), None)
+        assert payload["speedup"] is None
+        assert validate_perf_payload(payload) == []
+
+    def test_failed_jobs_suppress_speedup(self):
+        fast = self._fast()
+        fast["failed_jobs"] = ["BF|rcp"]
+        payload = build_perf_payload(None, 1, fast, self._ref())
+        assert payload["speedup"] is None
+
+    def test_validator_flags_corruption(self):
+        payload = build_perf_payload(None, 1, self._fast(), self._ref())
+        for mutate, fragment in [
+            (lambda d: d.update(schema="bogus/9"), "schema"),
+            (lambda d: d.pop("speedup"), "speedup"),
+            (lambda d: d["fast"].pop("stages"), "stages"),
+            (
+                lambda d: d["fast"]["stages"].update(x={"calls": "one"}),
+                "calls",
+            ),
+            (lambda d: d.update(repeats="two"), "repeats"),
+        ]:
+            doc = copy.deepcopy(payload)
+            mutate(doc)
+            problems = validate_perf_payload(doc)
+            assert problems, fragment
+            assert any(fragment in p for p in problems), (fragment,
+                                                          problems)
+
+    def test_validator_rejects_non_object(self):
+        assert validate_perf_payload(["not", "a", "dict"])
+
+
+class TestCompare:
+    def _doc(self, stage_s, total_s, ref_total=None):
+        doc = {
+            "fast": {
+                "stages": {"schedule:rcp": {"calls": 1,
+                                            "seconds": stage_s}},
+                "total_compute_s": total_s,
+            },
+            "reference": (
+                {"total_compute_s": ref_total}
+                if ref_total is not None
+                else None
+            ),
+        }
+        return doc
+
+    def test_identical_documents_pass(self):
+        doc = self._doc(1.0, 1.0, ref_total=2.0)
+        assert compare_perf_payloads(doc, doc) == []
+
+    def test_stage_regression_flagged(self):
+        base = self._doc(1.0, 1.0)
+        cur = self._doc(2.0, 1.0)
+        problems = compare_perf_payloads(cur, base)
+        assert len(problems) == 1
+        assert "schedule:rcp" in problems[0]
+
+    def test_total_regression_flagged(self):
+        base = self._doc(1.0, 1.0)
+        cur = self._doc(1.0, 2.0)
+        problems = compare_perf_payloads(cur, base)
+        assert len(problems) == 1
+        assert "total compute" in problems[0]
+
+    def test_tolerance_is_respected(self):
+        base = self._doc(1.0, 1.0)
+        cur = self._doc(1.2, 1.2)
+        assert compare_perf_payloads(cur, base, tolerance=0.25) == []
+        assert compare_perf_payloads(cur, base, tolerance=0.1)
+
+    def test_tiny_stages_skipped_as_noise(self):
+        base = self._doc(STAGE_FLOOR_S / 2, STAGE_FLOOR_S / 2)
+        cur = self._doc(STAGE_FLOOR_S * 10, STAGE_FLOOR_S / 2)
+        assert compare_perf_payloads(cur, base) == []
+
+    def test_machine_scale_from_reference_totals(self):
+        # Current machine is 2x slower (reference total doubled): a 1.9x
+        # stage slowdown is within the rescaled budget, a 3x is not.
+        base = self._doc(1.0, 1.0, ref_total=10.0)
+        ok = self._doc(1.9, 1.9, ref_total=20.0)
+        bad = self._doc(3.0, 3.0, ref_total=20.0)
+        assert compare_perf_payloads(ok, base) == []
+        assert len(compare_perf_payloads(bad, base)) == 2
+
+    def test_stage_missing_from_current_is_not_a_regression(self):
+        base = self._doc(1.0, 1.0)
+        cur = self._doc(1.0, 1.0)
+        cur["fast"]["stages"] = {}
+        assert compare_perf_payloads(cur, base) == []
+
+
+class TestRunPerf:
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_perf(repeats=0)
+
+    def test_tiny_real_run(self):
+        # One real (small) job through the measurement loop, both
+        # pipelines, to cover the wiring end to end.
+        jobs = [JobSpec("BF", "rcp", k=2)]
+        payload = run_perf(repeats=1, jobs=jobs)
+        assert validate_perf_payload(payload) == []
+        assert payload["grid"] is None
+        assert payload["fast"]["failed_jobs"] == []
+        assert payload["reference"]["failed_jobs"] == []
+        assert payload["speedup"] is not None
+        assert payload["fast"]["stages"], "no spans recorded"
+        assert payload["fast"]["per_job"][0]["label"].startswith("BF")
+
+
+class TestPerfCLI:
+    def test_bad_repeats_is_usage_error(self, capsys):
+        assert main(["perf", "--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["perf", "--baseline", str(missing)]) == 2
+        assert "not readable" in capsys.readouterr().err
+
+    def test_invalid_baseline_json_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["perf", "--baseline", str(bad)]) == 2
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_invalid_baseline_document_is_usage_error(self, tmp_path,
+                                                      capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "wrong/0"}))
+        assert main(["perf", "--baseline", str(bad)]) == 2
+        assert "not a valid perf document" in capsys.readouterr().err
