@@ -16,7 +16,10 @@ Code ranges (see the table in ``DESIGN.md``):
 * ``QL0xx`` — program-level dataflow rules (:mod:`.program_rules`);
 * ``QL1xx`` — front-end findings (:mod:`.frontend`);
 * ``QL2xx`` — schedule structural invariants (:mod:`.schedule_audit`);
-* ``QL3xx`` — replay / physical-realisability invariants.
+* ``QL3xx`` — replay / physical-realisability invariants;
+* ``QL4xx`` — interprocedural qubit lifetime (:mod:`.lifetime_rules`);
+* ``QL5xx`` — static resource/communication bounds
+  (:mod:`.resource_rules`).
 """
 
 from __future__ import annotations
@@ -24,7 +27,17 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+    overload,
+)
 
 from ..core.source import SourceLocation
 
@@ -138,7 +151,7 @@ class Diagnostic:
         )
 
 
-def _sort_key(d: Diagnostic):
+def _sort_key(d: Diagnostic) -> Tuple[str, int, int, int, str]:
     loc = d.loc
     return (
         d.module or "",
@@ -152,7 +165,7 @@ def _sort_key(d: Diagnostic):
 class DiagnosticSet:
     """An ordered collection of diagnostics with rendering helpers."""
 
-    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
         self._diags: List[Diagnostic] = list(diagnostics)
 
     # -- construction ----------------------------------------------------
@@ -174,7 +187,15 @@ class DiagnosticSet:
     def __bool__(self) -> bool:
         return bool(self._diags)
 
-    def __getitem__(self, idx):
+    @overload
+    def __getitem__(self, idx: int) -> Diagnostic: ...
+
+    @overload
+    def __getitem__(self, idx: slice) -> List[Diagnostic]: ...
+
+    def __getitem__(
+        self, idx: Union[int, slice]
+    ) -> Union[Diagnostic, List[Diagnostic]]:
         return self._diags[idx]
 
     # -- queries ---------------------------------------------------------
@@ -271,7 +292,9 @@ class AnalysisError(Exception):
         stage: which toolflow stage the analysis ran at.
     """
 
-    def __init__(self, diagnostics: DiagnosticSet, stage: str = "input"):
+    def __init__(
+        self, diagnostics: DiagnosticSet, stage: str = "input"
+    ) -> None:
         self.diagnostics = diagnostics
         self.stage = stage
         errors = diagnostics.errors

@@ -14,19 +14,38 @@ additional rules (with fresh codes) and they are picked up by the CLI's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol
 
 from ..core.module import Program
 from ..core.source import SourceLocation
 from .diagnostics import Diagnostic, DiagnosticSet, Severity
 
-__all__ = ["Rule", "Reporter", "rule", "registered_rules", "analyze_program"]
+__all__ = [
+    "Rule",
+    "Reporter",
+    "rule",
+    "registered_rules",
+    "analyze_program",
+    "DeepRule",
+    "deep_rule",
+    "registered_deep_rules",
+    "analyze_deep_rules",
+]
+
+
+class RuleLike(Protocol):
+    """What :class:`Reporter` needs from a rule: identity + default
+    severity. Satisfied by both :class:`Rule` and :class:`DeepRule`."""
+
+    code: str
+    name: str
+    severity: Severity
 
 
 class Reporter:
     """Emission facade handed to rules; binds the rule's defaults."""
 
-    def __init__(self, sink: DiagnosticSet, rule: "Rule"):
+    def __init__(self, sink: DiagnosticSet, rule: RuleLike) -> None:
         self._sink = sink
         self._rule = rule
 
@@ -138,4 +157,95 @@ def analyze_program(
     out = DiagnosticSet()
     for r in selected:
         r.fn(program, Reporter(out, r))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Deep (interprocedural) rules — the ``lint --deep`` battery
+# ---------------------------------------------------------------------------
+
+#: A deep rule body: called as ``fn(context, reporter)`` where
+#: ``context`` is the :class:`~repro.analysis.deep.DeepContext` holding
+#: the program, the target machine, and the interprocedural summaries.
+#: Typed ``Any`` here to keep the registry below the context in the
+#: import graph.
+DeepRuleFn = Callable[[Any, Reporter], None]
+
+
+@dataclass(frozen=True)
+class DeepRule:
+    """A registered interprocedural (``lint --deep``) rule.
+
+    Same identity contract as :class:`Rule` (stable unique code, a
+    kebab-case name, a default severity), but the body consumes the
+    summary-laden deep-analysis context instead of a bare program —
+    deep rules never recompute fixpoints themselves.
+    """
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    fn: DeepRuleFn
+
+
+_DEEP_REGISTRY: Dict[str, DeepRule] = {}
+
+
+def deep_rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> Callable[[DeepRuleFn], DeepRuleFn]:
+    """Register an interprocedural rule under ``code``.
+
+    Codes share one namespace with the shallow registry, so a deep
+    rule can never collide with (or shadow) a ``QL0xx`` rule.
+
+    Raises:
+        ValueError: if ``code`` or ``name`` is already registered.
+    """
+
+    def decorator(fn: DeepRuleFn) -> DeepRuleFn:
+        if code in _DEEP_REGISTRY or code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code!r}")
+        taken = {r.name for r in _REGISTRY.values()}
+        taken.update(r.name for r in _DEEP_REGISTRY.values())
+        if name in taken:
+            raise ValueError(f"duplicate rule name {name!r}")
+        _DEEP_REGISTRY[code] = DeepRule(code, name, severity, summary, fn)
+        return fn
+
+    return decorator
+
+
+def registered_deep_rules() -> List[DeepRule]:
+    """All registered deep rules, ordered by code."""
+    return [_DEEP_REGISTRY[c] for c in sorted(_DEEP_REGISTRY)]
+
+
+def analyze_deep_rules(
+    context: Any,
+    codes: Optional[Iterable[str]] = None,
+) -> DiagnosticSet:
+    """Run the deep-rule battery over a prepared analysis context.
+
+    Callers build the context (program + machine + summaries) via
+    :func:`repro.analysis.deep.analyze_deep`, which owns the fixpoint
+    and caching; this function is only the emission loop.
+
+    Raises:
+        KeyError: if ``codes`` names an unregistered deep code.
+    """
+    selected: List[DeepRule]
+    if codes is None:
+        selected = registered_deep_rules()
+    else:
+        missing = [c for c in codes if c not in _DEEP_REGISTRY]
+        if missing:
+            raise KeyError(
+                f"unknown deep rule code(s): {', '.join(sorted(missing))}"
+            )
+        selected = [_DEEP_REGISTRY[c] for c in sorted(set(codes))]
+    out = DiagnosticSet()
+    for r in selected:
+        r.fn(context, Reporter(out, r))
     return out

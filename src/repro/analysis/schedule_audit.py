@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..arch.machine import MultiSIMD
+from ..sched.comm import CommStats
 from ..sched.types import Schedule
 from ..sched.replay import replay_schedule
 from .diagnostics import Diagnostic, DiagnosticSet, Severity
@@ -32,6 +33,8 @@ def audit_schedule(
     sched: Schedule,
     machine: Optional[MultiSIMD] = None,
     module: Optional[str] = None,
+    deep: bool = False,
+    comm: Optional[CommStats] = None,
 ) -> DiagnosticSet:
     """Statically audit a schedule, collecting every violation.
 
@@ -40,10 +43,16 @@ def audit_schedule(
         machine: when given, the movement plan is additionally
             replayed against this machine model (``QL3xx`` checks).
         module: module name to anchor the diagnostics to (reports).
+        deep: additionally sanitize the schedule against its static
+            resource/communication bounds (``QL5xx`` checks —
+            :func:`~repro.analysis.resource_rules.audit_schedule_bounds`).
+        comm: realized communication stats for the ``deep`` check,
+            when available.
 
     Returns:
         a :class:`DiagnosticSet`; empty iff the schedule passes every
-        structural (and, with ``machine``, physical) invariant.
+        structural (and, with ``machine``, physical; and, with
+        ``deep``, bounds) invariant.
     """
     diags = DiagnosticSet()
     for v in sched.iter_violations():
@@ -59,6 +68,10 @@ def audit_schedule(
         )
     if machine is not None:
         diags.extend(audit_replay(sched, machine, module=module))
+    if deep:
+        from .resource_rules import audit_schedule_bounds
+
+        diags.extend(audit_schedule_bounds(sched, comm=comm, module=module))
     return diags
 
 

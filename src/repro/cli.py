@@ -10,6 +10,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro lint Grovers
     python -m repro lint program.scd --format json
     python -m repro lint all --fail-on warning
+    python -m repro lint all --deep --format json
+    python -m repro lint program.scd --deep --fail-on QL4
     python -m repro bench GSE,TFP --schedulers rcp,lpfs -k 2,4
     python -m repro bench all -o BENCH_sweep.json
     python -m repro perf --repeats 2 -o BENCH_perf.json
@@ -34,9 +36,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from dataclasses import replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .analysis import SummaryCache
+    from .service import CompileService
 
 from .analysis import (
     AnalysisError,
@@ -208,16 +215,18 @@ def _cmd_emit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _lint_one(source: str) -> DiagnosticSet:
+def _lint_one(source: str) -> Tuple[DiagnosticSet, Optional[Program]]:
     """Lint one source (benchmark key or file path) into diagnostics.
 
     File sources go through the front-end linter (parse errors become
     ``QL1xx`` diagnostics rather than exceptions); any program that
     parses — and every benchmark — is run through the full rule
-    battery (``QL0xx``).
+    battery (``QL0xx``). The parsed/built program rides along for the
+    ``--deep`` path (``None`` when the source didn't parse).
     """
     if source in BENCHMARKS:
-        return analyze_program(BENCHMARKS[source].build())
+        program = BENCHMARKS[source].build()
+        return analyze_program(program), program
     try:
         with open(source) as fh:
             text = fh.read()
@@ -234,17 +243,138 @@ def _lint_one(source: str) -> DiagnosticSet:
     diags = lint.diagnostics
     if lint.program is not None:
         diags.extend(analyze_program(lint.program))
-    return diags
+    return diags, lint.program
+
+
+def _deep_lint_one(
+    source: str,
+    program: Program,
+    machine: MultiSIMD,
+    service: "CompileService",
+    summary_cache: Optional["SummaryCache"],
+    info_sink: dict,
+) -> DiagnosticSet:
+    """The ``--deep`` battery for one program.
+
+    Runs the interprocedural analyses (``QL4xx`` lifetime rules and
+    the ``QL501`` machine-fit check, summaries memoized through
+    ``summary_cache``), then compiles the program through the
+    content-addressed service and sanitizes the realized artifacts
+    against the static bounds: retained full-width schedules through
+    :func:`~repro.analysis.audit_schedule` (``deep=True``), and every
+    module's blackbox profile through
+    :func:`~repro.analysis.audit_profile_bounds`. Disk-cached compiles
+    carry no schedule bodies, so warm runs audit profiles only — the
+    bounds they are checked against are recomputed either way.
+    """
+    from .analysis import (
+        ResourceAnalysis,
+        analyze_deep,
+        audit_profile_bounds,
+        audit_schedule,
+        solve_bottom_up,
+    )
+    from .passes.decompose import decompose_program
+    from .passes.flatten import DEFAULT_FTH, flatten_program
+
+    out = DiagnosticSet()
+    deep = analyze_deep(program, machine=machine, cache=summary_cache)
+    out.extend(deep.diagnostics)
+
+    fth = BENCHMARKS[source].fth if source in BENCHMARKS else DEFAULT_FTH
+    entry = service.lookup(program, machine, fth=fth)
+    result = entry.result
+    for name, sched in result.schedules.items():
+        profile = result.profiles.get(name)
+        comm = profile.comm.get(machine.k) if profile is not None else None
+        out.extend(
+            audit_schedule(sched, module=name, deep=True, comm=comm)
+        )
+    # Profile bounds must be computed on the *scheduled* program (the
+    # front-end passes can rewrite module bodies — e.g. rotation
+    # synthesis may drop a near-identity rotation entirely), and a
+    # disk-cached result only carries a gate-less program skeleton.
+    # Re-running the deterministic front-end locally is cheap, and the
+    # per-module summaries memoize through the same cache.
+    flat = flatten_program(decompose_program(program), fth=fth).program
+    bounds = solve_bottom_up(
+        flat, ResourceAnalysis(), cache=summary_cache
+    ).summaries
+    profiles_audited = 0
+    for name, profile in result.profiles.items():
+        summary = bounds.get(name)
+        if summary is None:
+            continue
+        profiles_audited += 1
+        out.extend(
+            audit_profile_bounds(
+                profile.length, profile.runtime, summary, module=name
+            )
+        )
+    info_sink[source] = {
+        "fingerprint": entry.fingerprint,
+        "compile_cached": entry.cached,
+        "modules": len(deep.lifetime_result.order),
+        "summary_cache": deep.cache_stats(),
+        "schedules_audited": len(result.schedules),
+        "profiles_audited": profiles_audited,
+    }
+    return out
+
+
+#: ``--fail-on`` values that name a severity threshold (or disable
+#: failing); anything else must be a diagnostic-code prefix.
+_FAIL_ON_CODE_RE = re.compile(r"QL\d{0,3}\Z")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    fail_on = args.fail_on
+    if fail_on not in ("error", "warning", "info", "never") and not (
+        _FAIL_ON_CODE_RE.match(fail_on)
+    ):
+        raise CLIError(
+            f"--fail-on expects a severity (error, warning, info), "
+            f"'never', or a diagnostic-code prefix like 'QL4'; got "
+            f"{fail_on!r}"
+        )
     sources = (
         list(benchmark_names()) if args.source == "all"
         else [args.source]
     )
+
+    summary_cache = None
+    service = None
+    machine = None
+    deep_info: dict = {}
+    if args.deep:
+        from .analysis import SummaryCache
+        from .service import CompileService, default_cache_dir
+
+        machine = MultiSIMD(k=args.k, d=args.d)
+        cache_dir = (
+            None
+            if args.no_cache
+            else (args.cache_dir or str(default_cache_dir()))
+        )
+        summary_cache = (
+            SummaryCache(cache_dir) if cache_dir is not None else None
+        )
+        service = CompileService(cache_dir=cache_dir)
+
     diags = DiagnosticSet()
     for source in sources:
-        found = _lint_one(source)
+        found, program = _lint_one(source)
+        if args.deep and program is not None:
+            found.extend(
+                _deep_lint_one(
+                    source,
+                    program,
+                    machine,
+                    service,
+                    summary_cache,
+                    deep_info,
+                )
+            )
         if args.source == "all":
             # Anchor benchmark findings to their benchmark key so an
             # aggregated report stays attributable.
@@ -255,12 +385,35 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else:
             diags.extend(found)
     if args.format == "json":
-        print(diags.to_json())
+        doc = json.loads(diags.to_json())
+        if args.deep:
+            doc["deep"] = {
+                "machine": {"k": machine.k, "d": machine.d},
+                "sources": deep_info,
+                "summary_cache": (
+                    summary_cache.stats.to_dict()
+                    if summary_cache is not None
+                    else None
+                ),
+                "compile_cache": service.stats_dict(),
+            }
+        print(json.dumps(doc, indent=2))
     else:
         print(diags.render())
-    if args.fail_on == "never":
+        if args.deep and summary_cache is not None:
+            stats = summary_cache.stats
+            print(
+                f"[deep] summary cache: {stats.hits} hit(s), "
+                f"{stats.misses} miss(es); compile cache: "
+                f"{service.stats.hits} hit(s), "
+                f"{service.stats.misses} miss(es)"
+            )
+    if fail_on == "never":
         return 0
-    threshold = Severity.from_name(args.fail_on)
+    if _FAIL_ON_CODE_RE.match(fail_on):
+        hit = any(d.code.startswith(fail_on) for d in diags)
+        return EXIT_LINT if hit else 0
+    threshold = Severity.from_name(fail_on)
     return EXIT_LINT if diags.at_least(threshold) else 0
 
 
@@ -699,12 +852,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default text)",
     )
     p_l.add_argument(
-        "--fail-on", choices=("error", "warning", "info", "never"),
-        default="error",
+        "--fail-on", default="error", metavar="WHEN",
         help=(
-            "lowest severity that makes the exit code non-zero "
-            "(default error)"
+            "what makes the exit code non-zero: a severity name "
+            "(error, warning, info — lowest severity that fails), "
+            "'never', or a diagnostic-code prefix such as QL4 or "
+            "QL502 (default error)"
         ),
+    )
+    p_l.add_argument(
+        "--deep", action="store_true",
+        help=(
+            "additionally run the interprocedural battery (QL4xx "
+            "qubit-lifetime rules, QL501 machine fit) and sanitize "
+            "compiled schedules/profiles against the static "
+            "resource/communication bounds (QL502-QL504)"
+        ),
+    )
+    p_l.add_argument(
+        "-k", type=int, default=4,
+        help="SIMD regions assumed by --deep (default 4)",
+    )
+    p_l.add_argument(
+        "-d", type=int, default=4,
+        help="ops per region assumed by --deep (default 4)",
+    )
+    p_l.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "cache directory for --deep compile artifacts and "
+            "analysis summaries (default $REPRO_CACHE_DIR or "
+            "./.repro-cache)"
+        ),
+    )
+    p_l.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the --deep caches (fresh compute)",
     )
     p_l.set_defaults(fn=_cmd_lint)
 

@@ -1,0 +1,129 @@
+"""Canonical (order-stable, repr-free) forms of the core IR.
+
+The content-addressed layers of the toolchain — the compile-artifact
+store (:mod:`repro.service`) and the per-module analysis summary cache
+(:mod:`repro.analysis.dataflow`) — both need a deterministic JSON
+encoding of programs to hash. That encoding lives here, at the bottom
+of the dependency graph, so the analysis layer can fingerprint modules
+without importing the service package (which imports the toolflow,
+which imports the analysis package).
+
+Determinism rules (the hash must never see an iteration-order or
+``repr`` leak):
+
+* modules are emitted **sorted by name**, never in ``Program.modules``
+  insertion order;
+* statement bodies keep their (semantically meaningful) order; every
+  statement is emitted as an explicit list, never via ``repr``;
+* qubits are emitted as ``[register, index]`` pairs;
+* ``set``-typed structures (e.g. :meth:`Module.callees`) are never
+  consumed — the canonical form only reads ordered fields;
+* floats (gate angles, capacities) are emitted via :func:`float.hex` —
+  exact, locale-independent, and immune to repr changes;
+* non-semantic metadata (source locations) is excluded: a program
+  parsed from a file and the identical program built in memory
+  fingerprint the same.
+
+:data:`PIPELINE_VERSION` also lives here: it is mixed into every
+fingerprint so that behavioural changes to passes/schedulers/analyses
+invalidate previously stored artifacts and summaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Dict, List, Optional, Union
+
+from .module import Module, Program
+from .operation import CallSite, Operation, Statement
+from .qubits import Qubit
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "canonical_number",
+    "canonical_qubit",
+    "canonical_statement",
+    "canonical_module",
+    "canonical_program",
+    "digest",
+    "fingerprint_program",
+]
+
+#: Version of the compilation pipeline's *behaviour*. Bump whenever a
+#: pass, scheduler, analysis, or the cost model changes in a way that
+#: alters results — every stored artifact or summary fingerprinted
+#: under the old version becomes unreachable (see ``DESIGN.md``,
+#: "Fingerprint recipe").
+PIPELINE_VERSION = "2025.2"
+
+
+def canonical_number(value: Optional[Union[int, float]]) -> Any:
+    """Canonical JSON encoding for an optional numeric field."""
+    if value is None:
+        return None
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        return value.hex()
+    return value
+
+
+def canonical_qubit(q: Qubit) -> List[Any]:
+    return [q.register, q.index]
+
+
+def canonical_statement(stmt: Statement) -> List[Any]:
+    if isinstance(stmt, Operation):
+        return [
+            "op",
+            stmt.gate,
+            [canonical_qubit(q) for q in stmt.qubits],
+            canonical_number(stmt.angle),
+        ]
+    if isinstance(stmt, CallSite):
+        return [
+            "call",
+            stmt.callee,
+            [canonical_qubit(q) for q in stmt.args],
+            stmt.iterations,
+        ]
+    raise TypeError(f"unknown statement type {type(stmt).__name__}")
+
+
+def canonical_module(mod: Module) -> Dict[str, Any]:
+    """The canonical form of one module (name, params, body)."""
+    return {
+        "name": mod.name,
+        "params": [canonical_qubit(q) for q in mod.params],
+        "body": [canonical_statement(s) for s in mod.body],
+    }
+
+
+def canonical_program(program: Program) -> Dict[str, Any]:
+    """The canonical (order-stable, repr-free) form of a program."""
+    return {
+        "entry": program.entry,
+        "modules": [
+            canonical_module(program.modules[name])
+            for name in sorted(program.modules)
+        ],
+    }
+
+
+def digest(doc: Any) -> str:
+    """SHA-256 hex digest of a canonical JSON document.
+
+    The document must already be canonical (order-stable values);
+    key order is normalised here via ``sort_keys``.
+    """
+    text = json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def fingerprint_program(program: Program) -> str:
+    """SHA-256 over the canonical program alone (no machine/config)."""
+    return digest(canonical_program(program))

@@ -149,6 +149,21 @@ class Program:
 
     # -- call-graph analyses --------------------------------------------
 
+    def call_graph(self) -> Dict[str, Set[str]]:
+        """Adjacency view of the call graph: module name -> callee
+        names. Covers every module, reachable or not."""
+        return {name: mod.callees() for name, mod in self.modules.items()}
+
+    def callers(self) -> Dict[str, Set[str]]:
+        """Reverse call graph: module name -> names of the modules
+        that call it (the entry — and any unreachable root — maps to
+        an empty set)."""
+        rev: Dict[str, Set[str]] = {name: set() for name in self.modules}
+        for name, mod in self.modules.items():
+            for callee in mod.callees():
+                rev[callee].add(name)
+        return rev
+
     def reachable(self) -> Set[str]:
         """Module names reachable from the entry point."""
         seen: Set[str] = set()

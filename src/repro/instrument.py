@@ -20,6 +20,13 @@ Design constraints:
   in the package (schedulers, passes, the comm refiner) without import
   cycles.
 
+Span name prefixes in use: ``pass:*`` (decompose/flatten/optimize),
+``schedule:*`` (per-algorithm fine scheduling), ``comm:*`` (movement
+derivation), ``toolflow:*`` (whole-stage wrappers), ``service:*``
+(cache lookups), and ``analysis:*`` (the deep static battery —
+``analysis:lifetime`` and ``analysis:resource`` fixpoint solves plus
+``analysis:deep-rules`` emission).
+
 Usage::
 
     with record_spans() as rec:

@@ -7,37 +7,29 @@ the same :class:`~repro.toolflow.CompileResult` fingerprint identically,
 and the fingerprint is stable across processes, interpreter hash seeds,
 and module insertion orders.
 
-Determinism rules the canonical form enforces (the hash must never see
-an iteration-order or ``repr`` leak):
-
-* modules are emitted **sorted by name**, never in ``Program.modules``
-  insertion order;
-* statement bodies keep their (semantically meaningful) order; every
-  statement is emitted as an explicit list, never via ``repr``;
-* qubits are emitted as ``[register, index]`` pairs;
-* ``set``-typed structures (e.g. :meth:`Module.callees`) are never
-  consumed — the canonical form only reads ordered fields;
-* floats (gate angles, local-memory capacities, decomposition epsilon)
-  are emitted via :func:`float.hex` — exact, locale-independent, and
-  immune to repr changes;
-* non-semantic metadata (source locations) is excluded: a program
-  parsed from a file and the identical program built in memory
-  fingerprint the same;
-* :data:`PIPELINE_VERSION` is mixed in so that behavioural changes to
-  passes/schedulers invalidate previously stored artifacts.
+The program/statement canonicalisation rules (and
+:data:`PIPELINE_VERSION`, which is mixed in so that behavioural changes
+to passes/schedulers invalidate previously stored artifacts) live in
+:mod:`repro.core.canonical` — shared with the analysis summary cache —
+and are re-exported here; this module adds the request-level pieces:
+machine, scheduler, and decomposition configuration.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import math
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from ..arch.machine import MultiSIMD
-from ..core.module import Module, Program
-from ..core.operation import CallSite, Operation
-from ..core.qubits import Qubit
+from ..core.canonical import (
+    PIPELINE_VERSION,
+    canonical_number as _num,
+    canonical_program,
+    canonical_qubit as _qubit,
+    canonical_statement as _statement,
+    digest as _digest,
+    fingerprint_program,
+)
+from ..core.module import Program
 from ..passes.decompose import DecomposeConfig
 from ..passes.flatten import DEFAULT_FTH
 from ..toolflow import SchedulerConfig
@@ -51,64 +43,6 @@ __all__ = [
     "fingerprint_request",
     "fingerprint_program",
 ]
-
-#: Version of the compilation pipeline's *behaviour*. Bump whenever a
-#: pass, scheduler, or the cost model changes in a way that alters
-#: results — every stored artifact fingerprinted under the old version
-#: becomes unreachable (see ``DESIGN.md``, "Fingerprint recipe").
-PIPELINE_VERSION = "2025.2"
-
-
-def _num(value: Optional[float]) -> Any:
-    """Canonical JSON encoding for an optional numeric field."""
-    if value is None:
-        return None
-    if isinstance(value, float):
-        if math.isinf(value):
-            return "inf"
-        return value.hex()
-    return value
-
-
-def _qubit(q: Qubit) -> List[Any]:
-    return [q.register, q.index]
-
-
-def _statement(stmt) -> List[Any]:
-    if isinstance(stmt, Operation):
-        return [
-            "op",
-            stmt.gate,
-            [_qubit(q) for q in stmt.qubits],
-            _num(stmt.angle),
-        ]
-    if isinstance(stmt, CallSite):
-        return [
-            "call",
-            stmt.callee,
-            [_qubit(q) for q in stmt.args],
-            stmt.iterations,
-        ]
-    raise TypeError(f"unknown statement type {type(stmt).__name__}")
-
-
-def _module(mod: Module) -> Dict[str, Any]:
-    return {
-        "name": mod.name,
-        "params": [_qubit(q) for q in mod.params],
-        "body": [_statement(s) for s in mod.body],
-    }
-
-
-def canonical_program(program: Program) -> Dict[str, Any]:
-    """The canonical (order-stable, repr-free) form of a program."""
-    return {
-        "entry": program.entry,
-        "modules": [
-            _module(program.modules[name])
-            for name in sorted(program.modules)
-        ],
-    }
 
 
 def canonical_machine(machine: MultiSIMD) -> Dict[str, Any]:
@@ -159,18 +93,6 @@ def canonical_request(
         "optimize": optimize,
         "strict": strict,
     }
-
-
-def _digest(doc: Any) -> str:
-    text = json.dumps(
-        doc, sort_keys=True, separators=(",", ":"), ensure_ascii=True
-    )
-    return hashlib.sha256(text.encode("ascii")).hexdigest()
-
-
-def fingerprint_program(program: Program) -> str:
-    """SHA-256 over the canonical program alone (no machine/config)."""
-    return _digest(canonical_program(program))
 
 
 def fingerprint_request(

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
-from .fingerprint import PIPELINE_VERSION
+from ..core.canonical import PIPELINE_VERSION
 
 __all__ = [
     "ARTIFACT_SCHEMA",

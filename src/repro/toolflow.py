@@ -19,7 +19,9 @@ from .analysis import (
     AnalysisError,
     Diagnostic,
     DiagnosticSet,
+    analyze_deep,
     analyze_program,
+    audit_profile_bounds,
     audit_schedule,
 )
 from .arch.machine import (
@@ -301,8 +303,37 @@ def compile_and_schedule(
     if strict:
         with span("toolflow:analysis"):
             audit = DiagnosticSet()
+            # Structural/physical audit plus the QL5xx bounds
+            # sanitizer on every retained full-width schedule, fed the
+            # realized movement stats so communication volume is
+            # checked too.
             for name, sched in schedules.items():
-                audit.extend(audit_schedule(sched, machine, module=name))
+                audit.extend(
+                    audit_schedule(
+                        sched,
+                        machine,
+                        module=name,
+                        deep=True,
+                        comm=profiles[name].comm.get(k),
+                    )
+                )
+            # Interprocedural battery (QL4xx lifetime + QL501 fit) on
+            # the scheduled (post-pass) program, then the blackbox
+            # profiles of every module against the static bounds.
+            deep = analyze_deep(program, machine=machine)
+            audit.extend(deep.diagnostics)
+            for name, profile in profiles.items():
+                summary = deep.context.resources.get(name)
+                if summary is None:
+                    continue
+                audit.extend(
+                    audit_profile_bounds(
+                        profile.length,
+                        profile.runtime,
+                        summary,
+                        module=name,
+                    )
+                )
         collected.extend(audit)
         if audit.has_errors:
             raise AnalysisError(audit, stage="schedule")

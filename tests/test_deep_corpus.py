@@ -1,0 +1,104 @@
+"""The deep-lint bug corpus and the registry-wide cleanliness bar.
+
+``tests/corpus/deep/`` holds small Scaffold programs that are clean
+under the intraprocedural ``QL0xx`` rules but plant exactly one
+interprocedural bug each (``ql<code>_*.scd``), plus idiomatic programs
+that must stay silent (``clean_*.scd``). The contract: at the default
+Multi-SIMD(4,4) every planted bug is reported exactly once under its
+code, the clean files produce zero deep findings, and the benchmark
+registry itself is deep-clean end to end (the no-false-positives bar).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.deep import DEFAULT_MACHINE, analyze_deep
+from repro.analysis.diagnostics import Severity
+from repro.analysis.frontend import lint_scaffold_source
+from repro.benchmarks.registry import benchmark, benchmark_names
+from repro.toolflow import SchedulerConfig, compile_and_schedule
+
+DEEP_CORPUS = Path(__file__).parent / "corpus" / "deep"
+DEEP_CASES = sorted(DEEP_CORPUS.glob("*.scd"))
+PLANTED = [p for p in DEEP_CASES if not p.name.startswith("clean_")]
+CLEAN = [p for p in DEEP_CASES if p.name.startswith("clean_")]
+
+
+def _load(path: Path):
+    lint = lint_scaffold_source(
+        path.read_text(encoding="utf-8"), filename=path.name
+    )
+    assert lint.ok, f"{path.name} failed to parse: {list(lint.diagnostics)}"
+    return lint
+
+
+def test_corpus_is_populated():
+    assert len(PLANTED) >= 7, "deep corpus lost planted-bug files"
+    assert len(CLEAN) >= 4, "deep corpus lost clean files"
+    codes = {p.name.split("_")[0] for p in PLANTED}
+    # Every deep rule has at least one dedicated positive case.
+    assert codes >= {"ql401", "ql402", "ql403", "ql404", "ql501"}
+
+
+@pytest.mark.parametrize("path", DEEP_CASES, ids=lambda p: p.name)
+def test_shallow_rules_stay_quiet(path):
+    # The corpus isolates the interprocedural rules: nothing here may
+    # be explainable by the intraprocedural QL0xx battery.
+    lint = _load(path)
+    noisy = lint.diagnostics.at_least(Severity.WARNING)
+    assert not noisy, [d.code for d in noisy]
+
+
+@pytest.mark.parametrize("path", PLANTED, ids=lambda p: p.name)
+def test_planted_bug_reported_exactly_once(path):
+    expected = path.name.split("_")[0].upper()
+    lint = _load(path)
+    result = analyze_deep(lint.program, machine=DEFAULT_MACHINE)
+    codes = [d.code for d in result.diagnostics]
+    assert codes == [expected], (
+        f"{path.name}: expected exactly one {expected}, got {codes}"
+    )
+
+
+@pytest.mark.parametrize("path", CLEAN, ids=lambda p: p.name)
+def test_clean_programs_stay_clean(path):
+    lint = _load(path)
+    result = analyze_deep(lint.program, machine=DEFAULT_MACHINE)
+    assert len(result.diagnostics) == 0, [
+        (d.code, d.message) for d in result.diagnostics
+    ]
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_registry_is_deep_clean(name):
+    # The no-false-positives bar: every benchmark's input program runs
+    # the full battery silently at the paper's Multi-SIMD(4,4).
+    program = benchmark(name).build()
+    result = analyze_deep(program, machine=DEFAULT_MACHINE)
+    assert len(result.diagnostics) == 0, [
+        (d.code, d.module, d.message) for d in result.diagnostics
+    ]
+
+
+@pytest.mark.parametrize("algorithm", ["sequential", "rcp", "lpfs"])
+def test_strict_toolflow_sanitizes_bounds(algorithm):
+    # Strict mode re-audits every retained schedule and every coarse
+    # profile against the static bounds; a sound sanitizer passes on
+    # real output. One representative benchmark per scheduler keeps
+    # this fast — the full 8-benchmark battery runs in CI's deep-lint
+    # smoke job.
+    spec = benchmark({"sequential": "BF", "rcp": "CN", "lpfs": "Grovers"}[algorithm])
+    result = compile_and_schedule(
+        spec.build(),
+        DEFAULT_MACHINE,
+        scheduler=SchedulerConfig(algorithm=algorithm),
+        fth=spec.fth,
+        strict=True,
+    )
+    assert not [
+        d for d in result.diagnostics if d.severity is Severity.ERROR
+    ]
+    assert result.profiles
