@@ -42,7 +42,16 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, TypeVar
 
-__all__ = ["SpanStat", "SpanRecorder", "span", "spanned", "record_spans"]
+__all__ = [
+    "SpanStat",
+    "SpanRecorder",
+    "span",
+    "spanned",
+    "record_spans",
+    "add_span_listener",
+    "remove_span_listener",
+    "subscribe_spans",
+]
 
 F = TypeVar("F", bound=Callable)
 
@@ -50,6 +59,13 @@ F = TypeVar("F", bound=Callable)
 #: the pipeline is single-threaded within a process, and sweep workers
 #: are separate *processes* with their own copy of this list.
 _ACTIVE: List["SpanRecorder"] = []
+
+#: Live span listeners: callables invoked as ``fn(name, seconds)`` the
+#: moment a span closes. Unlike recorders (which aggregate), listeners
+#: see individual span completions in order — the server's worker
+#: processes use this to stream ``pass:*``/``schedule:*`` progress to
+#: watching clients while a compile is still running.
+_LISTENERS: List[Callable[[str, float], None]] = []
 
 
 @dataclass
@@ -109,10 +125,10 @@ class SpanRecorder:
 def span(name: str) -> Iterator[None]:
     """Time a section against every active recorder.
 
-    A no-op (single list check) when no :func:`record_spans` scope is
-    active.
+    A no-op (single list check) when no :func:`record_spans` scope or
+    span listener is active.
     """
-    if not _ACTIVE:
+    if not _ACTIVE and not _LISTENERS:
         yield
         return
     start = time.perf_counter()
@@ -122,6 +138,13 @@ def span(name: str) -> Iterator[None]:
         elapsed = time.perf_counter() - start
         for rec in _ACTIVE:
             rec.add(name, elapsed)
+        for fn in list(_LISTENERS):
+            try:
+                fn(name, elapsed)
+            except Exception:  # noqa: BLE001
+                # A broken listener (e.g. a progress pipe that went
+                # away) must never take down the compile it observes.
+                pass
 
 
 def spanned(name: str) -> Callable[[F], F]:
@@ -136,6 +159,31 @@ def spanned(name: str) -> Callable[[F], F]:
         return wrapper  # type: ignore[return-value]
 
     return decorate
+
+
+def add_span_listener(fn: Callable[[str, float], None]) -> None:
+    """Register ``fn(name, seconds)`` to fire as each span closes."""
+    _LISTENERS.append(fn)
+
+
+def remove_span_listener(fn: Callable[[str, float], None]) -> None:
+    """Unregister a listener (no-op when not registered)."""
+    try:
+        _LISTENERS.remove(fn)
+    except ValueError:
+        pass
+
+
+@contextmanager
+def subscribe_spans(
+    fn: Callable[[str, float], None],
+) -> Iterator[None]:
+    """Scope a span listener to the enclosed block."""
+    add_span_listener(fn)
+    try:
+        yield
+    finally:
+        remove_span_listener(fn)
 
 
 @contextmanager

@@ -1,0 +1,65 @@
+"""Compilation-as-a-service: a stdlib-only asyncio daemon.
+
+The :mod:`repro.server` package turns the batch toolflow into a
+long-running service — ``POST /v1/compile`` and friends — with
+request coalescing over the compile fingerprints, the
+content-addressed artifact store as a shared cache, a warm worker
+pool with per-job timeouts, per-tenant token-bucket rate limits,
+streamed progress, and graceful SIGTERM drains. See ``DESIGN.md``
+("Service architecture") for the protocol.
+"""
+
+from .api import (
+    ApiError,
+    ApiRequest,
+    KINDS,
+    build_program,
+    parse_api_request,
+    request_key,
+    run_api_request,
+    status_for_outcome,
+)
+from .app import ReproServer, ServerConfig
+from .client import ClientResponse, http_request, http_stream
+from .jobs import Job, JobRegistry, RateLimiter, TokenBucket
+from .loadtest import (
+    LoadTestConfig,
+    SERVICE_SCHEMA,
+    build_service_payload,
+    loadtest_with_spawn,
+    render_service_report,
+    run_loadtest,
+    spawn_server,
+    validate_service_payload,
+)
+from .pool import WarmPool, worker_main
+
+__all__ = [
+    "ApiError",
+    "ApiRequest",
+    "KINDS",
+    "build_program",
+    "parse_api_request",
+    "request_key",
+    "run_api_request",
+    "status_for_outcome",
+    "ReproServer",
+    "ServerConfig",
+    "ClientResponse",
+    "http_request",
+    "http_stream",
+    "Job",
+    "JobRegistry",
+    "RateLimiter",
+    "TokenBucket",
+    "LoadTestConfig",
+    "SERVICE_SCHEMA",
+    "build_service_payload",
+    "loadtest_with_spawn",
+    "render_service_report",
+    "run_loadtest",
+    "spawn_server",
+    "validate_service_payload",
+    "WarmPool",
+    "worker_main",
+]

@@ -1,0 +1,503 @@
+"""The service API surface: request model, fingerprints, execution.
+
+This module is deliberately free of any HTTP or asyncio machinery so
+both sides of the daemon share it:
+
+* the **server** parses request bodies into :class:`ApiRequest`,
+  builds the program once to compute the coalescing/caching
+  fingerprint (the exact :func:`~repro.service.fingerprint_request`
+  recipe the batch cache uses), and peeks the content-addressed store;
+* the **workers** receive the request as a plain dict and run
+  :func:`run_api_request`, producing a JSON-safe outcome dict that
+  never raises (failures are classified the same way the sweep runner
+  classifies them).
+
+Request kinds map to the HTTP endpoints: ``compile`` and ``schedule``
+share one compile artifact (and therefore one fingerprint — they
+coalesce with each other), ``execute`` mixes the engine parameters
+into the key, and ``lint`` keys on the program alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..analysis import analyze_program, lint_qasm_source, lint_scaffold_source
+from ..arch.machine import MultiSIMD, capacity_label, parse_capacity
+from ..benchmarks import BENCHMARKS, benchmark_names
+from ..core.canonical import digest as _digest
+from ..core.module import Program
+from ..instrument import record_spans
+from ..passes.flatten import DEFAULT_FTH
+from ..service.core import CompileService, ServiceEntry
+from ..service.fingerprint import fingerprint_request
+from ..service.sweep import _error_kind, _METRIC_FIELDS
+from ..sched.coarse import best_dim
+from ..toolflow import CompileResult, SchedulerConfig
+
+__all__ = [
+    "KINDS",
+    "ApiError",
+    "ApiRequest",
+    "parse_api_request",
+    "build_program",
+    "request_key",
+    "metrics_from_result",
+    "module_summary",
+    "outcome_from_entry",
+    "run_api_request",
+    "status_for_outcome",
+]
+
+#: The job kinds the daemon serves (one POST endpoint each).
+KINDS = ("compile", "schedule", "execute", "lint")
+
+#: Body fields accepted per kind (anything else is a 400 — typos in a
+#: request must not silently change its meaning *and* its fingerprint).
+_COMMON_FIELDS = {
+    "source",
+    "qasm",
+    "scaffold",
+    "k",
+    "d",
+    "local_memory",
+    "scheduler",
+    "fth",
+    "optimize",
+    "strict",
+    "delay_s",
+}
+_FIELDS_BY_KIND = {
+    "compile": _COMMON_FIELDS,
+    "schedule": _COMMON_FIELDS,
+    "execute": _COMMON_FIELDS | {"epr_rate", "seed"},
+    "lint": {"source", "qasm", "scaffold", "delay_s"},
+}
+
+#: Upper bound on the testing-hook delay (seconds).
+_MAX_DELAY_S = 30.0
+
+
+class ApiError(Exception):
+    """An invalid API request, carrying the HTTP status to report."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class ApiRequest:
+    """One validated service request (JSON-safe, picklable)."""
+
+    kind: str
+    source: Optional[str] = None
+    qasm: Optional[str] = None
+    scaffold: Optional[str] = None
+    k: int = 4
+    d: Optional[int] = None
+    local_memory: Optional[float] = None
+    scheduler: str = "lpfs"
+    fth: Optional[int] = None
+    optimize: bool = False
+    strict: bool = False
+    epr_rate: Optional[float] = None
+    seed: int = 0
+    #: Testing hook: the worker sleeps this long before computing, so
+    #: tests can hold a job in flight deterministically. Honored only
+    #: when the server was started with the delay hook enabled.
+    delay_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "source": self.source,
+            "qasm": self.qasm,
+            "scaffold": self.scaffold,
+            "k": self.k,
+            "d": self.d,
+            "local_memory": capacity_label(self.local_memory),
+            "scheduler": self.scheduler,
+            "fth": self.fth,
+            "optimize": self.optimize,
+            "strict": self.strict,
+            "epr_rate": self.epr_rate,
+            "seed": self.seed,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ApiRequest":
+        return cls(
+            kind=data["kind"],
+            source=data.get("source"),
+            qasm=data.get("qasm"),
+            scaffold=data.get("scaffold"),
+            k=data.get("k", 4),
+            d=data.get("d"),
+            local_memory=parse_capacity(data.get("local_memory")),
+            scheduler=data.get("scheduler", "lpfs"),
+            fth=data.get("fth"),
+            optimize=bool(data.get("optimize", False)),
+            strict=bool(data.get("strict", False)),
+            epr_rate=data.get("epr_rate"),
+            seed=data.get("seed", 0),
+            delay_s=data.get("delay_s", 0.0),
+        )
+
+    @property
+    def resolved_fth(self) -> int:
+        if self.fth is not None:
+            return self.fth
+        if self.source in BENCHMARKS:
+            return BENCHMARKS[self.source].fth
+        return DEFAULT_FTH
+
+    def scheduler_config(self) -> SchedulerConfig:
+        return SchedulerConfig(self.scheduler)
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise ApiError(400, message)
+
+
+def parse_api_request(kind: str, body: Any) -> ApiRequest:
+    """Validate a JSON body into an :class:`ApiRequest`.
+
+    Raises:
+        ApiError: 400 on structural problems (unknown fields, bad
+            types, missing program source).
+    """
+    _expect(kind in KINDS, f"unknown request kind {kind!r}")
+    _expect(isinstance(body, dict), "request body must be a JSON object")
+    allowed = _FIELDS_BY_KIND[kind]
+    unknown = sorted(set(body) - allowed)
+    _expect(
+        not unknown,
+        f"unknown field(s) {unknown} for {kind!r} "
+        f"(accepted: {sorted(allowed)})",
+    )
+    sources = [
+        name for name in ("source", "qasm", "scaffold") if body.get(name)
+    ]
+    _expect(
+        len(sources) == 1,
+        "exactly one of 'source' (a benchmark key), 'qasm', or "
+        f"'scaffold' is required; got {sources or 'none'}",
+    )
+    source = body.get("source")
+    if source is not None:
+        _expect(isinstance(source, str), "'source' must be a string")
+        _expect(
+            source in BENCHMARKS,
+            f"unknown benchmark {source!r} "
+            f"(have {', '.join(benchmark_names())})",
+        )
+    for name in ("qasm", "scaffold"):
+        if body.get(name) is not None:
+            _expect(
+                isinstance(body[name], str), f"{name!r} must be a string"
+            )
+
+    k = body.get("k", 4)
+    _expect(isinstance(k, int) and k >= 1, "'k' must be an integer >= 1")
+    d = body.get("d")
+    _expect(
+        d is None or (isinstance(d, int) and d >= 1),
+        "'d' must be an integer >= 1 or null",
+    )
+    try:
+        local_memory = parse_capacity(body.get("local_memory"))
+    except ValueError as exc:
+        raise ApiError(400, str(exc)) from None
+    scheduler = body.get("scheduler", "lpfs")
+    try:
+        SchedulerConfig(scheduler)
+    except ValueError as exc:
+        raise ApiError(400, str(exc)) from None
+    fth = body.get("fth")
+    _expect(
+        fth is None or (isinstance(fth, int) and fth >= 1),
+        "'fth' must be an integer >= 1 or null",
+    )
+    epr_rate = body.get("epr_rate")
+    if isinstance(epr_rate, str):
+        _expect(
+            epr_rate in ("inf", "infinite"),
+            f"bad epr_rate {epr_rate!r} (number or 'inf')",
+        )
+        epr_rate = None
+    _expect(
+        epr_rate is None or (
+            isinstance(epr_rate, (int, float)) and epr_rate > 0
+        ),
+        "'epr_rate' must be a positive number, 'inf', or null",
+    )
+    seed = body.get("seed", 0)
+    _expect(isinstance(seed, int), "'seed' must be an integer")
+    delay_s = body.get("delay_s", 0.0)
+    _expect(
+        isinstance(delay_s, (int, float))
+        and 0 <= delay_s <= _MAX_DELAY_S,
+        f"'delay_s' must be a number in [0, {_MAX_DELAY_S:g}]",
+    )
+    return ApiRequest(
+        kind=kind,
+        source=source,
+        qasm=body.get("qasm"),
+        scaffold=body.get("scaffold"),
+        k=k,
+        d=d,
+        local_memory=local_memory,
+        scheduler=scheduler,
+        fth=fth,
+        optimize=bool(body.get("optimize", False)),
+        strict=bool(body.get("strict", False)),
+        epr_rate=float(epr_rate) if epr_rate is not None else None,
+        seed=seed,
+        delay_s=float(delay_s),
+    )
+
+
+def build_program(request: ApiRequest) -> Program:
+    """Materialize the request's program (parse errors propagate as
+    their native exceptions: the caller maps them onto HTTP/exit
+    codes)."""
+    if request.source is not None:
+        return BENCHMARKS[request.source].build()
+    if request.qasm is not None:
+        from ..core.qasm import parse_qasm
+
+        return parse_qasm(request.qasm)
+    from ..core.scaffold import parse_scaffold
+
+    return parse_scaffold(request.scaffold, filename="<request>")
+
+
+def machine_for(request: ApiRequest) -> MultiSIMD:
+    return MultiSIMD(
+        k=request.k, d=request.d, local_memory=request.local_memory
+    )
+
+
+def request_key(
+    request: ApiRequest, program: Program
+) -> Tuple[str, str]:
+    """``(job_key, compile_fingerprint)`` for coalescing and caching.
+
+    ``compile`` and ``schedule`` share the artifact fingerprint (they
+    are two views of one compile), so their job keys collide on
+    purpose and racing clients of either endpoint attach to the same
+    in-flight job. ``execute`` mixes the engine configuration in;
+    ``lint`` keys on the compile fingerprint too (same request shape,
+    different pipeline) but under its own kind.
+    """
+    fingerprint = fingerprint_request(
+        program,
+        machine_for(request),
+        request.scheduler_config(),
+        fth=request.resolved_fth,
+        optimize=request.optimize,
+        strict=request.strict,
+    )
+    if request.kind in ("compile", "schedule"):
+        return f"compile:{fingerprint}", fingerprint
+    if request.kind == "execute":
+        engine_fp = _digest(
+            {
+                "execute": fingerprint,
+                "epr_rate": (
+                    "inf" if request.epr_rate is None
+                    else request.epr_rate
+                ),
+                "seed": request.seed,
+            }
+        )
+        return f"execute:{engine_fp}", fingerprint
+    return f"lint:{fingerprint}", fingerprint
+
+
+def metrics_from_result(result: CompileResult) -> Dict[str, Any]:
+    metrics = {name: getattr(result, name) for name in _METRIC_FIELDS}
+    metrics["diagnostics"] = len(result.diagnostics)
+    return metrics
+
+
+def module_summary(result: CompileResult) -> Dict[str, Any]:
+    """Per-module blackbox summary at the machine's width (the
+    ``schedule`` endpoint's extra payload)."""
+    out: Dict[str, Any] = {}
+    for name, profile in sorted(result.profiles.items()):
+        entry: Dict[str, Any] = {"is_leaf": profile.is_leaf}
+        if profile.length:
+            width, cost = best_dim(profile.length, result.machine.k)
+            entry["best_width"] = width
+            entry["length"] = cost
+        if profile.runtime:
+            _, cost = best_dim(profile.runtime, result.machine.k)
+            entry["runtime"] = cost
+        out[name] = entry
+    return out
+
+
+def outcome_from_entry(
+    request: ApiRequest,
+    entry: ServiceEntry,
+    spans: Optional[Dict[str, Dict[str, float]]] = None,
+) -> Dict[str, Any]:
+    """Shape a compile/schedule outcome from a service entry (fresh
+    compute in a worker, or a server-side cache peek)."""
+    outcome = {
+        "status": "ok",
+        "kind": request.kind,
+        "fingerprint": entry.fingerprint,
+        "cached": entry.cached,
+        "compute_s": entry.elapsed_s,
+        "spans": spans if spans is not None else entry.spans,
+        "metrics": metrics_from_result(entry.result),
+    }
+    if request.kind == "schedule":
+        outcome["modules"] = module_summary(entry.result)
+    return outcome
+
+
+def _error_outcome(request: ApiRequest, exc: BaseException) -> Dict[str, Any]:
+    return {
+        "status": "error",
+        "kind": request.kind,
+        "fingerprint": None,
+        "cached": None,
+        "compute_s": 0.0,
+        "spans": {},
+        "metrics": None,
+        "error": {
+            "kind": _error_kind(exc),
+            "message": f"{type(exc).__name__}: {exc}",
+        },
+    }
+
+
+def status_for_outcome(outcome: Dict[str, Any]) -> int:
+    """The HTTP status an outcome dict maps onto."""
+    if outcome.get("status") == "ok":
+        return 200
+    kind = (outcome.get("error") or {}).get("kind")
+    if kind == "parse":
+        return 400
+    if kind == "analysis":
+        return 422
+    if kind == "timeout":
+        return 504
+    return 500
+
+
+def _run_lint(request: ApiRequest) -> Dict[str, Any]:
+    if request.scaffold is not None:
+        lint = lint_scaffold_source(request.scaffold, filename="<request>")
+        diags = lint.diagnostics
+        if lint.program is not None:
+            diags.extend(analyze_program(lint.program))
+    elif request.qasm is not None:
+        lint = lint_qasm_source(request.qasm, filename="<request>")
+        diags = lint.diagnostics
+        if lint.program is not None:
+            diags.extend(analyze_program(lint.program))
+    else:
+        diags = analyze_program(build_program(request))
+    report = json.loads(diags.to_json())
+    return {
+        "status": "ok",
+        "kind": "lint",
+        "fingerprint": None,
+        "cached": None,
+        "compute_s": 0.0,
+        "spans": {},
+        "metrics": None,
+        "lint": report,
+    }
+
+
+def run_api_request(
+    request_dict: Dict[str, Any],
+    service: CompileService,
+    use_cache: bool = True,
+    allow_delay: bool = False,
+) -> Dict[str, Any]:
+    """Execute one request (worker side). Never raises.
+
+    ``compile``/``schedule`` go through the content-addressed service
+    (the worker may still score a disk hit written by a sibling);
+    ``execute`` compiles then runs the discrete-event engine —
+    disk-cached results carry no schedule bodies, so a cached compile
+    recompiles once with the cache bypassed, exactly like the sweep
+    runner's engine jobs; ``lint`` runs the front-end and program rule
+    battery.
+    """
+    request = ApiRequest.from_dict(request_dict)
+    started = time.perf_counter()
+    try:
+        if allow_delay and request.delay_s > 0:
+            time.sleep(min(request.delay_s, _MAX_DELAY_S))
+        with record_spans() as recorder:
+            if request.kind == "lint":
+                outcome = _run_lint(request)
+            else:
+                program = build_program(request)
+                entry = service.lookup(
+                    program,
+                    machine_for(request),
+                    request.scheduler_config(),
+                    fth=request.resolved_fth,
+                    optimize=request.optimize,
+                    strict=request.strict,
+                    use_cache=use_cache,
+                )
+                if request.kind == "execute":
+                    outcome = _run_execute(request, program, service, entry)
+                else:
+                    outcome = outcome_from_entry(request, entry)
+        if outcome["status"] == "ok" and not outcome["spans"]:
+            outcome["spans"] = recorder.to_dict()
+    except Exception as exc:  # noqa: BLE001 - classified and reported
+        outcome = _error_outcome(request, exc)
+    outcome["elapsed_s"] = time.perf_counter() - started
+    return outcome
+
+
+def _run_execute(
+    request: ApiRequest,
+    program: Program,
+    service: CompileService,
+    entry: ServiceEntry,
+) -> Dict[str, Any]:
+    import math
+
+    from ..engine import EngineConfig, execute_result
+
+    result = entry.result
+    if not result.schedules:
+        fresh = service.lookup(
+            program,
+            machine_for(request),
+            request.scheduler_config(),
+            fth=request.resolved_fth,
+            optimize=request.optimize,
+            strict=request.strict,
+            use_cache=False,
+        )
+        result = fresh.result
+    config = EngineConfig(
+        epr_rate=(
+            request.epr_rate if request.epr_rate is not None else math.inf
+        ),
+        seed=request.seed,
+        collect_trace=False,
+    )
+    execution = execute_result(result, config)
+    outcome = outcome_from_entry(request, replace(entry, result=result))
+    outcome["metrics"].update(execution.metrics())
+    return outcome

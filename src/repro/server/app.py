@@ -1,0 +1,653 @@
+"""The compilation-as-a-service daemon.
+
+:class:`ReproServer` wires the pieces together into a long-running
+asyncio service:
+
+* **HTTP surface** (:mod:`.http`): ``POST /v1/compile``,
+  ``/v1/schedule``, ``/v1/execute``, ``/v1/lint`` plus
+  ``GET /v1/jobs/<id>``, ``/v1/healthz`` and ``/v1/stats``;
+* **caching**: completed compiles are served straight out of the
+  content-addressed store (a server-side
+  :meth:`~repro.service.CompileService.peek`) without occupying a
+  worker;
+* **coalescing** (:mod:`.jobs`): identical in-flight requests attach
+  to one job and share its outcome;
+* **admission control**: a bounded submission queue — when
+  ``queued + running`` reaches ``queue_depth`` new work is refused
+  with ``429`` and a ``Retry-After`` hint — plus per-tenant
+  token-bucket rate limits keyed on the ``X-Tenant`` header;
+* **workers** (:mod:`.pool`): warm processes with per-job timeouts
+  and recycling;
+* **progress streams**: ``?stream=1`` turns the response into chunked
+  JSON lines replaying the job's ``pass:*``/``schedule:*`` span
+  events live, terminated by the outcome line;
+* **graceful drain**: SIGTERM (wired up by the ``serve`` CLI verb)
+  stops accepting work, finishes everything in flight, flushes a
+  cache-stats snapshot, and lets the process exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+import asyncio
+
+from ..core.module import ProgramValidationError
+from ..core.qasm import QasmSyntaxError
+from ..core.scaffold import ScaffoldSyntaxError
+from ..service.core import CompileService
+from ..service.store import write_stats_snapshot
+from . import jobs as jobstates
+from .api import (
+    ApiError,
+    KINDS,
+    build_program,
+    outcome_from_entry,
+    parse_api_request,
+    request_key,
+    status_for_outcome,
+)
+from .http import (
+    HttpError,
+    Request,
+    end_chunked,
+    read_request,
+    send_chunk,
+    send_json,
+    start_chunked,
+)
+from .jobs import Job, JobRegistry, RateLimiter
+from .pool import WarmPool
+
+__all__ = ["ServerConfig", "ReproServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Daemon configuration (one frozen value object).
+
+    ``rate`` is requests/second *per tenant* (``None`` = unlimited);
+    ``burst`` defaults to ``max(1, 2*rate)``. ``queue_depth`` bounds
+    admitted-but-unfinished jobs. ``job_timeout`` recycles the worker
+    running any job that exceeds it. ``allow_delay`` enables the
+    ``delay_s`` request field (a testing hook; off in production).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    workers: int = 2
+    queue_depth: int = 64
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    job_timeout: Optional[float] = None
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
+    history: int = 256
+    drain_grace: float = 30.0
+    allow_delay: bool = False
+    stats_file: Optional[str] = None
+
+
+class ReproServer:
+    """The asyncio daemon. Lifecycle: ``await start()`` →
+    (requests) → ``await drain()`` → ``await wait_done()``."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.service = CompileService(cache_dir=config.cache_dir)
+        self.registry = JobRegistry(history=config.history)
+        self.limiter = RateLimiter(config.rate, config.burst)
+        self.pool = WarmPool(
+            size=config.workers,
+            cache_dir=config.cache_dir,
+            use_cache=config.use_cache,
+            job_timeout=config.job_timeout,
+            allow_delay=config.allow_delay,
+            on_event=self._on_pool_event,
+        )
+        self.host = config.host
+        self.port = config.port
+        self.started_unix = time.time()
+        self.requests_total = 0
+        self.requests_by_endpoint: Dict[str, int] = {}
+        self.job_requests = 0
+        self.rejected_queue = 0
+        self.rejected_draining = 0
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._writers: Set["asyncio.StreamWriter"] = set()
+        self._http_inflight = 0
+        self._draining = False
+        self._done = asyncio.Event()
+        self._drain_task: Optional["asyncio.Task"] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.host, self.port = sockets[0].getsockname()[:2]
+        self.started_unix = time.time()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def request_drain(self) -> "asyncio.Task":
+        """Idempotent trigger for graceful shutdown (signal-safe to
+        call from a loop signal handler)."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_event_loop().create_task(
+                self.drain()
+            )
+        return self._drain_task
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight work, flush stats."""
+        if self._draining:
+            await self._done.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        grace = self.config.drain_grace
+        deadline = time.monotonic() + grace
+        await self.pool.drain(grace=grace)
+        # Pool idle does not mean every outcome reached its waiters:
+        # completion events hop through the loop, and handlers still
+        # need to flush responses.
+        while (
+            self.registry.active_count or self._http_inflight
+        ) and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+        await self.pool.stop()
+        self.flush_stats()
+        self._done.set()
+
+    async def wait_done(self) -> None:
+        await self._done.wait()
+
+    def flush_stats(self) -> None:
+        """Persist the final counters (cache dir snapshot and/or an
+        explicit stats file)."""
+        stats = self.stats()
+        if self.config.cache_dir is not None:
+            try:
+                write_stats_snapshot(
+                    self.config.cache_dir,
+                    self.service.stats,
+                    extra={"server": stats},
+                )
+            except OSError:  # pragma: no cover - disk full etc.
+                pass
+        if self.config.stats_file:
+            try:
+                with open(self.config.stats_file, "w") as fh:
+                    json.dump(stats, fh, indent=2)
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- stats ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        coalesced = self.registry.coalesced
+        peek_hits = self.service.stats.hits
+        amortized = (
+            (coalesced + peek_hits) / self.job_requests
+            if self.job_requests
+            else 0.0
+        )
+        return {
+            "server": {
+                "uptime_s": time.time() - self.started_unix,
+                "draining": self._draining,
+                "workers": self.pool.size,
+                "busy": self.pool.busy_count,
+                "pending": self.pool.pending_count,
+                "recycled": self.pool.recycled,
+                "queue_depth": self.config.queue_depth,
+            },
+            "requests": {
+                "total": self.requests_total,
+                "by_endpoint": dict(
+                    sorted(self.requests_by_endpoint.items())
+                ),
+                "jobs": self.job_requests,
+                "rejected_queue": self.rejected_queue,
+                "rejected_ratelimit": self.limiter.rejections,
+                "rejected_draining": self.rejected_draining,
+            },
+            "jobs": self.registry.to_dict(),
+            "coalesce": {
+                "coalesced": coalesced,
+                "cache_served": peek_hits,
+                "amortized_rate": amortized,
+            },
+            "cache": self.service.stats_dict(),
+        }
+
+    # -- pool events ---------------------------------------------------
+
+    def _on_pool_event(
+        self, kind: str, job_id: str, payload: Any
+    ) -> None:
+        job = self.registry.get(job_id)
+        if job is None or job.finished:
+            return
+        if kind == "start":
+            job.mark_running()
+            job.publish({"event": "start", **(payload or {})})
+        elif kind == "span":
+            job.publish({"event": "span", **(payload or {})})
+        elif kind == "done":
+            outcome = payload or {}
+            state = (
+                jobstates.DONE
+                if outcome.get("status") == "ok"
+                else jobstates.ERROR
+            )
+            self.registry.finish(job, state, outcome)
+        elif kind == "timeout":
+            self.registry.finish(
+                job,
+                jobstates.TIMEOUT,
+                {
+                    "status": "timeout",
+                    "kind": job.kind,
+                    "error": {
+                        "kind": "timeout",
+                        "message": (payload or {}).get(
+                            "message", "job timed out"
+                        ),
+                    },
+                },
+            )
+        elif kind == "crash":
+            self.registry.finish(
+                job,
+                jobstates.ERROR,
+                {
+                    "status": "error",
+                    "kind": job.kind,
+                    "error": {
+                        "kind": "worker",
+                        "message": (payload or {}).get(
+                            "message", "worker crashed"
+                        ),
+                    },
+                },
+            )
+
+    # -- connections ---------------------------------------------------
+
+    async def _handle_conn(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await send_json(
+                        writer,
+                        exc.status,
+                        {"error": str(exc)},
+                        keep_alive=False,
+                    )
+                    break
+                except (ConnectionError, asyncio.CancelledError):
+                    break
+                if request is None:
+                    break
+                self.requests_total += 1
+                self._http_inflight += 1
+                try:
+                    keep = await self._route(request, writer)
+                except (ConnectionError, BrokenPipeError):
+                    break
+                except Exception as exc:  # noqa: BLE001 - last resort
+                    try:
+                        await send_json(
+                            writer,
+                            500,
+                            {
+                                "error": (
+                                    f"{type(exc).__name__}: {exc}"
+                                )
+                            },
+                            keep_alive=False,
+                        )
+                    except Exception:  # noqa: BLE001
+                        pass
+                    break
+                finally:
+                    self._http_inflight -= 1
+                if not keep:
+                    break
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    # -- routing -------------------------------------------------------
+
+    def _count(self, endpoint: str) -> None:
+        self.requests_by_endpoint[endpoint] = (
+            self.requests_by_endpoint.get(endpoint, 0) + 1
+        )
+
+    async def _route(
+        self, request: Request, writer: "asyncio.StreamWriter"
+    ) -> bool:
+        """Dispatch one request; returns whether to keep the
+        connection."""
+        keep = request.keep_alive and not self._draining
+        path = request.path.rstrip("/") or "/"
+        if request.method == "GET":
+            if path == "/v1/healthz":
+                self._count("healthz")
+                await send_json(
+                    writer,
+                    200,
+                    {"status": "ok", "draining": self._draining},
+                    keep_alive=keep,
+                )
+                return keep
+            if path == "/v1/stats":
+                self._count("stats")
+                await send_json(
+                    writer, 200, self.stats(), keep_alive=keep
+                )
+                return keep
+            if path.startswith("/v1/jobs/"):
+                self._count("jobs")
+                return await self._handle_job_get(
+                    request, writer, path[len("/v1/jobs/"):], keep
+                )
+            await send_json(
+                writer,
+                404,
+                {"error": f"no such resource {path!r}"},
+                keep_alive=keep,
+            )
+            return keep
+        if request.method == "POST":
+            kind = path[len("/v1/"):] if path.startswith("/v1/") else ""
+            if kind in KINDS:
+                self._count(kind)
+                return await self._handle_post(
+                    kind, request, writer, keep
+                )
+            await send_json(
+                writer,
+                404,
+                {"error": f"no such resource {path!r}"},
+                keep_alive=keep,
+            )
+            return keep
+        await send_json(
+            writer,
+            405,
+            {"error": f"method {request.method} not allowed"},
+            keep_alive=keep,
+        )
+        return keep
+
+    async def _handle_job_get(
+        self,
+        request: Request,
+        writer: "asyncio.StreamWriter",
+        job_id: str,
+        keep: bool,
+    ) -> bool:
+        job = self.registry.get(job_id)
+        if job is None:
+            await send_json(
+                writer,
+                404,
+                {"error": f"unknown job {job_id!r}"},
+                keep_alive=keep,
+            )
+            return keep
+        if request.flag("stream"):
+            await self._stream_job(job, writer, attached=True, keep=keep)
+            return keep
+        await send_json(writer, 200, job.snapshot(), keep_alive=keep)
+        return keep
+
+    async def _handle_post(
+        self,
+        kind: str,
+        request: Request,
+        writer: "asyncio.StreamWriter",
+        keep: bool,
+    ) -> bool:
+        if self._draining:
+            self.rejected_draining += 1
+            await send_json(
+                writer,
+                503,
+                {"error": "server is draining"},
+                keep_alive=False,
+            )
+            return False
+        try:
+            api_request = parse_api_request(kind, request.json())
+        except (HttpError, ApiError) as exc:
+            await send_json(
+                writer, exc.status, {"error": str(exc)}, keep_alive=keep
+            )
+            return keep
+        if api_request.delay_s and not self.config.allow_delay:
+            await send_json(
+                writer,
+                400,
+                {"error": "'delay_s' requires --allow-delay"},
+                keep_alive=keep,
+            )
+            return keep
+
+        tenant = request.headers.get("x-tenant", "anonymous")
+        allowed, retry_after = self.limiter.acquire(tenant)
+        if not allowed:
+            await send_json(
+                writer,
+                429,
+                {
+                    "error": f"tenant {tenant!r} over rate limit",
+                    "retry_after_s": retry_after,
+                },
+                headers={
+                    "Retry-After": str(
+                        max(1, math.ceil(retry_after))
+                    )
+                },
+                keep_alive=keep,
+            )
+            return keep
+
+        try:
+            program = build_program(api_request)
+            key, fingerprint = request_key(api_request, program)
+        except (
+            ScaffoldSyntaxError,
+            QasmSyntaxError,
+            ProgramValidationError,
+        ) as exc:
+            await send_json(
+                writer,
+                400,
+                {"error": f"{type(exc).__name__}: {exc}"},
+                keep_alive=keep,
+            )
+            return keep
+
+        self.job_requests += 1
+        stream = request.flag("stream")
+        wait = request.flag("wait", default=True)
+
+        # Tier 0: completed work comes straight off the
+        # content-addressed store, no worker involved.
+        if (
+            kind in ("compile", "schedule")
+            and self.config.use_cache
+        ):
+            entry = self.service.peek(fingerprint)
+            if entry is not None:
+                outcome = outcome_from_entry(api_request, entry)
+                outcome["elapsed_s"] = 0.0
+                headers = {
+                    "X-Repro-Cache": entry.cached or "miss",
+                    "X-Repro-Coalesced": "0",
+                    "X-Repro-Fingerprint": fingerprint,
+                }
+                if stream:
+                    await start_chunked(
+                        writer, headers=headers, keep_alive=keep
+                    )
+                    await send_chunk(
+                        writer,
+                        _line({"event": "outcome", "outcome": outcome}),
+                    )
+                    await end_chunked(writer)
+                    return keep
+                await send_json(
+                    writer,
+                    200,
+                    outcome,
+                    headers=headers,
+                    keep_alive=keep,
+                )
+                return keep
+
+        # Tier 1: attach to identical in-flight work.
+        existing = self.registry.inflight.get(key)
+        if existing is None and self.pool.load >= self.config.queue_depth:
+            self.rejected_queue += 1
+            retry = max(1, math.ceil(self.config.job_timeout or 1))
+            await send_json(
+                writer,
+                429,
+                {
+                    "error": (
+                        f"queue full ({self.config.queue_depth} jobs)"
+                    ),
+                    "retry_after_s": retry,
+                },
+                headers={"Retry-After": str(retry)},
+                keep_alive=keep,
+            )
+            return keep
+        job, created = self.registry.get_or_create(
+            key,
+            kind,
+            fingerprint,
+            api_request.to_dict(),
+            tenant,
+        )
+        if created:
+            self.pool.submit(job.id, job.request)
+
+        if stream:
+            await self._stream_job(
+                job, writer, attached=not created, keep=keep
+            )
+            return keep
+        if not wait:
+            await send_json(
+                writer,
+                202,
+                {
+                    "job": job.id,
+                    "state": job.state,
+                    "coalesced": not created,
+                    "fingerprint": fingerprint,
+                },
+                headers={"X-Repro-Job": job.id},
+                keep_alive=keep,
+            )
+            return keep
+
+        await job.done.wait()
+        outcome = dict(job.outcome or {})
+        outcome["job"] = job.id
+        outcome["coalesced"] = not created
+        await send_json(
+            writer,
+            status_for_outcome(outcome),
+            outcome,
+            headers={
+                "X-Repro-Job": job.id,
+                "X-Repro-Cache": outcome.get("cached") or "miss",
+                "X-Repro-Coalesced": "1" if not created else "0",
+                "X-Repro-Fingerprint": fingerprint,
+            },
+            keep_alive=keep,
+        )
+        return keep
+
+    async def _stream_job(
+        self,
+        job: Job,
+        writer: "asyncio.StreamWriter",
+        attached: bool,
+        keep: bool,
+    ) -> None:
+        """Chunked JSON-lines progress stream, ending with the
+        outcome."""
+        queue = job.subscribe()
+        await start_chunked(
+            writer,
+            headers={
+                "X-Repro-Job": job.id,
+                "X-Repro-Coalesced": "1" if attached else "0",
+            },
+            keep_alive=keep,
+        )
+        await send_chunk(
+            writer,
+            _line(
+                {
+                    "event": "job",
+                    "job": job.id,
+                    "kind": job.kind,
+                    "state": job.state,
+                    "fingerprint": job.fingerprint,
+                    "coalesced": attached,
+                }
+            ),
+        )
+        while True:
+            event = await queue.get()
+            if event is None:
+                break
+            await send_chunk(writer, _line(event))
+        outcome = dict(job.outcome or {})
+        outcome["job"] = job.id
+        await send_chunk(
+            writer, _line({"event": "outcome", "outcome": outcome})
+        )
+        await end_chunked(writer)
+
+
+def _line(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload) + "\n").encode("utf-8")

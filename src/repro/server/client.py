@@ -1,0 +1,196 @@
+"""A minimal asyncio HTTP/1.1 client for the daemon.
+
+Stdlib-only counterpart of :mod:`.http`, used by the ``loadtest``
+harness, the test-suite, and CI smoke jobs. One request per
+connection (``Connection: close``): the loadtest's accounting wants
+each request to succeed or fail independently of connection reuse,
+and the server is in the same process or on localhost, where connect
+cost is noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Dict, Optional, Tuple
+
+import asyncio
+
+__all__ = ["ClientResponse", "http_request", "http_stream"]
+
+
+@dataclass
+class ClientResponse:
+    """One complete HTTP response."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _render_request(
+    method: str,
+    path: str,
+    host: str,
+    body: bytes,
+    headers: Optional[Dict[str, str]],
+) -> bytes:
+    head = {
+        "Host": host,
+        "Connection": "close",
+        "Content-Length": str(len(body)),
+    }
+    if headers:
+        head.update(headers)
+    lines = [f"{method} {path} HTTP/1.1"]
+    lines.extend(f"{name}: {value}" for name, value in head.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _read_head(
+    reader: "asyncio.StreamReader",
+) -> Tuple[int, Dict[str, str]]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+def _encode_body(body: Any) -> bytes:
+    if body is None:
+        return b""
+    if isinstance(body, bytes):
+        return body
+    return json.dumps(body).encode("utf-8")
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Any = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 60.0,
+) -> ClientResponse:
+    """One request/response exchange (JSON-encodes dict bodies)."""
+
+    async def exchange() -> ClientResponse:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                _render_request(
+                    method, path, host, _encode_body(body), headers
+                )
+            )
+            await writer.drain()
+            status, resp_headers = await _read_head(reader)
+            if (
+                resp_headers.get("transfer-encoding", "").lower()
+                == "chunked"
+            ):
+                chunks = []
+                async for chunk in _iter_chunks(reader):
+                    chunks.append(chunk)
+                payload = b"".join(chunks)
+            elif "content-length" in resp_headers:
+                payload = await reader.readexactly(
+                    int(resp_headers["content-length"])
+                )
+            else:
+                payload = await reader.read()
+            return ClientResponse(status, resp_headers, payload)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.wait_for(exchange(), timeout)
+
+
+async def _iter_chunks(
+    reader: "asyncio.StreamReader",
+) -> AsyncIterator[bytes]:
+    while True:
+        size_line = await reader.readline()
+        size = int(size_line.strip() or b"0", 16)
+        if size == 0:
+            await reader.readline()  # trailing CRLF after last chunk
+            return
+        data = await reader.readexactly(size)
+        await reader.readexactly(2)  # chunk CRLF
+        yield data
+
+
+async def http_stream(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Any = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, str], "asyncio.StreamWriter", AsyncIterator[Any]]:
+    """Open a streaming exchange; yields parsed JSON lines.
+
+    Returns ``(status, headers, writer, lines)`` — the caller must
+    exhaust ``lines`` (or close ``writer``). ``timeout`` bounds each
+    individual read, not the whole stream.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        _render_request(method, path, host, _encode_body(body), headers)
+    )
+    await writer.drain()
+    status, resp_headers = await asyncio.wait_for(
+        _read_head(reader), timeout
+    )
+
+    async def lines() -> AsyncIterator[Any]:
+        buffer = b""
+        try:
+            if (
+                resp_headers.get("transfer-encoding", "").lower()
+                == "chunked"
+            ):
+                iterator = _iter_chunks(reader)
+                while True:
+                    try:
+                        chunk = await asyncio.wait_for(
+                            iterator.__anext__(), timeout
+                        )
+                    except StopAsyncIteration:
+                        break
+                    buffer += chunk
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        if line.strip():
+                            yield json.loads(line.decode("utf-8"))
+            else:
+                payload = await asyncio.wait_for(
+                    reader.read(), timeout
+                )
+                for raw in payload.split(b"\n"):
+                    if raw.strip():
+                        yield json.loads(raw.decode("utf-8"))
+            if buffer.strip():
+                yield json.loads(buffer.decode("utf-8"))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return status, resp_headers, writer, lines()

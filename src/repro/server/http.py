@@ -1,0 +1,278 @@
+"""Hand-rolled HTTP/1.1 framing over asyncio streams.
+
+The daemon speaks a deliberately small slice of HTTP/1.1 — enough for
+JSON request/response APIs, keep-alive connections, and chunked
+transfer encoding for progress streams — implemented directly on
+:mod:`asyncio` streams so the server adds **zero** runtime
+dependencies. What is supported:
+
+* request line + headers + ``Content-Length`` bodies (no request-side
+  chunked encoding, no trailers, no pipelining guarantees beyond
+  sequential request/response on one connection);
+* response bodies either fixed-length or ``Transfer-Encoding:
+  chunked`` (the progress streams);
+* ``Connection: keep-alive`` (default for HTTP/1.1) and
+  ``Connection: close``.
+
+Limits are enforced while reading (header block and body size) and
+violations surface as :class:`HttpError` with the right status code,
+which the connection loop renders as an error response.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+import asyncio
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "send_json",
+    "send_response",
+    "start_chunked",
+    "send_chunk",
+    "end_chunked",
+    "REASONS",
+]
+
+#: Reason phrases for the statuses the daemon emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Hard cap on the header block of one request.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Hard cap on a request body (QASM sources can be sizeable).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A malformed or over-limit request, carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    version: str
+    headers: Dict[str, str]
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON (empty body reads as ``{}``).
+
+        Raises:
+            HttpError: 400 on undecodable or non-JSON bodies.
+        """
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}")
+
+    def flag(self, name: str, default: bool = False) -> bool:
+        """A boolean query parameter (``1/true/yes/on`` are true)."""
+        value = self.query.get(name)
+        if value is None:
+            return default
+        return value.strip().lower() in ("1", "true", "yes", "on")
+
+
+async def read_request(
+    reader: "asyncio.StreamReader",
+    max_header: int = MAX_HEADER_BYTES,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Read one request off the stream.
+
+    Returns ``None`` on a clean EOF before any bytes (the peer closed
+    a keep-alive connection). Raises :class:`HttpError` on malformed
+    or over-limit input and lets transport errors
+    (``ConnectionResetError`` etc.) propagate to the connection loop.
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "header block too large") from None
+    if len(header_block) > max_header:
+        raise HttpError(431, "header block too large")
+
+    try:
+        head = header_block.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 is total
+        raise HttpError(400, "undecodable header block") from None
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise HttpError(400, f"unsupported version {version!r}")
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(400, "chunked request bodies are not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(
+                400, f"bad Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length}")
+        if length > max_body:
+            raise HttpError(413, f"body of {length} bytes over limit")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body") from None
+
+    split = urlsplit(target)
+    query = {
+        key: value
+        for key, value in parse_qsl(split.query, keep_blank_values=True)
+    }
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        query=query,
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+def _render_head(
+    status: int,
+    headers: Dict[str, str],
+) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer: "asyncio.StreamWriter",
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> None:
+    """Write one fixed-length response and flush it."""
+    head = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if headers:
+        head.update(headers)
+    writer.write(_render_head(status, head) + body)
+    await writer.drain()
+
+
+async def send_json(
+    writer: "asyncio.StreamWriter",
+    status: int,
+    payload: Any,
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> None:
+    """Serialize ``payload`` and send it as a JSON response."""
+    body = json.dumps(payload).encode("utf-8")
+    await send_response(
+        writer,
+        status,
+        body,
+        headers=headers,
+        keep_alive=keep_alive,
+    )
+
+
+async def start_chunked(
+    writer: "asyncio.StreamWriter",
+    status: int = 200,
+    content_type: str = "application/x-ndjson",
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = True,
+) -> None:
+    """Open a ``Transfer-Encoding: chunked`` response."""
+    head = {
+        "Content-Type": content_type,
+        "Transfer-Encoding": "chunked",
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if headers:
+        head.update(headers)
+    writer.write(_render_head(status, head))
+    await writer.drain()
+
+
+async def send_chunk(
+    writer: "asyncio.StreamWriter", data: bytes
+) -> None:
+    """Write one chunk (no-op for empty data, which would end the
+    stream)."""
+    if not data:
+        return
+    writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+    writer.write(data + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunked(writer: "asyncio.StreamWriter") -> None:
+    """Terminate a chunked response."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

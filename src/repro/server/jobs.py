@@ -1,0 +1,297 @@
+"""Job lifecycle, request coalescing, and per-tenant rate limits.
+
+A :class:`Job` is one unit of compile-service work. Jobs are keyed by
+the request's content fingerprint (see
+:func:`repro.server.api.request_key`); the :class:`JobRegistry` keeps
+an **in-flight index** over those keys so a request whose twin is
+already queued or running *attaches* to the existing job instead of
+spawning another compute — all waiters then share the single outcome.
+This is the coalescing the batch cache cannot provide: the cache
+amortizes *completed* work, coalescing amortizes work that is still
+in flight.
+
+Progress events (worker start, span completions) are appended to the
+job and fanned out to per-subscriber :class:`asyncio.Queue` streams,
+which the HTTP layer renders as chunked JSON lines.
+
+Rate limiting is a classic token bucket per tenant (the ``X-Tenant``
+request header; absent means the anonymous tenant): ``rate`` tokens
+per second refill up to a ``burst`` cap, one token per admitted
+request, and a rejected request learns how long until a token is
+available via ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import asyncio
+
+__all__ = [
+    "Job",
+    "JobRegistry",
+    "RateLimiter",
+    "TokenBucket",
+]
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+TIMEOUT = "timeout"
+
+_TERMINAL = (DONE, ERROR, TIMEOUT)
+
+
+@dataclass
+class Job:
+    """One in-flight (or recently finished) unit of service work."""
+
+    id: str
+    key: str
+    kind: str
+    fingerprint: Optional[str]
+    request: Dict[str, Any]
+    tenant: str = "anonymous"
+    state: str = QUEUED
+    created_unix: float = field(default_factory=time.time)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    #: How many extra requests attached to this job (0 = no twins).
+    coalesced: int = 0
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    outcome: Optional[Dict[str, Any]] = None
+    done: "asyncio.Event" = field(default_factory=asyncio.Event)
+    subscribers: List["asyncio.Queue"] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in _TERMINAL
+
+    def subscribe(self) -> "asyncio.Queue":
+        """A queue that replays past events, then receives live ones.
+
+        The stream is terminated by a ``None`` sentinel once the job
+        reaches a terminal state (pushed immediately for jobs that
+        already finished).
+        """
+        queue: "asyncio.Queue" = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        if self.finished:
+            queue.put_nowait(None)
+        else:
+            self.subscribers.append(queue)
+        return queue
+
+    def publish(self, event: Dict[str, Any]) -> None:
+        """Record a progress event and fan it out to subscribers."""
+        event = {"seq": len(self.events), **event}
+        self.events.append(event)
+        for queue in self.subscribers:
+            queue.put_nowait(event)
+
+    def mark_running(self) -> None:
+        if self.state == QUEUED:
+            self.state = RUNNING
+            self.started_unix = time.time()
+
+    def finish(self, state: str, outcome: Dict[str, Any]) -> None:
+        """Transition to a terminal state exactly once.
+
+        Late duplicate completions (e.g. a worker racing the timeout
+        watchdog that just recycled it) are ignored.
+        """
+        if self.finished:
+            return
+        self.state = state
+        self.outcome = outcome
+        self.finished_unix = time.time()
+        self.done.set()
+        for queue in self.subscribers:
+            queue.put_nowait(None)
+        self.subscribers.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe status document (the ``GET /v1/jobs/<id>`` body)."""
+        doc: Dict[str, Any] = {
+            "job": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "fingerprint": self.fingerprint,
+            "tenant": self.tenant,
+            "coalesced": self.coalesced,
+            "created_unix": self.created_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "events": list(self.events),
+        }
+        if self.outcome is not None:
+            doc["outcome"] = self.outcome
+        return doc
+
+
+class JobRegistry:
+    """All jobs the daemon knows about, with the coalescing index.
+
+    Finished jobs are retained (bounded by ``history``) so
+    ``GET /v1/jobs/<id>`` keeps answering after completion; the oldest
+    finished jobs age out first. In-flight jobs are never evicted.
+    """
+
+    def __init__(self, history: int = 256) -> None:
+        self.history = history
+        self.jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self.inflight: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self.submitted = 0
+        self.coalesced = 0
+        self.completed = 0
+        self.failed = 0
+        self.timeouts = 0
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def active(self) -> List[Job]:
+        return list(self.inflight.values())
+
+    @property
+    def active_count(self) -> int:
+        return len(self.inflight)
+
+    def get_or_create(
+        self,
+        key: str,
+        kind: str,
+        fingerprint: Optional[str],
+        request: Dict[str, Any],
+        tenant: str,
+    ) -> Tuple[Job, bool]:
+        """The in-flight job for ``key``, or a fresh one.
+
+        Returns ``(job, created)``; ``created=False`` means the caller
+        coalesced onto existing work.
+        """
+        job = self.inflight.get(key)
+        if job is not None and not job.finished:
+            job.coalesced += 1
+            self.coalesced += 1
+            return job, False
+        job = Job(
+            id=f"j{next(self._ids):06d}",
+            key=key,
+            kind=kind,
+            fingerprint=fingerprint,
+            request=request,
+            tenant=tenant,
+        )
+        self.jobs[job.id] = job
+        self.inflight[key] = job
+        self.submitted += 1
+        self._prune()
+        return job, True
+
+    def finish(self, job: Job, state: str, outcome: Dict[str, Any]) -> None:
+        """Complete a job and release its coalescing slot."""
+        if job.finished:
+            return
+        job.finish(state, outcome)
+        if self.inflight.get(job.key) is job:
+            del self.inflight[job.key]
+        if state == DONE:
+            self.completed += 1
+        elif state == TIMEOUT:
+            self.timeouts += 1
+        else:
+            self.failed += 1
+
+    def _prune(self) -> None:
+        if len(self.jobs) <= self.history:
+            return
+        for job_id in list(self.jobs):
+            if len(self.jobs) <= self.history:
+                break
+            if self.jobs[job_id].finished:
+                del self.jobs[job_id]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "active": self.active_count,
+        }
+
+
+@dataclass
+class TokenBucket:
+    """One tenant's admission budget: ``rate`` tokens/s up to
+    ``burst``."""
+
+    rate: float
+    burst: float
+    tokens: float = field(default=-1.0)
+    updated: float = field(default=-1.0)
+
+    def acquire(self, now: Optional[float] = None) -> Tuple[bool, float]:
+        """Try to take one token.
+
+        Returns ``(allowed, retry_after_s)``; ``retry_after_s`` is 0
+        when allowed, else the time until one token will be available.
+        """
+        if now is None:
+            now = time.monotonic()
+        if self.updated < 0:
+            self.tokens = self.burst
+            self.updated = now
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-tenant token buckets; ``rate=None`` disables limiting."""
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[float] = None,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.burst = burst if burst is not None else (
+            max(1.0, 2 * rate) if rate is not None else None
+        )
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self.buckets: Dict[str, TokenBucket] = {}
+        self.rejections = 0
+
+    def acquire(
+        self, tenant: str, now: Optional[float] = None
+    ) -> Tuple[bool, float]:
+        if self.rate is None:
+            return True, 0.0
+        bucket = self.buckets.get(tenant)
+        if bucket is None:
+            bucket = self.buckets[tenant] = TokenBucket(
+                rate=self.rate, burst=self.burst
+            )
+        allowed, retry_after = bucket.acquire(now)
+        if not allowed:
+            self.rejections += 1
+        return allowed, retry_after

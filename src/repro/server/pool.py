@@ -1,0 +1,346 @@
+"""Warm process-pool workers for the compile daemon.
+
+Why not :class:`concurrent.futures.ProcessPoolExecutor`? Two of the
+daemon's requirements fight it: a *per-job* timeout must kill exactly
+the worker running that job (the executor cannot cancel a running
+future without breaking the whole pool), and progress must stream out
+of a worker *while it computes* (futures only deliver a final value).
+So this module hand-rolls a small pool on :mod:`multiprocessing`
+primitives:
+
+* each worker is a long-lived process (warm: its
+  :class:`~repro.service.CompileService` memory LRU survives across
+  jobs) with a private task queue, fed one job at a time;
+* all workers share one **event queue** carrying ``start`` / ``span``
+  / ``done`` tuples; a pump thread forwards them onto the asyncio
+  loop, so span completions (via
+  :func:`repro.instrument.subscribe_spans`) stream to watching
+  clients live;
+* a watchdog task enforces per-job deadlines and detects dead
+  workers; either way the offender is **recycled** — terminated and
+  replaced by a fresh warm process — and a synthetic terminal event
+  is published for the job it was running.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+import asyncio
+from collections import deque
+
+from ..instrument import subscribe_spans
+from ..service.core import CompileService
+from .api import run_api_request
+
+__all__ = ["WarmPool", "worker_main"]
+
+#: ``on_event`` callback signature: (kind, job_id, payload).
+EventCallback = Callable[[str, str, Any], None]
+
+#: Watchdog cadence in seconds.
+_WATCHDOG_TICK = 0.05
+
+
+def worker_main(
+    task_q: Any,
+    event_q: Any,
+    cache_dir: Optional[str],
+    use_cache: bool,
+    allow_delay: bool,
+) -> None:
+    """A pool worker's main loop (also runs under plain
+    :class:`queue.Queue` objects in-process, which is how unit tests
+    exercise it without forking).
+
+    Tasks are ``(job_id, request_dict)`` tuples; ``None`` shuts the
+    worker down. Every job produces exactly one terminal ``done``
+    event; span completions stream out as ``span`` events while the
+    compile runs.
+    """
+    service = CompileService(cache_dir=cache_dir)
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        job_id, request_dict = task
+
+        def emit(name: str, seconds: float, _job: str = job_id) -> None:
+            event_q.put(("span", _job, {"name": name, "seconds": seconds}))
+
+        try:
+            event_q.put(("start", job_id, {"pid": os.getpid()}))
+            with subscribe_spans(emit):
+                outcome = run_api_request(
+                    request_dict,
+                    service,
+                    use_cache=use_cache,
+                    allow_delay=allow_delay,
+                )
+            event_q.put(("done", job_id, outcome))
+        except Exception as exc:  # noqa: BLE001 - last-ditch guard
+            event_q.put(
+                (
+                    "done",
+                    job_id,
+                    {
+                        "status": "error",
+                        "kind": request_dict.get("kind"),
+                        "error": {
+                            "kind": "worker",
+                            "message": f"{type(exc).__name__}: {exc}",
+                        },
+                    },
+                )
+            )
+
+
+@dataclass
+class _Worker:
+    proc: "multiprocessing.process.BaseProcess"
+    task_q: Any
+    job_id: Optional[str] = None
+    deadline: Optional[float] = None
+    jobs_done: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.job_id is not None
+
+
+class WarmPool:
+    """A fixed-size pool of warm worker processes.
+
+    Args:
+        size: worker count.
+        cache_dir: shared artifact store for all workers.
+        use_cache: forwarded to the workers' service lookups.
+        job_timeout: per-job wall-clock seconds; ``None`` disables the
+            deadline (workers can still be recycled on crash).
+        allow_delay: honor the ``delay_s`` testing hook in requests.
+        on_event: called **on the event loop** for every worker event:
+            ``on_event("start"|"span"|"done"|"timeout"|"crash",
+            job_id, payload)``.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        job_timeout: Optional[float] = None,
+        allow_delay: bool = False,
+        on_event: Optional[EventCallback] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self.cache_dir = cache_dir
+        self.use_cache = use_cache
+        self.job_timeout = job_timeout
+        self.allow_delay = allow_delay
+        self.on_event = on_event or (lambda kind, job_id, payload: None)
+        self.recycled = 0
+        self._ctx = multiprocessing.get_context()
+        self._event_q = self._ctx.Queue()
+        self._workers: list[_Worker] = []
+        self._pending: Deque[Tuple[str, Dict[str, Any]]] = deque()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pump: Optional[threading.Thread] = None
+        self._watchdog: Optional["asyncio.Task"] = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(
+                task_q,
+                self._event_q,
+                self.cache_dir,
+                self.use_cache,
+                self.allow_delay,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        return _Worker(proc=proc, task_q=task_q)
+
+    async def start(self) -> None:
+        """Spawn the workers and begin pumping events."""
+        self._loop = asyncio.get_running_loop()
+        # Spawn all children before the pump thread exists: forking a
+        # multi-threaded process risks inheriting held locks.
+        self._workers = [self._spawn() for _ in range(self.size)]
+        self._pump = threading.Thread(
+            target=self._pump_events, name="repro-server-pump", daemon=True
+        )
+        self._pump.start()
+        self._watchdog = self._loop.create_task(self._watch())
+
+    async def stop(self) -> None:
+        """Shut everything down (does not wait for busy workers to
+        finish — call :meth:`drain` first for a graceful stop)."""
+        self._stopping = True
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
+            except asyncio.CancelledError:
+                pass
+        for worker in self._workers:
+            try:
+                worker.task_q.put_nowait(None)
+            except Exception:  # noqa: BLE001 - queue may be broken
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers:
+            worker.proc.join(max(0.0, deadline - time.monotonic()))
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(1.0)
+            worker.task_q.cancel_join_thread()
+        self._workers = []
+        if self._pump is not None:
+            self._pump.join(2.0)
+            self._pump = None
+        self._event_q.cancel_join_thread()
+
+    # -- submission ----------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def busy_count(self) -> int:
+        return sum(1 for w in self._workers if w.busy)
+
+    @property
+    def load(self) -> int:
+        """Jobs admitted but not yet finished (queued + running)."""
+        return self.pending_count + self.busy_count
+
+    def submit(self, job_id: str, request_dict: Dict[str, Any]) -> None:
+        """Queue a job for the next idle worker."""
+        self._pending.append((job_id, request_dict))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        if self._stopping:
+            return
+        for worker in self._workers:
+            if not self._pending:
+                break
+            if worker.busy or not worker.proc.is_alive():
+                continue
+            job_id, request_dict = self._pending.popleft()
+            worker.job_id = job_id
+            worker.deadline = (
+                time.monotonic() + self.job_timeout
+                if self.job_timeout is not None
+                else None
+            )
+            worker.task_q.put((job_id, request_dict))
+
+    # -- events --------------------------------------------------------
+
+    def _pump_events(self) -> None:
+        while not self._stopping:
+            try:
+                event = self._event_q.get(timeout=0.2)
+            except (queue_mod.Empty, OSError, EOFError):
+                continue
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            try:
+                loop.call_soon_threadsafe(self._handle_event, event)
+            except RuntimeError:
+                return  # loop shut down under us
+
+    def _handle_event(self, event: Tuple[str, str, Any]) -> None:
+        kind, job_id, payload = event
+        if kind == "done":
+            worker = self._worker_for(job_id)
+            if worker is not None:
+                worker.job_id = None
+                worker.deadline = None
+                worker.jobs_done += 1
+            self._dispatch()
+        self.on_event(kind, job_id, payload)
+
+    def _worker_for(self, job_id: str) -> Optional[_Worker]:
+        for worker in self._workers:
+            if worker.job_id == job_id:
+                return worker
+        return None
+
+    # -- the watchdog --------------------------------------------------
+
+    def _recycle(self, worker: _Worker) -> None:
+        """Replace a worker with a fresh warm process."""
+        index = self._workers.index(worker)
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join(1.0)
+        worker.task_q.cancel_join_thread()
+        self._workers[index] = self._spawn()
+        self.recycled += 1
+
+    async def _watch(self) -> None:
+        while True:
+            await asyncio.sleep(_WATCHDOG_TICK)
+            now = time.monotonic()
+            for worker in list(self._workers):
+                if worker not in self._workers:
+                    continue
+                if worker.busy and not worker.proc.is_alive():
+                    job_id = worker.job_id
+                    self._recycle(worker)
+                    self.on_event(
+                        "crash",
+                        job_id,
+                        {"message": "worker process died"},
+                    )
+                elif (
+                    worker.busy
+                    and worker.deadline is not None
+                    and now > worker.deadline
+                ):
+                    job_id = worker.job_id
+                    self._recycle(worker)
+                    self.on_event(
+                        "timeout",
+                        job_id,
+                        {
+                            "message": (
+                                f"job exceeded {self.job_timeout:g}s; "
+                                "worker recycled"
+                            )
+                        },
+                    )
+                elif not worker.busy and not worker.proc.is_alive():
+                    self._recycle(worker)
+            self._dispatch()
+
+    # -- drain ---------------------------------------------------------
+
+    async def drain(self, grace: float = 30.0) -> bool:
+        """Wait for queued + running jobs to finish.
+
+        Returns True when the pool went idle within ``grace``
+        seconds.
+        """
+        deadline = time.monotonic() + grace
+        while self.load and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        return self.load == 0

@@ -37,10 +37,14 @@ from .fingerprint import (
 )
 from .store import (
     ARTIFACT_SCHEMA,
+    STATS_SNAPSHOT_SCHEMA,
     ArtifactStore,
     CacheStats,
     LRUCache,
     default_cache_dir,
+    inspect_store,
+    read_stats_snapshot,
+    write_stats_snapshot,
 )
 from .sweep import (
     ACCEPTED_SCHEMAS,
@@ -64,6 +68,7 @@ __all__ = [
     "LRUCache",
     "PERF_SCHEMA",
     "PIPELINE_VERSION",
+    "STATS_SNAPSHOT_SCHEMA",
     "SWEEP_SCHEMA",
     "ServiceEntry",
     "SpanRecorder",
@@ -78,11 +83,14 @@ __all__ = [
     "execute_job",
     "fingerprint_program",
     "fingerprint_request",
+    "inspect_store",
     "perf_grid",
     "perf_worker",
+    "read_stats_snapshot",
     "record_spans",
     "run_perf",
     "run_sweep",
     "span",
     "validate_perf_payload",
+    "write_stats_snapshot",
 ]

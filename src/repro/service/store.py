@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,14 +28,24 @@ from ..core.canonical import PIPELINE_VERSION
 
 __all__ = [
     "ARTIFACT_SCHEMA",
+    "STATS_SNAPSHOT_SCHEMA",
     "ArtifactStore",
     "CacheStats",
     "LRUCache",
     "default_cache_dir",
+    "inspect_store",
+    "read_stats_snapshot",
+    "write_stats_snapshot",
 ]
 
 #: Version tag of the artifact JSON layout itself.
 ARTIFACT_SCHEMA = "repro.artifact/1"
+
+#: Version tag of the persisted cache-counter snapshot layout.
+STATS_SNAPSHOT_SCHEMA = "repro.cache-stats/1"
+
+#: Snapshot filename inside a cache directory.
+_STATS_SNAPSHOT_NAME = "stats.json"
 
 
 def default_cache_dir() -> Path:
@@ -83,36 +95,52 @@ class CacheStats:
 
 @dataclass
 class LRUCache:
-    """A bounded least-recently-used mapping (fingerprint -> object)."""
+    """A bounded least-recently-used mapping (fingerprint -> object).
+
+    Thread-safe: every operation holds an internal lock, so concurrent
+    readers/writers (e.g. the server's event loop racing a drain-time
+    stats flush, or threaded test harnesses) can never observe a
+    half-applied recency update or evict the same entry twice. The
+    lock is re-entrant so ``stats`` callbacks can safely re-enter.
+    """
 
     max_entries: int = 128
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: "OrderedDict[str, Any]" = field(default_factory=OrderedDict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def get(self, key: str) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, key: str, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def pop(self, key: str) -> None:
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 class ArtifactStore:
@@ -210,3 +238,100 @@ class ArtifactStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArtifactStore({str(self.root)!r})"
+
+
+# -- operator surfaces --------------------------------------------------
+
+
+def write_stats_snapshot(
+    root: Path,
+    stats: CacheStats,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Atomically persist a counter snapshot into a cache directory.
+
+    The server writes one on graceful drain (and ``repro bench`` could
+    do the same) so ``repro cache-stats`` can report the hit/miss
+    profile of the last run without talking to a live process.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / _STATS_SNAPSHOT_NAME
+    doc = {
+        "schema": STATS_SNAPSHOT_SCHEMA,
+        "pipeline_version": PIPELINE_VERSION,
+        "written_unix": time.time(),
+        "stats": stats.to_dict(),
+        **({"extra": extra} if extra else {}),
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(doc, indent=2))
+    os.replace(tmp, path)
+    return path
+
+
+def read_stats_snapshot(root: Path) -> Optional[Dict[str, Any]]:
+    """The last persisted counter snapshot, or ``None``.
+
+    Unreadable or wrong-schema snapshots read as ``None`` (the verb
+    degrades to disk-only inspection rather than failing).
+    """
+    path = Path(root) / _STATS_SNAPSHOT_NAME
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != STATS_SNAPSHOT_SCHEMA:
+        return None
+    return doc
+
+
+def inspect_store(
+    root: Path,
+    pipeline_version: str = PIPELINE_VERSION,
+) -> Dict[str, Any]:
+    """Walk a sharded artifact store and summarize what is on disk.
+
+    Returns a JSON-safe report: artifact/shard counts, total bytes,
+    artifacts grouped by pipeline version, and how many are stale
+    (i.e. would be invalidated on their next load). Missing or empty
+    directories report zero artifacts rather than erroring, so the
+    ``cache-stats`` verb is safe to point at a fresh checkout.
+    """
+    root = Path(root)
+    report: Dict[str, Any] = {
+        "root": str(root),
+        "exists": root.is_dir(),
+        "pipeline_version": pipeline_version,
+        "artifacts": 0,
+        "stale_artifacts": 0,
+        "unreadable_artifacts": 0,
+        "total_bytes": 0,
+        "shards": 0,
+        "by_pipeline_version": {},
+        "snapshot": read_stats_snapshot(root),
+    }
+    if not root.is_dir():
+        return report
+    by_version: Dict[str, int] = {}
+    shards = set()
+    for path in sorted(root.glob("??/*.json")):
+        report["artifacts"] += 1
+        shards.add(path.parent.name)
+        try:
+            report["total_bytes"] += path.stat().st_size
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            report["unreadable_artifacts"] += 1
+            report["stale_artifacts"] += 1
+            continue
+        version = str(doc.get("pipeline_version"))
+        by_version[version] = by_version.get(version, 0) + 1
+        if (
+            doc.get("schema") != ARTIFACT_SCHEMA
+            or doc.get("pipeline_version") != pipeline_version
+        ):
+            report["stale_artifacts"] += 1
+    report["shards"] = len(shards)
+    report["by_pipeline_version"] = dict(sorted(by_version.items()))
+    return report

@@ -1,0 +1,555 @@
+"""Integration tests for the compile daemon.
+
+Each test runs a real :class:`~repro.server.ReproServer` (ephemeral
+port, warm worker processes) inside ``asyncio.run`` and drives it with
+the stdlib client. The ``delay_s`` testing hook (enabled via
+``allow_delay``) holds jobs in flight deterministically so coalescing,
+admission control, and drain behaviour can be asserted without racing
+wall clocks.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.server import (
+    ReproServer,
+    ServerConfig,
+    http_request,
+    http_stream,
+)
+from repro.service import read_stats_snapshot
+
+
+def _serve(tmp_path, **kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("cache_dir", str(tmp_path))
+    kwargs.setdefault("allow_delay", True)
+    return ReproServer(ServerConfig(**kwargs))
+
+
+class TestBasicEndpoints:
+    def test_healthz_stats_and_errors(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            health = await http_request(h, p, "GET", "/v1/healthz")
+            assert health.status == 200
+            assert health.json() == {"status": "ok", "draining": False}
+            stats = await http_request(h, p, "GET", "/v1/stats")
+            assert stats.status == 200
+            doc = stats.json()
+            assert doc["server"]["workers"] == 2
+            assert doc["requests"]["total"] >= 1
+            missing = await http_request(h, p, "GET", "/v1/nope")
+            assert missing.status == 404
+            bad_post = await http_request(h, p, "POST", "/v1/nope")
+            assert bad_post.status == 404
+            bad_method = await http_request(
+                h, p, "DELETE", "/v1/healthz"
+            )
+            assert bad_method.status == 405
+            unknown_job = await http_request(
+                h, p, "GET", "/v1/jobs/j999999"
+            )
+            assert unknown_job.status == 404
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_compile_then_cache_hit(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            body = {"source": "BF", "k": 4}
+            first = await http_request(
+                h, p, "POST", "/v1/compile", body=body
+            )
+            assert first.status == 200
+            doc = first.json()
+            assert doc["status"] == "ok"
+            assert doc["metrics"]["runtime"] > 0
+            assert doc["fingerprint"]
+            assert first.headers["x-repro-cache"] == "miss"
+            assert (
+                first.headers["x-repro-fingerprint"]
+                == doc["fingerprint"]
+            )
+            second = await http_request(
+                h, p, "POST", "/v1/compile", body=body
+            )
+            assert second.status == 200
+            # Tier-0: served off the store without occupying a worker.
+            assert second.headers["x-repro-cache"] in ("memory", "disk")
+            assert second.headers["x-repro-coalesced"] == "0"
+            assert (
+                second.headers["x-repro-fingerprint"]
+                == doc["fingerprint"]
+            )
+            assert second.json()["fingerprint"] == doc["fingerprint"]
+            stats = (await http_request(h, p, "GET", "/v1/stats")).json()
+            assert stats["coalesce"]["cache_served"] >= 1
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_schedule_lint_execute(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            sched = await http_request(
+                h, p, "POST", "/v1/schedule",
+                body={"source": "BF", "k": 4},
+            )
+            assert sched.status == 200
+            assert sched.json()["modules"]
+            lint = await http_request(
+                h, p, "POST", "/v1/lint", body={"source": "BF"}
+            )
+            assert lint.status == 200
+            assert "counts" in lint.json()["lint"]
+            execute = await http_request(
+                h, p, "POST", "/v1/execute",
+                body={"source": "BF", "k": 4, "epr_rate": 0.5},
+            )
+            assert execute.status == 200
+            assert execute.json()["metrics"]["engine_runtime"] > 0
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_request_validation_errors(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path, allow_delay=False)
+            await server.start()
+            h, p = server.host, server.port
+            bad_field = await http_request(
+                h, p, "POST", "/v1/compile",
+                body={"source": "BF", "mystery": 1},
+            )
+            assert bad_field.status == 400
+            assert "mystery" in bad_field.json()["error"]
+            parse_fail = await http_request(
+                h, p, "POST", "/v1/compile",
+                body={"qasm": "this is not qasm"},
+            )
+            assert parse_fail.status == 400
+            delay_off = await http_request(
+                h, p, "POST", "/v1/lint",
+                body={"source": "BF", "delay_s": 1.0},
+            )
+            assert delay_off.status == 400
+            assert "allow-delay" in delay_off.json()["error"]
+            await server.drain()
+
+        asyncio.run(go())
+
+
+class TestCoalescing:
+    def test_storm_coalesces_to_one_compute(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            body = {"source": "BF", "k": 4, "delay_s": 0.3}
+            responses = await asyncio.gather(
+                *(
+                    http_request(h, p, "POST", "/v1/compile", body=body)
+                    for _ in range(8)
+                )
+            )
+            assert [r.status for r in responses] == [200] * 8
+            fingerprints = {r.json()["fingerprint"] for r in responses}
+            assert len(fingerprints) == 1
+            attached = sum(
+                1
+                for r in responses
+                if r.headers["x-repro-coalesced"] == "1"
+            )
+            assert attached == 7  # exactly one fresh compute
+            stats = (await http_request(h, p, "GET", "/v1/stats")).json()
+            assert stats["jobs"]["submitted"] == 1
+            assert stats["coalesce"]["coalesced"] == 7
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_compile_and_schedule_coalesce_together(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            body = {"source": "BF", "k": 4, "delay_s": 0.3}
+            compile_task = asyncio.create_task(
+                http_request(h, p, "POST", "/v1/compile", body=body)
+            )
+            await asyncio.sleep(0.05)
+            schedule = await http_request(
+                h, p, "POST", "/v1/schedule", body=body
+            )
+            compiled = await compile_task
+            assert compiled.status == schedule.status == 200
+            assert schedule.headers["x-repro-coalesced"] == "1"
+            stats = (await http_request(h, p, "GET", "/v1/stats")).json()
+            assert stats["jobs"]["submitted"] == 1
+            await server.drain()
+
+        asyncio.run(go())
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_gets_429(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path, workers=1, queue_depth=2)
+            await server.start()
+            h, p = server.host, server.port
+            slow = [
+                {"source": "BF", "k": k, "delay_s": 1.0} for k in (3, 5)
+            ]
+            tasks = [
+                asyncio.create_task(
+                    http_request(h, p, "POST", "/v1/compile", body=b)
+                )
+                for b in slow
+            ]
+            await asyncio.sleep(0.15)  # both admitted (1 busy, 1 queued)
+            refused = await http_request(
+                h, p, "POST", "/v1/compile",
+                body={"source": "BF", "k": 6, "delay_s": 1.0},
+            )
+            assert refused.status == 429
+            assert int(refused.headers["retry-after"]) >= 1
+            assert "queue full" in refused.json()["error"]
+            # A twin of admitted work still attaches (no new slot).
+            twin = await http_request(
+                h, p, "POST", "/v1/compile", body=slow[0]
+            )
+            assert twin.status == 200
+            assert twin.headers["x-repro-coalesced"] == "1"
+            for r in await asyncio.gather(*tasks):
+                assert r.status == 200
+            stats = (await http_request(h, p, "GET", "/v1/stats")).json()
+            assert stats["requests"]["rejected_queue"] == 1
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_per_tenant_rate_limit(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path, rate=1.0, burst=2.0)
+            await server.start()
+            h, p = server.host, server.port
+            statuses = []
+            for _ in range(4):
+                r = await http_request(
+                    h, p, "POST", "/v1/lint",
+                    body={"source": "BF"},
+                    headers={"X-Tenant": "alice"},
+                )
+                statuses.append(r.status)
+            assert statuses.count(429) >= 1
+            limited = next(
+                r
+                for r in [
+                    await http_request(
+                        h, p, "POST", "/v1/lint",
+                        body={"source": "BF"},
+                        headers={"X-Tenant": "alice"},
+                    )
+                ]
+            )
+            assert limited.status == 429
+            assert "retry-after" in limited.headers
+            # A different tenant has its own bucket.
+            bob = await http_request(
+                h, p, "POST", "/v1/lint",
+                body={"source": "BF"},
+                headers={"X-Tenant": "bob"},
+            )
+            assert bob.status == 200
+            stats = (await http_request(h, p, "GET", "/v1/stats")).json()
+            assert stats["requests"]["rejected_ratelimit"] >= 2
+            await server.drain()
+
+        asyncio.run(go())
+
+
+class TestJobsAndStreaming:
+    def test_async_submit_then_poll(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            accepted = await http_request(
+                h, p, "POST", "/v1/compile?wait=0",
+                body={"source": "BF", "k": 4, "delay_s": 0.2},
+            )
+            assert accepted.status == 202
+            job_id = accepted.json()["job"]
+            assert accepted.headers["x-repro-job"] == job_id
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                snap = (
+                    await http_request(
+                        h, p, "GET", f"/v1/jobs/{job_id}"
+                    )
+                ).json()
+                if snap["state"] == "done":
+                    break
+                await asyncio.sleep(0.05)
+            assert snap["state"] == "done"
+            assert snap["outcome"]["status"] == "ok"
+            assert any(
+                e["event"] == "span" for e in snap["events"]
+            )
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_streaming_compile_emits_span_events(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            status, headers, _writer, lines = await http_stream(
+                h, p, "POST", "/v1/compile?stream=1",
+                body={"source": "BF", "k": 2},
+            )
+            assert status == 200
+            events = [line async for line in lines]
+            assert events[0]["event"] == "job"
+            kinds = [e["event"] for e in events]
+            assert "span" in kinds
+            assert kinds[-1] == "outcome"
+            assert events[-1]["outcome"]["status"] == "ok"
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_streaming_a_cached_result(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            body = {"source": "BF", "k": 4}
+            await http_request(h, p, "POST", "/v1/compile", body=body)
+            status, headers, _writer, lines = await http_stream(
+                h, p, "POST", "/v1/compile?stream=1", body=body
+            )
+            assert status == 200
+            events = [line async for line in lines]
+            assert [e["event"] for e in events] == ["outcome"]
+            assert events[0]["outcome"]["cached"] in ("memory", "disk")
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_stream_attach_to_finished_job(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            accepted = await http_request(
+                h, p, "POST", "/v1/compile?wait=0",
+                body={"source": "BF", "k": 4},
+            )
+            job_id = accepted.json()["job"]
+            waited = await http_request(
+                h, p, "POST", "/v1/compile",
+                body={"source": "BF", "k": 5},
+            )
+            assert waited.status == 200
+            status, _headers, _writer, lines = await http_stream(
+                h, p, "GET", f"/v1/jobs/{job_id}?stream=1"
+            )
+            assert status == 200
+            events = [line async for line in lines]
+            assert events[-1]["event"] == "outcome"
+            assert events[-1]["outcome"]["status"] == "ok"
+            await server.drain()
+
+        asyncio.run(go())
+
+
+class TestTimeoutsAndRecycling:
+    def test_job_timeout_recycles_worker(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path, workers=1, job_timeout=0.3)
+            await server.start()
+            h, p = server.host, server.port
+            timed_out = await http_request(
+                h, p, "POST", "/v1/compile",
+                body={"source": "BF", "k": 4, "delay_s": 5.0},
+            )
+            assert timed_out.status == 504
+            doc = timed_out.json()
+            assert doc["status"] == "timeout"
+            assert doc["error"]["kind"] == "timeout"
+            assert server.pool.recycled == 1
+            # The replacement worker serves new requests.
+            ok = await http_request(
+                h, p, "POST", "/v1/compile",
+                body={"source": "BF", "k": 4},
+            )
+            assert ok.status == 200
+            stats = (await http_request(h, p, "GET", "/v1/stats")).json()
+            assert stats["jobs"]["timeouts"] == 1
+            assert stats["server"]["recycled"] == 1
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_worker_crash_reports_500_and_recovers(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path, workers=1)
+            await server.start()
+            h, p = server.host, server.port
+            pending = asyncio.create_task(
+                http_request(
+                    h, p, "POST", "/v1/compile",
+                    body={"source": "BF", "k": 4, "delay_s": 5.0},
+                )
+            )
+            await asyncio.sleep(0.2)
+            busy = [w for w in server.pool._workers if w.busy]
+            assert busy
+            os.kill(busy[0].proc.pid, signal.SIGKILL)
+            crashed = await pending
+            assert crashed.status == 500
+            assert crashed.json()["error"]["kind"] == "worker"
+            assert server.pool.recycled == 1
+            ok = await http_request(
+                h, p, "POST", "/v1/compile",
+                body={"source": "BF", "k": 4},
+            )
+            assert ok.status == 200
+            await server.drain()
+
+        asyncio.run(go())
+
+
+class TestDrain:
+    def test_drain_completes_inflight_and_rejects_new(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            inflight = asyncio.create_task(
+                http_request(
+                    h, p, "POST", "/v1/compile",
+                    body={"source": "BF", "k": 4, "delay_s": 0.5},
+                )
+            )
+            await asyncio.sleep(0.15)
+            drain_task = server.request_drain()
+            assert server.request_drain() is drain_task  # idempotent
+            finished = await inflight
+            assert finished.status == 200  # in-flight work completed
+            assert finished.json()["status"] == "ok"
+            await drain_task
+            # New connections are refused once the listener is closed.
+            with pytest.raises((ConnectionError, OSError)):
+                await http_request(h, p, "GET", "/v1/healthz")
+            return server
+
+        server = asyncio.run(go())
+        snapshot = read_stats_snapshot(server.config.cache_dir)
+        assert snapshot is not None
+        extra = snapshot["extra"]["server"]
+        assert extra["jobs"]["completed"] == 1
+        assert extra["server"]["draining"] is True
+
+    def test_post_during_drain_is_503(self, tmp_path):
+        async def go():
+            server = _serve(tmp_path)
+            await server.start()
+            h, p = server.host, server.port
+            server._draining = True  # freeze the draining state
+            refused = await http_request(
+                h, p, "POST", "/v1/compile", body={"source": "BF"}
+            )
+            assert refused.status == 503
+            health = await http_request(h, p, "GET", "/v1/healthz")
+            assert health.json()["draining"] is True
+            server._draining = False
+            await server.drain()
+
+        asyncio.run(go())
+
+    def test_stats_file_written_on_drain(self, tmp_path):
+        stats_file = tmp_path / "final-stats.json"
+
+        async def go():
+            server = _serve(
+                tmp_path / "cache", stats_file=str(stats_file)
+            )
+            await server.start()
+            h, p = server.host, server.port
+            r = await http_request(
+                h, p, "POST", "/v1/compile", body={"source": "BF"}
+            )
+            assert r.status == 200
+            await server.drain()
+
+        asyncio.run(go())
+        doc = json.loads(stats_file.read_text())
+        assert doc["jobs"]["completed"] == 1
+
+
+class TestSigtermSubprocess:
+    """The real thing: a `repro serve` process, TERM mid-flight."""
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [env.get("PYTHONPATH"), "src"])
+        )
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "1", "--allow-delay",
+                "--cache-dir", str(tmp_path),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "listening on http://" in line, line
+            host, port = line.rsplit("http://", 1)[1].strip().rsplit(
+                ":", 1
+            )
+
+            async def drive():
+                task = asyncio.create_task(
+                    http_request(
+                        host, int(port), "POST", "/v1/compile",
+                        body={"source": "BF", "k": 4, "delay_s": 0.8},
+                        timeout=60,
+                    )
+                )
+                await asyncio.sleep(0.4)  # request is in flight
+                proc.send_signal(signal.SIGTERM)
+                return await task
+
+            response = asyncio.run(drive())
+            assert response.status == 200  # drain completed the job
+            assert proc.wait(timeout=30) == 0  # clean exit
+            remaining = proc.stdout.read()
+            assert "drained cleanly" in remaining
+        finally:
+            if proc.poll() is None:
+                proc.kill()

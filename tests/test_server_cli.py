@@ -1,0 +1,212 @@
+"""Tests for the ``serve``, ``loadtest``, and ``cache-stats`` CLI
+verbs.
+
+The ``loadtest --spawn`` path runs the daemon as a real ``python -m
+repro serve`` subprocess (the CLI's own code path), so one test here
+covers the serve verb's startup banner, signal wiring, and clean-exit
+contract end to end.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import EXIT_USAGE, main
+from repro.server.loadtest import SERVICE_SCHEMA, validate_service_payload
+from repro.service import CompileService, write_stats_snapshot
+
+
+@pytest.fixture(autouse=True)
+def _src_on_subprocess_path(monkeypatch):
+    """`loadtest --spawn` launches `python -m repro`; make sure the
+    child resolves the in-repo package like the test process does."""
+    parts = [p for p in (os.environ.get("PYTHONPATH"), "src") if p]
+    monkeypatch.setenv("PYTHONPATH", os.pathsep.join(parts))
+
+
+class TestServeValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--workers", "0"],
+            ["serve", "--queue-depth", "0"],
+            ["serve", "--rate", "-1"],
+            ["serve", "--job-timeout", "0"],
+        ],
+    )
+    def test_bad_options_are_usage_errors(self, argv, capsys):
+        assert main(argv) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeInProcess:
+    def test_serve_drains_on_sigterm_and_exits_zero(
+        self, tmp_path, capsys
+    ):
+        """Run the verb in-process; a timer thread delivers SIGTERM to
+        our own pid, exercising the signal wiring the subprocess tests
+        can't measure."""
+        import signal
+        import threading
+
+        timer = threading.Timer(
+            2.0, lambda: os.kill(os.getpid(), signal.SIGTERM)
+        )
+        timer.start()
+        try:
+            code = main(
+                [
+                    "serve", "--port", "0", "--workers", "1",
+                    "--cache-dir", str(tmp_path),
+                    "--stats-file", str(tmp_path / "stats.json"),
+                ]
+            )
+        finally:
+            timer.cancel()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "listening on http://" in out
+        assert "drained cleanly" in out
+        assert (tmp_path / "stats.json").exists()
+
+
+class TestLoadtestCommand:
+    def test_spawn_round_trips_and_writes_report(
+        self, tmp_path, capsys
+    ):
+        report = tmp_path / "BENCH_service.json"
+        code = main(
+            [
+                "loadtest", "--spawn",
+                "--storm", "12", "--distinct", "2",
+                "--clients", "6", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "-o", str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests ok" in out
+        assert "coalesce rate" in out
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == SERVICE_SCHEMA
+        assert validate_service_payload(payload) == []
+        assert payload["requests"]["errors"] == 0
+        assert payload["coalesce"]["coalesce_rate"] >= 0.9
+        assert payload["drain"]["exit_code"] == 0
+
+    def test_term_during_load_verifies_drain(self, tmp_path, capsys):
+        report = tmp_path / "BENCH_service.json"
+        code = main(
+            [
+                "loadtest", "--spawn", "--term-during-load",
+                "--storm", "12", "--distinct", "2",
+                "--clients", "6", "--workers", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "-o", str(report),
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        drain = payload["drain"]
+        assert drain["exit_code"] == 0
+        assert drain["dropped"] == 0
+        assert drain["completed"] >= 1
+
+    def test_unknown_benchmark_is_usage_error(self, capsys):
+        code = main(["loadtest", "--benchmark", "NotABench"])
+        assert code == EXIT_USAGE
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["loadtest", "--clients", "0"],
+            ["loadtest", "--storm", "0"],
+            ["loadtest", "--rounds", "0"],
+            ["loadtest", "--distinct", "-1"],
+        ],
+    )
+    def test_bad_counts_are_usage_errors(self, argv, capsys):
+        assert main(argv) == EXIT_USAGE
+
+    def test_unreachable_server_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            [
+                "loadtest", "--port", "1",  # nothing listens there
+                "--storm", "2", "--distinct", "0", "--clients", "2",
+                "--timeout", "2",
+                "-o", "",
+            ]
+        )
+        assert code == 1
+        assert "errors" in capsys.readouterr().out
+
+
+class TestCacheStatsCommand:
+    def test_missing_store_reports_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["cache-stats", "--cache-dir", str(tmp_path / "nope")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(missing)" in out
+        assert "artifacts:         0" in out
+
+    def test_text_report_with_artifacts_and_snapshot(
+        self, tmp_path, capsys
+    ):
+        from repro.arch.machine import MultiSIMD
+        from repro.core import ProgramBuilder
+
+        pb = ProgramBuilder()
+        mod = pb.module("main")
+        q = mod.register("q", 2)
+        mod.cnot(q[0], q[1])
+        service = CompileService(cache_dir=tmp_path)
+        service.lookup(pb.build("main"), MultiSIMD(k=2))
+        write_stats_snapshot(
+            tmp_path,
+            service.stats,
+            extra={
+                "server": {
+                    "jobs": {"submitted": 3},
+                    "coalesce": {
+                        "coalesced": 2,
+                        "cache_served": 1,
+                        "amortized_rate": 0.75,
+                    },
+                }
+            },
+        )
+        code = main(["cache-stats", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "artifacts:         1" in out
+        assert "hit rate" in out
+        assert "jobs submitted   3" in out
+        assert "amortized rate   75.0%" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        code = main(
+            [
+                "cache-stats",
+                "--cache-dir", str(tmp_path),
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["artifacts"] == 0
+        assert doc["exists"] is True  # tmp_path itself exists
+
+    def test_respects_repro_cache_dir_env(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["cache-stats", "--format", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["root"] == str(tmp_path)

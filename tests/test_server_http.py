@@ -1,0 +1,212 @@
+"""Unit tests for the hand-rolled HTTP/1.1 framing layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    HttpError,
+    end_chunked,
+    read_request,
+    send_chunk,
+    send_json,
+    send_response,
+    start_chunked,
+)
+
+
+def _parse(data: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class FakeWriter:
+    """Collects written bytes (StreamWriter stand-in)."""
+
+    def __init__(self):
+        self.data = b""
+
+    def write(self, chunk: bytes) -> None:
+        self.data += chunk
+
+    async def drain(self) -> None:
+        pass
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        req = _parse(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/v1/healthz"
+        assert req.headers["host"] == "x"
+        assert req.body == b""
+        assert req.keep_alive  # HTTP/1.1 default
+
+    def test_query_parsing_and_flags(self):
+        req = _parse(
+            b"GET /v1/jobs/j1?stream=1&wait=false&x=%20y HTTP/1.1\r\n\r\n"
+        )
+        assert req.path == "/v1/jobs/j1"
+        assert req.query["x"] == " y"
+        assert req.flag("stream") is True
+        assert req.flag("wait", default=True) is False
+        assert req.flag("absent", default=True) is True
+        assert req.flag("absent") is False
+
+    def test_body_via_content_length(self):
+        body = json.dumps({"source": "BF"}).encode()
+        req = _parse(
+            b"POST /v1/compile HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert req.json() == {"source": "BF"}
+
+    def test_empty_body_reads_as_empty_object(self):
+        req = _parse(b"POST /v1/compile HTTP/1.1\r\n\r\n")
+        assert req.json() == {}
+
+    def test_bad_json_body_is_400(self):
+        req = _parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nnot"
+        )
+        with pytest.raises(HttpError) as err:
+            req.json()
+        assert err.value.status == 400
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_request_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"GET / HTTP/1.1\r\n")  # no terminating blank line
+        assert err.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+            )
+        assert err.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"BROKEN\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_unsupported_version_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_malformed_header_line_is_400(self):
+        with pytest.raises(HttpError) as err:
+            _parse(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        for value in (b"abc", b"-5"):
+            with pytest.raises(HttpError) as err:
+                _parse(
+                    b"POST /x HTTP/1.1\r\nContent-Length: "
+                    + value
+                    + b"\r\n\r\n"
+                )
+            assert err.value.status == 400
+
+    def test_oversize_body_is_413(self):
+        with pytest.raises(HttpError) as err:
+            _parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+                max_body=10,
+            )
+        assert err.value.status == 413
+
+    def test_oversize_header_block_is_431(self):
+        filler = b"X-Pad: " + b"a" * 200 + b"\r\n"
+        with pytest.raises(HttpError) as err:
+            _parse(
+                b"GET / HTTP/1.1\r\n" + filler + b"\r\n",
+                max_header=64,
+            )
+        assert err.value.status == 431
+
+    def test_chunked_request_body_rejected(self):
+        with pytest.raises(HttpError) as err:
+            _parse(
+                b"POST /x HTTP/1.1\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+            )
+        assert err.value.status == 400
+
+
+class TestKeepAlive:
+    def test_http11_close_header(self):
+        req = _parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_http10_default_close(self):
+        req = _parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        req = _parse(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert req.keep_alive
+
+
+class TestResponses:
+    def test_send_response_frames_body(self):
+        writer = FakeWriter()
+        asyncio.run(send_response(writer, 200, b"hello"))
+        assert writer.data.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 5\r\n" in writer.data
+        assert b"Connection: keep-alive\r\n" in writer.data
+        assert writer.data.endswith(b"\r\n\r\nhello")
+
+    def test_send_json_with_headers_and_close(self):
+        writer = FakeWriter()
+        asyncio.run(
+            send_json(
+                writer,
+                429,
+                {"error": "x"},
+                headers={"Retry-After": "2"},
+                keep_alive=False,
+            )
+        )
+        assert b"HTTP/1.1 429 Too Many Requests\r\n" in writer.data
+        assert b"Retry-After: 2\r\n" in writer.data
+        assert b"Connection: close\r\n" in writer.data
+        head, _, body = writer.data.partition(b"\r\n\r\n")
+        assert json.loads(body) == {"error": "x"}
+
+    def test_unknown_status_reason(self):
+        writer = FakeWriter()
+        asyncio.run(send_response(writer, 599))
+        assert writer.data.startswith(b"HTTP/1.1 599 Unknown\r\n")
+
+    def test_chunked_stream_roundtrip(self):
+        writer = FakeWriter()
+
+        async def go():
+            await start_chunked(writer, headers={"X-Repro-Job": "j1"})
+            await send_chunk(writer, b'{"a":1}\n')
+            await send_chunk(writer, b"")  # ignored: would end stream
+            await send_chunk(writer, b'{"b":2}\n')
+            await end_chunked(writer)
+
+        asyncio.run(go())
+        assert b"Transfer-Encoding: chunked\r\n" in writer.data
+        assert b"X-Repro-Job: j1\r\n" in writer.data
+        _, _, payload = writer.data.partition(b"\r\n\r\n")
+        assert payload == (
+            b'8\r\n{"a":1}\n\r\n8\r\n{"b":2}\n\r\n0\r\n\r\n'
+        )

@@ -1,0 +1,213 @@
+"""Tests for the loadtest harness and BENCH_service.json schema."""
+
+import asyncio
+
+from repro.server import ReproServer, ServerConfig
+from repro.server.loadtest import (
+    LoadTestConfig,
+    SERVICE_SCHEMA,
+    build_service_payload,
+    loadtest_with_spawn,
+    percentile,
+    render_service_report,
+    run_loadtest_async,
+    validate_service_payload,
+)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+
+def _record(group="storm", status=200, latency=0.01, cached=None,
+            coalesced=False, error=None):
+    return {
+        "group": group,
+        "status": status,
+        "latency_s": latency,
+        "cached": cached,
+        "coalesced": coalesced,
+        "error": error,
+    }
+
+
+class TestBuildServicePayload:
+    def test_coalesce_accounting(self):
+        records = (
+            [_record()]  # the one fresh compute
+            + [_record(coalesced=True) for _ in range(5)]
+            + [_record(cached="disk") for _ in range(4)]
+            + [_record(group="distinct") for _ in range(2)]
+        )
+        payload = build_service_payload(
+            LoadTestConfig(storm=10, distinct=2), records, wall_s=1.0
+        )
+        assert payload["schema"] == SERVICE_SCHEMA
+        coalesce = payload["coalesce"]
+        assert coalesce["storm_total"] == 10
+        assert coalesce["storm_computes"] == 1
+        assert coalesce["storm_coalesced"] == 5
+        assert coalesce["storm_cached"] == 4
+        assert coalesce["coalesce_rate"] == 0.9
+        assert payload["requests"]["total"] == 12
+        assert payload["requests"]["errors"] == 0
+        assert payload["cache"]["hits"] == 4
+        assert validate_service_payload(payload) == []
+
+    def test_errors_are_counted_and_sampled(self):
+        records = [
+            _record(),
+            _record(status=429, error="HTTP 429: queue full"),
+            _record(status=None, latency=None, error="Timeout"),
+        ]
+        payload = build_service_payload(
+            LoadTestConfig(), records, wall_s=0.5
+        )
+        assert payload["requests"]["ok"] == 1
+        assert payload["requests"]["errors"] == 2
+        assert len(payload["error_samples"]) == 2
+
+    def test_empty_run_is_valid(self):
+        payload = build_service_payload(LoadTestConfig(), [], 0.0)
+        assert payload["latency_ms"]["p99"] == 0.0
+        assert payload["throughput_rps"] == 0.0
+        assert validate_service_payload(payload) == []
+
+
+class TestValidateServicePayload:
+    def test_rejects_non_object(self):
+        assert validate_service_payload([]) == [
+            "payload is not an object"
+        ]
+
+    def test_flags_wrong_schema_and_missing_keys(self):
+        problems = validate_service_payload({"schema": "bogus/9"})
+        assert any("schema" in p for p in problems)
+        assert any("latency_ms" in p for p in problems)
+        assert any("coalesce" in p for p in problems)
+
+    def test_flags_bad_types(self):
+        payload = build_service_payload(
+            LoadTestConfig(), [_record()], 1.0
+        )
+        payload["latency_ms"]["p99"] = "fast"
+        payload["requests"]["total"] = 1.5
+        problems = validate_service_payload(payload)
+        assert any("latency_ms.p99" in p for p in problems)
+        assert any("requests.total" in p for p in problems)
+
+    def test_checks_optional_drain_section(self):
+        payload = build_service_payload(
+            LoadTestConfig(), [_record()], 1.0
+        )
+        payload["drain"] = {"exit_code": "zero"}
+        problems = validate_service_payload(payload)
+        assert any("drain" in p for p in problems)
+
+
+class TestRenderServiceReport:
+    def test_mentions_the_headline_numbers(self):
+        records = [_record()] + [
+            _record(coalesced=True) for _ in range(3)
+        ]
+        payload = build_service_payload(
+            LoadTestConfig(), records, wall_s=2.0
+        )
+        text = render_service_report(payload)
+        assert "4/4 requests ok" in text
+        assert "coalesce rate 75.0%" in text
+        assert "p99" in text
+
+    def test_includes_drain_line_when_present(self):
+        payload = build_service_payload(
+            LoadTestConfig(), [_record()], 1.0
+        )
+        payload["drain"] = {
+            "exit_code": 0,
+            "sent": 8,
+            "completed": 8,
+            "rejected": 0,
+            "refused": 0,
+            "dropped": 0,
+        }
+        text = render_service_report(payload)
+        assert "drain: exit 0" in text
+        assert "0 dropped" in text
+
+
+class TestDistinctRequests:
+    def test_unique_and_disjoint_from_storm(self):
+        config = LoadTestConfig(distinct=6)
+        requests = config.distinct_requests()
+        assert len(requests) == 6
+        assert len({tuple(sorted(r.items())) for r in requests}) == 6
+        assert config.storm_request not in requests
+
+
+class TestRunLoadtest:
+    def test_against_live_server(self, tmp_path):
+        async def go():
+            server = ReproServer(
+                ServerConfig(
+                    port=0, workers=2, cache_dir=str(tmp_path)
+                )
+            )
+            await server.start()
+            config = LoadTestConfig(
+                host=server.host,
+                port=server.port,
+                clients=6,
+                storm=12,
+                distinct=3,
+            )
+            payload = await run_loadtest_async(config)
+            await server.drain()
+            return payload
+
+        payload = asyncio.run(go())
+        assert validate_service_payload(payload) == []
+        assert payload["requests"]["errors"] == 0
+        assert payload["requests"]["total"] == 15
+        # A 12-request storm needs exactly one compute; everyone else
+        # coalesces onto it or reads the store.
+        assert payload["coalesce"]["storm_computes"] == 1
+        assert payload["coalesce"]["coalesce_rate"] >= 0.9
+        assert payload["latency_ms"]["p99"] > 0
+        assert payload["server_stats"]["jobs"]["submitted"] >= 1
+
+
+class TestSpawnAndTermDuringLoad:
+    """The acceptance criterion: `kill -TERM` during load exits 0
+    with zero dropped in-flight jobs."""
+
+    def test_spawned_daemon_survives_sigterm_under_load(self, tmp_path):
+        config = LoadTestConfig(clients=6, storm=12, distinct=2)
+        payload = loadtest_with_spawn(
+            config,
+            serve_argv=[
+                "--workers", "2", "--cache-dir", str(tmp_path)
+            ],
+            term_during_load=True,
+        )
+        assert validate_service_payload(payload) == []
+        assert payload["requests"]["errors"] == 0
+        assert payload["coalesce"]["coalesce_rate"] >= 0.9
+        drain = payload["drain"]
+        assert drain["exit_code"] == 0
+        assert drain["dropped"] == 0
+        assert drain["completed"] >= 1

@@ -1,0 +1,476 @@
+"""Unit tests for the daemon's job registry, rate limiter, API
+model, and worker loop (run in-process, no forking)."""
+
+import asyncio
+import queue
+import threading
+
+import pytest
+
+from repro.server.api import (
+    ApiError,
+    ApiRequest,
+    build_program,
+    parse_api_request,
+    request_key,
+    run_api_request,
+    status_for_outcome,
+)
+from repro.server.jobs import (
+    DONE,
+    ERROR,
+    Job,
+    JobRegistry,
+    QUEUED,
+    RateLimiter,
+    RUNNING,
+    TIMEOUT,
+    TokenBucket,
+)
+from repro.server.pool import worker_main
+from repro.service import CompileService
+
+
+def _job(key="compile:fp", **kwargs):
+    return Job(
+        id="j000001",
+        key=key,
+        kind="compile",
+        fingerprint="fp",
+        request={"kind": "compile", "source": "BF"},
+        **kwargs,
+    )
+
+
+class TestJob:
+    def test_lifecycle_and_snapshot(self):
+        job = _job()
+        assert job.state == QUEUED and not job.finished
+        job.mark_running()
+        assert job.state == RUNNING and job.started_unix is not None
+        job.finish(DONE, {"status": "ok"})
+        assert job.finished and job.done.is_set()
+        snap = job.snapshot()
+        assert snap["job"] == "j000001"
+        assert snap["state"] == DONE
+        assert snap["outcome"] == {"status": "ok"}
+
+    def test_finish_is_idempotent(self):
+        job = _job()
+        job.finish(ERROR, {"status": "error"})
+        job.finish(DONE, {"status": "ok"})  # late duplicate: ignored
+        assert job.state == ERROR
+        assert job.outcome == {"status": "error"}
+
+    def test_mark_running_only_from_queued(self):
+        job = _job()
+        job.finish(TIMEOUT, {"status": "timeout"})
+        job.mark_running()
+        assert job.state == TIMEOUT
+
+    def test_publish_assigns_sequence_numbers(self):
+        job = _job()
+        job.publish({"event": "start"})
+        job.publish({"event": "span", "name": "pass:flatten"})
+        assert [e["seq"] for e in job.events] == [0, 1]
+
+    def test_subscribe_replays_then_streams_live(self):
+        async def go():
+            job = _job()
+            job.publish({"event": "start"})
+            q = job.subscribe()
+            job.publish({"event": "span", "name": "x"})
+            job.finish(DONE, {"status": "ok"})
+            seen = []
+            while True:
+                item = await q.get()
+                if item is None:
+                    break
+                seen.append(item["event"])
+            return seen
+
+        assert asyncio.run(go()) == ["start", "span"]
+
+    def test_subscribe_to_finished_job_ends_immediately(self):
+        async def go():
+            job = _job()
+            job.publish({"event": "start"})
+            job.finish(DONE, {"status": "ok"})
+            q = job.subscribe()
+            first = await q.get()
+            sentinel = await q.get()
+            return first["event"], sentinel
+
+        assert asyncio.run(go()) == ("start", None)
+
+
+class TestJobRegistry:
+    def test_create_then_coalesce(self):
+        reg = JobRegistry()
+        job, created = reg.get_or_create(
+            "compile:fp", "compile", "fp", {}, "t"
+        )
+        assert created and job.coalesced == 0
+        twin, created2 = reg.get_or_create(
+            "compile:fp", "compile", "fp", {}, "t"
+        )
+        assert twin is job and not created2
+        assert job.coalesced == 1
+        assert reg.coalesced == 1 and reg.submitted == 1
+
+    def test_finish_releases_coalescing_slot(self):
+        reg = JobRegistry()
+        job, _ = reg.get_or_create("compile:fp", "compile", "fp", {}, "t")
+        reg.finish(job, DONE, {"status": "ok"})
+        assert reg.active_count == 0
+        fresh, created = reg.get_or_create(
+            "compile:fp", "compile", "fp", {}, "t"
+        )
+        assert created and fresh is not job
+        assert reg.completed == 1
+
+    def test_finish_counters_by_state(self):
+        reg = JobRegistry()
+        for state, attr in (
+            (DONE, "completed"),
+            (ERROR, "failed"),
+            (TIMEOUT, "timeouts"),
+        ):
+            job, _ = reg.get_or_create(
+                f"compile:{state}", "compile", state, {}, "t"
+            )
+            reg.finish(job, state, {"status": state})
+            assert getattr(reg, attr) == 1
+        doc = reg.to_dict()
+        assert doc["submitted"] == 3 and doc["active"] == 0
+
+    def test_history_prunes_only_finished(self):
+        reg = JobRegistry(history=2)
+        keep, _ = reg.get_or_create("compile:live", "compile", "x", {}, "t")
+        for i in range(4):
+            job, _ = reg.get_or_create(
+                f"compile:{i}", "compile", str(i), {}, "t"
+            )
+            reg.finish(job, DONE, {"status": "ok"})
+        assert len(reg.jobs) == 2  # pruned down to the history bound
+        assert reg.get(keep.id) is keep  # live jobs are never evicted
+        assert reg.get(job.id) is job  # newest finished job retained
+
+    def test_finished_jobs_stay_queryable(self):
+        reg = JobRegistry()
+        job, _ = reg.get_or_create("compile:fp", "compile", "fp", {}, "t")
+        reg.finish(job, DONE, {"status": "ok"})
+        assert reg.get(job.id).state == DONE
+
+
+class TestTokenBucket:
+    def test_burst_then_rejection(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        assert bucket.acquire(now=0.0) == (True, 0.0)
+        assert bucket.acquire(now=0.0) == (True, 0.0)
+        allowed, retry = bucket.acquire(now=0.0)
+        assert not allowed and retry == pytest.approx(1.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        bucket.acquire(now=0.0)
+        bucket.acquire(now=0.0)
+        assert bucket.acquire(now=0.1)[0] is False
+        assert bucket.acquire(now=0.6)[0] is True  # ~1 token back
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=1.0)
+        bucket.acquire(now=0.0)
+        bucket.acquire(now=10.0)
+        allowed, _ = bucket.acquire(now=10.0)
+        assert not allowed  # refill capped at burst=1, not 1000
+
+
+class TestRateLimiter:
+    def test_disabled_when_rate_none(self):
+        limiter = RateLimiter(None)
+        for _ in range(100):
+            assert limiter.acquire("t") == (True, 0.0)
+        assert limiter.rejections == 0
+
+    def test_tenants_are_isolated(self):
+        limiter = RateLimiter(rate=1.0, burst=1.0)
+        assert limiter.acquire("alice", now=0.0)[0]
+        assert not limiter.acquire("alice", now=0.0)[0]
+        assert limiter.acquire("bob", now=0.0)[0]
+        assert limiter.rejections == 1
+
+    def test_default_burst_is_twice_rate(self):
+        assert RateLimiter(rate=5.0).burst == 10.0
+        assert RateLimiter(rate=0.1).burst == 1.0  # floor of 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0.5)
+
+
+class TestParseApiRequest:
+    def test_benchmark_compile_defaults(self):
+        req = parse_api_request("compile", {"source": "BF"})
+        assert req.kind == "compile"
+        assert req.k == 4 and req.scheduler == "lpfs"
+        assert req.resolved_fth >= 1  # benchmark-specific threshold
+
+    def test_roundtrips_through_dict(self):
+        req = parse_api_request(
+            "execute",
+            {
+                "source": "BF",
+                "k": 2,
+                "local_memory": "inf",
+                "epr_rate": 0.5,
+                "seed": 7,
+            },
+        )
+        again = ApiRequest.from_dict(req.to_dict())
+        assert again == req
+
+    @pytest.mark.parametrize(
+        "kind,body",
+        [
+            ("nope", {"source": "BF"}),
+            ("compile", []),  # not an object
+            ("compile", {}),  # no source at all
+            ("compile", {"source": "BF", "qasm": "x"}),  # two sources
+            ("compile", {"source": "NotABench"}),
+            ("compile", {"source": "BF", "mystery": 1}),
+            ("compile", {"source": "BF", "k": 0}),
+            ("compile", {"source": "BF", "k": "four"}),
+            ("compile", {"source": "BF", "d": 0}),
+            ("compile", {"source": "BF", "scheduler": "magic"}),
+            ("compile", {"source": "BF", "fth": 0}),
+            ("compile", {"source": "BF", "local_memory": "lots"}),
+            ("compile", {"source": "BF", "delay_s": -1}),
+            ("compile", {"source": "BF", "delay_s": 1e9}),
+            ("compile", {"qasm": 42}),
+            ("execute", {"source": "BF", "epr_rate": -1}),
+            ("execute", {"source": "BF", "epr_rate": "fast"}),
+            ("execute", {"source": "BF", "seed": 1.5}),
+            ("lint", {"source": "BF", "k": 2}),  # k not valid for lint
+        ],
+    )
+    def test_rejects_bad_bodies_with_400(self, kind, body):
+        with pytest.raises(ApiError) as err:
+            parse_api_request(kind, body)
+        assert err.value.status == 400
+
+    def test_execute_inf_epr_rate_normalizes_to_none(self):
+        req = parse_api_request(
+            "execute", {"source": "BF", "epr_rate": "inf"}
+        )
+        assert req.epr_rate is None
+
+
+class TestRequestKey:
+    def test_compile_and_schedule_share_a_job_key(self):
+        compile_req = parse_api_request("compile", {"source": "BF"})
+        schedule_req = parse_api_request("schedule", {"source": "BF"})
+        program = build_program(compile_req)
+        key_c, fp_c = request_key(compile_req, program)
+        key_s, fp_s = request_key(schedule_req, program)
+        assert key_c == key_s and fp_c == fp_s
+        assert key_c.startswith("compile:")
+
+    def test_execute_mixes_engine_parameters(self):
+        program = build_program(
+            parse_api_request("compile", {"source": "BF"})
+        )
+        keys = set()
+        for body in (
+            {"source": "BF"},
+            {"source": "BF", "seed": 1},
+            {"source": "BF", "epr_rate": 0.5},
+        ):
+            req = parse_api_request("execute", body)
+            key, fp = request_key(req, program)
+            assert key.startswith("execute:")
+            keys.add(key)
+        assert len(keys) == 3  # engine params change the key
+
+    def test_lint_keys_under_its_own_kind(self):
+        req = parse_api_request("lint", {"source": "BF"})
+        key, _ = request_key(req, build_program(req))
+        assert key.startswith("lint:")
+
+    def test_config_changes_change_the_fingerprint(self):
+        program = build_program(
+            parse_api_request("compile", {"source": "BF"})
+        )
+        fps = set()
+        for body in (
+            {"source": "BF"},
+            {"source": "BF", "k": 2},
+            {"source": "BF", "scheduler": "rcp"},
+            {"source": "BF", "optimize": True},
+        ):
+            req = parse_api_request("compile", body)
+            fps.add(request_key(req, program)[1])
+        assert len(fps) == 4
+
+
+class TestStatusForOutcome:
+    @pytest.mark.parametrize(
+        "outcome,status",
+        [
+            ({"status": "ok"}, 200),
+            ({"status": "error", "error": {"kind": "parse"}}, 400),
+            ({"status": "error", "error": {"kind": "analysis"}}, 422),
+            ({"status": "timeout", "error": {"kind": "timeout"}}, 504),
+            ({"status": "error", "error": {"kind": "schedule"}}, 500),
+            ({"status": "error"}, 500),
+        ],
+    )
+    def test_mapping(self, outcome, status):
+        assert status_for_outcome(outcome) == status
+
+
+class TestRunApiRequest:
+    def test_compile_outcome(self):
+        service = CompileService()  # memory-only
+        outcome = run_api_request(
+            {"kind": "compile", "source": "BF", "k": 4}, service
+        )
+        assert outcome["status"] == "ok"
+        assert outcome["metrics"]["runtime"] > 0
+        assert outcome["spans"]  # span timings recorded
+        assert outcome["elapsed_s"] >= 0
+
+    def test_schedule_outcome_adds_module_summary(self):
+        outcome = run_api_request(
+            {"kind": "schedule", "source": "BF", "k": 4},
+            CompileService(),
+        )
+        assert outcome["status"] == "ok"
+        assert outcome["modules"]
+        entry = next(iter(outcome["modules"].values()))
+        assert "is_leaf" in entry
+
+    def test_parse_failure_is_classified(self):
+        outcome = run_api_request(
+            {"kind": "compile", "qasm": "not a program"},
+            CompileService(),
+        )
+        assert outcome["status"] == "error"
+        assert outcome["error"]["kind"] == "parse"
+        assert status_for_outcome(outcome) == 400
+
+    def test_execute_outcome_has_engine_metrics(self):
+        outcome = run_api_request(
+            {
+                "kind": "execute",
+                "source": "BF",
+                "k": 4,
+                "epr_rate": 0.5,
+                "seed": 0,
+            },
+            CompileService(),
+        )
+        assert outcome["status"] == "ok"
+        assert outcome["metrics"]["engine_runtime"] > 0
+        assert outcome["metrics"]["engine_stall_epr"] >= 0
+
+    def test_execute_recompiles_disk_cached_results(self, tmp_path):
+        # Warm the disk store with one service, execute with another:
+        # the disk artifact has no schedule bodies, so the worker must
+        # recompile before the engine run.
+        warm = CompileService(cache_dir=str(tmp_path))
+        assert (
+            run_api_request(
+                {"kind": "compile", "source": "BF", "k": 4}, warm
+            )["status"]
+            == "ok"
+        )
+        cold = CompileService(cache_dir=str(tmp_path))
+        outcome = run_api_request(
+            {"kind": "execute", "source": "BF", "k": 4}, cold
+        )
+        assert outcome["status"] == "ok"
+        assert outcome["cached"] == "disk"
+        assert outcome["metrics"]["engine_runtime"] > 0
+
+    def test_lint_outcomes_for_each_source_kind(self):
+        service = CompileService()
+        for body in (
+            {"kind": "lint", "source": "BF"},
+            {"kind": "lint", "qasm": "qubit q0;\nh q0;\n"},
+            {
+                "kind": "lint",
+                "scaffold": "module main() { qbit q[1]; H(q[0]); }",
+            },
+        ):
+            outcome = run_api_request(body, service)
+            assert outcome["status"] == "ok", outcome
+            assert "counts" in outcome["lint"]
+
+    def test_delay_hook_requires_opt_in(self):
+        import time
+
+        started = time.perf_counter()
+        outcome = run_api_request(
+            {"kind": "lint", "source": "BF", "delay_s": 5.0},
+            CompileService(),
+            allow_delay=False,
+        )
+        assert outcome["status"] == "ok"
+        assert time.perf_counter() - started < 4.0  # delay not honored
+
+
+class TestWorkerMain:
+    """The worker loop driven in-process over plain queues."""
+
+    def _run_worker(self, tasks):
+        task_q, event_q = queue.Queue(), queue.Queue()
+        for task in tasks:
+            task_q.put(task)
+        task_q.put(None)  # shutdown sentinel
+        thread = threading.Thread(
+            target=worker_main,
+            args=(task_q, event_q, None, True, True),
+        )
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        events = []
+        while not event_q.empty():
+            events.append(event_q.get_nowait())
+        return events
+
+    def test_emits_start_spans_done(self):
+        events = self._run_worker(
+            [("j1", {"kind": "compile", "source": "BF", "k": 4})]
+        )
+        kinds = [e[0] for e in events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "done"
+        assert "span" in kinds
+        done = events[-1]
+        assert done[1] == "j1"
+        assert done[2]["status"] == "ok"
+        span_names = {e[2]["name"] for e in events if e[0] == "span"}
+        assert any(n.startswith("pass:") for n in span_names)
+
+    def test_processes_jobs_in_order_and_stays_warm(self):
+        events = self._run_worker(
+            [
+                ("j1", {"kind": "compile", "source": "BF", "k": 4}),
+                ("j2", {"kind": "compile", "source": "BF", "k": 4}),
+            ]
+        )
+        done = [e for e in events if e[0] == "done"]
+        assert [e[1] for e in done] == ["j1", "j2"]
+        # Same worker, same in-memory LRU: the twin is a memory hit.
+        assert done[1][2]["cached"] == "memory"
+
+    def test_malformed_task_still_produces_terminal_event(self):
+        events = self._run_worker([("j1", {"source": "BF"})])  # no kind
+        done = [e for e in events if e[0] == "done"]
+        assert len(done) == 1
+        assert done[0][2]["status"] == "error"
+        assert done[0][2]["error"]["kind"] == "worker"

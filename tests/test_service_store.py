@@ -222,3 +222,158 @@ class TestCompileService:
         prog, machine = _program(), MultiSIMD(k=2)
         entry = service.lookup(prog, machine)
         assert entry.fingerprint == fingerprint_request(prog, machine)
+
+
+class TestLRUConcurrency:
+    def test_concurrent_mixed_operations_keep_invariants(self):
+        """Regression: pre-lock, racing put/get could corrupt the
+        OrderedDict mid-``move_to_end`` or double-count an eviction.
+        Hammer one small LRU from several threads and check the
+        bounded-size invariant and counter consistency afterwards."""
+        import threading
+
+        lru = LRUCache(max_entries=8)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(2000):
+                    key = f"k{(seed * 2000 + i) % 40}"
+                    op = i % 3
+                    if op == 0:
+                        lru.put(key, i)
+                    elif op == 1:
+                        lru.get(key)
+                    else:
+                        lru.pop(key)
+                    assert len(lru) <= 8
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert len(lru) <= 8
+        assert lru.stats.evictions > 0
+
+    def test_eviction_under_contention_counts_once_per_entry(self):
+        """Every insertion beyond capacity evicts exactly one entry;
+        with the lock the counters must balance exactly."""
+        import threading
+
+        lru = LRUCache(max_entries=4)
+        per_thread, threads_n = 500, 4
+
+        def writer(seed: int) -> None:
+            for i in range(per_thread):
+                lru.put(f"t{seed}-{i}", i)  # all keys unique
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        total_puts = per_thread * threads_n
+        assert len(lru) == 4
+        assert lru.stats.evictions == total_puts - 4
+
+
+class TestPeek:
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        assert service.peek("f" * 64) is None
+        assert service.stats.misses == 1
+
+    def test_memory_hit(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        entry = service.lookup(_program(), MultiSIMD(k=2))
+        peeked = service.peek(entry.fingerprint)
+        assert peeked is not None
+        assert peeked.cached == "memory"
+        assert peeked.result.runtime == entry.result.runtime
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        warm = CompileService(cache_dir=tmp_path)
+        fp = warm.lookup(_program(), MultiSIMD(k=2)).fingerprint
+        cold = CompileService(cache_dir=tmp_path)
+        first = cold.peek(fp)
+        assert first is not None and first.cached == "disk"
+        second = cold.peek(fp)
+        assert second is not None and second.cached == "memory"
+
+    def test_never_computes(self):
+        service = CompileService(cache_dir=None)  # memory-only, empty
+        assert service.peek("a" * 64) is None
+
+
+class TestStatsSnapshot:
+    def test_roundtrip(self, tmp_path):
+        from repro.service import (
+            STATS_SNAPSHOT_SCHEMA,
+            read_stats_snapshot,
+            write_stats_snapshot,
+        )
+
+        stats = CacheStats(memory_hits=3, misses=1, stores=2)
+        path = write_stats_snapshot(
+            tmp_path, stats, extra={"server": {"jobs": 5}}
+        )
+        assert path.name == "stats.json"
+        doc = read_stats_snapshot(tmp_path)
+        assert doc["schema"] == STATS_SNAPSHOT_SCHEMA
+        assert doc["stats"]["memory_hits"] == 3
+        assert doc["extra"]["server"]["jobs"] == 5
+
+    def test_missing_and_corrupt_read_as_none(self, tmp_path):
+        from repro.service import read_stats_snapshot
+
+        assert read_stats_snapshot(tmp_path) is None
+        (tmp_path / "stats.json").write_text("{broken")
+        assert read_stats_snapshot(tmp_path) is None
+        (tmp_path / "stats.json").write_text(
+            json.dumps({"schema": "other/1"})
+        )
+        assert read_stats_snapshot(tmp_path) is None
+
+
+class TestInspectStore:
+    def test_missing_directory(self, tmp_path):
+        from repro.service import inspect_store
+
+        report = inspect_store(tmp_path / "nope")
+        assert report["exists"] is False
+        assert report["artifacts"] == 0
+        assert report["snapshot"] is None
+
+    def test_counts_artifacts_shards_and_stale(self, tmp_path):
+        from repro.service import inspect_store, write_stats_snapshot
+
+        store = ArtifactStore(tmp_path)
+        store.save(FP, {"result": {"x": 1}})
+        store.save(FP2, {"result": {"y": 2}})
+        stale = ArtifactStore(tmp_path, pipeline_version="museum")
+        stale.save("ef" + "2" * 62, {"result": {"z": 3}})
+        broken = tmp_path / "99"
+        broken.mkdir()
+        (broken / ("9" * 64 + ".json")).write_text("{nope")
+        write_stats_snapshot(tmp_path, CacheStats(memory_hits=1))
+
+        report = inspect_store(tmp_path)
+        assert report["exists"] is True
+        assert report["artifacts"] == 4
+        assert report["shards"] == 4
+        assert report["stale_artifacts"] == 2  # museum + unreadable
+        assert report["unreadable_artifacts"] == 1
+        assert report["total_bytes"] > 0
+        assert report["by_pipeline_version"]["museum"] == 1
+        assert report["snapshot"]["stats"]["memory_hits"] == 1
