@@ -241,6 +241,7 @@ def audit_schedule_bounds(
     sched: Schedule,
     comm: Optional[CommStats] = None,
     module: Optional[str] = None,
+    hop_floor: int = 1,
 ) -> DiagnosticSet:
     """Check a realized leaf schedule against its static bounds.
 
@@ -267,7 +268,19 @@ def audit_schedule_bounds(
             communication checks are skipped (nothing realized to
             compare yet).
         module: module name to anchor diagnostics to.
+        hop_floor: topology-aware scaling of the ``QL503``
+            communication-cycle floor. In a multi-core machine a
+            teleport whose nearest route crosses ``h`` interconnect
+            links costs ``h`` link-level epochs, so a caller that
+            knows every teleport must cross at least ``hop_floor``
+            links owes at least ``TELEPORT_CYCLES * hop_floor``
+            communication cycles. The single-core default is 1.
+
+    Raises:
+        ValueError: ``hop_floor`` < 1.
     """
+    if hop_floor < 1:
+        raise ValueError(f"hop_floor must be >= 1, got {hop_floor}")
     diags = DiagnosticSet()
     ops = sched.dag.n
     if ops == 0:
@@ -335,14 +348,20 @@ def audit_schedule_bounds(
                         module,
                     )
                 )
-            if comm.comm_cycles < TELEPORT_CYCLES:
+            cycle_floor = TELEPORT_CYCLES * hop_floor
+            if comm.comm_cycles < cycle_floor:
+                hops = (
+                    ""
+                    if hop_floor == 1
+                    else f" crossing {hop_floor} link(s)"
+                )
                 diags.add(
                     _bounds_diag(
                         "QL503",
                         f"communication-aware runtime adds only "
                         f"{comm.comm_cycles} cycle(s), below the "
-                        f"{TELEPORT_CYCLES}-cycle cost of the first "
-                        f"teleport epoch",
+                        f"{cycle_floor}-cycle cost of the first "
+                        f"teleport epoch{hops}",
                         module,
                     )
                 )

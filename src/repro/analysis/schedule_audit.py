@@ -35,6 +35,7 @@ def audit_schedule(
     module: Optional[str] = None,
     deep: bool = False,
     comm: Optional[CommStats] = None,
+    hop_floor: int = 1,
 ) -> DiagnosticSet:
     """Statically audit a schedule, collecting every violation.
 
@@ -48,6 +49,8 @@ def audit_schedule(
             :func:`~repro.analysis.resource_rules.audit_schedule_bounds`).
         comm: realized communication stats for the ``deep`` check,
             when available.
+        hop_floor: topology-aware ``QL503`` floor scaling for the
+            ``deep`` check (see ``audit_schedule_bounds``).
 
     Returns:
         a :class:`DiagnosticSet`; empty iff the schedule passes every
@@ -71,7 +74,11 @@ def audit_schedule(
     if deep:
         from .resource_rules import audit_schedule_bounds
 
-        diags.extend(audit_schedule_bounds(sched, comm=comm, module=module))
+        diags.extend(
+            audit_schedule_bounds(
+                sched, comm=comm, module=module, hop_floor=hop_floor
+            )
+        )
     return diags
 
 

@@ -16,6 +16,7 @@ from .machine import (
     TELEPORT_CYCLES,
     epoch_cycles,
     split_epoch,
+    split_machine,
 )
 from .memory import MemoryMap, Scratchpad
 from .numa import (
@@ -59,6 +60,7 @@ __all__ = [
     "plan_epr_distribution",
     "serialize_rounds",
     "split_epoch",
+    "split_machine",
     "qecc_requirement",
     "speedup_leverage",
     "teleportation_ops",

@@ -33,6 +33,7 @@ __all__ = [
     "capacity_label",
     "split_epoch",
     "epoch_cycles",
+    "split_machine",
 ]
 
 #: Cycles per logical gate (all gates normalised to the slowest — Sec 3.2).
@@ -142,6 +143,28 @@ def epoch_cycles(
     if local_moves:
         return LOCAL_MOVE_CYCLES
     return 0
+
+
+def split_machine(machine: MultiSIMD, cores: int) -> MultiSIMD:
+    """Divide a total Multi-SIMD(k,d) budget over ``cores`` cores.
+
+    The region budget ``k`` is split evenly — comparisons between a
+    single ``Multi-SIMD(k,d)`` chip and ``cores`` cores of
+    ``Multi-SIMD(k/cores, d)`` then hold the total region count fixed.
+    ``d`` and the local-memory capacity are per-region properties and
+    carry over unchanged.
+
+    Raises:
+        ValueError: ``cores`` < 1, or ``k`` not divisible by ``cores``.
+    """
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    if machine.k % cores:
+        raise ValueError(
+            f"cannot split k={machine.k} regions evenly over "
+            f"{cores} core(s)"
+        )
+    return machine.with_k(machine.k // cores)
 
 
 def parse_capacity(text: Optional[str]) -> Optional[float]:

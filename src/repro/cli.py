@@ -12,12 +12,16 @@ Usage (also available as ``python -m repro``)::
     python -m repro lint all --fail-on warning
     python -m repro lint all --deep --format json
     python -m repro lint program.scd --deep --fail-on QL4
+    python -m repro lint all --deep --topology mesh --cores 4
     python -m repro bench GSE,TFP --schedulers rcp,lpfs -k 2,4
     python -m repro bench all -o BENCH_sweep.json
+    python -m repro bench BF,CN --topology none,line,mesh --cores 2,4
     python -m repro perf --repeats 2 -o BENCH_perf.json
     python -m repro perf --baseline BENCH_perf.json -o ''
     python -m repro execute Grovers -k 4 --epr-rate 0.5 --trace g.trace
     python -m repro execute BF --fault-epr 0.1 --seed 7 --json
+    python -m repro execute BF --topology line --cores 4 --link-bw 2
+    python -m repro partition GSE --topology mesh --cores 4 -d 16
     python -m repro serve --port 8787 --workers 2 --rate 50
     python -m repro loadtest --spawn --storm 32 --distinct 8
     python -m repro cache-stats --format json
@@ -256,6 +260,7 @@ def _deep_lint_one(
     service: "CompileService",
     summary_cache: Optional["SummaryCache"],
     info_sink: dict,
+    graph=None,
 ) -> DiagnosticSet:
     """The ``--deep`` battery for one program.
 
@@ -322,6 +327,24 @@ def _deep_lint_one(
         "schedules_audited": len(result.schedules),
         "profiles_audited": profiles_audited,
     }
+    if graph is not None:
+        from .multicore import (
+            MulticoreConfig,
+            compile_and_schedule_multicore,
+        )
+        from .multicore.audit import audit_multicore_bounds
+
+        mc = compile_and_schedule_multicore(
+            program, machine, MulticoreConfig(graph), fth=fth
+        )
+        for name, msched in mc.leaf_schedules.items():
+            out.extend(audit_multicore_bounds(msched, module=name))
+        info_sink[source]["multicore"] = {
+            "topology": graph.name,
+            "cores": graph.cores,
+            "leaves_audited": len(mc.leaf_schedules),
+            "intercore_teleports": mc.intercore_teleports,
+        }
     return out
 
 
@@ -348,12 +371,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     summary_cache = None
     service = None
     machine = None
+    graph = None
     deep_info: dict = {}
+    if args.topology is not None and not args.deep:
+        raise CLIError("--topology requires --deep")
     if args.deep:
         from .analysis import SummaryCache
         from .service import CompileService, default_cache_dir
 
         machine = MultiSIMD(k=args.k, d=args.d)
+        if args.topology is not None:
+            graph = _multicore_graph(args)
         cache_dir = (
             None
             if args.no_cache
@@ -376,6 +404,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     service,
                     summary_cache,
                     deep_info,
+                    graph=graph,
                 )
             )
         if args.source == "all":
@@ -439,6 +468,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             fth=args.fth,
             engine=args.engine,
             epr_rate=args.epr_rate,
+            topologies=args.topology,
+            cores=args.cores,
+            link_bw=args.link_bw,
         )
     except ValueError as exc:
         raise CLIError(str(exc)) from None
@@ -700,6 +732,8 @@ def _cmd_execute(args: argparse.Namespace) -> int:
         d=args.d,
         local_memory=_parse_capacity(args.local_mem),
     )
+    if args.topology is not None:
+        return _execute_multicore(args, config, prog, machine, fth)
     result = compile_and_schedule(
         prog, machine, SchedulerConfig(args.scheduler), fth=fth
     )
@@ -772,6 +806,227 @@ def _cmd_execute(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"wrote {trace_events} trace events to {args.trace} "
               "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _multicore_graph(args: argparse.Namespace):
+    """Build the :class:`~repro.multicore.CoreGraph` named by CLI
+    flags, mapping topology spelling errors to the usage contract."""
+    from .multicore import TopologyError, parse_topology
+
+    try:
+        return parse_topology(args.topology, args.cores, args.link_bw)
+    except TopologyError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def _execute_multicore(
+    args: argparse.Namespace,
+    config,
+    prog,
+    machine: MultiSIMD,
+    fth: int,
+) -> int:
+    """The ``execute --topology`` path: multi-core compile + engine.
+
+    ``-k``/``-d`` describe each *core* (the machine has ``--cores`` of
+    them); ``--epr-rate`` throttles the per-core intra pools and
+    ``--link-epr-rate`` the interconnect links (defaulting to the
+    intra rate, the sweep runner's one-knob semantic).
+    """
+    from .engine import (
+        EngineError,
+        PreflightError,
+        validate_trace_payload,
+        write_chrome_trace,
+    )
+    from .multicore import (
+        MulticoreConfig,
+        PartitionError,
+        compile_and_schedule_multicore,
+        execute_multicore_result,
+    )
+
+    graph = _multicore_graph(args)
+    link_rate = (
+        _parse_rate(args.link_epr_rate)
+        if args.link_epr_rate is not None
+        else config.epr_rate
+    )
+    mc_config = MulticoreConfig(graph, link_epr_rate=link_rate)
+    try:
+        result = compile_and_schedule_multicore(
+            prog,
+            machine,
+            mc_config,
+            SchedulerConfig(args.scheduler),
+            fth=fth,
+        )
+    except PartitionError as exc:
+        raise CLIError(str(exc)) from None
+    try:
+        execution = execute_multicore_result(
+            result, config, preflight=not args.no_preflight
+        )
+    except PreflightError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for code, message, _t in exc.violations[:10]:
+            print(f"  {code}: {message}", file=sys.stderr)
+        if len(exc.violations) > 10:
+            print(
+                f"  ... {len(exc.violations) - 10} more",
+                file=sys.stderr,
+            )
+        return EXIT_SCHEDULE
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    trace_events = None
+    if args.trace:
+        payload = execution.to_trace_payload()
+        problems = validate_trace_payload(payload)
+        for problem in problems:  # defensive; the engine emits valid docs
+            print(
+                f"warning: invalid trace payload: {problem}",
+                file=sys.stderr,
+            )
+        trace_events = write_chrome_trace(args.trace, payload)
+    if args.json:
+        doc = execution.to_dict()
+        doc["scheduler"] = args.scheduler
+        doc["machine"] = {
+            "k": machine.k,
+            "d": machine.d,
+            "local_memory": machine.local_memory,
+            "cores": graph.cores,
+            "topology": graph.name,
+            "link_bw": args.link_bw,
+        }
+        doc["metrics"] = {**result.metrics(), **execution.metrics()}
+        print(json.dumps(doc, indent=2))
+        return 0
+    stalls = execution.stalls
+    print(f"machine:            {graph.cores} x {machine} "
+          f"[{graph.name}, link bw {args.link_bw:g}]")
+    print(f"scheduler:          {args.scheduler}")
+    print(f"entry module:       {execution.entry} "
+          f"({len(execution.leaves)} leaf, "
+          f"{len(execution.coarse)} coarse)")
+    print(f"analytic makespan:  {execution.analytic_runtime:,} cycles")
+    print(f"realized makespan:  {execution.realized_runtime:,} cycles"
+          + ("  (= analytic)" if execution.ideal_match else ""))
+    print(f"stall cycles:       {stalls.total:,} "
+          f"(intra-core {stalls.intra:,}, "
+          f"inter-core {stalls.intercore:,})")
+    print(f"inter-core comm:    {result.intercore_teleports:,} "
+          f"teleport(s), {result.intercore_pairs:,} EPR pair(s), "
+          f"cut weight {result.cut_weight:,}, "
+          f"max {result.max_hops} hop(s)")
+    print(f"decomposition:      "
+          + ("ok (realized == analytic + stalls per leaf)"
+             if execution.decomposition_ok else "VIOLATED"))
+    print(f"utilization:        {100 * execution.utilization:.1f}%")
+    log = execution.fault_log
+    if log.total_events:
+        print(f"faults injected:    {log.total_events:,} "
+              f"(epr regen {log.epr_regenerations:,}, region down "
+              f"{log.region_down_events:,}, gate errors "
+              f"{log.gate_errors:,})")
+    if args.no_preflight:
+        print("preflight:          skipped (--no-preflight)")
+    if args.trace:
+        print(f"wrote {trace_events} trace events to {args.trace} "
+              "(one lane per core; load in chrome://tracing or "
+              "ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .multicore import (
+        MulticoreConfig,
+        PartitionError,
+        compile_and_schedule_multicore,
+    )
+
+    prog = _load_program(args.source)
+    fth = args.fth
+    if fth is None:
+        fth = (
+            BENCHMARKS[args.source].fth
+            if args.source in BENCHMARKS
+            else 4096
+        )
+    graph = _multicore_graph(args)
+    machine = MultiSIMD(k=args.k, d=args.d)
+    config = MulticoreConfig(
+        graph, seed=args.seed, refine=not args.no_refine
+    )
+    try:
+        result = compile_and_schedule_multicore(
+            prog,
+            machine,
+            config,
+            SchedulerConfig(args.scheduler),
+            fth=fth,
+        )
+    except PartitionError as exc:
+        raise CLIError(str(exc)) from None
+    if args.format == "json":
+        doc = {
+            "source": args.source,
+            "topology": graph.to_dict(),
+            "machine": {"k": machine.k, "d": machine.d},
+            "seed": args.seed,
+            "refine": not args.no_refine,
+            "partitions": {
+                name: report.to_dict()
+                for name, report in sorted(result.partitions.items())
+            },
+            "leaves": {
+                name: {
+                    "makespan": msched.makespan,
+                    "intra_runtime": msched.intra_runtime,
+                    "intercore_cycles": msched.intercore_cycles,
+                    "intercore_teleports": msched.intercore_teleports,
+                    "max_hops": msched.max_hops,
+                }
+                for name, msched in sorted(result.leaf_schedules.items())
+            },
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"machine:  {graph.cores} x {machine} "
+          f"[{graph.name}, link bw {args.link_bw:g}]")
+    cap = machine.k if machine.d is None else machine.k * machine.d
+    print(f"capacity: "
+          + ("unbounded" if machine.d is None
+             else f"{cap} qubit(s) per core")
+          + f", seed {args.seed}"
+          + ("" if not args.no_refine else ", refinement off"))
+    header = (
+        f"{'leaf':<24} {'qubits':>6} {'cut':>5} {'total':>6} "
+        f"{'cut %':>6} {'balance':>7} {'moves':>5} {'occupancy'}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, report in sorted(result.partitions.items()):
+        occupancy = "/".join(str(n) for n in report.occupancy)
+        print(
+            f"{name:<24} {report.qubits:>6} {report.cut_weight:>5} "
+            f"{report.total_weight:>6} "
+            f"{100 * report.cut_fraction:>5.1f}% "
+            f"{report.balance:>7.2f} {report.moves:>5} {occupancy}"
+        )
+        msched = result.leaf_schedules.get(name)
+        if msched is not None and msched.intercore_teleports:
+            print(
+                f"{'':<24} -> makespan {msched.makespan:,} = intra "
+                f"{msched.intra_runtime:,} + inter-core "
+                f"{msched.intercore_cycles:,} "
+                f"({msched.intercore_teleports} teleport(s), max "
+                f"{msched.max_hops} hop(s))"
+            )
     return 0
 
 
@@ -1079,6 +1334,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the --deep caches (fresh compute)",
     )
+    p_l.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help=(
+            "with --deep: additionally audit the multi-core pipeline "
+            "on this interconnect (line, ring, mesh, all-to-all) — "
+            "per-core schedule bounds plus the topology-aware QL503 "
+            "inter-core communication floor"
+        ),
+    )
+    p_l.add_argument(
+        "--cores", type=int, default=2,
+        help="core count for --topology (default 2)",
+    )
+    p_l.add_argument(
+        "--link-bw", type=float, default=1.0, dest="link_bw",
+        metavar="B",
+        help="EPR pairs per teleport round per link (default 1)",
+    )
     p_l.set_defaults(fn=_cmd_lint)
 
     p_b = sub.add_parser(
@@ -1122,7 +1395,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", action="store_true",
         help=(
             "also execute each job on the discrete-event engine, "
-            "adding engine_* columns (schema repro.bench-sweep/2)"
+            "adding engine_* columns (schema repro.bench-sweep/3)"
         ),
     )
     p_b.add_argument(
@@ -1130,6 +1403,28 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "engine EPR generation rate in pairs/cycle, or 'inf' "
             "(default inf; only with --engine)"
+        ),
+    )
+    p_b.add_argument(
+        "--topology", default="none",
+        help=(
+            "comma-separated interconnect topologies for a multi-core "
+            "axis: none, line, ring, mesh, all-to-all ('none' mixes "
+            "in the single-core point; default none)"
+        ),
+    )
+    p_b.add_argument(
+        "--cores", default="1",
+        help=(
+            "comma-separated core counts for the multi-core axis "
+            "(applied to every non-'none' topology; default 1)"
+        ),
+    )
+    p_b.add_argument(
+        "--link-bw", default="1", dest="link_bw", metavar="B",
+        help=(
+            "EPR pairs per teleport round per interconnect link "
+            "(default 1)"
         ),
     )
     p_b.add_argument(
@@ -1273,6 +1568,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection RNG seed (default 0)",
     )
     p_x.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help=(
+            "execute on a multi-core machine: interconnect topology "
+            "(line, ring, mesh, all-to-all); -k/-d then describe "
+            "each core"
+        ),
+    )
+    p_x.add_argument(
+        "--cores", type=int, default=2,
+        help="core count (with --topology; default 2)",
+    )
+    p_x.add_argument(
+        "--link-bw", type=float, default=1.0, dest="link_bw",
+        metavar="B",
+        help=(
+            "EPR pairs per teleport round per interconnect link "
+            "(default 1)"
+        ),
+    )
+    p_x.add_argument(
+        "--link-epr-rate", default=None, metavar="R",
+        dest="link_epr_rate",
+        help=(
+            "interconnect EPR generation rate per link in "
+            "pairs/cycle, or 'inf' (default: the --epr-rate value)"
+        ),
+    )
+    p_x.add_argument(
         "--no-preflight", action="store_true",
         help=(
             "skip the replay preflight (by default QL3xx violations "
@@ -1290,6 +1613,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     p_x.set_defaults(fn=_cmd_execute)
+
+    p_pt = sub.add_parser(
+        "partition",
+        help="partition a program's qubits over a multi-core machine",
+    )
+    p_pt.add_argument("source", help="benchmark key or QASM file")
+    p_pt.add_argument(
+        "-k", type=int, default=4, help="SIMD regions per core"
+    )
+    p_pt.add_argument(
+        "-d", type=int, default=None,
+        help="qubits per region (default unbounded)",
+    )
+    p_pt.add_argument(
+        "--scheduler", choices=("sequential", "rcp", "lpfs"),
+        default="lpfs",
+    )
+    p_pt.add_argument(
+        "--topology", default="all-to-all", metavar="NAME",
+        help=(
+            "interconnect topology: line, ring, mesh, all-to-all "
+            "(default all-to-all)"
+        ),
+    )
+    p_pt.add_argument(
+        "--cores", type=int, default=2,
+        help="core count (default 2)",
+    )
+    p_pt.add_argument(
+        "--link-bw", type=float, default=1.0, dest="link_bw",
+        metavar="B",
+        help=(
+            "EPR pairs per teleport round per interconnect link "
+            "(default 1)"
+        ),
+    )
+    p_pt.add_argument(
+        "--fth", type=int, default=None,
+        help="flattening threshold in ops (default: per-benchmark)",
+    )
+    p_pt.add_argument(
+        "--seed", type=int, default=0,
+        help="partitioner determinism seed (default 0)",
+    )
+    p_pt.add_argument(
+        "--no-refine", action="store_true",
+        help="skip the local-search refinement pass (greedy only)",
+    )
+    p_pt.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_pt.set_defaults(fn=_cmd_partition)
 
     p_s = sub.add_parser(
         "serve",

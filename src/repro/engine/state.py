@@ -29,7 +29,7 @@ from ..arch.machine import MultiSIMD
 from ..core.qubits import Qubit
 from ..sched.types import Move
 
-__all__ = ["EPRPool", "MachineState"]
+__all__ = ["EPRPool", "InterconnectState", "MachineState"]
 
 
 def _loc_label(loc: tuple) -> str:
@@ -92,9 +92,89 @@ class EPRPool:
             self.consumed += 1
         self.wasted += wasted_attempts
 
+    def consume_pairs(
+        self, count: int, channel: Tuple[str, str]
+    ) -> None:
+        """Account ``count`` pairs on one labelled channel (the
+        inter-core interconnect path, where consumption arrives as a
+        per-link load rather than a ``Move`` list)."""
+        if count < 0:
+            raise ValueError(f"cannot consume {count} pairs")
+        if count:
+            self.channel_pairs[channel] = (
+                self.channel_pairs.get(channel, 0) + count
+            )
+            self.consumed += count
+
     @property
     def total_pairs(self) -> int:
         return self.consumed
+
+
+class InterconnectState:
+    """Per-link EPR pools of a multi-core interconnect.
+
+    Each link of the core graph owns one :class:`EPRPool` generating
+    pairs at ``epr_rate``; an inter-core epoch that needs more pairs
+    than a link has produced stalls until generation catches up —
+    the same rate arithmetic the intra-core pool uses, one pool per
+    link.
+
+    Attributes:
+        pools: ``(a, b)`` normalized link -> its pool.
+    """
+
+    def __init__(
+        self,
+        links: Iterable[Tuple[int, int]],
+        epr_rate: float = math.inf,
+        prestage: int = 0,
+    ) -> None:
+        self.pools: Dict[Tuple[int, int], EPRPool] = {
+            (min(a, b), max(a, b)): EPRPool(
+                rate=epr_rate, prestage=prestage
+            )
+            for a, b in links
+        }
+
+    def _pool(self, link: Tuple[int, int]) -> EPRPool:
+        key = (min(link), max(link))
+        pool = self.pools.get(key)
+        if pool is None:
+            raise KeyError(f"no interconnect link {key}")
+        return pool
+
+    def stall_for(
+        self, loads: Dict[Tuple[int, int], int], clock: int
+    ) -> int:
+        """Cycles to wait at ``clock`` before every link can serve its
+        load (the epoch waits for its slowest link)."""
+        return max(
+            (
+                self._pool(link).stall_for(load, clock)
+                for link, load in loads.items()
+            ),
+            default=0,
+        )
+
+    def consume(self, loads: Dict[Tuple[int, int], int]) -> None:
+        for link, load in loads.items():
+            a, b = min(link), max(link)
+            self._pool(link).consume_pairs(
+                load, (f"core{a}", f"core{b}")
+            )
+
+    @property
+    def total_pairs(self) -> int:
+        return sum(pool.consumed for pool in self.pools.values())
+
+    def link_pairs_labels(self) -> Dict[str, int]:
+        """JSON-safe ``"coreA<->coreB"`` pair-consumption map."""
+        return {
+            f"core{a}<->core{b}": pool.consumed
+            for (a, b), pool in sorted(self.pools.items())
+            if pool.consumed
+        }
 
 
 class MachineState:

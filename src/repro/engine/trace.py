@@ -87,11 +87,15 @@ class EventTrace:
 
     Attributes:
         scope: the module (or program) the events belong to.
+        core: owning core index for multi-core executions (``None``
+            for single-core traces — the default, and the wire format
+            then omits the field entirely).
         events: the events, in emission order.
     """
 
-    def __init__(self, scope: str = "") -> None:
+    def __init__(self, scope: str = "", core: Optional[int] = None) -> None:
         self.scope = scope
+        self.core = core
         self.events: List[TraceEvent] = []
 
     def emit(
@@ -158,6 +162,8 @@ def build_payload(
         for e in trace.events:
             record = e.to_dict()
             record["pid"] = scope or "program"
+            if trace.core is not None:
+                record["core"] = trace.core
             events.append(record)
     utilization = {}
     for scope, trace in sections:
@@ -204,9 +210,19 @@ def chrome_trace_events(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     the result loads directly in ``chrome://tracing`` and Perfetto.
     Zero-duration events are emitted as instant (``"ph": "i"``)
     markers.
+
+    Multi-core events (records carrying a ``core`` field) render one
+    lane per core: the thread id is the core id (offset into a
+    reserved band so it can never collide with the track lanes), named
+    ``core<N>``. Single-core payloads carry no ``core`` fields and are
+    exported exactly as before.
     """
+    # Track lanes count up from 1; core lanes live at 1000 + core so
+    # the two id spaces cannot collide within a process.
+    core_lane_base = 1000
     pids: Dict[str, int] = {}
     tids: Dict[Tuple[str, str], int] = {}
+    core_lanes: set = set()
     out: List[Dict[str, Any]] = []
     for e in payload.get("events", []):
         scope = e.get("pid", "program")
@@ -221,23 +237,39 @@ def chrome_trace_events(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
                     "args": {"name": scope},
                 }
             )
-        key = (scope, e["track"])
-        if key not in tids:
-            tids[key] = len(tids) + 1
-            out.append(
-                {
-                    "ph": "M",
-                    "name": "thread_name",
-                    "pid": pids[scope],
-                    "tid": tids[key],
-                    "args": {"name": e["track"]},
-                }
-            )
+        core = e.get("core")
+        if core is not None:
+            tid = core_lane_base + core
+            if (scope, core) not in core_lanes:
+                core_lanes.add((scope, core))
+                out.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": pids[scope],
+                        "tid": tid,
+                        "args": {"name": f"core{core}"},
+                    }
+                )
+        else:
+            key = (scope, e["track"])
+            if key not in tids:
+                tids[key] = len(tids) + 1
+                out.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": pids[scope],
+                        "tid": tids[key],
+                        "args": {"name": e["track"]},
+                    }
+                )
+            tid = tids[key]
         record = {
             "name": e["name"],
             "cat": e["cat"],
             "pid": pids[scope],
-            "tid": tids[key],
+            "tid": tid,
             "ts": e["start"],
             "args": e.get("args", {}),
         }
@@ -327,6 +359,13 @@ def validate_trace_payload(payload: Any) -> List[str]:
         if e.get("cat") not in _CATEGORIES:
             problems.append(
                 f"{where}.cat: unknown category {e.get('cat')!r}"
+            )
+        if "core" in e and not (
+            isinstance(e["core"], int) and e["core"] >= 0
+        ):
+            problems.append(
+                f"{where}.core: expected non-negative int, got "
+                f"{e['core']!r}"
             )
         if isinstance(e.get("start"), int) and isinstance(
             e.get("dur"), int

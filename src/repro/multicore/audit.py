@@ -1,0 +1,71 @@
+"""Deep bounds auditing for multi-core schedules (``QL50x``).
+
+Extends the single-core schedule sanitizer
+(:func:`repro.analysis.resource_rules.audit_schedule_bounds`) across
+the interconnect. Two layers:
+
+* every per-core sub-schedule is audited against its own static
+  bounds — width, serialization, and communication, exactly the
+  single-core battery (each core is a complete Multi-SIMD machine);
+* the whole leaf must pay the *topology-aware* communication floor:
+  a teleport whose nearest route crosses ``h`` links costs ``h``
+  link-level epochs, so a leaf whose partition cuts any interaction
+  edge owes at least ``TELEPORT_CYCLES * min_cut_hops`` attributed
+  inter-core cycles (``QL503``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.diagnostics import Diagnostic, DiagnosticSet, Severity
+from ..analysis.resource_rules import audit_schedule_bounds
+from ..arch.machine import TELEPORT_CYCLES
+from .makespan import MulticoreSchedule
+
+__all__ = ["audit_multicore_bounds"]
+
+
+def audit_multicore_bounds(
+    msched: MulticoreSchedule,
+    module: Optional[str] = None,
+) -> DiagnosticSet:
+    """Sanitize one leaf's multi-core schedule against its bounds.
+
+    Per-core findings are anchored to ``<module>@core<N>`` so an
+    aggregated report stays attributable; the inter-core floor check
+    is anchored to the leaf itself.
+
+    Returns:
+        a :class:`DiagnosticSet`; empty iff every per-core schedule
+        respects the single-core bounds and the attributed inter-core
+        communication meets the topology floor.
+    """
+    diags = DiagnosticSet()
+    for core in sorted(msched.core_schedules):
+        sched = msched.core_schedules[core]
+        comm = msched.core_comm.get(core)
+        anchor = f"{module}@core{core}" if module else f"core{core}"
+        diags.extend(
+            audit_schedule_bounds(sched, comm=comm, module=anchor)
+        )
+    if msched.intercore_teleports:
+        floor = TELEPORT_CYCLES * msched.min_cut_hops
+        if msched.intercore_cycles < floor:
+            diags.add(
+                Diagnostic(
+                    code="QL503",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"inter-core schedule bills "
+                        f"{msched.intercore_cycles} cycle(s) for "
+                        f"{msched.intercore_teleports} cut "
+                        f"teleport(s) whose nearest route crosses "
+                        f"{msched.min_cut_hops} link(s): below the "
+                        f"{floor}-cycle topology floor"
+                    ),
+                    module=module,
+                    rule="multicore-bounds",
+                )
+            )
+    return diags

@@ -1,0 +1,308 @@
+"""Qubit-to-core partitioning for multi-core Multi-SIMD machines.
+
+Which qubits live on which core decides how much inter-core
+teleportation a leaf schedule pays. The partitioner works on the
+*interaction graph* of a statement list — nodes are qubits, an edge's
+weight counts the multi-qubit operations touching both endpoints — and
+assigns qubits to cores so that
+
+* every qubit is assigned to exactly one core,
+* no core exceeds its capacity ``k * d`` (unbounded when ``d`` is
+  unbounded),
+* the **weighted cut** (total edge weight crossing cores) is greedily
+  minimized.
+
+The objective is deliberately topology-independent: at a fixed core
+count the assignment is identical for a line, a mesh, or an all-to-all
+interconnect, so makespans are pointwise comparable across topologies
+(hop distances only ever grow from the all-to-all baseline; see the
+monotonicity test battery).
+
+Two phases, both seeded and deterministic:
+
+1. **greedy grower** — qubits in descending total interaction weight
+   (ties: first-touch order) each join the core with the highest
+   affinity (attraction to already-placed neighbors), ties broken by
+   load then core index;
+2. **local-search refinement** (optional) — bounded best-improvement
+   sweeps over the qubits in a seed-shuffled order, relocating a qubit
+   whenever that strictly reduces the weighted cut without violating
+   capacity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.operation import Operation, Statement
+from ..core.qubits import Qubit
+from ..instrument import span
+from .topology import CoreGraph
+
+__all__ = [
+    "PartitionError",
+    "PartitionReport",
+    "interaction_graph",
+    "partition_qubits",
+]
+
+#: Refinement sweeps over all qubits before the local search gives up.
+_MAX_REFINE_SWEEPS = 4
+
+
+class PartitionError(ValueError):
+    """The statement list cannot be partitioned onto the cores."""
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """Outcome of one qubit-to-core partition.
+
+    Attributes:
+        cores: core count partitioned over.
+        capacity: per-core qubit capacity (``inf`` = unbounded).
+        assignment: qubit -> core index, every touched qubit present.
+        cut_edges: interacting qubit pairs split across cores.
+        cut_weight: total interaction weight crossing cores.
+        total_weight: total interaction weight (cut + internal).
+        occupancy: qubits per core, indexed by core.
+        refined: whether the local-search pass ran.
+        moves: relocations the refinement pass accepted.
+        seed: the seed the partition was computed under.
+    """
+
+    cores: int
+    capacity: float
+    assignment: Dict[Qubit, int]
+    cut_edges: int
+    cut_weight: int
+    total_weight: int
+    occupancy: Tuple[int, ...]
+    refined: bool
+    moves: int
+    seed: int
+
+    @property
+    def qubits(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def balance(self) -> float:
+        """Max-to-mean occupancy ratio (1.0 = perfectly balanced)."""
+        if not self.assignment or not any(self.occupancy):
+            return 1.0
+        mean = len(self.assignment) / self.cores
+        return max(self.occupancy) / mean
+
+    @property
+    def cut_fraction(self) -> float:
+        """Cut weight over total weight (0.0 when nothing interacts)."""
+        if self.total_weight == 0:
+            return 0.0
+        return self.cut_weight / self.total_weight
+
+    def core_of(self, qubit: Qubit) -> int:
+        return self.assignment[qubit]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cores": self.cores,
+            "capacity": (
+                "inf" if math.isinf(self.capacity) else self.capacity
+            ),
+            "qubits": self.qubits,
+            "cut_edges": self.cut_edges,
+            "cut_weight": self.cut_weight,
+            "total_weight": self.total_weight,
+            "cut_fraction": round(self.cut_fraction, 6),
+            "balance": round(self.balance, 6),
+            "occupancy": list(self.occupancy),
+            "refined": self.refined,
+            "moves": self.moves,
+            "seed": self.seed,
+            "assignment": {
+                repr(q): core
+                for q, core in sorted(
+                    self.assignment.items(), key=lambda item: item[0]
+                )
+            },
+        }
+
+
+def interaction_graph(
+    statements: Sequence[Statement],
+) -> Tuple[List[Qubit], Dict[Tuple[Qubit, Qubit], int]]:
+    """The interaction graph of a statement list.
+
+    Returns ``(qubits, weights)``: qubits in first-touch order, and a
+    weight per normalized qubit pair counting the statements touching
+    both (call sites count once per iteration — a loop body re-couples
+    its operands every trip).
+    """
+    order: List[Qubit] = []
+    seen = set()
+    weights: Dict[Tuple[Qubit, Qubit], int] = {}
+    for stmt in statements:
+        if isinstance(stmt, Operation):
+            operands: Tuple[Qubit, ...] = stmt.qubits
+            repeat = 1
+        else:
+            operands = stmt.args
+            repeat = stmt.iterations
+        for q in operands:
+            if q not in seen:
+                seen.add(q)
+                order.append(q)
+        for i, qa in enumerate(operands):
+            for qb in operands[i + 1:]:
+                key = (qa, qb) if qa <= qb else (qb, qa)
+                weights[key] = weights.get(key, 0) + repeat
+    return order, weights
+
+
+def partition_qubits(
+    statements: Sequence[Statement],
+    graph: CoreGraph,
+    capacity: Optional[float] = None,
+    seed: int = 0,
+    refine: bool = True,
+) -> PartitionReport:
+    """Partition the qubits of ``statements`` over ``graph``'s cores.
+
+    Args:
+        statements: the leaf module body being scheduled.
+        graph: the core interconnect (only its core count matters —
+            the objective is topology-independent by design).
+        capacity: per-core qubit capacity, normally the per-core
+            machine's ``k * d`` (``None`` = unbounded).
+        seed: determinism seed; the same seed always yields the same
+            partition.
+        refine: run the local-search refinement pass.
+
+    Raises:
+        PartitionError: more qubits than total capacity.
+    """
+    cap = math.inf if capacity is None else float(capacity)
+    if cap <= 0:
+        raise PartitionError(f"capacity must be positive, got {capacity}")
+    with span("multicore:partition"):
+        return _partition(statements, graph, cap, seed, refine)
+
+
+def _partition(
+    statements: Sequence[Statement],
+    graph: CoreGraph,
+    cap: float,
+    seed: int,
+    refine: bool,
+) -> PartitionReport:
+    order, weights = interaction_graph(statements)
+    cores = graph.cores
+    if len(order) > cap * cores:
+        raise PartitionError(
+            f"{len(order)} qubit(s) exceed total capacity "
+            f"{cap:g} x {cores} core(s)"
+        )
+    total_weight = sum(weights.values())
+
+    # Adjacency with per-qubit total interaction weight.
+    adjacency: Dict[Qubit, Dict[Qubit, int]] = {q: {} for q in order}
+    strength: Dict[Qubit, int] = {q: 0 for q in order}
+    for (qa, qb), w in weights.items():
+        adjacency[qa][qb] = adjacency[qa].get(qb, 0) + w
+        adjacency[qb][qa] = adjacency[qb].get(qa, 0) + w
+        strength[qa] += w
+        strength[qb] += w
+
+    serial = {q: i for i, q in enumerate(order)}
+    assignment: Dict[Qubit, int] = {}
+    load = [0] * cores
+
+    if cores == 1:
+        for q in order:
+            assignment[q] = 0
+        load[0] = len(order)
+    else:
+        # Greedy grower: heaviest qubits first, each to the core it is
+        # most attracted to.
+        ranked = sorted(order, key=lambda q: (-strength[q], serial[q]))
+        for q in ranked:
+            affinity = [0] * cores
+            for nb, w in adjacency[q].items():
+                home = assignment.get(nb)
+                if home is not None:
+                    affinity[home] += w
+            best = min(
+                (c for c in range(cores) if load[c] < cap),
+                key=lambda c: (-affinity[c], load[c], c),
+            )
+            assignment[q] = best
+            load[best] += 1
+
+    moves = 0
+    if refine and cores > 1 and order:
+        rng = random.Random(seed)
+        visit = list(order)
+        for _ in range(_MAX_REFINE_SWEEPS):
+            rng.shuffle(visit)
+            improved = False
+            for q in visit:
+                here = assignment[q]
+                gain_here = 0
+                gain = [0] * cores
+                for nb, w in adjacency[q].items():
+                    home = assignment[nb]
+                    if home == here:
+                        gain_here += w
+                    gain[home] += w
+                best, best_gain = here, gain_here
+                for c in range(cores):
+                    if c == here or load[c] >= cap:
+                        continue
+                    if gain[c] > best_gain or (
+                        gain[c] == best_gain
+                        and best != here
+                        and c < best
+                    ):
+                        best, best_gain = c, gain[c]
+                if best != here and best_gain > gain_here:
+                    assignment[q] = best
+                    load[here] -= 1
+                    load[best] += 1
+                    moves += 1
+                    improved = True
+            if not improved:
+                break
+
+    cut_edges = 0
+    cut_weight = 0
+    for (qa, qb), w in weights.items():
+        if assignment[qa] != assignment[qb]:
+            cut_edges += 1
+            cut_weight += w
+    return PartitionReport(
+        cores=cores,
+        capacity=cap,
+        assignment=assignment,
+        cut_edges=cut_edges,
+        cut_weight=cut_weight,
+        total_weight=total_weight,
+        occupancy=tuple(load),
+        refined=bool(refine and cores > 1),
+        moves=moves,
+        seed=seed,
+    )
+
+
+def assignment_signature(
+    assignment: Dict[Qubit, int],
+) -> Tuple[Tuple[str, int, int], ...]:
+    """A hashable, order-stable form of an assignment (test helper and
+    determinism probe)."""
+    return tuple(
+        (q.register, q.index, core)
+        for q, core in sorted(assignment.items())
+    )

@@ -69,6 +69,9 @@ _COMMON_FIELDS = {
     "optimize",
     "strict",
     "delay_s",
+    "topology",
+    "cores",
+    "link_bw",
 }
 _FIELDS_BY_KIND = {
     "compile": _COMMON_FIELDS,
@@ -106,6 +109,12 @@ class ApiRequest:
     strict: bool = False
     epr_rate: Optional[float] = None
     seed: int = 0
+    #: Multi-core axis: a topology name routes the request through
+    #: :mod:`repro.multicore` (``cores`` cores of Multi-SIMD(k,d) each,
+    #: links carrying ``link_bw`` pairs per round).
+    topology: Optional[str] = None
+    cores: int = 1
+    link_bw: float = 1.0
     #: Testing hook: the worker sleeps this long before computing, so
     #: tests can hold a job in flight deterministically. Honored only
     #: when the server was started with the delay hook enabled.
@@ -126,6 +135,9 @@ class ApiRequest:
             "strict": self.strict,
             "epr_rate": self.epr_rate,
             "seed": self.seed,
+            "topology": self.topology,
+            "cores": self.cores,
+            "link_bw": self.link_bw,
             "delay_s": self.delay_s,
         }
 
@@ -145,6 +157,9 @@ class ApiRequest:
             strict=bool(data.get("strict", False)),
             epr_rate=data.get("epr_rate"),
             seed=data.get("seed", 0),
+            topology=data.get("topology"),
+            cores=data.get("cores", 1),
+            link_bw=data.get("link_bw", 1.0),
             delay_s=data.get("delay_s", 0.0),
         )
 
@@ -239,6 +254,24 @@ def parse_api_request(kind: str, body: Any) -> ApiRequest:
     )
     seed = body.get("seed", 0)
     _expect(isinstance(seed, int), "'seed' must be an integer")
+    topology = body.get("topology")
+    if topology is not None:
+        from ..multicore.topology import TOPOLOGIES
+
+        _expect(
+            isinstance(topology, str) and topology in TOPOLOGIES,
+            f"'topology' must be one of {list(TOPOLOGIES)} or null",
+        )
+    cores = body.get("cores", 1)
+    _expect(
+        isinstance(cores, int) and cores >= 1,
+        "'cores' must be an integer >= 1",
+    )
+    link_bw = body.get("link_bw", 1.0)
+    _expect(
+        isinstance(link_bw, (int, float)) and link_bw > 0,
+        "'link_bw' must be a positive number",
+    )
     delay_s = body.get("delay_s", 0.0)
     _expect(
         isinstance(delay_s, (int, float))
@@ -259,6 +292,9 @@ def parse_api_request(kind: str, body: Any) -> ApiRequest:
         strict=bool(body.get("strict", False)),
         epr_rate=float(epr_rate) if epr_rate is not None else None,
         seed=seed,
+        topology=topology,
+        cores=cores,
+        link_bw=float(link_bw),
         delay_s=float(delay_s),
     )
 
@@ -295,6 +331,12 @@ def request_key(
     in-flight job. ``execute`` mixes the engine configuration in;
     ``lint`` keys on the compile fingerprint too (same request shape,
     different pipeline) but under its own kind.
+
+    Multi-core requests mix the topology axis into the *returned*
+    fingerprint itself — the content-addressed store only holds
+    single-core artifacts, so the derived key must never collide with
+    (and never tier-0 peek into) the plain compile fingerprint, while
+    identical multi-core requests still coalesce with each other.
     """
     fingerprint = fingerprint_request(
         program,
@@ -304,6 +346,15 @@ def request_key(
         optimize=request.optimize,
         strict=request.strict,
     )
+    if request.topology is not None:
+        fingerprint = _digest(
+            {
+                "multicore": fingerprint,
+                "topology": request.topology,
+                "cores": request.cores,
+                "link_bw": request.link_bw,
+            }
+        )
     if request.kind in ("compile", "schedule"):
         return f"compile:{fingerprint}", fingerprint
     if request.kind == "execute":
@@ -445,6 +496,8 @@ def run_api_request(
         with record_spans() as recorder:
             if request.kind == "lint":
                 outcome = _run_lint(request)
+            elif request.topology is not None:
+                outcome = _run_multicore(request)
             else:
                 program = build_program(request)
                 entry = service.lookup(
@@ -465,6 +518,95 @@ def run_api_request(
     except Exception as exc:  # noqa: BLE001 - classified and reported
         outcome = _error_outcome(request, exc)
     outcome["elapsed_s"] = time.perf_counter() - started
+    return outcome
+
+
+def _run_multicore(request: ApiRequest) -> Dict[str, Any]:
+    """Compile (and for ``execute`` kind, run) a multi-core request.
+
+    Multi-core results carry live per-core schedules the artifact
+    store cannot serialize, so this path bypasses the compile service
+    and always computes fresh (``cached`` stays ``None``); coalescing
+    still deduplicates concurrent identical requests upstream via the
+    mixed fingerprint from :func:`request_key`.
+    """
+    import math
+
+    from ..multicore import (
+        MulticoreConfig,
+        compile_and_schedule_multicore,
+        execute_multicore_result,
+        parse_topology,
+    )
+
+    program = build_program(request)
+    _, fingerprint = request_key(request, program)
+    diagnostics = 0
+    if request.strict:
+        # The input-stage analysis gate of the single-core strict
+        # pipeline; schedule-level audits stay single-core for now.
+        from ..analysis import AnalysisError as _AnalysisError
+
+        diags = analyze_program(program)
+        diagnostics = len(diags)
+        if diags.has_errors:
+            raise _AnalysisError(diags, stage="input")
+    graph = parse_topology(request.topology, request.cores, request.link_bw)
+    rate = (
+        request.epr_rate if request.epr_rate is not None else math.inf
+    )
+    result = compile_and_schedule_multicore(
+        program,
+        machine_for(request),
+        MulticoreConfig(graph=graph, link_epr_rate=rate),
+        request.scheduler_config(),
+        fth=request.resolved_fth,
+        optimize=request.optimize,
+    )
+    metrics = {name: getattr(result, name) for name in _METRIC_FIELDS}
+    metrics["diagnostics"] = diagnostics
+    metrics.update(result.metrics())
+    outcome = {
+        "status": "ok",
+        "kind": request.kind,
+        "fingerprint": fingerprint,
+        "cached": None,
+        "compute_s": 0.0,
+        "spans": {},
+        "metrics": metrics,
+    }
+    if request.kind == "schedule":
+        outcome["modules"] = {
+            name: {
+                "is_leaf": profile.is_leaf,
+                **(
+                    {
+                        "best_width": best_dim(
+                            profile.length, result.core_machine.k
+                        )[0],
+                        "length": best_dim(
+                            profile.length, result.core_machine.k
+                        )[1],
+                        "runtime": best_dim(
+                            profile.runtime, result.core_machine.k
+                        )[1],
+                    }
+                    if profile.length
+                    else {}
+                ),
+            }
+            for name, profile in sorted(result.profiles.items())
+        }
+    if request.kind == "execute":
+        from ..engine import EngineConfig
+
+        execution = execute_multicore_result(
+            result,
+            config=EngineConfig(
+                epr_rate=rate, seed=request.seed, collect_trace=False
+            ),
+        )
+        metrics.update(execution.metrics())
     return outcome
 
 

@@ -56,11 +56,17 @@ __all__ = [
 
 #: Version tag of the ``BENCH_sweep.json`` document layout. ``/2``
 #: added the opt-in engine columns (``engine_*`` metrics, ``engine`` /
-#: ``epr_rate`` job fields); ``/1`` documents remain valid.
-SWEEP_SCHEMA = "repro.bench-sweep/2"
+#: ``epr_rate`` job fields); ``/3`` added the multi-core axis
+#: (``topology`` / ``cores`` / ``link_bw`` job fields and the
+#: ``multicore_*`` metric columns). Older documents remain valid.
+SWEEP_SCHEMA = "repro.bench-sweep/3"
 
 #: Schema tags :func:`validate_sweep_payload` accepts.
-ACCEPTED_SCHEMAS = ("repro.bench-sweep/1", SWEEP_SCHEMA)
+ACCEPTED_SCHEMAS = (
+    "repro.bench-sweep/1",
+    "repro.bench-sweep/2",
+    SWEEP_SCHEMA,
+)
 
 #: Scalar metrics exported per job (attribute names on CompileResult).
 _METRIC_FIELDS = (
@@ -88,6 +94,18 @@ _ENGINE_METRIC_FIELDS = (
     "engine_faults",
 )
 
+#: Multi-core metrics added per job when ``topology`` is set
+#: (schema ``/3``; attribute names on ``MulticoreCompileResult``).
+_MULTICORE_METRIC_FIELDS = (
+    "multicore_cores",
+    "multicore_makespan",
+    "multicore_intercore_cycles",
+    "multicore_intercore_teleports",
+    "multicore_intercore_pairs",
+    "multicore_cut_weight",
+    "multicore_max_hops",
+)
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -98,6 +116,14 @@ class JobSpec:
     compiled schedules on the discrete-event engine
     (:mod:`repro.engine`) at EPR generation rate ``epr_rate``
     (``None`` = infinite), adding the ``engine_*`` metric columns.
+
+    ``topology`` (schema ``/3``) routes the job through the multi-core
+    pipeline (:mod:`repro.multicore`): ``cores`` cores of
+    ``Multi-SIMD(k,d)`` each — ``k`` is *per core* — joined by the
+    named interconnect with ``link_bw`` EPR pairs per teleport round
+    per link, adding the ``multicore_*`` metric columns. With
+    ``engine=True``, ``epr_rate`` throttles both the per-core pools
+    and the interconnect links.
     """
 
     benchmark: str
@@ -108,6 +134,9 @@ class JobSpec:
     fth: Optional[int] = None
     engine: bool = False
     epr_rate: Optional[float] = None
+    topology: Optional[str] = None
+    cores: int = 1
+    link_bw: float = 1.0
 
     @property
     def label(self) -> str:
@@ -121,6 +150,10 @@ class JobSpec:
         ]
         if self.fth is not None:
             parts.append(f"fth={self.fth}")
+        if self.topology is not None:
+            parts.append(
+                f"{self.topology}x{self.cores}(bw={self.link_bw:g})"
+            )
         if self.engine:
             rate = (
                 "inf" if self.epr_rate is None else f"{self.epr_rate:g}"
@@ -137,6 +170,10 @@ class JobSpec:
             "local_memory": capacity_label(self.local_memory),
             "fth": self.fth,
         }
+        if self.topology is not None:
+            out["topology"] = self.topology
+            out["cores"] = self.cores
+            out["link_bw"] = self.link_bw
         if self.engine:
             out["engine"] = True
             out["epr_rate"] = self.epr_rate
@@ -153,6 +190,9 @@ class JobSpec:
             fth=data.get("fth"),
             engine=bool(data.get("engine", False)),
             epr_rate=data.get("epr_rate"),
+            topology=data.get("topology"),
+            cores=data.get("cores", 1),
+            link_bw=data.get("link_bw", 1.0),
         )
 
 
@@ -168,6 +208,9 @@ class SweepGrid:
     fth: Optional[int] = None
     engine: bool = False
     epr_rate: Optional[float] = None
+    topologies: Tuple[Optional[str], ...] = (None,)
+    cores: Tuple[int, ...] = (1,)
+    link_bw: float = 1.0
 
     def __post_init__(self) -> None:
         unknown = [b for b in self.benchmarks if b not in BENCHMARKS]
@@ -191,6 +234,22 @@ class SweepGrid:
             raise ValueError("d must be >= 1 or 'inf'")
         if self.epr_rate is not None and self.epr_rate <= 0:
             raise ValueError("epr_rate must be positive or 'inf'")
+        from ..multicore.topology import TOPOLOGIES
+
+        bad_topo = [
+            t
+            for t in self.topologies
+            if t is not None and t not in TOPOLOGIES
+        ]
+        if bad_topo:
+            raise ValueError(
+                f"unknown topology(ies) {bad_topo} "
+                f"(have {', '.join(TOPOLOGIES)})"
+            )
+        if any(c < 1 for c in self.cores):
+            raise ValueError("cores must be >= 1")
+        if not self.link_bw > 0:
+            raise ValueError("link_bw must be positive")
 
     @classmethod
     def parse(
@@ -203,6 +262,9 @@ class SweepGrid:
         fth: Optional[int] = None,
         engine: bool = False,
         epr_rate: Optional[str] = None,
+        topologies: str = "none",
+        cores: str = "1",
+        link_bw: str = "1",
     ) -> "SweepGrid":
         """Build a grid from comma-separated CLI spellings.
 
@@ -210,7 +272,12 @@ class SweepGrid:
         registry; ``ds`` entries are integers or ``"inf"``;
         ``local_memories`` entries follow
         :func:`~repro.arch.machine.parse_capacity`; ``epr_rate`` is a
-        number or ``"inf"`` (only meaningful with ``engine=True``).
+        number or ``"inf"`` (only meaningful with ``engine=True``);
+        ``topologies`` is ``"none"`` (single-core) or a comma-separated
+        subset of :data:`repro.multicore.TOPOLOGIES` (``none`` mixes in
+        as the single-core point); ``cores`` lists core counts (only
+        meaningful with a topology); ``link_bw`` is one positive
+        number shared by every multi-core job.
 
         Raises:
             ValueError: on any unknown or malformed entry.
@@ -243,6 +310,17 @@ class SweepGrid:
                 raise ValueError(
                     f"bad epr_rate {epr_rate!r} (number or 'inf')"
                 ) from None
+        topos = tuple(
+            None if t.strip() == "none" else t.strip()
+            for t in topologies.split(",")
+            if t.strip()
+        ) or (None,)
+        try:
+            bw = float(link_bw)
+        except ValueError:
+            raise ValueError(
+                f"bad link_bw {link_bw!r} (positive number)"
+            ) from None
         return cls(
             benchmarks=keys,
             algorithms=tuple(
@@ -258,10 +336,18 @@ class SweepGrid:
             fth=fth,
             engine=engine,
             epr_rate=rate,
+            topologies=topos,
+            cores=_ints(cores),
+            link_bw=bw,
         )
 
     def expand(self) -> List[JobSpec]:
-        """The grid's jobs in deterministic (document) order."""
+        """The grid's jobs in deterministic (document) order.
+
+        The cores axis only multiplies multi-core points: a ``None``
+        topology contributes exactly one single-core job per
+        (benchmark, algorithm, k, d, local) point.
+        """
         return [
             JobSpec(
                 benchmark=b,
@@ -272,12 +358,17 @@ class SweepGrid:
                 fth=self.fth,
                 engine=self.engine,
                 epr_rate=self.epr_rate,
+                topology=topo,
+                cores=n,
+                link_bw=self.link_bw,
             )
             for b in self.benchmarks
             for alg in self.algorithms
             for k in self.ks
             for d in self.ds
             for local in self.local_memories
+            for topo in self.topologies
+            for n in (self.cores if topo is not None else (1,))
         ]
 
     def to_dict(self) -> Dict[str, Any]:
@@ -292,6 +383,11 @@ class SweepGrid:
             "fth": self.fth,
             "engine": self.engine,
             "epr_rate": self.epr_rate,
+            "topologies": [
+                t if t is not None else "none" for t in self.topologies
+            ],
+            "cores": list(self.cores),
+            "link_bw": self.link_bw,
         }
 
 
@@ -350,6 +446,8 @@ def execute_job(
         "error": None,
         "attempts": 1,
     }
+    if job.topology is not None:
+        return _execute_multicore_job(job, outcome, started)
     try:
         spec = BENCHMARKS[job.benchmark]
         machine = MultiSIMD(
@@ -395,6 +493,74 @@ def execute_job(
                 "traceback": traceback.format_exc(limit=10),
             }
     outcome["elapsed_s"] = time.perf_counter() - started
+    return outcome
+
+
+def _execute_multicore_job(
+    job: JobSpec, outcome: Dict[str, Any], started: float
+) -> Dict[str, Any]:
+    """The multi-core arm of :func:`execute_job` (schema ``/3``).
+
+    Multi-core results carry live per-core schedules the artifact
+    store cannot serialize, so these jobs bypass the compile cache and
+    always compute fresh (``cached`` stays ``None``).
+    """
+    import math
+
+    from ..instrument import record_spans
+    from ..multicore import (
+        MulticoreConfig,
+        compile_and_schedule_multicore,
+        execute_multicore_result,
+        parse_topology,
+    )
+
+    try:
+        spec = BENCHMARKS[job.benchmark]
+        machine = MultiSIMD(
+            k=job.k, d=job.d, local_memory=job.local_memory
+        )
+        graph = parse_topology(job.topology, job.cores, job.link_bw)
+        rate = (
+            job.epr_rate if job.epr_rate is not None else math.inf
+        )
+        config = MulticoreConfig(graph=graph, link_epr_rate=rate)
+        with record_spans() as rec:
+            result = compile_and_schedule_multicore(
+                spec.build(),
+                machine,
+                config,
+                SchedulerConfig(job.algorithm),
+                fth=job.fth if job.fth is not None else spec.fth,
+            )
+            metrics = {
+                name: getattr(result, name) for name in _METRIC_FIELDS
+            }
+            metrics["diagnostics"] = 0
+            metrics.update(result.metrics())
+            if job.engine:
+                from ..engine import EngineConfig
+
+                execution = execute_multicore_result(
+                    result,
+                    config=EngineConfig(
+                        epr_rate=rate, collect_trace=False
+                    ),
+                )
+                metrics.update(execution.metrics())
+    except Exception as exc:  # noqa: BLE001 - classified and reported
+        outcome["status"] = "error"
+        outcome["error"] = {
+            "kind": _error_kind(exc),
+            "message": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=10),
+        }
+        outcome["elapsed_s"] = time.perf_counter() - started
+        return outcome
+    outcome["spans"] = rec.to_dict()
+    outcome["metrics"] = metrics
+    outcome["compute_s"] = time.perf_counter() - started
+    outcome["elapsed_s"] = outcome["compute_s"]
     return outcome
 
 
@@ -679,6 +845,15 @@ def validate_sweep_payload(payload: Dict[str, Any]) -> List[str]:
                 and job.get("engine")
             ):
                 for name in _ENGINE_METRIC_FIELDS:
+                    need(metrics, name, (int, float), f"{where}.metrics")
+            if (
+                metrics is not None
+                and job is not None
+                and job.get("topology") is not None
+            ):
+                need(job, "cores", int, f"{where}.job")
+                need(job, "link_bw", (int, float), f"{where}.job")
+                for name in _MULTICORE_METRIC_FIELDS:
                     need(metrics, name, (int, float), f"{where}.metrics")
             if outcome.get("cached") not in (None, "memory", "disk"):
                 problems.append(

@@ -1,0 +1,152 @@
+"""Tests for the multi-core execution engine.
+
+The load-bearing invariant, checked at every configuration:
+
+    realized == analytic makespan + attributed stalls
+"""
+
+import math
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.benchmarks import BENCHMARKS
+from repro.engine.config import EngineConfig
+from repro.engine.trace import chrome_trace_events, validate_trace_payload
+from repro.multicore import (
+    CoreGraph,
+    MulticoreConfig,
+    compile_and_schedule_multicore,
+    execute_multicore_result,
+)
+
+
+def _compile(key="BF", graph=None, d=2, k=4, **cfg):
+    spec = BENCHMARKS[key]
+    graph = graph or CoreGraph.line(2)
+    return compile_and_schedule_multicore(
+        spec.build(),
+        MultiSIMD(k=k, d=d),
+        MulticoreConfig(graph, **cfg),
+        fth=spec.fth,
+    )
+
+
+class TestIdealExecution:
+    def test_ideal_matches_analytic_exactly(self):
+        result = _compile(graph=CoreGraph.line(2))
+        execution = execute_multicore_result(result)
+        assert execution.ideal_match
+        assert execution.decomposition_ok
+        assert execution.stalls.total == 0
+        assert execution.realized_runtime == result.runtime
+
+    def test_one_core_matches_single_core_engine(self):
+        from repro.engine import execute_result
+        from repro.toolflow import SchedulerConfig, compile_and_schedule
+
+        spec = BENCHMARKS["BF"]
+        machine = MultiSIMD(k=4)
+        single = execute_result(
+            compile_and_schedule(
+                spec.build(), machine, SchedulerConfig(), fth=spec.fth
+            )
+        )
+        multi = execute_multicore_result(
+            _compile(graph=CoreGraph.all_to_all(1), d=machine.d)
+        )
+        assert multi.realized_runtime == single.realized_runtime
+        assert multi.analytic_runtime == single.analytic_runtime
+
+
+class TestStallAttribution:
+    def test_finite_link_rate_attributes_intercore_stalls(self):
+        result = _compile(graph=CoreGraph.line(4), link_epr_rate=0.01)
+        execution = execute_multicore_result(result)
+        assert result.intercore_teleports > 0
+        assert execution.stalls.intercore > 0
+        assert execution.stalls.intra == 0
+        assert execution.decomposition_ok
+        assert not execution.ideal_match
+        assert (
+            execution.realized_runtime
+            > execution.analytic_runtime
+        )
+        for leaf in execution.leaves.values():
+            assert leaf.realized_runtime == (
+                leaf.analytic_runtime + leaf.stalls.total
+            )
+
+    def test_finite_intra_rate_attributes_intra_stalls(self):
+        result = _compile(graph=CoreGraph.line(4))
+        execution = execute_multicore_result(
+            result, config=EngineConfig(epr_rate=0.02)
+        )
+        assert execution.stalls.intra > 0
+        assert execution.stalls.intercore == 0
+        assert execution.decomposition_ok
+
+    def test_metrics_expose_stall_split(self):
+        result = _compile(graph=CoreGraph.line(4), link_epr_rate=0.01)
+        execution = execute_multicore_result(result)
+        metrics = execution.metrics()
+        assert metrics["engine_stall_intercore"] == (
+            execution.stalls.intercore
+        )
+        assert metrics["engine_stall_epr"] == execution.stalls.intercore
+        assert metrics["engine_stall_bandwidth"] == 0
+        assert metrics["engine_stall_cycles"] == execution.stalls.total
+        assert metrics["engine_decomposition_ok"] == 1
+        assert metrics["engine_runtime"] == execution.realized_runtime
+        assert 0.0 <= metrics["engine_utilization"] <= 1.0
+
+    def test_infinite_rates_give_zero_stalls(self):
+        result = _compile(
+            graph=CoreGraph.mesh(4), link_epr_rate=math.inf
+        )
+        execution = execute_multicore_result(result)
+        assert execution.stalls.to_dict() == {
+            "intra": 0,
+            "intercore": 0,
+            "total": 0,
+        }
+
+
+class TestTraces:
+    def test_trace_payload_validates_with_core_lanes(self):
+        result = _compile(graph=CoreGraph.line(4))
+        execution = execute_multicore_result(
+            result, config=EngineConfig(collect_trace=True)
+        )
+        payload = execution.to_trace_payload()
+        assert validate_trace_payload(payload) == []
+        events = chrome_trace_events(payload)
+        tids = {e.get("tid") for e in events if e.get("ph") == "X"}
+        # At least two core lanes in the 1000+ band.
+        assert len({t for t in tids if t is not None and t >= 1000}) >= 2
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        assert any(n.startswith("core") for n in names)
+
+    def test_to_dict_document(self):
+        result = _compile(graph=CoreGraph.line(2))
+        execution = execute_multicore_result(result)
+        doc = execution.to_dict()
+        assert doc["cores"] == 2
+        assert doc["topology"]["schema"] == "repro.core-graph/1"
+        assert doc["decomposition_ok"] is True
+        assert doc["stalls"]["total"] == 0
+        assert set(doc["modules"]) == set(execution.realized)
+
+
+class TestErrors:
+    def test_missing_leaf_schedules_raises(self):
+        from repro.engine.executor import EngineError
+
+        result = _compile(graph=CoreGraph.line(2))
+        result.leaf_schedules.clear()
+        with pytest.raises(EngineError):
+            execute_multicore_result(result)

@@ -1,0 +1,154 @@
+"""Property tests for the qubit-to-core partitioner."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operation import Operation
+from repro.core.qubits import Qubit
+from repro.multicore.partition import (
+    PartitionError,
+    assignment_signature,
+    interaction_graph,
+    partition_qubits,
+)
+from repro.multicore.topology import CoreGraph
+
+Q = [Qubit("q", i) for i in range(12)]
+
+
+def _statements(pairs):
+    """Turn ``[(a, b), ...]`` index pairs into a CNOT statement list
+    (``a == b`` becomes a single-qubit gate)."""
+    out = []
+    for a, b in pairs:
+        if a == b:
+            out.append(Operation("H", (Q[a],)))
+        else:
+            out.append(Operation("CNOT", (Q[a], Q[b])))
+    return out
+
+
+pair_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=11),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestInvariants:
+    @given(pairs=pair_lists, cores=st.integers(1, 5), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_every_qubit_assigned_exactly_once(self, pairs, cores, seed):
+        stmts = _statements(pairs)
+        order, _weights = interaction_graph(stmts)
+        report = partition_qubits(
+            stmts, CoreGraph.all_to_all(cores), seed=seed
+        )
+        assert set(report.assignment) == set(order)
+        assert all(
+            0 <= core < cores for core in report.assignment.values()
+        )
+        assert sum(report.occupancy) == len(order)
+
+    @given(pairs=pair_lists, cores=st.integers(2, 4), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, pairs, cores, seed):
+        stmts = _statements(pairs)
+        order, _weights = interaction_graph(stmts)
+        capacity = max(1, -(-len(order) // cores))  # tightest feasible
+        report = partition_qubits(
+            stmts, CoreGraph.line(cores), capacity=capacity, seed=seed
+        )
+        assert max(report.occupancy) <= capacity
+        assert report.capacity == capacity
+
+    @given(pairs=pair_lists, cores=st.integers(1, 5), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_same_partition(self, pairs, cores, seed):
+        stmts = _statements(pairs)
+        graph = CoreGraph.mesh(cores)
+        a = partition_qubits(stmts, graph, seed=seed)
+        b = partition_qubits(stmts, graph, seed=seed)
+        assert assignment_signature(a.assignment) == assignment_signature(
+            b.assignment
+        )
+        assert a.cut_weight == b.cut_weight
+        assert a.moves == b.moves
+
+    @given(pairs=pair_lists, cores=st.integers(2, 5), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_topology_independent_objective(self, pairs, cores, seed):
+        """The assignment must not depend on the interconnect shape —
+        that is what makes makespans pointwise comparable across
+        topologies."""
+        stmts = _statements(pairs)
+        signatures = {
+            assignment_signature(
+                partition_qubits(stmts, graph, seed=seed).assignment
+            )
+            for graph in (
+                CoreGraph.line(cores),
+                CoreGraph.ring(cores),
+                CoreGraph.mesh(cores),
+                CoreGraph.all_to_all(cores),
+            )
+        }
+        assert len(signatures) == 1
+
+    @given(pairs=pair_lists, cores=st.integers(1, 5), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_cut_weight_is_consistent(self, pairs, cores, seed):
+        stmts = _statements(pairs)
+        _order, weights = interaction_graph(stmts)
+        report = partition_qubits(
+            stmts, CoreGraph.all_to_all(cores), seed=seed
+        )
+        recomputed = sum(
+            w
+            for (qa, qb), w in weights.items()
+            if report.assignment[qa] != report.assignment[qb]
+        )
+        assert report.cut_weight == recomputed
+        assert report.total_weight == sum(weights.values())
+        assert 0.0 <= report.cut_fraction <= 1.0
+
+
+class TestEdgeCases:
+    def test_single_core_fast_path(self):
+        stmts = _statements([(0, 1), (1, 2), (3, 3)])
+        report = partition_qubits(stmts, CoreGraph.line(1))
+        assert set(report.assignment.values()) == {0}
+        assert report.cut_weight == 0
+        assert report.occupancy == (4,)
+
+    def test_capacity_overflow_raises(self):
+        stmts = _statements([(0, 1), (2, 3)])
+        with pytest.raises(PartitionError):
+            partition_qubits(
+                stmts, CoreGraph.line(2), capacity=1
+            )
+
+    def test_unbounded_capacity(self):
+        stmts = _statements([(0, 1)])
+        report = partition_qubits(stmts, CoreGraph.line(2))
+        assert math.isinf(report.capacity)
+
+    def test_refinement_reduces_or_keeps_cut(self):
+        stmts = _statements(
+            [(0, 1)] * 5 + [(2, 3)] * 5 + [(0, 2)]
+        )
+        graph = CoreGraph.all_to_all(2)
+        rough = partition_qubits(stmts, graph, refine=False, seed=0)
+        refined = partition_qubits(stmts, graph, refine=True, seed=0)
+        assert refined.cut_weight <= rough.cut_weight
+        assert refined.refined and not rough.refined
+
+    def test_interaction_graph_counts_repeats(self):
+        stmts = _statements([(0, 1), (0, 1), (1, 0)])
+        _order, weights = interaction_graph(stmts)
+        assert weights == {(Q[0], Q[1]): 3}

@@ -215,6 +215,31 @@ class TestScheduleBounds:
         sched = schedule_sequential(self._dag(), k=2, d=2)
         assert len(audit_schedule_bounds(sched)) == 0
 
+    def test_hop_floor_scales_comm_floor(self):
+        # This plan bills 16 comm cycles for 6 teleports: fine on a
+        # single-hop interconnect, a lie if every teleport provably
+        # crosses >= 5 links (floor 5 * 4 = 20 cycles).
+        sched = schedule_sequential(self._dag(), k=2, d=2)
+        comm = derive_movement(sched, self.MACHINE)
+        assert comm.teleports > 0
+        clean = audit_schedule_bounds(sched, comm=comm, hop_floor=1)
+        assert len(clean) == 0
+        hops = -(-(comm.comm_cycles + 1) // 4)  # first floor above
+        codes = [
+            d.code
+            for d in audit_schedule_bounds(
+                sched, comm=comm, hop_floor=hops
+            )
+        ]
+        assert "QL503" in codes
+
+    def test_hop_floor_must_be_positive(self):
+        import pytest
+
+        sched = schedule_sequential(self._dag(), k=2, d=2)
+        with pytest.raises(ValueError):
+            audit_schedule_bounds(sched, hop_floor=0)
+
 
 class TestProfileBounds:
     def _summary(self):

@@ -320,23 +320,25 @@ class TestEngineSweep:
         assert warm["cached"] == "disk"
         assert warm["metrics"] == cold["metrics"]
 
-    def test_payload_schema_v2(self, tmp_path):
+    def test_payload_schema_v3(self, tmp_path):
         grid = SweepGrid.parse(benchmarks="BF", ks="2", engine=True)
         run = run_sweep(
             grid.expand(), cache_dir=tmp_path, parallel=False
         )
         payload = build_sweep_payload(run, grid)
-        assert payload["schema"] == "repro.bench-sweep/2"
+        assert payload["schema"] == "repro.bench-sweep/3"
         assert validate_sweep_payload(payload) == []
         assert payload["grid"]["engine"] is True
 
-    def test_validator_accepts_legacy_v1(self, tmp_path):
+    def test_validator_accepts_legacy_v1_and_v2(self, tmp_path):
         grid = SweepGrid.parse(benchmarks="BF", ks="2")
         run = run_sweep(
             grid.expand(), cache_dir=tmp_path, parallel=False
         )
         payload = build_sweep_payload(run, grid)
         payload["schema"] = "repro.bench-sweep/1"
+        assert validate_sweep_payload(payload) == []
+        payload["schema"] = "repro.bench-sweep/2"
         assert validate_sweep_payload(payload) == []
 
     def test_validator_requires_engine_metrics(self, tmp_path):
