@@ -15,12 +15,14 @@ from .common import (
 from .grovers import build_grovers, grover_iteration_count
 from .gse import build_gse
 from .registry import BENCHMARKS, BenchmarkSpec, benchmark, benchmark_names
+from .scale import SCALE_KINDS, build_scale, scale_total_gates
 from .sha1 import build_sha1
 from .shors import build_shors
 from .tfp import build_tfp
 
 __all__ = [
     "BENCHMARKS",
+    "SCALE_KINDS",
     "BenchmarkSpec",
     "benchmark",
     "benchmark_names",
@@ -31,6 +33,7 @@ __all__ = [
     "build_gse",
     "build_sha1",
     "build_shors",
+    "build_scale",
     "build_tfp",
     "controlled_phase_power",
     "grover_iteration_count",
@@ -39,4 +42,5 @@ __all__ = [
     "mcx_ops",
     "mcz_ops",
     "qft_ops",
+    "scale_total_gates",
 ]

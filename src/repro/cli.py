@@ -18,6 +18,11 @@ Usage (also available as ``python -m repro``)::
     python -m repro bench BF,CN --topology none,line,mesh --cores 2,4
     python -m repro perf --repeats 2 -o BENCH_perf.json
     python -m repro perf --baseline BENCH_perf.json -o ''
+    python -m repro perf --scale-gates 1000000 --no-reference
+    python -m repro compile BF --stream --window 1024
+    python -m repro compile scale:adder:1e7 --stream --entry-width-only
+    python -m repro compile BF --stream --export-stream bf.jsonl.gz
+    python -m repro execute --stream bf.jsonl.gz -k 4 --epr-rate 0.5
     python -m repro execute Grovers -k 4 --epr-rate 0.5 --trace g.trace
     python -m repro execute BF --fault-epr 0.1 --seed 7 --json
     python -m repro execute BF --topology line --cores 4 --link-bw 2
@@ -98,12 +103,66 @@ def _is_scaffold_path(source: str) -> bool:
     return source.endswith((".scaffold", ".scd"))
 
 
+#: Default gate count for ``scale:`` sources without an explicit size.
+_SCALE_DEFAULT_GATES = 1_000_000
+
+
+def _parse_scale_source(source: str) -> Optional[Tuple[str, int]]:
+    """Decode a ``scale:<kind>[:<gates>]`` synthetic source spec.
+
+    Returns ``(kind, target_gates)``, or ``None`` when ``source`` is
+    not a scale spec at all. The gate count accepts scientific
+    notation (``scale:adder:1e7``).
+    """
+    if not source.startswith("scale:"):
+        return None
+    from .benchmarks import SCALE_KINDS
+
+    kind, _, gates_text = source[len("scale:"):].partition(":")
+    if kind not in SCALE_KINDS:
+        raise CLIError(
+            f"unknown scale kind {kind!r} "
+            f"(choose from {', '.join(SCALE_KINDS)})"
+        )
+    gates = _SCALE_DEFAULT_GATES
+    if gates_text:
+        try:
+            gates = int(float(gates_text))
+        except ValueError:
+            raise CLIError(
+                f"invalid gate count {gates_text!r} in {source!r}"
+            ) from None
+        if gates < 1:
+            raise CLIError("scale gate count must be >= 1")
+    return kind, gates
+
+
+def _default_fth(source: str) -> int:
+    """Per-source flattening-threshold default: the benchmark's pinned
+    value, everything for synthetic scale sources (their whole point is
+    one huge leaf), 4096 otherwise."""
+    if source in BENCHMARKS:
+        return BENCHMARKS[source].fth
+    if source.startswith("scale:"):
+        return sys.maxsize
+    return 4096
+
+
+def _fth_text(fth: int) -> str:
+    return "all" if fth >= sys.maxsize else f"{fth:,}"
+
+
 def _load_program(source: str) -> Program:
-    """A benchmark key, or a path to a QASM / Scaffold source file
-    (``.scaffold``/``.scd`` parse as Scaffold, anything else as
-    QASM)."""
+    """A benchmark key, a ``scale:<kind>[:<gates>]`` synthetic spec, or
+    a path to a QASM / Scaffold source file (``.scaffold``/``.scd``
+    parse as Scaffold, anything else as QASM)."""
     if source in BENCHMARKS:
         return BENCHMARKS[source].build()
+    scale = _parse_scale_source(source)
+    if scale is not None:
+        from .benchmarks import build_scale
+
+        return build_scale(*scale)[0]
     try:
         with open(source) as fh:
             text = fh.read()
@@ -156,16 +215,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     prog = _load_program(args.source)
     fth = args.fth
     if fth is None:
-        fth = (
-            BENCHMARKS[args.source].fth
-            if args.source in BENCHMARKS
-            else 4096
-        )
+        fth = _default_fth(args.source)
     machine = MultiSIMD(
         k=args.k,
         d=args.d,
         local_memory=_parse_capacity(args.local_mem),
     )
+    if args.stream or args.window is not None or args.export_stream:
+        return _compile_streamed(args, prog, machine, fth)
     result = compile_and_schedule(
         prog,
         machine,
@@ -178,7 +235,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         print(json.dumps(compile_result_to_dict(result), indent=2))
         return 0
     print(f"machine:            {machine}")
-    print(f"scheduler:          {args.scheduler} (FTh={fth:,})")
+    print(f"scheduler:          {args.scheduler} (FTh={_fth_text(fth)})")
     print(f"total gates:        {result.total_gates:,}")
     print(f"critical path:      {result.critical_path:,} cycles")
     print(f"schedule length:    {result.schedule_length:,} cycles")
@@ -205,6 +262,110 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                 f"{leaves[0]!r})"
             )
             sched = result.schedules[leaves[0]]
+        print()
+        print(render_timeline(sched, max_timesteps=args.timeline))
+    return 0
+
+
+def _compile_streamed(
+    args: argparse.Namespace, prog: Program, machine: MultiSIMD, fth: int
+) -> int:
+    """The ``compile --stream`` path: bounded-memory columnar pipeline.
+
+    Metric output matches the materialized path bit-for-bit (that is
+    the streaming pipeline's contract); ``--export-stream`` addition-
+    ally writes the entry leaf's schedule as a ``repro.schedule-stream``
+    JSONL file without ever materializing it.
+    """
+    from .toolflow import compile_and_schedule_streamed
+
+    if args.strict:
+        raise CLIError(
+            "--strict is not supported with --stream (the analyzer "
+            "needs materialized leaf bodies)"
+        )
+    if args.entry_width_only and args.json:
+        raise CLIError(
+            "--entry-width-only is incompatible with --json (the JSON "
+            "export reports all-width speedups)"
+        )
+    kwargs = {}
+    if args.window is not None:
+        if args.window < 0:
+            raise CLIError(f"--window must be >= 0, got {args.window}")
+        kwargs["window"] = args.window or None
+    widths = "entry" if args.entry_width_only else "all"
+    result = compile_and_schedule_streamed(
+        prog,
+        machine,
+        SchedulerConfig(args.scheduler),
+        fth=fth,
+        optimize=args.optimize,
+        widths=widths,
+        **kwargs,
+    )
+    exported = None
+    if args.export_stream:
+        from .service import write_schedule_stream
+
+        entry = result.program.entry
+        name = entry if entry in result.stream_schedules else None
+        if name is None:
+            leaves = sorted(result.stream_schedules)
+            if not leaves:
+                raise CLIError(
+                    "nothing to export: no leaf schedules were "
+                    "retained (is the program all-coarse at this "
+                    "--fth?)"
+                )
+            name = leaves[0]
+        write_schedule_stream(
+            args.export_stream,
+            result.columns[name],
+            result.stream_schedules[name],
+            machine,
+            module=name,
+        )
+        exported = name
+    if args.json:
+        doc = compile_result_to_dict(result)
+        doc["pipeline"] = "streamed"
+        doc["window"] = result.window
+        print(json.dumps(doc, indent=2))
+        return 0
+    window_text = (
+        "unbounded" if result.window is None else f"{result.window:,}"
+    )
+    print(f"machine:            {machine}")
+    print(f"scheduler:          {args.scheduler} (FTh={_fth_text(fth)})")
+    print(f"pipeline:           streamed (window={window_text} ops, "
+          f"widths={widths})")
+    print(f"total gates:        {result.total_gates:,}")
+    print(f"critical path:      {result.critical_path:,} cycles")
+    print(f"schedule length:    {result.schedule_length:,} cycles")
+    print(f"comm-aware runtime: {result.runtime:,} cycles")
+    if widths == "all":
+        print(f"parallel speedup:   {result.parallel_speedup:.2f}x")
+        print(f"comm-aware speedup: {result.comm_aware_speedup:.2f}x "
+              f"(vs naive {result.naive_runtime:,})")
+    print(f"modules flattened:  {result.flattened_percent:.0f}%")
+    if exported is not None:
+        print(f"exported leaf {exported!r} schedule stream to "
+              f"{args.export_stream}")
+    if args.profile:
+        print("\nblackbox dimensions (comm-aware runtime):")
+        print(profile_table(result, metric="runtime"))
+    if args.timeline and result.stream_schedules:
+        from .sched.stream import to_schedule
+
+        leaves = sorted(result.stream_schedules)
+        entry = result.program.entry
+        name = entry if entry in result.stream_schedules else leaves[0]
+        if name != entry:
+            print(f"\n(entry {entry!r} is hierarchical; showing leaf "
+                  f"{name!r})")
+        sched = to_schedule(result.columns[name],
+                            result.stream_schedules[name])
         print()
         print(render_timeline(sched, max_timesteps=args.timeline))
     return 0
@@ -567,9 +728,23 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 f"baseline {args.baseline!r} is not a valid perf "
                 f"document: {'; '.join(problems[:3])}"
             )
+    scale_jobs = None
+    if args.scale_gates is not None:
+        if args.no_scale:
+            raise CLIError("--scale-gates conflicts with --no-scale")
+        if args.scale_gates < 1:
+            raise CLIError(
+                f"--scale-gates must be >= 1, got {args.scale_gates}"
+            )
+        from .service import scale_perf_jobs
+
+        scale_jobs = scale_perf_jobs(target_gates=args.scale_gates)
     payload = run_perf(
         repeats=args.repeats,
         include_reference=not args.no_reference,
+        include_scale=not args.no_scale,
+        scale_jobs=scale_jobs,
+        scale_fresh_process=not args.scale_in_process,
     )
     problems = validate_perf_payload(payload)
     for problem in problems:  # defensive; run_perf emits valid docs
@@ -612,11 +787,37 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(f"peak RSS: {fast['peak_rss_kb'] / 1024:.0f} MiB")
         if payload["speedup"] is not None:
             print(f"fast-path speedup: {payload['speedup']:.2f}x")
+        scale = payload.get("scale")
+        if scale and scale.get("jobs"):
+            iso = (
+                "" if scale.get("process_isolated") else " (in-process)"
+            )
+            print(f"\nscale benchmarks{iso}:")
+            print(f"{'job':<48} {'gates':>11} {'elapsed':>9} "
+                  f"{'peak RSS':>9}")
+            print("-" * 80)
+            for row in scale["jobs"]:
+                if row.get("status") != "ok":
+                    print(f"{row.get('label', '?'):<48} "
+                          f"{row.get('status')}: "
+                          f"{row.get('error', 'unknown')}")
+                    continue
+                print(
+                    f"{row['label']:<48} {row['total_gates']:>11,} "
+                    f"{row['elapsed_s']:>8.2f}s "
+                    f"{row['peak_rss_kb'] / 1024:>7.0f}MB"
+                )
+            if payload.get("streamed_overhead") is not None:
+                print("streamed/materialized overhead: "
+                      f"{payload['streamed_overhead']:.2f}x")
         if args.output:
             print(f"wrote {args.output}")
     failed = set(fast["failed_jobs"])
     if reference:
         failed |= set(reference["failed_jobs"])
+    for row in (payload.get("scale") or {}).get("jobs", []):
+        if row.get("status") != "ok":
+            failed.add(row.get("label", "scale:?"))
     if failed:
         print(
             f"error: {len(failed)} job(s) failed: "
@@ -626,7 +827,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         return EXIT_LINT
     if baseline is not None:
         regressions = compare_perf_payloads(
-            payload, baseline, tolerance=args.tolerance
+            payload,
+            baseline,
+            tolerance=args.tolerance,
+            memory_tolerance=args.memory_tolerance,
         )
         for regression in regressions:
             print(f"regression: {regression}", file=sys.stderr)
@@ -709,6 +913,137 @@ def _engine_config(args: argparse.Namespace):
     )
 
 
+def _execute_stream(args: argparse.Namespace) -> int:
+    """The ``execute --stream`` path: run the engine epoch-at-a-time
+    over a ``repro.schedule-stream`` export without inflating it.
+
+    Traces are sampled (``--sample-every``) so even a 10^7-gate export
+    can be traced; stall and fault events are always recorded.
+    """
+    from .engine import EngineError, validate_trace_payload, write_chrome_trace
+    from .engine.trace import build_payload
+    from .service import execute_schedule_stream
+
+    if args.source is not None:
+        raise CLIError(
+            "--stream replaces the source argument (got both "
+            f"{args.stream!r} and {args.source!r})"
+        )
+    if args.topology is not None:
+        raise CLIError("--stream cannot be combined with --topology")
+    if args.sample_every < 1:
+        raise CLIError(
+            f"--sample-every must be >= 1, got {args.sample_every}"
+        )
+    config = _engine_config(args)
+    machine = MultiSIMD(
+        k=args.k,
+        d=args.d,
+        local_memory=_parse_capacity(args.local_mem),
+    )
+    try:
+        header, result, comm = execute_schedule_stream(
+            args.stream,
+            machine,
+            config,
+            sample_every=args.sample_every,
+        )
+    except (FileNotFoundError, IsADirectoryError):
+        raise CLIError(f"{args.stream!r} is not a readable file")
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(
+            f"error: invalid schedule stream {args.stream!r}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_SCHEDULE
+
+    trace_events = None
+    if args.trace and result.trace is not None:
+        payload = build_payload(
+            [(result.module, result.trace)],
+            runtime=result.realized_runtime,
+            machine={
+                "k": machine.k,
+                "d": machine.d,
+                "local_memory": machine.local_memory,
+            },
+            stats={
+                "entry": result.module,
+                "realized_runtime": result.realized_runtime,
+                "analytic_runtime": result.analytic_runtime,
+                "modules": 1,
+                "engine_config": config.to_dict(),
+                "faults": result.fault_log.total_events,
+                "sample_every": args.sample_every,
+            },
+        )
+        problems = validate_trace_payload(payload)
+        for problem in problems:  # defensive; the engine emits valid docs
+            print(
+                f"warning: invalid trace payload: {problem}",
+                file=sys.stderr,
+            )
+        trace_events = write_chrome_trace(args.trace, payload)
+    if args.json:
+        doc = result.to_dict()
+        doc["stream"] = {
+            "path": args.stream,
+            "schema": header["schema"],
+            "module": header.get("module"),
+            "algorithm": header.get("algorithm"),
+            "op_count": header.get("op_count"),
+            "timesteps": header.get("length"),
+            "sample_every": args.sample_every,
+        }
+        if comm is not None:
+            doc["stream"]["compile_runtime"] = comm.runtime
+        doc["machine"] = {
+            "k": machine.k,
+            "d": machine.d,
+            "local_memory": machine.local_memory,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    stalls = result.stalls
+    util = result.utilization
+    avg_util = sum(util.values()) / len(util) if util else 0.0
+    ideal = result.realized_runtime == result.analytic_runtime
+    print(f"machine:           {machine}")
+    print(f"stream:            {args.stream} "
+          f"({header.get('algorithm')}, module "
+          f"{header.get('module') or '?'!r})")
+    print(f"ops executed:      {result.ops_executed:,} over "
+          f"{header.get('length', 0):,} timesteps")
+    print(f"analytic runtime:  {result.analytic_runtime:,} cycles")
+    print(f"realized runtime:  {result.realized_runtime:,} cycles"
+          + ("  (= analytic)" if ideal else ""))
+    print(f"stall cycles:      {stalls.total:,} "
+          f"(epr {stalls.epr:,}, bandwidth {stalls.bandwidth:,}, "
+          f"fault {stalls.fault:,})")
+    print(f"utilization:       {100 * avg_util:.1f}%")
+    print(f"teleport rounds:   {result.teleport_rounds:,}")
+    log = result.fault_log
+    if log.total_events:
+        print(f"faults injected:   {log.total_events:,} "
+              f"(epr regen {log.epr_regenerations:,}, region down "
+              f"{log.region_down_events:,}, gate errors "
+              f"{log.gate_errors:,})")
+    if comm is not None and comm.runtime != result.analytic_runtime:
+        print(f"compile-time est.: {comm.runtime:,} cycles "
+              "(footer CommStats)")
+    print("preflight:         unavailable (streamed execution)")
+    if args.trace:
+        if trace_events is None:
+            print("trace:             not collected", file=sys.stderr)
+        else:
+            print(f"wrote {trace_events} trace events to {args.trace} "
+                  "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_execute(args: argparse.Namespace) -> int:
     from .engine import (
         EngineError,
@@ -718,15 +1053,18 @@ def _cmd_execute(args: argparse.Namespace) -> int:
         write_chrome_trace,
     )
 
+    if args.stream is not None:
+        return _execute_stream(args)
+    if args.source is None:
+        raise CLIError(
+            "execute needs a source (benchmark key / file) or "
+            "--stream FILE"
+        )
     config = _engine_config(args)
     prog = _load_program(args.source)
     fth = args.fth
     if fth is None:
-        fth = (
-            BENCHMARKS[args.source].fth
-            if args.source in BENCHMARKS
-            else 4096
-        )
+        fth = _default_fth(args.source)
     machine = MultiSIMD(
         k=args.k,
         d=args.d,
@@ -1238,7 +1576,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.set_defaults(fn=_cmd_estimate)
 
     p_c = sub.add_parser("compile", help="compile and schedule")
-    p_c.add_argument("source", help="benchmark key or QASM file")
+    p_c.add_argument(
+        "source",
+        help=(
+            "benchmark key, QASM/Scaffold file, or synthetic "
+            "scale:<kind>[:<gates>] (e.g. scale:adder:1e7)"
+        ),
+    )
     p_c.add_argument("-k", type=int, default=4, help="SIMD regions")
     p_c.add_argument(
         "-d", type=int, default=None,
@@ -1274,6 +1618,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_c.add_argument(
         "--timeline", type=int, nargs="?", const=30, default=None,
         metavar="N", help="print the first N schedule timesteps",
+    )
+    p_c.add_argument(
+        "--stream", action="store_true",
+        help=(
+            "use the streaming pipeline: bounded-memory columnar "
+            "scheduling with bit-identical metrics"
+        ),
+    )
+    p_c.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help=(
+            "streaming ingestion window in ops (implies --stream; "
+            "0 = unbounded; default 65536). Schedules are identical "
+            "for every window"
+        ),
+    )
+    p_c.add_argument(
+        "--export-stream", default=None, metavar="FILE",
+        help=(
+            "write the entry leaf's schedule as a repro.schedule-"
+            "stream JSONL file, epoch-at-a-time ('.gz' compresses; "
+            "implies --stream)"
+        ),
+    )
+    p_c.add_argument(
+        "--entry-width-only", action="store_true",
+        help=(
+            "with --stream: profile only the full machine width "
+            "(paper-scale mode; skips the 1..k width sweep)"
+        ),
     )
     p_c.set_defaults(fn=_cmd_compile)
 
@@ -1497,13 +1871,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="stdout format (default text)",
     )
+    p_p.add_argument(
+        "--scale-gates", type=int, default=None, metavar="N",
+        help=(
+            "target gate count for the synthetic scale benchmarks "
+            "(default 200000); streamed and materialized pipelines "
+            "are measured at the same size"
+        ),
+    )
+    p_p.add_argument(
+        "--no-scale", action="store_true",
+        help="skip the synthetic scale benchmarks",
+    )
+    p_p.add_argument(
+        "--scale-in-process", action="store_true",
+        help=(
+            "run scale jobs in this process instead of fresh "
+            "subprocesses (faster, but peak-RSS readings include "
+            "whatever this process already allocated)"
+        ),
+    )
+    p_p.add_argument(
+        "--memory-tolerance", type=float, default=0.35, metavar="T",
+        help=(
+            "allowed fractional peak-RSS growth per scale job vs the "
+            "machine-rescaled baseline (default 0.35)"
+        ),
+    )
     p_p.set_defaults(fn=_cmd_perf)
 
     p_x = sub.add_parser(
         "execute",
         help="execute a compiled schedule on the discrete-event engine",
     )
-    p_x.add_argument("source", help="benchmark key or QASM file")
+    p_x.add_argument(
+        "source", nargs="?", default=None,
+        help=(
+            "benchmark key, QASM/Scaffold file, or synthetic "
+            "scale:<kind>[:<gates>] (omit with --stream)"
+        ),
+    )
     p_x.add_argument("-k", type=int, default=4, help="SIMD regions")
     p_x.add_argument(
         "-d", type=int, default=None,
@@ -1611,6 +2018,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_x.add_argument(
         "--json", action="store_true", help="machine-readable output"
+    )
+    p_x.add_argument(
+        "--stream", default=None, metavar="FILE",
+        help=(
+            "execute a repro.schedule-stream export epoch-at-a-time "
+            "(bounded memory; replaces the source argument)"
+        ),
+    )
+    p_x.add_argument(
+        "--sample-every", type=int, default=1, metavar="N",
+        help=(
+            "with --stream --trace: record every Nth gate/move trace "
+            "event; stalls and faults are always recorded (default 1)"
+        ),
     )
     p_x.set_defaults(fn=_cmd_execute)
 

@@ -2,6 +2,14 @@
 dependence DAG."""
 
 from .builder import ModuleBuilder, ProgramBuilder
+from .opstream import (
+    GeneratorStream,
+    ListStream,
+    OpStream,
+    as_stream,
+    iter_chunks,
+    materialize,
+)
 from .dag import DependenceDAG
 from .gates import (
     CLIFFORD_GATES,
@@ -30,6 +38,9 @@ __all__ = [
     "GateSpec",
     "Module",
     "ModuleBuilder",
+    "GeneratorStream",
+    "ListStream",
+    "OpStream",
     "Operation",
     "Program",
     "ProgramBuilder",
@@ -50,4 +61,7 @@ __all__ = [
     "emit_qasm",
     "parse_qasm",
     "parse_scaffold",
+    "as_stream",
+    "iter_chunks",
+    "materialize",
 ]

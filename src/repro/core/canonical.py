@@ -56,7 +56,7 @@ __all__ = [
 #: alters results — every stored artifact or summary fingerprinted
 #: under the old version becomes unreachable (see ``DESIGN.md``,
 #: "Fingerprint recipe").
-PIPELINE_VERSION = "2025.2"
+PIPELINE_VERSION = "2025.3"
 
 
 def canonical_number(value: Optional[Union[int, float]]) -> Any:

@@ -16,6 +16,7 @@ from .executor import (
     StallBreakdown,
     execute_result,
     run_schedule,
+    run_schedule_stream,
 )
 from .faults import FaultConfig, FaultEvent, FaultInjector, FaultLog
 from .state import EPRPool, MachineState
@@ -49,6 +50,7 @@ __all__ = [
     "chrome_trace_events",
     "execute_result",
     "run_schedule",
+    "run_schedule_stream",
     "validate_trace_payload",
     "write_chrome_trace",
 ]

@@ -60,6 +60,7 @@ __all__ = [
     "EngineResult",
     "ProgramExecution",
     "run_schedule",
+    "run_schedule_stream",
     "execute_result",
 ]
 
@@ -433,6 +434,224 @@ def run_schedule(
         trace=trace,
         fault_log=log,
         preflight_violations=violations,
+    )
+
+
+def run_schedule_stream(
+    epochs,
+    k: int,
+    machine: MultiSIMD,
+    config: Optional[EngineConfig] = None,
+    scope: str = "stream",
+    sample_every: int = 1,
+) -> EngineResult:
+    """Execute a schedule delivered epoch-at-a-time.
+
+    The streamed counterpart of :func:`run_schedule` for paper-scale
+    schedules that never exist as one :class:`Schedule` object:
+    ``epochs`` is an iterable of ``(moves, active)`` pairs — one per
+    timestep, movement epoch first — where ``active`` lists
+    ``(region, gate_name, op_count)`` per busy region. Both
+    :func:`repro.service.stream_io.read_schedule_stream` epochs and
+    :func:`repro.sched.stream.iter_schedule_epochs` output adapt to
+    this shape in a line each; memory stays one epoch regardless of
+    schedule length.
+
+    Differences from :func:`run_schedule`, both inherent to not
+    holding the full schedule:
+
+    * no preflight (replay validation needs every timestep at once) —
+      ``preflight_violations`` is ``None``;
+    * no NUMA serialization (:func:`~repro.arch.numa.assign_banks`
+      derives bank homes from whole-schedule affinity) — a config with
+      ``numa`` set is refused.
+
+    ``sample_every`` thins the *trace* only (gate/move events for one
+    timestep in every ``sample_every``; stall and fault events are
+    always kept — they are rare and carry the invariant): a 10^7-epoch
+    run cannot emit 10^7 trace events, and the realized clock, stall
+    breakdown and ``realized = analytic + stalls`` invariant are
+    measured identically whatever the sampling.
+    """
+    config = config or EngineConfig()
+    if machine.k < k:
+        raise EngineError(
+            f"schedule needs {k} regions, machine has {machine.k}"
+        )
+    if config.numa is not None:
+        raise EngineError(
+            "streamed execution cannot apply NUMA serialization "
+            "(bank assignment needs the full schedule); use "
+            "run_schedule on an inflated schedule instead"
+        )
+    if sample_every < 1:
+        raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+
+    fault_config = config.faults or FaultConfig()
+    injector = FaultInjector(fault_config, seed=config.seed, scope=scope)
+    log = FaultLog(seed=config.seed, scope=scope)
+    it = iter(epochs)
+    try:
+        first = next(it)
+    except StopIteration:
+        first = None
+    prestage = (
+        sum(1 for m in first[0] if m.kind == "teleport") if first else 0
+    )
+    state = MachineState(
+        k, machine, epr_rate=config.epr_rate, prestage=prestage
+    )
+    trace = EventTrace(scope) if config.collect_trace else None
+
+    stalls = StallBreakdown()
+    gate_cycles = 0
+    comm_cycles = 0
+    teleport_epochs = 0
+    local_epochs = 0
+    teleport_rounds = 0
+
+    def replay():
+        if first is not None:
+            yield first
+        yield from it
+
+    with span("engine:execute-stream"):
+        for t, (moves, active) in enumerate(replay()):
+            sampled = trace is not None and t % sample_every == 0
+            teleports, locals_ = split_epoch(moves)
+            nt, nl = len(teleports), len(locals_)
+            base_cost = epoch_cycles(nt, nl)
+            comm_cycles += base_cost
+            if nt:
+                teleport_epochs += 1
+                teleport_rounds += 1
+                attempts = injector.epr_generation_attempts(nt)
+                extra = attempts - nt
+                if extra:
+                    log.record(
+                        FaultEvent(
+                            "epr_regen",
+                            cycle=state.clock,
+                            timestep=t,
+                            count=extra,
+                            detail=f"{extra} failed generation "
+                            f"attempt(s) for {nt} pair(s)",
+                        )
+                    )
+                    if trace is not None:
+                        trace.emit(
+                            "epr-regen", "fault", state.clock, 0,
+                            "memory", attempts=extra,
+                        )
+                demand_wait = state.epr.stall_for(nt, state.clock)
+                total_wait = state.epr.stall_for(attempts, state.clock)
+                fault_wait = total_wait - demand_wait
+                if demand_wait and trace is not None:
+                    trace.emit(
+                        "epr-stall", "stall", state.clock,
+                        demand_wait, "memory", pairs=nt,
+                    )
+                if fault_wait and trace is not None:
+                    trace.emit(
+                        "fault-stall", "stall",
+                        state.clock + demand_wait, fault_wait,
+                        "memory", regenerations=extra,
+                    )
+                stalls.epr += demand_wait
+                stalls.fault += fault_wait
+                state.advance(total_wait)
+                if sampled:
+                    trace.emit(
+                        "teleport-epoch", "move", state.clock,
+                        base_cost, "memory",
+                        pairs=nt, local_moves=nl, rounds=1,
+                    )
+                state.epr.consume(teleports, wasted_attempts=extra)
+                state.apply_epoch(moves)
+                state.advance(base_cost)
+            elif nl:
+                local_epochs += 1
+                if sampled:
+                    trace.emit(
+                        "local-epoch", "move", state.clock,
+                        base_cost, "memory", local_moves=nl,
+                    )
+                state.apply_epoch(moves)
+                state.advance(base_cost)
+            if fault_config.region_failure_prob > 0:
+                for r, _, _ in active:
+                    if injector.region_goes_down(r):
+                        down = fault_config.region_downtime
+                        log.record(
+                            FaultEvent(
+                                "region_down",
+                                cycle=state.clock,
+                                timestep=t,
+                                region=r,
+                                detail=f"region {r} down for "
+                                f"{down} cycles",
+                            )
+                        )
+                        log.region_downtime_cycles += down
+                        if trace is not None:
+                            trace.emit(
+                                "region-down", "fault", state.clock,
+                                0, f"region{r}",
+                            )
+                            trace.emit(
+                                "fault-stall", "stall", state.clock,
+                                down, f"region{r}",
+                            )
+                        stalls.fault += down
+                        state.advance(down)
+            for r, gate, ops in active:
+                errors = injector.sample_gate_errors(ops)
+                log.expected_gate_errors += (
+                    fault_config.gate_error_rate * ops
+                )
+                if errors:
+                    log.record(
+                        FaultEvent(
+                            "gate_error",
+                            cycle=state.clock,
+                            timestep=t,
+                            count=errors,
+                            region=r,
+                            detail=f"{errors}/{ops} {gate} gate(s) "
+                            "errored (corrected)",
+                        )
+                    )
+                state.execute_region(r, ops, GATE_CYCLES)
+                if sampled:
+                    args: Dict[str, Any] = {"ops": ops}
+                    if errors:
+                        args["errors"] = errors
+                    trace.emit(
+                        gate, "gate", state.clock, GATE_CYCLES,
+                        f"region{r}", **args,
+                    )
+            gate_cycles += GATE_CYCLES
+            state.advance(GATE_CYCLES)
+
+    realized = state.clock
+    return EngineResult(
+        module=scope,
+        k=k,
+        realized_runtime=realized,
+        analytic_runtime=gate_cycles + comm_cycles,
+        gate_cycles=gate_cycles,
+        comm_cycles=comm_cycles,
+        stalls=stalls,
+        teleport_epochs=teleport_epochs,
+        local_epochs=local_epochs,
+        teleport_rounds=teleport_rounds,
+        epr_pairs=state.epr.total_pairs,
+        channel_pairs=state.channel_pairs_labels(),
+        utilization=state.utilization(realized),
+        ops_executed=sum(state.ops_executed),
+        trace=trace,
+        fault_log=log,
+        preflight_violations=None,
     )
 
 

@@ -20,6 +20,14 @@ from .flatten import (
 from .manager import PassManager
 from .optimize import OptimizeStats, optimize_module, optimize_program
 from .qubit_count import local_footprints, minimum_qubits
+from .stream import (
+    FlattenPlan,
+    decomposed_gate_counts,
+    leaf_stream,
+    plan_flatten,
+    stream_decompose,
+    stream_flatten,
+)
 from .resource import (
     GATE_COUNT_BINS,
     ResourceEstimate,
@@ -32,6 +40,7 @@ from .resource import (
 __all__ = [
     "DEFAULT_FTH",
     "DecomposeConfig",
+    "FlattenPlan",
     "FlattenResult",
     "GATE_COUNT_BINS",
     "PassManager",
@@ -54,4 +63,9 @@ __all__ = [
     "optimize_program",
     "toffoli_network",
     "total_gate_counts",
+    "decomposed_gate_counts",
+    "leaf_stream",
+    "plan_flatten",
+    "stream_decompose",
+    "stream_flatten",
 ]

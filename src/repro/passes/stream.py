@@ -1,0 +1,314 @@
+"""Streaming front-end adapters: lazy flatten, decompose and CTQG bodies.
+
+The materialized pipeline runs decompose -> flatten as whole-program
+rewrites, so a module with ``iterations``-heavy call sites explodes to
+its expanded gate count in memory before the scheduler sees a single op.
+These adapters produce the *same op sequence* lazily:
+
+* :func:`stream_flatten` walks a module's call tree depth-first,
+  composing the per-instance qubit renamings exactly as
+  :func:`repro.passes.flatten.inline_call` does (formals -> actuals,
+  locals -> ``"{callee}@{idx}$" `` instance prefixes, iterated calls
+  replaying the identically-renamed body), so the emitted ops are
+  bit-identical to flattening the module materialized;
+* :func:`stream_decompose` lowers each streamed op through
+  :func:`repro.passes.decompose.decompose_operation` on the fly.
+  Decomposition introduces no new qubits and depends only on
+  ``(gate, angle)``, so it commutes with flatten's qubit renaming —
+  streaming flatten-then-decompose equals the materialized
+  decompose-then-flatten order (tested in ``tests/test_opstream.py``);
+* :func:`decomposed_gate_counts` computes the post-decompose expanded
+  totals hierarchically (the numbers the flattening-threshold decision
+  and ``total_gates`` need) without materializing anything;
+* :func:`plan_flatten` reproduces :func:`repro.passes.flatten.
+  flatten_program`'s decisions — which modules become leaves, and the
+  percent-flattened figure — from those counts alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core.module import Module, Program
+from ..core.operation import CallSite, Operation
+from ..core.opstream import GeneratorStream, OpStream
+from ..core.qubits import Qubit
+from .decompose import DecomposeConfig, RotationSynthesizer, decompose_operation
+
+__all__ = [
+    "stream_flatten",
+    "stream_decompose",
+    "leaf_stream",
+    "decomposed_gate_counts",
+    "FlattenPlan",
+    "plan_flatten",
+]
+
+_Rename = Callable[[Qubit], Qubit]
+
+
+def _identity(q: Qubit) -> Qubit:
+    return q
+
+
+def _frame_rename(
+    parent: _Rename, instance: str, mapping: Dict[Qubit, Qubit]
+) -> _Rename:
+    """The qubit renaming one inlined call frame applies.
+
+    Mirrors the materialized composition: ``inline_call`` first maps a
+    callee-body qubit into the *caller's* namespace (formals to the call
+    site's actual arguments, locals to a ``"{instance}$"``-prefixed
+    register), and the caller's own inlining later applies its renaming
+    on top. Composing parent-after-frame reproduces that exactly.
+    """
+    cache: Dict[Qubit, Qubit] = {}
+
+    def rename(q: Qubit) -> Qubit:
+        out = cache.get(q)
+        if out is None:
+            caller_q = mapping.get(q)
+            if caller_q is None:
+                caller_q = Qubit(f"{instance}${q.register}", q.index)
+            out = parent(caller_q)
+            cache[q] = out
+        return out
+
+    return rename
+
+
+class _Expander:
+    """Depth-first lazy inliner, bit-identical to ``inline_call``.
+
+    When ``decompose_config`` is set, the materialized pipeline being
+    mirrored is decompose-*then*-flatten: every direct op in a caller
+    body expands before flattening, so the ``{callee}@{idx}`` instance
+    tags carry *post-decompose* statement indices. The expander
+    precomputes that index table per module (prefix sums of decomposed
+    op lengths, one shared per-``(gate, angle)`` length cache) without
+    materializing any decomposed body.
+    """
+
+    def __init__(
+        self, program: Program, decompose_config: Optional[DecomposeConfig]
+    ):
+        self.program = program
+        self.synth = (
+            decompose_config.synthesizer() if decompose_config else None
+        )
+        self._length_cache: Dict[Tuple[str, Optional[float]], int] = {}
+        self._index_cache: Dict[str, List[int]] = {}
+
+    def _indices(self, module: Module) -> Optional[List[int]]:
+        if self.synth is None:
+            return None
+        table = self._index_cache.get(module.name)
+        if table is None:
+            table = []
+            pos = 0
+            for stmt in module.body:
+                table.append(pos)
+                if isinstance(stmt, Operation):
+                    key = (stmt.gate, stmt.angle)
+                    n = self._length_cache.get(key)
+                    if n is None:
+                        n = self._length_cache[key] = len(
+                            decompose_operation(stmt, self.synth)
+                        )
+                    pos += n
+                else:
+                    pos += 1
+            self._index_cache[module.name] = table
+        return table
+
+    def expand(self, module: Module, rename: _Rename) -> Iterator[Operation]:
+        indices = self._indices(module)
+        for idx, stmt in enumerate(module.body):
+            if isinstance(stmt, Operation):
+                if rename is _identity:
+                    yield stmt
+                else:
+                    yield Operation(
+                        stmt.gate,
+                        tuple(rename(q) for q in stmt.qubits),
+                        stmt.angle,
+                    )
+            else:
+                callee = self.program.module(stmt.callee)
+                if len(stmt.args) != len(callee.params):
+                    raise ValueError(
+                        f"arity mismatch inlining {stmt.callee!r}"
+                    )
+                inst_idx = idx if indices is None else indices[idx]
+                instance = f"{stmt.callee}@{inst_idx}"
+                mapping = dict(zip(callee.params, stmt.args))
+                frame = _frame_rename(rename, instance, mapping)
+                # Iterated calls replay the identically-renamed body:
+                # the frame (and its memoized renames) is shared across
+                # iterations, exactly like ``body_once * iterations``.
+                for _ in range(stmt.iterations):
+                    yield from self.expand(callee, frame)
+
+
+def stream_flatten(
+    program: Program,
+    module: Optional[str] = None,
+    decompose_config: Optional[DecomposeConfig] = None,
+    length_hint: Optional[int] = None,
+) -> OpStream:
+    """Fully inline one module's call tree as a lazy op stream.
+
+    Emits the exact op sequence ``flatten_program`` would place in the
+    module's body if the module (and therefore, by the threshold
+    monotonicity argument, all its transitive callees) were flattened.
+    Pass ``decompose_config`` when mirroring a pipeline that decomposes
+    before flattening — instance tags then use post-decompose statement
+    indices (see :class:`_Expander`). The call graph is acyclic, so
+    full inlining always terminates; only the call stack (call-graph
+    depth) and one op are live at a time.
+    """
+    name = module or program.entry
+    mod = program.module(name)
+
+    def factory() -> Iterator[Operation]:
+        return _Expander(program, decompose_config).expand(mod, _identity)
+
+    return GeneratorStream(factory, length_hint=length_hint)
+
+
+def stream_decompose(
+    stream: OpStream,
+    config: Optional[DecomposeConfig] = None,
+    length_hint: Optional[int] = None,
+) -> OpStream:
+    """Lower a stream to QASM primitives op-by-op.
+
+    Each upstream op expands to its (bounded-size) decomposition list
+    before the next is pulled, so memory stays O(1) in the stream
+    length. The synthesizer is stateless per ``(gate, angle)``, so
+    replay determinism is preserved.
+    """
+    cfg = config or DecomposeConfig()
+
+    def factory() -> Iterator[Operation]:
+        synth = cfg.synthesizer()
+        for op in stream:
+            yield from decompose_operation(op, synth)
+
+    return GeneratorStream(factory, length_hint=length_hint)
+
+
+def decomposed_gate_counts(
+    program: Program, config: Optional[DecomposeConfig] = None
+) -> Dict[str, int]:
+    """Post-decompose expanded gate count of each reachable module.
+
+    Equals ``total_gate_counts(decompose_program(program, config))``
+    without building the decomposed program: per-module direct ops are
+    decomposed one at a time (their expansion length depends only on
+    ``(gate, angle)``, so it is cached), and call sites multiply callee
+    totals exactly as the hierarchical estimator does.
+    """
+    synth = (config or DecomposeConfig()).synthesizer()
+    length_cache: Dict[Tuple[str, Optional[float]], int] = {}
+    totals: Dict[str, int] = {}
+    for name in program.topological_order():
+        mod = program.module(name)
+        count = 0
+        for stmt in mod.body:
+            if isinstance(stmt, Operation):
+                key = (stmt.gate, stmt.angle)
+                n = length_cache.get(key)
+                if n is None:
+                    n = length_cache[key] = len(
+                        decompose_operation(stmt, synth)
+                    )
+                count += n
+            else:
+                count += stmt.iterations * totals[stmt.callee]
+        totals[name] = count
+    return totals
+
+
+class FlattenPlan:
+    """The flattening decisions, computed without rewriting any body.
+
+    Attributes:
+        flattened: names flattened into leaves, in topological order.
+        leaves: every module that is a leaf *after* flattening and still
+            reachable from the entry (flattening a module orphans its
+            callees, exactly as the materialized rewrite does).
+        reachable: modules reachable after flattening.
+        order: post-flatten topological order (callees first) over
+            ``reachable``.
+        percent_flattened: the Figure 5 caption quantity —
+            ``100 * len(leaves) / len(reachable)``.
+    """
+
+    def __init__(self, program: Program, totals: Dict[str, int], fth: int):
+        flattened: List[str] = []
+        flattened_set: Set[str] = set()
+        for name in program.topological_order():
+            mod = program.module(name)
+            if mod.is_leaf or totals[name] > fth:
+                continue
+            flattened.append(name)
+            flattened_set.add(name)
+        # Post-flatten reachability: a flattened module has no calls
+        # left, so its callees drop out of the reachable set unless
+        # another (unflattened) caller keeps them live.
+        reachable: Set[str] = set()
+        order: List[str] = []
+
+        def visit(name: str) -> None:
+            if name in reachable:
+                return
+            reachable.add(name)
+            if name not in flattened_set:
+                for callee in sorted(program.module(name).callees()):
+                    visit(callee)
+            order.append(name)
+
+        visit(program.entry)
+        self.flattened = flattened
+        self.reachable = reachable
+        self.order = order
+        self.leaves = {
+            name
+            for name in reachable
+            if name in flattened_set or program.module(name).is_leaf
+        }
+        self.percent_flattened = 100.0 * len(self.leaves) / len(reachable)
+
+    def is_leaf_after(self, name: str) -> bool:
+        return name in self.leaves
+
+
+def plan_flatten(
+    program: Program, totals: Dict[str, int], fth: int
+) -> FlattenPlan:
+    """Plan which modules :func:`~repro.passes.flatten.flatten_program`
+    would turn into leaves under threshold ``fth``, given the expanded
+    ``totals`` the decision is based on (post-decompose counts when the
+    pipeline decomposes first)."""
+    return FlattenPlan(program, totals, fth)
+
+
+def leaf_stream(
+    program: Program,
+    name: str,
+    decompose: bool = True,
+    decompose_config: Optional[DecomposeConfig] = None,
+    length_hint: Optional[int] = None,
+) -> OpStream:
+    """The post-pipeline body of one (possibly flattened) leaf, lazily.
+
+    Composes :func:`stream_flatten` with :func:`stream_decompose` —
+    bit-identical to the materialized decompose-then-flatten body of
+    that leaf (the two orders commute; see the module docstring).
+    """
+    if not decompose:
+        return stream_flatten(program, name, length_hint=length_hint)
+    cfg = decompose_config or DecomposeConfig()
+    flat = stream_flatten(program, name, decompose_config=cfg)
+    return stream_decompose(flat, cfg, length_hint=length_hint)

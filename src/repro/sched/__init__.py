@@ -25,6 +25,16 @@ from .report import (
     schedule_to_dict,
 )
 from .sequential import schedule_sequential
+from .stream import (
+    StreamColumns,
+    StreamedSchedule,
+    build_columns,
+    derive_movement_stream,
+    engine_epochs,
+    iter_schedule_epochs,
+    schedule_columns,
+    to_schedule,
+)
 from .types import Move, Schedule, ScheduleError, Timestep
 
 __all__ = [
@@ -36,6 +46,8 @@ __all__ = [
     "ReplayError",
     "ReplayReport",
     "Schedule",
+    "StreamColumns",
+    "StreamedSchedule",
     "ScheduleError",
     "Timestep",
     "best_dim",
@@ -55,4 +67,10 @@ __all__ = [
     "render_timeline",
     "replay_schedule",
     "schedule_to_dict",
+    "build_columns",
+    "derive_movement_stream",
+    "engine_epochs",
+    "iter_schedule_epochs",
+    "schedule_columns",
+    "to_schedule",
 ]

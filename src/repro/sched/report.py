@@ -259,9 +259,13 @@ def compile_result_to_dict(
     The export carries everything :func:`compile_result_from_dict`
     needs to rebuild a metrics-equivalent result: the full scheduler
     configuration, per-module blackbox dimensions with communication
-    stats, the call-graph skeleton (``callees``), and all analyzer
-    diagnostics. Schedule bodies are omitted unless
-    ``include_schedules`` is set (they dominate the payload size).
+    stats, the call-graph skeleton (``callees``), non-leaf module
+    bodies (``body`` — call sites with their qubit arguments and
+    iteration counts, so the engine's coarse re-scheduling composes
+    rehydrated results exactly), and all analyzer diagnostics. Leaf
+    bodies are omitted — their ops travel inside the schedule sidecar.
+    Schedule bodies are omitted unless ``include_schedules`` is set
+    (they dominate the payload size).
     """
     machine = result.machine
     out = {
@@ -295,9 +299,40 @@ def compile_result_to_dict(
         "modules": {
             name: {
                 "is_leaf": p.is_leaf,
+                # Call graph of the *post-flatten* view: leaf profiles
+                # have no callees even when the source program is the
+                # streamed pipeline's unrewritten original, and call
+                # targets inlined away by flatten are filtered out.
                 "callees": sorted(
-                    result.program.module(name).callees()
-                ) if name in result.program else [],
+                    c
+                    for c in result.program.module(name).callees()
+                    if c in result.profiles
+                ) if name in result.program and not p.is_leaf else [],
+                **(
+                    {
+                        "params": [
+                            _qubit_name(q)
+                            for q in result.program.module(name).params
+                        ]
+                    }
+                    if name in result.program
+                    else {}
+                ),
+                **(
+                    {
+                        "body": [
+                            _body_stmt_to_dict(stmt)
+                            for stmt in result.program.module(name).body
+                        ]
+                    }
+                    if not p.is_leaf
+                    and name in result.program
+                    and all(
+                        c in result.profiles
+                        for c in result.program.module(name).callees()
+                    )
+                    else {}
+                ),
                 "length": {str(w): c for w, c in sorted(p.length.items())},
                 "runtime": {str(w): c for w, c in sorted(p.runtime.items())},
                 "comm": {
@@ -316,15 +351,52 @@ def compile_result_to_dict(
     return out
 
 
+def _body_stmt_to_dict(stmt: Any) -> Dict[str, Any]:
+    """One module-body statement (op or call site), JSON-safe."""
+    if isinstance(stmt, CallSite):
+        return {
+            "call": stmt.callee,
+            "args": [_qubit_name(q) for q in stmt.args],
+            **(
+                {"iterations": stmt.iterations}
+                if stmt.iterations != 1
+                else {}
+            ),
+        }
+    return {
+        "gate": stmt.gate,
+        "qubits": [_qubit_name(q) for q in stmt.qubits],
+        **({"angle": stmt.angle} if stmt.angle is not None else {}),
+    }
+
+
+def _body_stmt_from_dict(s: Dict[str, Any]) -> Any:
+    """Inverse of :func:`_body_stmt_to_dict`."""
+    if "call" in s:
+        return CallSite(
+            s["call"],
+            tuple(_parse_qubit(q) for q in s["args"]),
+            iterations=s.get("iterations", 1),
+        )
+    return Operation(
+        s["gate"],
+        tuple(_parse_qubit(q) for q in s["qubits"]),
+        angle=s.get("angle"),
+    )
+
+
 def compile_result_from_dict(data: Dict[str, Any]):
     """Reconstruct a :class:`~repro.toolflow.CompileResult` from
     :func:`compile_result_to_dict` output.
 
-    The program is rebuilt as a *skeleton*: modules keep their names and
-    call-graph edges (as zero-argument call sites) but not their gate
-    bodies, which is exactly what the result's metrics properties and
-    :func:`profile_table` consume. Schedule bodies are restored when the
-    export included them (``include_schedules=True``), else
+    Non-leaf modules get their real bodies back (call sites with qubit
+    arguments and iteration counts, plus any direct ops), so the
+    engine's coarse composition over a rehydrated result is exact. Leaf
+    modules are rebuilt as empty skeletons — their ops live in the
+    schedule sidecar, which is what the engine executes. Legacy
+    artifacts without ``body`` fall back to zero-argument call-graph
+    edges (metrics-only fidelity). Schedule bodies are restored when
+    the export included them (``include_schedules=True``), else
     ``schedules`` is empty.
     """
     # Imported here: toolflow imports sched submodules, so a module-level
@@ -334,8 +406,14 @@ def compile_result_from_dict(data: Dict[str, Any]):
     modules = [
         Module(
             name,
-            params=(),
-            body=[CallSite(c, ()) for c in spec.get("callees", ())],
+            params=tuple(
+                _parse_qubit(q) for q in spec.get("params", ())
+            ),
+            body=(
+                [_body_stmt_from_dict(s) for s in spec["body"]]
+                if "body" in spec
+                else [CallSite(c, ()) for c in spec.get("callees", ())]
+            ),
         )
         for name, spec in data["modules"].items()
     ]

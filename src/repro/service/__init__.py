@@ -20,12 +20,15 @@ Exposed on the CLI as ``python -m repro bench``.
 from ..instrument import SpanRecorder, record_spans, span
 from .core import CompileService, ServiceEntry
 from .perf import (
+    ACCEPTED_PERF_SCHEMAS,
     PERF_SCHEMA,
     build_perf_payload,
     compare_perf_payloads,
     perf_grid,
     perf_worker,
     run_perf,
+    run_scale_perf,
+    scale_perf_jobs,
     validate_perf_payload,
 )
 from .fingerprint import (
@@ -34,6 +37,14 @@ from .fingerprint import (
     canonical_request,
     fingerprint_program,
     fingerprint_request,
+)
+from .stream_io import (
+    STREAM_SCHEMA,
+    execute_schedule_stream,
+    inflate_schedule_stream,
+    read_schedule_stream,
+    validate_schedule_stream,
+    write_schedule_stream,
 )
 from .store import (
     ARTIFACT_SCHEMA,
@@ -69,11 +80,13 @@ __all__ = [
     "PERF_SCHEMA",
     "PIPELINE_VERSION",
     "STATS_SNAPSHOT_SCHEMA",
+    "STREAM_SCHEMA",
     "SWEEP_SCHEMA",
     "ServiceEntry",
     "SpanRecorder",
     "SweepGrid",
     "SweepRun",
+    "ACCEPTED_PERF_SCHEMAS",
     "build_perf_payload",
     "build_sweep_payload",
     "canonical_program",
@@ -81,16 +94,23 @@ __all__ = [
     "compare_perf_payloads",
     "default_cache_dir",
     "execute_job",
+    "execute_schedule_stream",
+    "inflate_schedule_stream",
     "fingerprint_program",
     "fingerprint_request",
     "inspect_store",
     "perf_grid",
     "perf_worker",
+    "read_schedule_stream",
     "read_stats_snapshot",
     "record_spans",
     "run_perf",
+    "run_scale_perf",
+    "scale_perf_jobs",
     "run_sweep",
     "span",
     "validate_perf_payload",
+    "validate_schedule_stream",
+    "write_schedule_stream",
     "write_stats_snapshot",
 ]

@@ -19,9 +19,12 @@ original compute took.
 
 A disk hit reconstructs a *metrics-equivalent* result
 (:func:`~repro.sched.report.compile_result_from_dict`): every headline
-number, per-module profile and diagnostic round-trips exactly; schedule
-bodies are not persisted (they dominate payload size), so
-``result.schedules`` is empty for disk-loaded results.
+number, per-module profile and diagnostic round-trips exactly. Schedule
+bodies live in a gzip **sidecar** next to the main artifact (kept out
+of the metrics JSON because they dominate its size) and are rehydrated
+on disk hits, so engine consumers get live schedules from the cache
+instead of recompiling; results loaded from pre-sidecar stores still
+come back with empty ``schedules``.
 """
 
 from __future__ import annotations
@@ -37,7 +40,12 @@ from ..instrument import record_spans
 from ..passes.decompose import DecomposeConfig
 from ..passes.flatten import DEFAULT_FTH
 from ..toolflow import CompileResult, SchedulerConfig, compile_and_schedule
-from ..sched.report import compile_result_from_dict, compile_result_to_dict
+from ..sched.report import (
+    compile_result_from_dict,
+    compile_result_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
 from .fingerprint import PIPELINE_VERSION, fingerprint_request
 from .store import ArtifactStore, CacheStats, LRUCache
 
@@ -64,6 +72,20 @@ class ServiceEntry:
     cached: Optional[str]
     elapsed_s: float
     spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _rehydrate_schedules(store: ArtifactStore, fp: str, result) -> None:
+    """Attach sidecar schedule bodies to a disk-loaded result (no-op
+    when the sidecar is missing or stale — consumers that need live
+    schedules then fall back to recompiling)."""
+    if result.schedules:
+        return
+    payload = store.load_schedules(fp)
+    if payload is None:
+        return
+    result.schedules = {
+        name: schedule_from_dict(s) for name, s in payload.items()
+    }
 
 
 class CompileService:
@@ -134,6 +156,7 @@ class CompileService:
             if payload is not None:
                 self.stats.disk_hits += 1
                 result = compile_result_from_dict(payload["result"])
+                _rehydrate_schedules(self.store, fingerprint, result)
                 entry = {
                     "result": result,
                     "elapsed_s": payload.get("elapsed_s", 0.0),
@@ -222,6 +245,7 @@ class CompileService:
                 if payload is not None:
                     self.stats.disk_hits += 1
                     result = compile_result_from_dict(payload["result"])
+                    _rehydrate_schedules(self.store, fp, result)
                     entry = {
                         "result": result,
                         "elapsed_s": payload.get("elapsed_s", 0.0),
@@ -263,6 +287,14 @@ class CompileService:
                     "elapsed_s": elapsed,
                 },
             )
+            if result.schedules:
+                self.store.save_schedules(
+                    fp,
+                    {
+                        name: schedule_to_dict(s)
+                        for name, s in sorted(result.schedules.items())
+                    },
+                )
         return ServiceEntry(
             result=result,
             fingerprint=fp,

@@ -13,14 +13,26 @@ improvements with bit-identical output. This module makes that claim
 * the same grid measured on the **reference pipeline**
   (:func:`repro.fastpath.reference_pipeline`), yielding an honest
   fast-vs-reference speedup from one run on one machine;
-* a schema-versioned report (``repro.bench-perf/1`` —
+* a schema-versioned report (``repro.bench-perf/2`` —
   ``BENCH_perf.json``) with a hand-rolled validator, mirroring the
   sweep report's conventions;
+* **scale jobs** (schema ``/2``): the synthetic paper-scale generators
+  (:mod:`repro.benchmarks.scale`) pushed through the streamed *and*
+  materialized leaf pipelines in fresh subprocesses, so each job's
+  ``ru_maxrss`` is its own high-water mark — yielding
+  ``peak_rss_kb_per_mgate``, the memory-per-gate figure the streaming
+  pipeline exists to bound, plus the streamed/materialized throughput
+  ratio;
 * a **baseline comparison** for CI: because the committed baseline was
   measured on different hardware, stage times are first rescaled by the
   ratio of the two *reference-pipeline* totals (the reference acts as a
   built-in machine-speed probe), then any stage slower than the scaled
-  baseline by more than ``tolerance`` is flagged.
+  baseline by more than ``tolerance`` is flagged. Scale-job memory is
+  gated the same way, rescaled by the ratio of the two documents'
+  fresh-interpreter RSS (the memory analogue of the speed probe) and
+  keyed by the full job label — which embeds the pipeline mode, so a
+  streamed measurement is never compared against a materialized
+  baseline or vice versa.
 
 Timings take the **minimum across repeats** (the minimum is the
 standard low-noise estimator for benchmark wall times); peak RSS takes
@@ -38,17 +50,25 @@ from .sweep import JobSpec, SweepGrid, SweepRun, execute_job, run_sweep
 
 __all__ = [
     "PERF_SCHEMA",
+    "ACCEPTED_PERF_SCHEMAS",
     "STAGE_FLOOR_S",
     "perf_grid",
     "perf_worker",
     "run_perf",
+    "scale_perf_jobs",
+    "run_scale_perf",
     "build_perf_payload",
     "validate_perf_payload",
     "compare_perf_payloads",
 ]
 
 #: Version tag of the ``BENCH_perf.json`` document layout.
-PERF_SCHEMA = "repro.bench-perf/1"
+PERF_SCHEMA = "repro.bench-perf/2"
+
+#: Schemas :func:`validate_perf_payload` accepts. ``/1`` documents
+#: (no scale section, no pipeline labels) remain valid baselines; the
+#: scale memory gate simply has nothing to compare against them.
+ACCEPTED_PERF_SCHEMAS = (PERF_SCHEMA, "repro.bench-perf/1")
 
 #: Baseline stages faster than this (after machine rescaling) are too
 #: noisy to gate on and are skipped by :func:`compare_perf_payloads`.
@@ -56,6 +76,18 @@ STAGE_FLOOR_S = 0.1
 
 #: Allowed slowdown before a stage counts as a regression (25%).
 DEFAULT_TOLERANCE = 0.25
+
+#: Allowed growth in scale-job ``peak_rss_kb_per_mgate`` before it
+#: counts as a memory regression (35% — RSS is noisier than time).
+DEFAULT_MEMORY_TOLERANCE = 0.35
+
+#: Default post-decompose gate target for the perf scale jobs. Small
+#: enough for CI smoke, large enough that per-gate memory dominates
+#: the interpreter baseline.
+DEFAULT_SCALE_GATES = 200_000
+
+#: Default ingestion window for streamed scale jobs.
+DEFAULT_SCALE_WINDOW = 65536
 
 
 def perf_grid() -> SweepGrid:
@@ -79,7 +111,22 @@ def perf_grid() -> SweepGrid:
 
 
 def _peak_rss_kb() -> Optional[int]:
-    """Process high-water RSS in KiB (None where unsupported)."""
+    """Process high-water RSS in KiB (None where unsupported).
+
+    Prefers ``/proc/self/status`` ``VmHWM``, which is per-address-space
+    and therefore *resets on exec*. ``ru_maxrss`` does not: Linux folds
+    the pre-exec (forked-parent copy) watermark into the child's
+    accounting, so a scale subprocess spawned from a fat parent would
+    inherit the parent's peak and the per-job figure would be
+    meaningless.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX
@@ -110,6 +157,216 @@ def perf_worker(
     outcome = execute_job(job, cache_dir, use_cache)
     outcome["peak_rss_kb"] = _peak_rss_kb()
     return outcome
+
+
+def scale_perf_jobs(
+    target_gates: int = DEFAULT_SCALE_GATES,
+    algorithm: str = "lpfs",
+    window: int = DEFAULT_SCALE_WINDOW,
+    k: int = 4,
+    d: int = 4,
+    kinds: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """The pinned scale-job list: every synthetic kind through both
+    pipeline modes at one machine point.
+
+    The label embeds everything the baseline gate keys on — kind,
+    gate target, machine, algorithm, window and **pipeline mode** — so
+    streamed and materialized measurements can never cross-compare.
+    """
+    from ..benchmarks.scale import SCALE_KINDS
+
+    jobs: List[Dict[str, Any]] = []
+    for kind in kinds if kinds is not None else SCALE_KINDS:
+        for pipeline in ("streamed", "materialized"):
+            win = window if pipeline == "streamed" else None
+            label = (
+                f"scale:{kind}@{target_gates}/k{k}d{d}/{algorithm}"
+                f"/{pipeline}"
+                + (f"[w={win}]" if win is not None else "")
+            )
+            jobs.append(
+                {
+                    "label": label,
+                    "kind": kind,
+                    "target_gates": target_gates,
+                    "algorithm": algorithm,
+                    "k": k,
+                    "d": d,
+                    "window": win,
+                    "pipeline": pipeline,
+                }
+            )
+    return jobs
+
+
+def _measure_scale_job(job: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one scale job in-process and return its measurement row.
+
+    Meant to run in a *fresh* interpreter (see :func:`run_scale_perf`)
+    so ``ru_maxrss`` is this job's own high-water mark; ``interp_rss_kb``
+    is sampled before any benchmark work as the machine's memory
+    baseline probe.
+    """
+    interp_rss = _peak_rss_kb()
+    t0 = time.perf_counter()
+
+    from ..arch.machine import MultiSIMD
+    from ..benchmarks.scale import build_scale
+    from ..core.dag import DependenceDAG
+    from ..passes.stream import leaf_stream
+    from ..sched.comm import derive_movement
+    from ..sched.stream import (
+        build_columns,
+        derive_movement_stream,
+        schedule_columns,
+    )
+    from ..toolflow import SchedulerConfig
+
+    program, total = build_scale(job["kind"], job["target_gates"])
+    machine = MultiSIMD(k=job["k"], d=job["d"])
+    scheduler = SchedulerConfig(job["algorithm"])
+    build_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    if job["pipeline"] == "streamed":
+        cols = build_columns(
+            leaf_stream(program, program.entry, length_hint=total),
+            window=job["window"],
+        )
+        ssched = schedule_columns(
+            cols,
+            scheduler.algorithm,
+            k=job["k"],
+            d=job["d"],
+            lpfs_l=scheduler.lpfs_l,
+            lpfs_simd=scheduler.lpfs_simd,
+            lpfs_refill=scheduler.lpfs_refill,
+        )
+        schedule_s = time.perf_counter() - t1
+        t2 = time.perf_counter()
+        stats = derive_movement_stream(cols, ssched, machine)
+        length = ssched.length
+    else:
+        ops = list(leaf_stream(program, program.entry))
+        dag = DependenceDAG(ops)
+        sched = scheduler.schedule(dag, k=job["k"], d=job["d"])
+        schedule_s = time.perf_counter() - t1
+        t2 = time.perf_counter()
+        stats = derive_movement(sched, machine)
+        length = sched.length
+    movement_s = time.perf_counter() - t2
+
+    peak = _peak_rss_kb()
+    elapsed = time.perf_counter() - t0
+    return {
+        "label": job["label"],
+        "kind": job["kind"],
+        "target_gates": job["target_gates"],
+        "total_gates": total,
+        "algorithm": job["algorithm"],
+        "k": job["k"],
+        "d": job["d"],
+        "window": job["window"],
+        "pipeline": job["pipeline"],
+        "status": "ok",
+        "build_s": build_s,
+        "schedule_s": schedule_s,
+        "movement_s": movement_s,
+        "elapsed_s": elapsed,
+        "schedule_length": length,
+        "runtime": stats.runtime,
+        "interp_rss_kb": interp_rss,
+        "peak_rss_kb": peak,
+        "peak_rss_kb_per_mgate": (
+            peak / (total / 1e6) if peak is not None and total else None
+        ),
+    }
+
+
+#: Driver the scale subprocess runs: one job dict (JSON) on stdin, one
+#: measurement row (JSON) on stdout. ``python -c`` rather than
+#: ``multiprocessing`` spawn because spawn re-executes the parent's
+#: ``__main__`` — fragile under pytest, REPLs, and piped scripts.
+_SCALE_DRIVER = (
+    "import json, sys\n"
+    "from repro.service.perf import _measure_scale_job\n"
+    "row = _measure_scale_job(json.load(sys.stdin))\n"
+    "json.dump(row, sys.stdout)\n"
+)
+
+
+def _run_scale_subprocess(
+    job: Dict[str, Any], timeout_s: float
+) -> Dict[str, Any]:
+    import json
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCALE_DRIVER],
+            input=json.dumps(job),
+            capture_output=True,
+            text=True,
+            timeout=timeout_s,
+            env=env,
+        )
+    except subprocess.TimeoutExpired:
+        return {
+            "label": job["label"],
+            "pipeline": job.get("pipeline"),
+            "status": "timeout",
+            "error": f"no result within {timeout_s:g}s",
+        }
+    if proc.returncode != 0:
+        return {
+            "label": job["label"],
+            "pipeline": job.get("pipeline"),
+            "status": "error",
+            "error": f"subprocess exited with code {proc.returncode}: "
+            + proc.stderr.strip()[-500:],
+        }
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return {
+            "label": job["label"],
+            "pipeline": job.get("pipeline"),
+            "status": "error",
+            "error": "subprocess wrote no parseable result",
+        }
+
+
+def run_scale_perf(
+    jobs: Optional[Sequence[Dict[str, Any]]] = None,
+    fresh_process: bool = True,
+    timeout_s: float = 600.0,
+) -> Dict[str, Any]:
+    """Measure the scale jobs, each in a fresh subprocess.
+
+    A process-lifetime ``ru_maxrss`` is only meaningful per job when
+    each job gets its own process; ``fresh_process=False`` (tests,
+    environments that cannot exec) measures inline and marks the
+    section accordingly — the RSS columns then read as the parent's
+    watermark, monotone across jobs.
+    """
+    job_list = list(jobs) if jobs is not None else scale_perf_jobs()
+    rows: List[Dict[str, Any]] = []
+    isolated = fresh_process
+    for job in job_list:
+        if fresh_process:
+            try:
+                rows.append(_run_scale_subprocess(job, timeout_s))
+                continue
+            except OSError:  # pragma: no cover - exec unavailable
+                isolated = False
+                fresh_process = False
+        rows.append(_measure_scale_job(dict(job)))
+    return {"process_isolated": isolated, "jobs": rows}
 
 
 def _aggregate(runs: Sequence[SweepRun]) -> Dict[str, Any]:
@@ -161,7 +418,11 @@ def _aggregate(runs: Sequence[SweepRun]) -> Dict[str, Any]:
         "failed_jobs": sorted(set(failures)),
         "per_job": [
             {
-                "label": outcome["label"],
+                # The pipeline mode is part of the label (and a field of
+                # its own) so baseline gates key on it: a materialized
+                # grid time never gates a streamed measurement.
+                "label": f"{outcome['label']}/materialized",
+                "pipeline": "materialized",
                 "compute_s": min(
                     run.outcomes[i]["compute_s"] for run in runs
                 ),
@@ -176,13 +437,19 @@ def run_perf(
     repeats: int = 2,
     include_reference: bool = True,
     jobs: Optional[Sequence[JobSpec]] = None,
+    include_scale: bool = True,
+    scale_jobs: Optional[Sequence[Dict[str, Any]]] = None,
+    scale_fresh_process: bool = True,
 ) -> Dict[str, Any]:
     """Measure the pinned grid and return the ``BENCH_perf`` payload.
 
     The grid runs serially and uncached (the point is to measure
     compute, not the artifact store), ``repeats`` times on the fast
     path and — unless ``include_reference`` is false — ``repeats``
-    times on the reference pipeline in the same process.
+    times on the reference pipeline in the same process. Unless
+    ``include_scale`` is false, the scale jobs then run once each in
+    fresh subprocesses (:func:`run_scale_perf`) for the per-gate memory
+    columns.
 
     Raises:
         ValueError: when ``repeats < 1``.
@@ -219,7 +486,33 @@ def run_perf(
     if include_reference:
         with reference_pipeline():
             reference = _aggregate(_measure())
-    return build_perf_payload(grid, repeats, fast, reference)
+    scale = None
+    if include_scale:
+        scale = run_scale_perf(
+            jobs=scale_jobs, fresh_process=scale_fresh_process
+        )
+    return build_perf_payload(grid, repeats, fast, reference, scale)
+
+
+def _streamed_overhead(scale: Optional[Dict[str, Any]]) -> Optional[float]:
+    """Worst streamed/materialized elapsed ratio across scale kinds
+    measured in both modes (the tentpole's 1.3x throughput target), or
+    ``None`` when no kind has a complete pair."""
+    if not scale:
+        return None
+    by_mode: Dict[Any, Dict[str, float]] = {}
+    for row in scale.get("jobs", ()):
+        if row.get("status") != "ok":
+            continue
+        key = (row["kind"], row["target_gates"], row["algorithm"])
+        by_mode.setdefault(key, {})[row["pipeline"]] = row["elapsed_s"]
+    ratios = [
+        modes["streamed"] / modes["materialized"]
+        for modes in by_mode.values()
+        if "streamed" in modes
+        and modes.get("materialized", 0) > 0
+    ]
+    return max(ratios) if ratios else None
 
 
 def build_perf_payload(
@@ -227,6 +520,7 @@ def build_perf_payload(
     repeats: int,
     fast: Dict[str, Any],
     reference: Optional[Dict[str, Any]],
+    scale: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the versioned ``BENCH_perf.json`` document."""
     speedup = None
@@ -246,6 +540,8 @@ def build_perf_payload(
         "fast": fast,
         "reference": reference,
         "speedup": speedup,
+        "scale": scale,
+        "streamed_overhead": _streamed_overhead(scale),
     }
 
 
@@ -296,12 +592,48 @@ def validate_perf_payload(payload: Dict[str, Any]) -> List[str]:
             need(job, "compute_s", (int, float), f"{where}.per_job[{i}]")
             need(job, "status", str, f"{where}.per_job[{i}]")
 
+    def check_scale(scale: Dict[str, Any], where: str) -> None:
+        if "process_isolated" not in scale:
+            problems.append(f"{where}: missing key 'process_isolated'")
+        rows = need(scale, "jobs", list, where)
+        for i, row in enumerate(rows or []):
+            at = f"{where}.jobs[{i}]"
+            if not isinstance(row, dict):
+                problems.append(f"{at}: not an object")
+                continue
+            need(row, "label", str, at)
+            status = need(row, "status", str, at)
+            need(row, "pipeline", str, at)
+            if status != "ok":
+                continue
+            need(row, "kind", str, at)
+            need(row, "target_gates", int, at)
+            need(row, "total_gates", int, at)
+            need(row, "elapsed_s", (int, float), at)
+            need(row, "schedule_length", int, at)
+            if "peak_rss_kb" not in row:
+                problems.append(f"{at}: missing key 'peak_rss_kb'")
+            if "peak_rss_kb_per_mgate" not in row:
+                problems.append(
+                    f"{at}: missing key 'peak_rss_kb_per_mgate'"
+                )
+            if row.get("pipeline") not in ("streamed", "materialized"):
+                problems.append(
+                    f"{at}.pipeline: expected 'streamed' or "
+                    f"'materialized', got {row.get('pipeline')!r}"
+                )
+            if row.get("pipeline", "") not in row.get("label", ""):
+                problems.append(
+                    f"{at}: label must embed the pipeline mode"
+                )
+
     if not isinstance(payload, dict):
         return ["payload is not an object"]
-    if payload.get("schema") != PERF_SCHEMA:
+    schema = payload.get("schema")
+    if schema not in ACCEPTED_PERF_SCHEMAS:
         problems.append(
-            f"schema: expected {PERF_SCHEMA!r}, got "
-            f"{payload.get('schema')!r}"
+            f"schema: expected one of {ACCEPTED_PERF_SCHEMAS!r}, got "
+            f"{schema!r}"
         )
     need(payload, "pipeline_version", str, "$")
     need(payload, "created_unix", (int, float), "$")
@@ -322,6 +654,14 @@ def validate_perf_payload(payload: Dict[str, Any]) -> List[str]:
         payload["speedup"], (int, float)
     ):
         problems.append("$.speedup: expected number or null")
+    if schema == PERF_SCHEMA:
+        if "scale" not in payload:
+            problems.append("$: missing key 'scale'")
+        elif payload["scale"] is not None:
+            if not isinstance(payload["scale"], dict):
+                problems.append("$.scale: expected dict or null")
+            else:
+                check_scale(payload["scale"], "scale")
     return problems
 
 
@@ -330,6 +670,7 @@ def compare_perf_payloads(
     baseline: Dict[str, Any],
     tolerance: float = DEFAULT_TOLERANCE,
     floor_s: float = STAGE_FLOOR_S,
+    memory_tolerance: float = DEFAULT_MEMORY_TOLERANCE,
 ) -> List[str]:
     """Regression check of ``current`` against a committed ``baseline``.
 
@@ -346,6 +687,17 @@ def compare_perf_payloads(
     noise. Returns human-readable regression descriptions (empty =
     pass). Documents without reference measurements fall back to
     ``scale = 1`` (same-machine comparison).
+
+    Scale-job **memory** is gated analogously: baseline
+    ``peak_rss_kb_per_mgate`` is rescaled by the ratio of the two
+    documents' fresh-interpreter RSS (pointer width and allocator
+    differences move both the baseline interpreter and the workload
+    roughly together) and compared per job, keyed by the full label.
+    Labels embed the pipeline mode, so a streamed row only ever gates
+    against a streamed baseline row — materialized memory (which grows
+    without bound by design) can never mask or trip the streamed gate.
+    Jobs present on one side only are skipped, so ``/1`` baselines
+    simply don't exercise the memory gate.
     """
     problems: List[str] = []
     cur_fast = current.get("fast") or {}
@@ -384,4 +736,53 @@ def compare_perf_payloads(
         cur_fast.get("total_compute_s") or 0.0,
         base_fast.get("total_compute_s") or 0.0,
     )
+
+    # -- scale-job memory gate (schema /2 on both sides) ----------------
+    cur_rows = {
+        row["label"]: row
+        for row in (current.get("scale") or {}).get("jobs", ())
+        if row.get("status") == "ok"
+    }
+    base_rows = {
+        row["label"]: row
+        for row in (baseline.get("scale") or {}).get("jobs", ())
+        if row.get("status") == "ok"
+    }
+    interp_pairs = [
+        (cur_rows[label].get("interp_rss_kb"),
+         base_rows[label].get("interp_rss_kb"))
+        for label in cur_rows.keys() & base_rows.keys()
+    ]
+    interp_pairs = [
+        (c, b) for c, b in interp_pairs if c and b
+    ]
+    mem_scale = 1.0
+    if interp_pairs:
+        mem_scale = sum(c for c, _ in interp_pairs) / sum(
+            b for _, b in interp_pairs
+        )
+    for label in sorted(cur_rows.keys() & base_rows.keys()):
+        cur_row, base_row = cur_rows[label], base_rows[label]
+        # Keyed by the full label (pipeline mode included), and double-
+        # checked: a mode mismatch means the documents disagree about
+        # what the label measures, which must never gate silently.
+        if cur_row.get("pipeline") != base_row.get("pipeline"):
+            problems.append(
+                f"scale {label}: pipeline mode mismatch "
+                f"({cur_row.get('pipeline')!r} vs "
+                f"{base_row.get('pipeline')!r}); refusing to compare"
+            )
+            continue
+        cur_mem = cur_row.get("peak_rss_kb_per_mgate")
+        base_mem = base_row.get("peak_rss_kb_per_mgate")
+        if not cur_mem or not base_mem:
+            continue
+        budget = base_mem * mem_scale
+        if cur_mem > budget * (1.0 + memory_tolerance):
+            problems.append(
+                f"scale {label}: {cur_mem:.0f} KiB/Mgate vs budget "
+                f"{budget:.0f} KiB/Mgate (baseline {base_mem:.0f} "
+                f"x memory scale {mem_scale:.2f} "
+                f"+ {memory_tolerance:.0%})"
+            )
     return problems

@@ -15,6 +15,7 @@ change.
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import threading
@@ -166,6 +167,65 @@ class ArtifactStore:
     def _path(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
 
+    def _sched_path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.sched.json.gz"
+
+    def save_schedules(
+        self, fingerprint: str, schedules: Dict[str, Any]
+    ) -> Path:
+        """Persist schedule bodies as a gzip sidecar to the artifact.
+
+        Kept out of the main JSON so metrics-only loads stay cheap; the
+        sidecar is read only when a consumer (the engine) needs live
+        schedules for a disk-hit result. Same temp-file + replace
+        discipline as :meth:`save`.
+        """
+        path = self._sched_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": ARTIFACT_SCHEMA,
+            "pipeline_version": self.pipeline_version,
+            "fingerprint": fingerprint,
+            "schedules": schedules,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with gzip.open(tmp, "wt", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, separators=(",", ":")))
+        os.replace(tmp, path)
+        return path
+
+    def load_schedules(
+        self, fingerprint: str
+    ) -> Optional[Dict[str, Any]]:
+        """The schedule sidecar, or ``None`` when absent / stale.
+
+        A stale or corrupt sidecar is deleted without touching the main
+        artifact — the caller falls back to recompiling, never to
+        serving wrong schedules.
+        """
+        path = self._sched_path(fingerprint)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                doc = json.loads(fh.read())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, EOFError):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            return None
+        if (
+            doc.get("schema") != ARTIFACT_SCHEMA
+            or doc.get("pipeline_version") != self.pipeline_version
+        ):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            return None
+        return doc["schedules"]
+
     def save(self, fingerprint: str, payload: Dict[str, Any]) -> Path:
         """Atomically persist ``payload`` under ``fingerprint``.
 
@@ -211,10 +271,15 @@ class ArtifactStore:
         return doc["payload"]
 
     def invalidate(self, fingerprint: str) -> None:
-        """Delete one artifact (no-op when absent)."""
+        """Delete one artifact and its schedule sidecar (no-op when
+        absent)."""
         try:
             self._path(fingerprint).unlink()
             self.stats.invalidations += 1
+        except FileNotFoundError:
+            pass
+        try:
+            self._sched_path(fingerprint).unlink()
         except FileNotFoundError:
             pass
 

@@ -1,0 +1,349 @@
+"""Out-of-core schedule export: the ``repro.schedule-stream/1`` format.
+
+A streamed schedule at paper scale (10^7 gates, ~7*10^6 epochs) cannot
+round-trip through :func:`repro.sched.report.schedule_to_dict` — that
+is one JSON document holding every statement and timestep at once. The
+stream format is JSON *Lines*, written epoch-at-a-time as movement
+derivation retires each epoch and readable epoch-at-a-time by the
+execution engine, so neither side ever holds more than one epoch:
+
+* line 1 — header: schema, module/algorithm/k/d, totals, and the
+  interned ``qubits`` and ``gates`` name tables (every later line
+  refers to ids);
+* one line per timestep: ``{"t": .., "moves": [[qid, src, dst, kind],
+  ..], "regions": [[r, [[node, gid, [qid, ..]], ..]], ..]}`` — the
+  movement epoch *preceding* the timestep, then the region contents
+  (an op entry gains a 4th element when it carries an angle). Locations
+  are ``["global"]``, ``["region", r]`` or ``["local", r]``;
+* footer: the :class:`~repro.sched.comm.CommStats` dict (same shape as
+  the single-document export) and the timestep count, which doubles as
+  a truncation check.
+
+Files ending in ``.gz`` are transparently gzip-compressed (the CI
+artifact form). Small files can be inflated back to a boxed
+:class:`~repro.sched.types.Schedule` for the differential battery.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..arch.machine import MultiSIMD
+from ..core.dag import DependenceDAG
+from ..core.operation import Operation
+from ..core.qubits import Qubit
+from ..sched.comm import CommStats
+from ..sched.report import _comm_from_dict, _comm_to_dict, _qubit_name
+from ..sched.stream import (
+    StreamColumns,
+    StreamedSchedule,
+    derive_movement_stream,
+)
+from ..sched.types import Move, Schedule
+
+__all__ = [
+    "STREAM_SCHEMA",
+    "write_schedule_stream",
+    "read_schedule_stream",
+    "validate_schedule_stream",
+    "inflate_schedule_stream",
+    "execute_schedule_stream",
+]
+
+STREAM_SCHEMA = "repro.schedule-stream/1"
+
+
+def _open(path: str, mode: str):
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _loc_to_json(loc: tuple) -> List[Any]:
+    return list(loc)
+
+
+def _loc_from_json(loc: List[Any]) -> tuple:
+    return tuple(loc)
+
+
+def write_schedule_stream(
+    path: str,
+    cols: StreamColumns,
+    ssched: StreamedSchedule,
+    machine: MultiSIMD,
+    module: str = "",
+) -> CommStats:
+    """Derive movement for ``ssched`` and export it epoch-at-a-time.
+
+    Returns the communication profile (also written to the footer).
+    Memory is bounded by one epoch plus the derivation state — the file
+    is written as the epochs retire, never assembled.
+    """
+    qubit_ids = {id(q): i for i, q in enumerate(cols.qubits)}
+    angles = cols.angles
+    op_q, op_off = cols.op_q, cols.op_off
+    gate_ids = cols.gate_ids
+
+    with _open(path, "w") as fh:
+        header = {
+            "schema": STREAM_SCHEMA,
+            "module": module,
+            "algorithm": ssched.algorithm,
+            "k": ssched.k,
+            "d": ssched.d,
+            "op_count": ssched.op_count,
+            "length": ssched.length,
+            "max_width": ssched.max_width,
+            "qubits": [_qubit_name(q) for q in cols.qubits],
+            "gates": list(cols.gate_names),
+        }
+        fh.write(json.dumps(header, separators=(",", ":")))
+        fh.write("\n")
+
+        def sink(
+            t: int,
+            epoch: List[Move],
+            regions: List[Tuple[int, List[int]]],
+        ) -> None:
+            moves = [
+                [
+                    qubit_ids[id(m.qubit)],
+                    _loc_to_json(m.src),
+                    _loc_to_json(m.dst),
+                    m.kind,
+                ]
+                for m in epoch
+            ]
+            regs = []
+            for r, nodes in regions:
+                ops = []
+                for node in nodes:
+                    entry: List[Any] = [
+                        node,
+                        gate_ids[node],
+                        list(op_q[op_off[node] : op_off[node + 1]]),
+                    ]
+                    angle = angles.get(node)
+                    if angle is not None:
+                        entry.append(angle)
+                    ops.append(entry)
+                regs.append([r, ops])
+            fh.write(
+                json.dumps(
+                    {"t": t, "moves": moves, "regions": regs},
+                    separators=(",", ":"),
+                )
+            )
+            fh.write("\n")
+
+        stats = derive_movement_stream(cols, ssched, machine, sink=sink)
+        footer = {
+            "comm": _comm_to_dict(stats),
+            "timesteps": ssched.length,
+        }
+        fh.write(json.dumps(footer, separators=(",", ":")))
+        fh.write("\n")
+    return stats
+
+
+class StreamEpoch:
+    """One decoded timestep: the preceding movement epoch plus region
+    contents, with ids resolved to boxed objects."""
+
+    __slots__ = ("t", "moves", "regions")
+
+    def __init__(
+        self,
+        t: int,
+        moves: List[Move],
+        regions: List[Tuple[int, List[Tuple[int, Operation]]]],
+    ):
+        self.t = t
+        self.moves = moves
+        self.regions = regions
+
+
+def read_schedule_stream(
+    path: str,
+) -> Tuple[Dict[str, Any], Iterator[StreamEpoch], List[Optional[CommStats]]]:
+    """Open a stream export: ``(header, epoch iterator, footer box)``.
+
+    The iterator yields :class:`StreamEpoch` one line at a time; after
+    it is exhausted, ``footer_box[0]`` holds the footer's
+    :class:`CommStats` (None until then, and a missing footer raises —
+    a truncated file never passes silently).
+    """
+    fh = _open(path, "r")
+    header = json.loads(fh.readline())
+    if header.get("schema") != STREAM_SCHEMA:
+        fh.close()
+        raise ValueError(
+            f"not a {STREAM_SCHEMA} file: {header.get('schema')!r}"
+        )
+    from ..sched.report import _parse_qubit
+
+    qubits = [_parse_qubit(name) for name in header["qubits"]]
+    gates = header["gates"]
+    footer_box: List[Optional[CommStats]] = [None]
+
+    def epochs() -> Iterator[StreamEpoch]:
+        try:
+            expected = header["length"]
+            seen = 0
+            for line in fh:
+                data = json.loads(line)
+                if "comm" in data:
+                    if data.get("timesteps") != seen:
+                        raise ValueError(
+                            f"stream footer says {data.get('timesteps')} "
+                            f"timesteps, read {seen}"
+                        )
+                    footer_box[0] = _comm_from_dict(data["comm"])
+                    return
+                moves = [
+                    Move(
+                        qubits[qid],
+                        _loc_from_json(src),
+                        _loc_from_json(dst),
+                        kind,
+                    )
+                    for qid, src, dst, kind in data["moves"]
+                ]
+                regions: List[Tuple[int, List[Tuple[int, Operation]]]] = []
+                for r, ops in data["regions"]:
+                    boxed = [
+                        (
+                            entry[0],
+                            Operation(
+                                gates[entry[1]],
+                                tuple(qubits[q] for q in entry[2]),
+                                entry[3] if len(entry) > 3 else None,
+                            ),
+                        )
+                        for entry in ops
+                    ]
+                    regions.append((r, boxed))
+                yield StreamEpoch(data["t"], moves, regions)
+                seen += 1
+            raise ValueError(
+                f"stream truncated: no footer after {seen}/{expected} "
+                "timesteps"
+            )
+        finally:
+            fh.close()
+
+    return header, epochs(), footer_box
+
+
+def validate_schedule_stream(path: str) -> Dict[str, Any]:
+    """Fully scan a stream export and return its summary (header fields
+    plus counted totals). Raises on schema mismatch, truncation, or an
+    op-count/timestep disagreement."""
+    header, epochs, footer_box = read_schedule_stream(path)
+    op_count = 0
+    timesteps = 0
+    moves = 0
+    for epoch in epochs:
+        if epoch.t != timesteps:
+            raise ValueError(
+                f"epoch line out of order: t={epoch.t} at position "
+                f"{timesteps}"
+            )
+        timesteps += 1
+        moves += len(epoch.moves)
+        for _, ops in epoch.regions:
+            op_count += len(ops)
+    if timesteps != header["length"]:
+        raise ValueError(
+            f"header says length={header['length']}, read {timesteps}"
+        )
+    if op_count != header["op_count"]:
+        raise ValueError(
+            f"header says op_count={header['op_count']}, read {op_count}"
+        )
+    stats = footer_box[0]
+    assert stats is not None
+    return {
+        "schema": header["schema"],
+        "module": header["module"],
+        "algorithm": header["algorithm"],
+        "k": header["k"],
+        "d": header["d"],
+        "op_count": op_count,
+        "timesteps": timesteps,
+        "moves": moves,
+        "runtime": stats.runtime,
+    }
+
+
+def execute_schedule_stream(
+    path: str,
+    machine: MultiSIMD,
+    config=None,
+    sample_every: int = 1,
+) -> Tuple[Dict[str, Any], Any, Optional[CommStats]]:
+    """Run the engine directly over a stream export.
+
+    Feeds :func:`repro.engine.executor.run_schedule_stream` one decoded
+    epoch at a time — the schedule is never inflated, so a 10^7-gate
+    export executes in bounded memory. Returns ``(header, EngineResult,
+    CommStats)``; the stats come from the footer and are therefore the
+    compile-time communication profile, not re-derived.
+    """
+    from ..engine.executor import run_schedule_stream
+
+    header, epochs, footer_box = read_schedule_stream(path)
+
+    def adapt():
+        for epoch in epochs:
+            yield epoch.moves, [
+                (r, ops[0][1].gate, len(ops))
+                for r, ops in epoch.regions
+                if ops
+            ]
+
+    result = run_schedule_stream(
+        adapt(),
+        header["k"],
+        machine,
+        config=config,
+        scope=header.get("module") or "stream",
+        sample_every=sample_every,
+    )
+    return header, result, footer_box[0]
+
+
+def inflate_schedule_stream(path: str) -> Tuple[Schedule, CommStats]:
+    """Rebuild a boxed :class:`Schedule` (with moves) from a stream
+    export — small files only; this rematerializes everything."""
+    header, epochs, footer_box = read_schedule_stream(path)
+    n = header["op_count"]
+    statements: List[Optional[Operation]] = [None] * n
+    placements: List[Tuple[List[Move], List[Tuple[int, List[int]]]]] = []
+    for epoch in epochs:
+        regions: List[Tuple[int, List[int]]] = []
+        for r, ops in epoch.regions:
+            nodes = []
+            for node, op in ops:
+                statements[node] = op
+                nodes.append(node)
+            regions.append((r, nodes))
+        placements.append((epoch.moves, regions))
+    missing = sum(1 for s in statements if s is None)
+    if missing:
+        raise ValueError(f"stream schedules only {n - missing}/{n} ops")
+    dag = DependenceDAG(statements)
+    sched = Schedule(
+        dag, k=header["k"], d=header["d"], algorithm=header["algorithm"]
+    )
+    for moves, regions in placements:
+        ts = sched.append_timestep()
+        ts.moves = moves
+        for r, nodes in regions:
+            ts.regions[r].extend(nodes)
+    stats = footer_box[0]
+    assert stats is not None
+    return sched, stats

@@ -568,10 +568,12 @@ def _engine_metrics(job, result, service, machine, spec):
     """Execute a job's compile result on the engine and return the
     ``engine_*`` metric columns.
 
-    Disk-cached compile results are stored without their schedules, so
-    an engine job whose result came from the cache recompiles once with
-    the cache bypassed (the compile itself is what the cache
-    accelerates; the engine always needs live schedules).
+    Disk-cached results come back with schedules rehydrated from the
+    store's gzip sidecar, so a cache hit feeds the engine directly —
+    no recompile, and the hit still counts in the cache stats. The
+    recompile below is the fallback for results loaded from pre-sidecar
+    stores (or a deleted/corrupt sidecar), where live schedules are
+    genuinely absent.
     """
     import math
 

@@ -32,11 +32,16 @@ from .arch.machine import (
 from .core.dag import DependenceDAG
 from .core.module import Program
 from .instrument import span
-from .passes.decompose import DecomposeConfig, decompose_program
+from .passes.decompose import (
+    DecomposeConfig,
+    decompose_module,
+    decompose_program,
+)
 from .passes.flatten import DEFAULT_FTH, FlattenResult, flatten_program
 from .passes.manager import PassManager
 from .passes.optimize import optimize_program
-from .passes.resource import estimate_resources
+from .passes.resource import estimate_resources, total_gate_counts
+from .passes.stream import decomposed_gate_counts, leaf_stream, plan_flatten
 from .sched.coarse import best_dim, coarse_length_profile
 from .sched.comm import CommStats, derive_movement, naive_runtime
 from .sched.lpfs import schedule_lpfs
@@ -47,9 +52,29 @@ from .sched.metrics import (
 )
 from .sched.rcp import schedule_rcp
 from .sched.sequential import schedule_sequential
+from .sched.stream import (
+    StreamColumns,
+    StreamedSchedule,
+    build_columns,
+    derive_movement_stream,
+    schedule_columns,
+)
 from .sched.types import Schedule
 
-__all__ = ["SchedulerConfig", "ModuleProfile", "CompileResult", "compile_and_schedule"]
+__all__ = [
+    "SchedulerConfig",
+    "ModuleProfile",
+    "CompileResult",
+    "compile_and_schedule",
+    "StreamedCompileResult",
+    "compile_and_schedule_streamed",
+    "DEFAULT_WINDOW",
+]
+
+#: Default ingestion window for the streaming pipeline: enough ops per
+#: chunk that chunking overhead vanishes, small enough that boxed-op
+#: peak memory stays in the tens of MiB.
+DEFAULT_WINDOW = 65536
 
 
 @dataclass(frozen=True)
@@ -351,4 +376,178 @@ def compile_and_schedule(
         critical_path=max(cp[program.entry], 1),
         flattened_percent=flat.percent_flattened,
         diagnostics=tuple(collected.sorted()),
+    )
+
+
+@dataclass
+class StreamedCompileResult(CompileResult):
+    """A :class:`CompileResult` produced by the streaming pipeline.
+
+    ``program`` is the *input* (hierarchical, unexpanded) program —
+    the streamed pipeline never rewrites it — and ``schedules`` is
+    empty; retained leaf schedules live in ``stream_schedules`` /
+    ``columns`` in their compact columnar form (inflate via
+    :func:`repro.sched.stream.to_schedule`, export via
+    :func:`repro.service.stream_io.write_schedule_stream`). All metric
+    fields and properties carry the same values the materialized
+    pipeline computes — ``tests/test_stream_sched.py`` asserts profile,
+    gate-count and critical-path equality per module.
+    """
+
+    window: Optional[int] = DEFAULT_WINDOW
+    stream_schedules: Dict[str, StreamedSchedule] = field(
+        default_factory=dict
+    )
+    columns: Dict[str, StreamColumns] = field(default_factory=dict)
+    leaf_comm: Dict[str, CommStats] = field(default_factory=dict)
+
+
+def compile_and_schedule_streamed(
+    program: Program,
+    machine: MultiSIMD,
+    scheduler: Optional[SchedulerConfig] = None,
+    fth: int = DEFAULT_FTH,
+    decompose: bool = True,
+    decompose_config: Optional[DecomposeConfig] = None,
+    optimize: bool = False,
+    window: Optional[int] = DEFAULT_WINDOW,
+    keep_schedules: bool = True,
+    widths: str = "all",
+) -> StreamedCompileResult:
+    """The streaming counterpart of :func:`compile_and_schedule`.
+
+    Produces metric-identical results without ever materializing a
+    leaf body: flattening *decisions* come from hierarchical gate
+    counts (:func:`~repro.passes.stream.plan_flatten`), leaf bodies are
+    lazily expanded (:func:`~repro.passes.stream.leaf_stream`) and
+    ingested into columns ``window`` ops at a time, and the columnar
+    scheduler mirrors emit bit-identical schedules to the fast path.
+    Peak memory is O(gates * ~50 bytes) for the columns instead of
+    O(gates * ~1 KiB) for boxed ops — and independent of ``window``,
+    which only bounds the boxed-op transient during ingestion.
+
+    Args:
+        window: ingestion chunk size in ops (None = materialize each
+            leaf's op stream whole during ingestion; columns are
+            identical either way).
+        keep_schedules: retain each leaf's full-width streamed schedule
+            and columns on the result (compact; needed for export and
+            engine execution).
+        widths: ``"all"`` profiles every candidate width like the
+            materialized pipeline; ``"entry"`` profiles only the
+            machine's full width ``k`` — the paper-scale mode, where
+            one width already costs minutes and entry-level metrics
+            are what the scale run reports.
+    """
+    scheduler = scheduler or SchedulerConfig()
+    if optimize:
+        program = optimize_program(program)[0]
+    with span("toolflow:stream-plan"):
+        if decompose:
+            totals = decomposed_gate_counts(program, decompose_config)
+        else:
+            totals = total_gate_counts(program)
+        plan = plan_flatten(program, totals, fth)
+
+    k, d = machine.k, machine.d
+    if widths == "all":
+        width_list = _candidate_widths(k)
+    elif widths == "entry":
+        width_list = [k]
+    else:
+        raise ValueError(f"widths must be 'all' or 'entry', got {widths!r}")
+
+    synth = (
+        (decompose_config or DecomposeConfig()).synthesizer()
+        if decompose
+        else None
+    )
+    profiles: Dict[str, ModuleProfile] = {}
+    stream_schedules: Dict[str, StreamedSchedule] = {}
+    columns: Dict[str, StreamColumns] = {}
+    leaf_comm: Dict[str, CommStats] = {}
+    cp: Dict[str, int] = {}
+
+    with span("toolflow:stream-schedule"):
+        for name in plan.order:
+            mod = program.module(name)
+            if plan.is_leaf_after(name):
+                profile = ModuleProfile(name, True)
+                stream = leaf_stream(
+                    program,
+                    name,
+                    decompose=decompose,
+                    decompose_config=decompose_config,
+                    length_hint=totals[name],
+                )
+                cols = build_columns(stream, window=window)
+                cp[name] = cols.critical_path_length()
+                for w in width_list:
+                    ssched = schedule_columns(
+                        cols,
+                        scheduler.algorithm,
+                        w,
+                        d,
+                        lpfs_l=scheduler.lpfs_l,
+                        lpfs_simd=scheduler.lpfs_simd,
+                        lpfs_refill=scheduler.lpfs_refill,
+                    )
+                    stats = derive_movement_stream(
+                        cols, ssched, machine.with_k(w)
+                    )
+                    profile.length[w] = max(ssched.length, 1)
+                    profile.runtime[w] = max(stats.runtime, 1)
+                    profile.comm[w] = stats
+                    if keep_schedules and w == k:
+                        stream_schedules[name] = ssched
+                        leaf_comm[name] = stats
+                cols.release_graph()
+                if keep_schedules:
+                    columns[name] = cols
+            else:
+                profile = ModuleProfile(name, False)
+                dmod = decompose_module(mod, synth) if synth else mod
+                callees = sorted(dmod.callees())
+                length_dims = {c: profiles[c].length for c in callees}
+                runtime_dims = {c: profiles[c].runtime for c in callees}
+                lengths = coarse_length_profile(
+                    dmod, length_dims, width_list, gate_cost=GATE_CYCLES,
+                    call_overhead=0,
+                )
+                runtimes = coarse_length_profile(
+                    dmod,
+                    runtime_dims,
+                    width_list,
+                    gate_cost=GATE_CYCLES + TELEPORT_CYCLES,
+                    call_overhead=TELEPORT_CYCLES,
+                )
+                for w in width_list:
+                    profile.length[w] = max(lengths[w], 1)
+                    profile.runtime[w] = max(runtimes[w], 1)
+                # Mirror of hierarchical_critical_path for one module:
+                # a call weighs iterations * CP(callee).
+                weights = [
+                    1
+                    if not hasattr(stmt, "callee")
+                    else stmt.iterations * cp[stmt.callee]
+                    for stmt in dmod.body
+                ]
+                cp[name] = DependenceDAG(
+                    dmod.body, weights=weights
+                ).critical_path_length()
+            profiles[name] = profile
+
+    return StreamedCompileResult(
+        program=program,
+        machine=machine,
+        scheduler=scheduler,
+        profiles=profiles,
+        schedules={},
+        total_gates=totals[program.entry],
+        critical_path=max(cp[program.entry], 1),
+        flattened_percent=plan.percent_flattened,
+        window=window,
+        stream_schedules=stream_schedules,
+        columns=columns,
+        leaf_comm=leaf_comm,
     )

@@ -1,0 +1,110 @@
+"""Synthetic scale benchmarks (:mod:`repro.benchmarks.scale`) and the
+perf scale harness (:mod:`repro.service.perf` schema ``/2``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.machine import MultiSIMD
+from repro.benchmarks import SCALE_KINDS, build_scale, scale_total_gates
+from repro.core.opstream import materialize
+from repro.passes.stream import decomposed_gate_counts, leaf_stream
+from repro.service.perf import run_scale_perf, scale_perf_jobs
+from repro.toolflow import (
+    SchedulerConfig,
+    compile_and_schedule_streamed,
+)
+
+
+class TestBuildScale:
+    @pytest.mark.parametrize("kind", SCALE_KINDS)
+    @pytest.mark.parametrize("target", [5_000, 20_000])
+    def test_total_is_exact_and_near_target(self, kind, target):
+        prog, total = build_scale(kind, target)
+        assert scale_total_gates(prog) == total
+        assert decomposed_gate_counts(prog)[prog.entry] == total
+        # Within one iteration's rounding of the target.
+        assert abs(total - target) / target < 0.1
+
+    @pytest.mark.parametrize("kind", SCALE_KINDS)
+    def test_tiny_target_clamps_to_one_iteration(self, kind):
+        prog, total = build_scale(kind, 1)
+        assert total >= 1
+        assert scale_total_gates(prog) == total
+
+    @pytest.mark.parametrize("kind", SCALE_KINDS)
+    def test_deterministic(self, kind):
+        a, ta = build_scale(kind, 2_000)
+        b, tb = build_scale(kind, 2_000)
+        assert ta == tb
+        sa = materialize(leaf_stream(a, a.entry))[:200]
+        sb = materialize(leaf_stream(b, b.entry))[:200]
+        assert [
+            (o.gate, tuple(map(str, o.qubits)), o.angle) for o in sa
+        ] == [
+            (o.gate, tuple(map(str, o.qubits)), o.angle) for o in sb
+        ]
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            build_scale("nope", 1000)
+        with pytest.raises(ValueError, match="target_gates"):
+            build_scale("adder", 0)
+
+    @pytest.mark.parametrize("kind", SCALE_KINDS)
+    def test_streams_through_pipeline(self, kind):
+        """A scale program flattens into one leaf and schedules
+        cleanly through the streamed pipeline."""
+        prog, total = build_scale(kind, 2_000)
+        res = compile_and_schedule_streamed(
+            prog,
+            MultiSIMD(k=4, d=4),
+            SchedulerConfig("lpfs"),
+            fth=total + 1,
+            widths="entry",
+        )
+        assert res.total_gates == total
+        assert res.flattened_percent == 100.0
+        # k*d = 16 ops can retire per timestep at most.
+        assert res.schedule_length >= total // 16
+        assert res.leaf_comm  # movement derived
+
+
+class TestScalePerfJobs:
+    def test_labels_embed_pipeline_and_window(self):
+        jobs = scale_perf_jobs(target_gates=9_999, window=128)
+        labels = [j["label"] for j in jobs]
+        assert len(jobs) == 2 * len(SCALE_KINDS)
+        for kind in SCALE_KINDS:
+            assert (
+                f"scale:{kind}@9999/k4d4/lpfs/streamed[w=128]" in labels
+            )
+            assert f"scale:{kind}@9999/k4d4/lpfs/materialized" in labels
+        for job in jobs:
+            assert job["pipeline"] in ("streamed", "materialized")
+            assert job["pipeline"] in job["label"]
+
+    def test_in_process_rows_consistent(self):
+        """Streamed and materialized pipelines agree on schedule
+        length and runtime at the same size (in-process: no subprocess
+        spawn in the unit suite)."""
+        jobs = scale_perf_jobs(target_gates=1_500, kinds=("adder",))
+        section = run_scale_perf(jobs, fresh_process=False)
+        assert section["process_isolated"] is False
+        rows = section["jobs"]
+        assert [r["status"] for r in rows] == ["ok", "ok"]
+        by_pipeline = {r["pipeline"]: r for r in rows}
+        assert (
+            by_pipeline["streamed"]["schedule_length"]
+            == by_pipeline["materialized"]["schedule_length"]
+        )
+        assert (
+            by_pipeline["streamed"]["runtime"]
+            == by_pipeline["materialized"]["runtime"]
+        )
+        for row in rows:
+            assert row["total_gates"] > 0
+            assert row["elapsed_s"] > 0
+            if row["peak_rss_kb"] is not None:
+                assert row["peak_rss_kb_per_mgate"] > 0

@@ -197,9 +197,19 @@ class TestRunPerf:
 
     def test_tiny_real_run(self):
         # One real (small) job through the measurement loop, both
-        # pipelines, to cover the wiring end to end.
+        # pipelines plus a tiny in-process scale section, to cover the
+        # wiring end to end.
+        from repro.service import scale_perf_jobs
+
         jobs = [JobSpec("BF", "rcp", k=2)]
-        payload = run_perf(repeats=1, jobs=jobs)
+        payload = run_perf(
+            repeats=1,
+            jobs=jobs,
+            scale_jobs=scale_perf_jobs(
+                target_gates=1_500, kinds=("adder",)
+            ),
+            scale_fresh_process=False,
+        )
         assert validate_perf_payload(payload) == []
         assert payload["grid"] is None
         assert payload["fast"]["failed_jobs"] == []
@@ -207,6 +217,19 @@ class TestRunPerf:
         assert payload["speedup"] is not None
         assert payload["fast"]["stages"], "no spans recorded"
         assert payload["fast"]["per_job"][0]["label"].startswith("BF")
+        rows = payload["scale"]["jobs"]
+        assert [r["status"] for r in rows] == ["ok", "ok"]
+        assert payload["streamed_overhead"] is not None
+
+    def test_no_scale_section(self):
+        jobs = [JobSpec("BF", "rcp", k=2)]
+        payload = run_perf(
+            repeats=1, jobs=jobs, include_reference=False,
+            include_scale=False,
+        )
+        assert payload["scale"] is None
+        assert payload["streamed_overhead"] is None
+        assert validate_perf_payload(payload) == []
 
 
 class TestPerfCLI:
@@ -231,3 +254,163 @@ class TestPerfCLI:
         bad.write_text(json.dumps({"schema": "wrong/0"}))
         assert main(["perf", "--baseline", str(bad)]) == 2
         assert "not a valid perf document" in capsys.readouterr().err
+
+def _scale_row(label, pipeline, mem=1000.0, interp=20000, status="ok"):
+    return {
+        "label": label,
+        "status": status,
+        "pipeline": pipeline,
+        "kind": "adder",
+        "algorithm": "lpfs",
+        "target_gates": 1000,
+        "total_gates": 1021,
+        "elapsed_s": 0.5,
+        "schedule_length": 700,
+        "interp_rss_kb": interp,
+        "peak_rss_kb": 30000,
+        "peak_rss_kb_per_mgate": mem,
+    }
+
+
+def _scale_section(rows):
+    return {"process_isolated": True, "jobs": rows}
+
+
+class TestScaleValidator:
+    def _payload(self, rows):
+        fast = _aggregate([_run([_outcome(compute_s=1.0)])])
+        return build_perf_payload(
+            None, 1, fast, None, scale=_scale_section(rows)
+        )
+
+    def test_valid_scale_section(self):
+        rows = [
+            _scale_row("scale:adder@1000/streamed[w=8]", "streamed"),
+            _scale_row("scale:adder@1000/materialized", "materialized"),
+        ]
+        payload = self._payload(rows)
+        assert payload["schema"] == PERF_SCHEMA
+        assert validate_perf_payload(payload) == []
+
+    def test_schema_v1_accepted_without_scale(self):
+        fast = _aggregate([_run([_outcome(compute_s=1.0)])])
+        payload = build_perf_payload(None, 1, fast, None)
+        payload["schema"] = "repro.bench-perf/1"
+        del payload["scale"]
+        del payload["streamed_overhead"]
+        assert validate_perf_payload(payload) == []
+
+    def test_v2_requires_scale_key(self):
+        fast = _aggregate([_run([_outcome(compute_s=1.0)])])
+        payload = build_perf_payload(None, 1, fast, None)
+        del payload["scale"]
+        problems = validate_perf_payload(payload)
+        assert any("'scale'" in p for p in problems)
+
+    def test_label_must_embed_pipeline(self):
+        rows = [_scale_row("scale:adder@1000/oops", "streamed")]
+        problems = validate_perf_payload(self._payload(rows))
+        assert any("label must embed" in p for p in problems)
+
+    def test_bad_pipeline_value(self):
+        rows = [_scale_row("scale:adder@1000/windowed", "windowed")]
+        problems = validate_perf_payload(self._payload(rows))
+        assert any("pipeline" in p for p in problems)
+
+    def test_error_rows_need_no_metrics(self):
+        rows = [
+            {
+                "label": "scale:adder@1000/streamed[w=8]",
+                "pipeline": "streamed",
+                "status": "timeout",
+                "error": "exceeded 600s",
+            }
+        ]
+        assert validate_perf_payload(self._payload(rows)) == []
+
+
+class TestMemoryGate:
+    def _doc(self, rows):
+        return {
+            "fast": {"stages": {}, "total_compute_s": 0.0},
+            "reference": None,
+            "scale": _scale_section(rows),
+        }
+
+    def test_identical_passes(self):
+        doc = self._doc(
+            [_scale_row("scale:adder@1000/streamed[w=8]", "streamed")]
+        )
+        assert compare_perf_payloads(doc, doc) == []
+
+    def test_memory_regression_flagged(self):
+        label = "scale:adder@1000/streamed[w=8]"
+        base = self._doc([_scale_row(label, "streamed", mem=1000.0)])
+        cur = self._doc([_scale_row(label, "streamed", mem=2000.0)])
+        problems = compare_perf_payloads(cur, base)
+        assert len(problems) == 1
+        assert "KiB/Mgate" in problems[0]
+        # Within tolerance passes.
+        ok = self._doc([_scale_row(label, "streamed", mem=1300.0)])
+        assert compare_perf_payloads(ok, base,
+                                     memory_tolerance=0.35) == []
+
+    def test_interp_rss_rescales_budget(self):
+        # Current machine's fresh interpreter is 2x bigger (e.g. a
+        # different allocator): a 1.9x peak growth stays within the
+        # rescaled budget, 3x does not.
+        label = "scale:adder@1000/streamed[w=8]"
+        base = self._doc(
+            [_scale_row(label, "streamed", mem=1000.0, interp=20000)]
+        )
+        ok = self._doc(
+            [_scale_row(label, "streamed", mem=1900.0, interp=40000)]
+        )
+        bad = self._doc(
+            [_scale_row(label, "streamed", mem=3000.0, interp=40000)]
+        )
+        assert compare_perf_payloads(ok, base) == []
+        assert len(compare_perf_payloads(bad, base)) == 1
+
+    def test_pipeline_mismatch_refuses_comparison(self):
+        label = "scale:adder@1000/streamed[w=8]"
+        base_row = _scale_row(label, "streamed")
+        cur_row = _scale_row(label, "materialized")
+        problems = compare_perf_payloads(
+            self._doc([cur_row]), self._doc([base_row])
+        )
+        assert len(problems) == 1
+        assert "refusing to compare" in problems[0]
+
+    def test_streamed_never_gates_against_materialized(self):
+        # Different labels (the modes embed in them) simply don't pair:
+        # a huge materialized number cannot trip the streamed gate.
+        base = self._doc(
+            [_scale_row("scale:adder@1000/materialized",
+                        "materialized", mem=100.0)]
+        )
+        cur = self._doc(
+            [_scale_row("scale:adder@1000/streamed[w=8]",
+                        "streamed", mem=5000.0)]
+        )
+        assert compare_perf_payloads(cur, base) == []
+
+    def test_v1_baseline_skips_memory_gate(self):
+        cur = self._doc(
+            [_scale_row("scale:adder@1000/streamed[w=8]", "streamed",
+                        mem=9999.0)]
+        )
+        v1_base = {
+            "fast": {"stages": {}, "total_compute_s": 0.0},
+            "reference": None,
+        }
+        assert compare_perf_payloads(cur, v1_base) == []
+
+    def test_error_rows_skipped(self):
+        label = "scale:adder@1000/streamed[w=8]"
+        base = self._doc([_scale_row(label, "streamed")])
+        cur = self._doc(
+            [_scale_row(label, "streamed", mem=9999.0,
+                        status="error")]
+        )
+        assert compare_perf_payloads(cur, base) == []

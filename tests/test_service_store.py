@@ -377,3 +377,83 @@ class TestInspectStore:
         assert report["total_bytes"] > 0
         assert report["by_pipeline_version"]["museum"] == 1
         assert report["snapshot"]["stats"]["memory_hits"] == 1
+
+
+class TestScheduleSidecar:
+    """The gzip schedule sidecar: saved on fresh computes, rehydrated
+    on disk hits, and never allowed to go stale."""
+
+    def _schedules(self, tmp_path):
+        service = CompileService(cache_dir=tmp_path)
+        entry = service.lookup(_program(), MultiSIMD(k=2))
+        assert entry.result.schedules
+        return service, entry
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        payload = {"main": {"algorithm": "lpfs", "timesteps": []}}
+        path = store.save_schedules(FP, payload)
+        assert path.name.endswith(".sched.json.gz")
+        assert path.parent.name == FP[:2]
+        assert store.load_schedules(FP) == payload
+        assert store.load_schedules(FP2) is None
+
+    def test_disk_hit_rehydrates_bit_identical_schedules(
+        self, tmp_path
+    ):
+        from repro.sched.report import schedule_to_dict
+
+        _, cold = self._schedules(tmp_path)
+        warm = CompileService(cache_dir=tmp_path).lookup(
+            _program(), MultiSIMD(k=2)
+        )
+        assert warm.cached == "disk"
+        assert set(warm.result.schedules) == set(cold.result.schedules)
+        for name, sched in cold.result.schedules.items():
+            assert schedule_to_dict(
+                warm.result.schedules[name]
+            ) == schedule_to_dict(sched)
+
+    def test_corrupt_sidecar_deleted_and_metrics_survive(
+        self, tmp_path
+    ):
+        service, cold = self._schedules(tmp_path)
+        fp = cold.fingerprint
+        sidecar = service.store._sched_path(fp)
+        sidecar.write_bytes(b"\x1f\x8b not really gzip")
+        fresh = CompileService(cache_dir=tmp_path)
+        warm = fresh.lookup(_program(), MultiSIMD(k=2))
+        # The main artifact still serves (metrics intact); schedules
+        # fall back to empty and the bad sidecar is gone.
+        assert warm.cached == "disk"
+        assert warm.result.schedules == {}
+        assert warm.result.total_gates == cold.result.total_gates
+        assert not sidecar.exists()
+
+    def test_stale_sidecar_version_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path, pipeline_version="v1")
+        store.save_schedules(FP, {"main": {}})
+        new = ArtifactStore(tmp_path, pipeline_version="v2")
+        assert new.load_schedules(FP) is None
+        assert not new._sched_path(FP).exists()
+
+    def test_invalidate_removes_sidecar(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(FP, {"x": 1})
+        store.save_schedules(FP, {"main": {}})
+        store.invalidate(FP)
+        assert not store._path(FP).exists()
+        assert not store._sched_path(FP).exists()
+
+    def test_clear_removes_sidecars(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(FP, {"x": 1})
+        store.save_schedules(FP, {"main": {}})
+        assert store.clear() == 1
+        assert not store._sched_path(FP).exists()
+
+    def test_memory_hit_keeps_live_schedules(self, tmp_path):
+        service, cold = self._schedules(tmp_path)
+        warm = service.lookup(_program(), MultiSIMD(k=2))
+        assert warm.cached == "memory"
+        assert warm.result.schedules is cold.result.schedules

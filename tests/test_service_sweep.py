@@ -306,9 +306,11 @@ class TestEngineSweep:
             > metrics["engine_analytic_runtime"]
         )
 
-    def test_disk_cache_hit_still_computes_engine(self, tmp_path):
-        """Disk-cached CompileResults drop their schedules; the
-        engine branch must recompile rather than fail."""
+    def test_disk_cache_hit_feeds_engine_without_recompile(
+        self, tmp_path
+    ):
+        """A disk hit rehydrates schedules from the gzip sidecar, so
+        the engine runs directly on the cached result — no recompile."""
         from repro.service import sweep as sweep_mod
 
         job = JobSpec("BF", k=2, engine=True)
@@ -316,6 +318,26 @@ class TestEngineSweep:
         # Drop the process-global service so the memory cache is
         # empty and the second run hits the disk cache.
         sweep_mod._SERVICES.pop(str(tmp_path), None)
+        warm = execute_job(job, str(tmp_path))
+        assert warm["cached"] == "disk"
+        assert warm["metrics"] == cold["metrics"]
+        # A recompile would run a fresh compute and re-store the
+        # artifact; the warm service must have served purely from disk.
+        service = sweep_mod._SERVICES[str(tmp_path)]
+        assert service.stats.disk_hits == 1
+        assert service.stats.stores == 0
+
+    def test_pre_sidecar_artifact_recompiles_for_engine(self, tmp_path):
+        """Results loaded from a store without the schedule sidecar
+        (or with it deleted) still produce engine metrics via the
+        recompile fallback."""
+        from repro.service import sweep as sweep_mod
+
+        job = JobSpec("BF", k=2, engine=True)
+        cold = execute_job(job, str(tmp_path))
+        service = sweep_mod._SERVICES.pop(str(tmp_path))
+        fp = cold["fingerprint"]
+        service.store._sched_path(fp).unlink()
         warm = execute_job(job, str(tmp_path))
         assert warm["cached"] == "disk"
         assert warm["metrics"] == cold["metrics"]
