@@ -51,7 +51,7 @@ import json
 import re
 import sys
 from dataclasses import replace
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .analysis import SummaryCache
@@ -68,6 +68,7 @@ from .analysis import (
 from .arch.machine import MultiSIMD, parse_capacity
 from .benchmarks import BENCHMARKS, benchmark_names
 from .core.module import Program, ProgramValidationError
+from .core.qubits import Qubit
 from .core.qasm import QasmSyntaxError, emit_qasm, parse_qasm
 from .core.scaffold import ScaffoldSyntaxError, parse_scaffold
 from .passes.qubit_count import minimum_qubits
@@ -107,23 +108,51 @@ def _is_scaffold_path(source: str) -> bool:
 _SCALE_DEFAULT_GATES = 1_000_000
 
 
-def _parse_scale_source(source: str) -> Optional[Tuple[str, int]]:
-    """Decode a ``scale:<kind>[:<gates>]`` synthetic source spec.
+def _parse_scale_source(
+    source: str,
+) -> Optional[Tuple[str, int, Dict[str, int]]]:
+    """Decode a ``scale:<kind>[:<gates>][:wN|:qN]`` synthetic source.
 
-    Returns ``(kind, target_gates)``, or ``None`` when ``source`` is
-    not a scale spec at all. The gate count accepts scientific
-    notation (``scale:adder:1e7``).
+    Returns ``(kind, target_gates, params)``, or ``None`` when
+    ``source`` is not a scale spec at all. The gate count accepts
+    scientific notation (``scale:adder:1e7``); the optional trailing
+    segment overrides the generator's shape parameter — ``w8`` sets the
+    adder width, ``q12`` the rotations qubit count — so verification
+    runs can pin an exhaustively-checkable register size
+    (``scale:adder:1e5:w8``).
     """
     if not source.startswith("scale:"):
         return None
     from .benchmarks import SCALE_KINDS
 
-    kind, _, gates_text = source[len("scale:"):].partition(":")
+    kind, _, rest = source[len("scale:"):].partition(":")
     if kind not in SCALE_KINDS:
         raise CLIError(
             f"unknown scale kind {kind!r} "
             f"(choose from {', '.join(SCALE_KINDS)})"
         )
+    gates_text, _, param_text = rest.partition(":")
+    params: Dict[str, int] = {}
+    if param_text:
+        names = {"w": "width", "q": "qubits"}
+        name = names.get(param_text[:1])
+        try:
+            value = int(param_text[1:])
+        except ValueError:
+            value = 0
+        if name is None or value < 1:
+            raise CLIError(
+                f"invalid scale parameter {param_text!r} in {source!r} "
+                "(expected wN for adder width or qN for rotations "
+                "qubits)"
+            )
+        expected = {"adder": "width", "rotations": "qubits"}.get(kind)
+        if name != expected:
+            raise CLIError(
+                f"scale parameter {param_text!r} does not apply to "
+                f"{kind!r} (its shape parameter is {expected})"
+            )
+        params[name] = value
     gates = _SCALE_DEFAULT_GATES
     if gates_text:
         try:
@@ -134,7 +163,7 @@ def _parse_scale_source(source: str) -> Optional[Tuple[str, int]]:
             ) from None
         if gates < 1:
             raise CLIError("scale gate count must be >= 1")
-    return kind, gates
+    return kind, gates, params
 
 
 def _default_fth(source: str) -> int:
@@ -162,7 +191,8 @@ def _load_program(source: str) -> Program:
     if scale is not None:
         from .benchmarks import build_scale
 
-        return build_scale(*scale)[0]
+        kind, gates, params = scale
+        return build_scale(kind, gates, **params)[0]
     try:
         with open(source) as fh:
             text = fh.read()
@@ -228,6 +258,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         machine,
         SchedulerConfig(args.scheduler),
         fth=fth,
+        decompose=not args.no_decompose,
         optimize=args.optimize,
         strict=args.strict,
     )
@@ -300,6 +331,7 @@ def _compile_streamed(
         machine,
         SchedulerConfig(args.scheduler),
         fth=fth,
+        decompose=not args.no_decompose,
         optimize=args.optimize,
         widths=widths,
         **kwargs,
@@ -507,6 +539,253 @@ def _deep_lint_one(
             "intercore_teleports": mc.intercore_teleports,
         }
     return out
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Semantic verification through the reversible simulator.
+
+    Three modes, all on the 0/1/2/3/4 exit contract — 1 on a semantic
+    mismatch (with the minimal counterexample input printed), 4 when an
+    op outside the classical-permutation subset is located:
+
+    * default — compile the program with the streaming pipeline
+      (``decompose=False``: verification runs on the Scaffold-level
+      reversible subset) and prove every retained leaf schedule
+      replay bit-identical to the leaf body in program order;
+    * ``--spec`` — bind a registered arithmetic spec (adder, compare,
+      multiply) to its kernel module and check the kernel, applied its
+      call-site iteration count, against the spec's reference function
+      — then prove a windowed schedule of the full iterated stream
+      replay-equivalent too (unless ``--no-schedule``);
+    * ``--stream FILE`` — replay an exported ``repro.schedule-stream``
+      JSONL file op-by-op and require bit-identical output to the
+      unscheduled program.
+    """
+    from .passes.stream import leaf_stream
+    from .sim.reversible import (
+        DEFAULT_EXHAUSTIVE_LIMIT,
+        DEFAULT_SAMPLES,
+        NonReversibleOpError,
+        compile_ops,
+        streamed_schedule_ops,
+        verify_equivalent,
+        verify_reference,
+    )
+    from .sim.specs import SpecError, bind_spec
+    from .toolflow import DEFAULT_WINDOW, compile_and_schedule_streamed
+
+    prog = _load_program(args.source)
+    if args.exhaustive and args.samples is not None:
+        raise CLIError("--exhaustive and --samples are mutually exclusive")
+    mode = "auto"
+    samples = DEFAULT_SAMPLES
+    if args.exhaustive:
+        mode = "exhaustive"
+    elif args.samples is not None:
+        if args.samples < 1:
+            raise CLIError("--samples must be >= 1")
+        mode = "sampled"
+        samples = args.samples
+    limit = (
+        args.exhaustive_limit
+        if args.exhaustive_limit is not None
+        else DEFAULT_EXHAUSTIVE_LIMIT
+    )
+    sweep = dict(
+        mode=mode, exhaustive_limit=limit, samples=samples, seed=args.seed
+    )
+    window = None if args.window == 0 else (args.window or DEFAULT_WINDOW)
+    scheduler = SchedulerConfig(args.scheduler)
+
+    def report_line(report) -> bool:
+        print(report.summary())
+        if not report.ok:
+            print(
+                f"counterexample input: {report.counterexample.input_value}"
+            )
+        return report.ok
+
+    try:
+        if args.stream is not None:
+            return _verify_stream_file(args, prog, sweep, report_line)
+        if args.spec is not None:
+            try:
+                binding = bind_spec(
+                    args.spec,
+                    prog,
+                    module=args.module,
+                    iterations=args.iterations,
+                )
+            except SpecError as exc:
+                raise CLIError(str(exc)) from None
+            print(f"spec: {binding.description}")
+            index = {q: i for i, q in enumerate(binding.qubits)}
+            instrs = compile_ops(
+                leaf_stream(prog, binding.module, decompose=False), index
+            )
+
+            def run_kernel(state) -> int:
+                for _ in range(binding.iterations):
+                    state.apply_compiled(instrs)
+                return len(instrs) * binding.iterations
+
+            report = verify_reference(
+                run_kernel,
+                binding.qubits,
+                binding.inputs,
+                binding.outputs,
+                binding.reference,
+                clean=binding.clean,
+                label=f"{binding.module} vs {binding.name} spec",
+                **sweep,
+            )
+            ok = report_line(report)
+            if ok and not args.no_schedule:
+                ok = _verify_spec_schedule(
+                    args, prog, binding, instrs, window, scheduler,
+                    sweep, report_line,
+                )
+            return 0 if ok else EXIT_LINT
+
+        # Locate any op outside the classical-permutation subset
+        # *before* paying for scheduling — the hierarchical scan costs
+        # O(source statements), not O(expanded gates).
+        from .sim.reversible import classify_gate
+
+        for name in prog.topological_order():
+            for i, op in enumerate(prog.module(name).operations()):
+                if classify_gate(op.gate) != "reversible":
+                    operands = ", ".join(repr(q) for q in op.qubits)
+                    print(
+                        f"error: module {name!r} op {i}: "
+                        f"{op.gate}({operands}) is not classically "
+                        "reversible; the verifier covers the "
+                        "X/CNOT/Toffoli/SWAP/Fredkin subset (bind an "
+                        "arithmetic kernel with --spec instead)",
+                        file=sys.stderr,
+                    )
+                    return EXIT_SCHEDULE
+
+        fth = args.fth if args.fth is not None else _default_fth(args.source)
+        machine = MultiSIMD(k=args.k, d=args.d)
+        result = compile_and_schedule_streamed(
+            prog,
+            machine,
+            scheduler,
+            fth=fth,
+            decompose=False,
+            window=window,
+            widths="entry",
+            keep_schedules=True,
+        )
+        ok = True
+        for name in sorted(result.stream_schedules):
+            cols = result.columns[name]
+            report = verify_equivalent(
+                iter(leaf_stream(prog, name, decompose=False)),
+                streamed_schedule_ops(cols, result.stream_schedules[name]),
+                cols.qubits,
+                label=f"{name} ({scheduler.algorithm} k={machine.k})",
+                **sweep,
+            )
+            ok = report_line(report) and ok
+        if not result.stream_schedules:
+            raise CLIError("no leaf schedules to verify")
+        return 0 if ok else EXIT_LINT
+    except NonReversibleOpError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SCHEDULE
+
+
+def _verify_stream_file(
+    args: argparse.Namespace, prog: Program, sweep: dict, report_line
+) -> int:
+    """``verify --stream FILE``: exported replay vs. direct execution."""
+    from .passes.stream import leaf_stream
+    from .service.stream_io import stream_ops
+    from .sim.reversible import verify_equivalent
+
+    try:
+        header, replay = stream_ops(args.stream)
+    except FileNotFoundError:
+        raise CLIError(f"stream file {args.stream!r} not found") from None
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    module = args.module or header.get("module") or prog.entry
+    if module not in prog:
+        raise CLIError(
+            f"stream header names module {module!r}, which the program "
+            "does not contain (pass --module)"
+        )
+    from .sched.report import _parse_qubit
+
+    universe: Dict[Qubit, None] = {}
+    for q in prog.module(module).qubits():
+        universe.setdefault(q)
+    for name in header.get("qubits", ()):
+        universe.setdefault(_parse_qubit(name))
+    try:
+        report = verify_equivalent(
+            iter(leaf_stream(prog, module, decompose=False)),
+            replay,
+            list(universe),
+            label=f"{module} vs {args.stream}",
+            **sweep,
+        )
+    except KeyError as exc:
+        raise CLIError(
+            f"stream export and program disagree on qubit {exc}"
+        ) from None
+    return 0 if report_line(report) else EXIT_LINT
+
+
+def _verify_spec_schedule(
+    args: argparse.Namespace,
+    prog: Program,
+    binding,
+    instrs,
+    window: Optional[int],
+    scheduler: SchedulerConfig,
+    sweep: dict,
+    report_line,
+) -> bool:
+    """Spec mode's second proof: schedule the full iterated kernel
+    stream through the windowed columnar scheduler and replay it."""
+    from .core.opstream import GeneratorStream
+    from .passes.stream import leaf_stream
+    from .sched.stream import build_columns, schedule_columns
+    from .sim.reversible import streamed_schedule_ops, verify_equivalent
+
+    kernel_ops = list(leaf_stream(prog, binding.module, decompose=False))
+    iterations = binding.iterations
+    stream = GeneratorStream(
+        lambda: (
+            op for _ in range(iterations) for op in kernel_ops
+        ),
+        length_hint=len(kernel_ops) * iterations,
+    )
+    cols = build_columns(stream, window=window)
+    ssched = schedule_columns(
+        cols,
+        scheduler.algorithm,
+        args.k,
+        args.d,
+        lpfs_l=scheduler.lpfs_l,
+        lpfs_simd=scheduler.lpfs_simd,
+        lpfs_refill=scheduler.lpfs_refill,
+    )
+    report = verify_equivalent(
+        iter(stream),
+        streamed_schedule_ops(cols, ssched),
+        cols.qubits,
+        label=(
+            f"{binding.module} x{iterations} schedule replay "
+            f"({scheduler.algorithm} k={args.k}, {len(cols):,} ops, "
+            f"{ssched.length:,} timesteps)"
+        ),
+        **sweep,
+    )
+    return report_line(report)
 
 
 #: ``--fail-on`` values that name a severity threshold (or disable
@@ -1605,6 +1884,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run peephole cancellation/merging before decomposition",
     )
     p_c.add_argument(
+        "--no-decompose", action="store_true",
+        help=(
+            "schedule Scaffold-level gates without lowering to the "
+            "QASM subset (keeps Toffoli/SWAP intact, so exported "
+            "streams stay inside the reversible verifier's subset)"
+        ),
+    )
+    p_c.add_argument(
         "--strict", action="store_true",
         help="run the static analyzer between passes; fail on errors",
     )
@@ -1650,6 +1937,86 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_c.set_defaults(fn=_cmd_compile)
+
+    p_v = sub.add_parser(
+        "verify",
+        help=(
+            "prove schedules and rewrites semantics-preserving with "
+            "the reversible simulator"
+        ),
+    )
+    p_v.add_argument(
+        "source",
+        help=(
+            "benchmark key, QASM/Scaffold file, or synthetic "
+            "scale:<kind>[:<gates>][:wN] (e.g. scale:adder:1e5:w8)"
+        ),
+    )
+    p_v.add_argument(
+        "--spec", default=None, metavar="NAME",
+        help=(
+            "check a registered arithmetic spec (adder, compare, "
+            "multiply) against its kernel module's semantics"
+        ),
+    )
+    p_v.add_argument(
+        "--module", default=None, metavar="NAME",
+        help="kernel module to bind (default: by spec register shape)",
+    )
+    p_v.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help=(
+            "how many times the kernel applies (default: the entry "
+            "point's call multiplicity)"
+        ),
+    )
+    p_v.add_argument(
+        "--stream", default=None, metavar="FILE",
+        help=(
+            "replay an exported repro.schedule-stream JSONL file "
+            "op-by-op against the unscheduled program"
+        ),
+    )
+    p_v.add_argument(
+        "--exhaustive", action="store_true",
+        help="sweep every input regardless of register size",
+    )
+    p_v.add_argument(
+        "--samples", type=int, default=None, metavar="N",
+        help="force a sampled sweep with N seeded inputs",
+    )
+    p_v.add_argument(
+        "--seed", type=int, default=0, help="sample seed (default 0)"
+    )
+    p_v.add_argument(
+        "--exhaustive-limit", type=int, default=None, metavar="BITS",
+        help=(
+            "auto mode sweeps all inputs up to this many input bits "
+            "and samples above it (default 18)"
+        ),
+    )
+    p_v.add_argument(
+        "--no-schedule", action="store_true",
+        help="spec mode: skip the scheduled-replay proof",
+    )
+    p_v.add_argument("-k", type=int, default=4, help="SIMD regions")
+    p_v.add_argument(
+        "-d", type=int, default=None,
+        help="qubits per region (default unbounded)",
+    )
+    p_v.add_argument(
+        "--scheduler", choices=("sequential", "rcp", "lpfs"),
+        default="lpfs",
+    )
+    p_v.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="streaming ingestion window in ops (0 = unbounded)",
+    )
+    p_v.add_argument(
+        "--fth", type=int, default=None,
+        help="flattening threshold in ops (default: per-benchmark)",
+    )
+    p_v.set_defaults(fn=_cmd_verify)
 
     p_e = sub.add_parser("emit", help="emit hierarchical QASM")
     p_e.add_argument("source", help="benchmark key or QASM file")

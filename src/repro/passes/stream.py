@@ -40,6 +40,7 @@ __all__ = [
     "stream_decompose",
     "leaf_stream",
     "decomposed_gate_counts",
+    "call_multiplicity",
     "FlattenPlan",
     "plan_flatten",
 ]
@@ -228,6 +229,32 @@ def decomposed_gate_counts(
                 count += stmt.iterations * totals[stmt.callee]
         totals[name] = count
     return totals
+
+
+def call_multiplicity(program: Program, target: str) -> int:
+    """How many times ``target``'s body executes per run of the entry.
+
+    Sums ``iterations`` products over every call path from the entry —
+    the number a spec's reference function must compose when verifying
+    a kernel leaf against the whole-program semantics. Returns 1 when
+    ``target`` is the entry itself and 0 when it is unreachable.
+    """
+    if target not in program:
+        raise KeyError(f"no module named {target!r}")
+    memo: Dict[str, int] = {target: 1}
+
+    def visit(name: str) -> int:
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        total = sum(
+            call.iterations * visit(call.callee)
+            for call in program.module(name).calls()
+        )
+        memo[name] = total
+        return total
+
+    return visit(program.entry)
 
 
 class FlattenPlan:

@@ -47,6 +47,7 @@ __all__ = [
     "STREAM_SCHEMA",
     "write_schedule_stream",
     "read_schedule_stream",
+    "stream_ops",
     "validate_schedule_stream",
     "inflate_schedule_stream",
     "execute_schedule_stream",
@@ -236,6 +237,28 @@ def read_schedule_stream(
             fh.close()
 
     return header, epochs(), footer_box
+
+
+def stream_ops(path: str) -> Tuple[Dict[str, Any], Iterator[Operation]]:
+    """Replay-order operations of a stream export, one line at a time.
+
+    Yields each scheduled op in execution order — timestep-major,
+    region index ascending, insertion order within a region (the order
+    :func:`execute_schedule_stream` and the reversible-simulator replay
+    both walk). Returns ``(header, op iterator)``; the iterator still
+    enforces the footer/truncation checks of
+    :func:`read_schedule_stream`, so a clipped file raises instead of
+    silently verifying a prefix.
+    """
+    header, epochs, _footer = read_schedule_stream(path)
+
+    def ops() -> Iterator[Operation]:
+        for epoch in epochs:
+            for _r, boxed in epoch.regions:
+                for _node, op in boxed:
+                    yield op
+
+    return header, ops()
 
 
 def validate_schedule_stream(path: str) -> Dict[str, Any]:

@@ -1,7 +1,22 @@
-"""Small dense statevector simulator used to verify the toolflow's
-decomposition and arithmetic substrates."""
+"""Simulators used to verify the toolflow: a small dense statevector
+simulator (exact quantum semantics, ~10 qubits) and a bit-sliced
+reversible simulator (classical permutation semantics, paper scale)."""
 
 from .compile_check import CompilationCheckError, verify_compilation
+from .reversible import (
+    CounterExample,
+    NonReversibleOpError,
+    ReversibleSimulator,
+    SlicedState,
+    VerificationError,
+    VerifyReport,
+    check_permutation_reversible,
+    classify_gate,
+    truth_table_reversible,
+    verify_equivalent,
+    verify_reference,
+)
+from .specs import SPEC_NAMES, SpecBinding, SpecError, bind_spec
 from .statevector import Simulator, circuit_unitary, gate_matrix
 from .verify import (
     check_permutation,
@@ -12,12 +27,27 @@ from .verify import (
 
 __all__ = [
     "CompilationCheckError",
+    "CounterExample",
+    "NonReversibleOpError",
+    "ReversibleSimulator",
+    "SPEC_NAMES",
     "Simulator",
+    "SlicedState",
+    "SpecBinding",
+    "SpecError",
+    "VerificationError",
+    "VerifyReport",
+    "bind_spec",
     "check_permutation",
+    "check_permutation_reversible",
     "circuit_unitary",
     "circuits_equivalent",
+    "classify_gate",
     "equivalent_up_to_global_phase",
     "gate_matrix",
     "truth_table",
+    "truth_table_reversible",
     "verify_compilation",
+    "verify_equivalent",
+    "verify_reference",
 ]

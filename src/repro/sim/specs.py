@@ -1,0 +1,356 @@
+"""Registered semantic specs for reversible arithmetic kernels.
+
+A *spec* names what a kernel is supposed to compute — the Cuccaro adder
+is ``(a, b, cin) -> (a, a+b+cin mod 2^n, cin, cout ^ carry)`` — as a
+pure-python reference function, plus how to find that kernel inside a
+program: which module holds it, which formal registers are the
+operands, and how many times the entry point applies it
+(``iterations``-heavy call sites are the paper's scale mechanism, so a
+10^5-gate ``scale:adder`` leaf is one ~100-op kernel applied ~10^3
+times — the reference composes the iteration count in closed form
+rather than looping).
+
+Binding is structural: a spec matches a module by the *shape* of its
+formal parameter registers (grouped by register name in declaration
+order), so it binds equally to the synthetic ``scale:adder`` program,
+to :func:`build_kernel_program`'s CTQG wrappers, and to any user QASM
+that declares the same register shape. Qubits that are not operands
+(ancillas) must return to 0 on every input — the binding carries them
+in ``clean`` and :func:`repro.sim.reversible.verify_reference` enforces
+the restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.module import Module, Program
+from ..core.qubits import AncillaAllocator, Qubit, QubitRegister
+from ..passes.ctqg import compare_lt, cuccaro_add, multiply
+from ..passes.stream import call_multiplicity
+
+__all__ = [
+    "SPEC_NAMES",
+    "SpecBinding",
+    "SpecError",
+    "bind_spec",
+    "build_kernel_program",
+]
+
+
+class SpecError(ValueError):
+    """No module matches the spec's shape, or the match is ambiguous."""
+
+
+@dataclass(frozen=True)
+class SpecBinding:
+    """A spec resolved against a concrete program."""
+
+    name: str
+    module: str
+    iterations: int
+    inputs: Tuple[Qubit, ...]
+    outputs: Tuple[Qubit, ...]
+    qubits: Tuple[Qubit, ...]
+    clean: Tuple[Qubit, ...]
+    reference: Callable[[int], int]
+    description: str
+
+
+def _registers(mod: Module) -> List[Tuple[str, List[Qubit]]]:
+    """Formal parameters grouped by register name, declaration order."""
+    groups: Dict[str, List[Qubit]] = {}
+    order: List[str] = []
+    for q in mod.params:
+        if q.register not in groups:
+            groups[q.register] = []
+            order.append(q.register)
+        groups[q.register].append(q)
+    return [(name, groups[name]) for name in order]
+
+
+def _ancillas(mod: Module) -> Tuple[Qubit, ...]:
+    """Body qubits that are not formal parameters (always start 0; must
+    be restored to 0)."""
+    params = set(mod.params)
+    return tuple(q for q in mod.qubits() if q not in params)
+
+
+# -- shape matchers ---------------------------------------------------------
+
+
+def _match_adder(mod: Module) -> bool:
+    regs = _registers(mod)
+    if len(regs) != 3:
+        return False
+    (_, a), (_, b), (_, c) = regs
+    return len(a) == len(b) >= 1 and len(c) in (1, 2)
+
+
+def _match_compare(mod: Module) -> bool:
+    regs = _registers(mod)
+    if len(regs) != 4:
+        return False
+    (_, a), (_, b), (_, flag), (_, anc) = regs
+    return len(a) == len(b) >= 1 and len(flag) == 1 and len(anc) == 1
+
+
+def _match_multiply(mod: Module) -> bool:
+    regs = _registers(mod)
+    if len(regs) != 3:
+        return False
+    (_, a), (_, b), (_, p) = regs
+    return len(a) >= 1 and len(b) >= 1 and len(p) >= len(b)
+
+
+# -- binders ----------------------------------------------------------------
+
+
+def _bind_adder(mod: Module, iterations: int) -> SpecBinding:
+    (_, a), (_, b), (_, c) = _registers(mod)
+    n = len(a)
+    mask = (1 << n) - 1
+    has_cout = len(c) == 2
+    inputs = tuple(a) + tuple(b) + (c[0],)
+    outputs = inputs + ((c[1],) if has_cout else ())
+    m = iterations
+
+    def reference(x: int) -> int:
+        av = x & mask
+        bv = (x >> n) & mask
+        cin = (x >> (2 * n)) & 1
+        # b evolves affinely: each application adds (a + cin) mod 2^n,
+        # and the XOR-accumulated carry-out is the parity of the total
+        # overflow count — both closed-form in the iteration count.
+        total = bv + m * (av + cin)
+        out = av | ((total & mask) << n) | (cin << (2 * n))
+        if has_cout:
+            out |= ((total >> n) & 1) << (2 * n + 1)
+        return out
+
+    word = "application" if m == 1 else "applications"
+    return SpecBinding(
+        name="adder",
+        module=mod.name,
+        iterations=m,
+        inputs=inputs,
+        outputs=outputs,
+        qubits=tuple(mod.qubits()),
+        clean=_ancillas(mod),
+        reference=reference,
+        description=(
+            f"{m} {word} of a {n}-bit ripple-carry adder: "
+            f"b += a + cin (mod 2^{n})"
+            + (", cout ^= carry" if has_cout else "")
+        ),
+    )
+
+
+def _bind_compare(mod: Module, iterations: int) -> SpecBinding:
+    (_, a), (_, b), (_, flag), (_, anc) = _registers(mod)
+    n = len(a)
+    mask = (1 << n) - 1
+    inputs = tuple(a) + tuple(b) + (flag[0],)
+    m = iterations
+
+    def reference(x: int) -> int:
+        av = x & mask
+        bv = (x >> n) & mask
+        f = (x >> (2 * n)) & 1
+        if (m & 1) and av < bv:
+            f ^= 1
+        return av | (bv << n) | (f << (2 * n))
+
+    return SpecBinding(
+        name="compare",
+        module=mod.name,
+        iterations=m,
+        inputs=inputs,
+        outputs=inputs,
+        qubits=tuple(mod.qubits()),
+        clean=tuple(anc) + _ancillas(mod),
+        reference=reference,
+        description=(
+            f"{m} application(s) of a {n}-bit comparator: flag ^= (a < b)"
+        ),
+    )
+
+
+def _bind_multiply(mod: Module, iterations: int) -> SpecBinding:
+    (_, a), (_, b), (_, p) = _registers(mod)
+    na, nb, np_ = len(a), len(b), len(p)
+    mask_a = (1 << na) - 1
+    mask_b = (1 << nb) - 1
+    mask_p = (1 << np_) - 1
+    inputs = tuple(a) + tuple(b) + tuple(p)
+    m = iterations
+
+    def reference(x: int) -> int:
+        av = x & mask_a
+        bv = (x >> na) & mask_b
+        pv = (x >> (na + nb)) & mask_p
+        pv = (pv + m * av * bv) & mask_p
+        return av | (bv << na) | (pv << (na + nb))
+
+    return SpecBinding(
+        name="multiply",
+        module=mod.name,
+        iterations=m,
+        inputs=inputs,
+        outputs=inputs,
+        qubits=tuple(mod.qubits()),
+        clean=_ancillas(mod),
+        reference=reference,
+        description=(
+            f"{m} application(s) of a {na}x{nb}-bit multiplier: "
+            f"product += a*b (mod 2^{np_})"
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class _SpecKind:
+    name: str
+    preferred: Tuple[str, ...]
+    matches: Callable[[Module], bool]
+    bind: Callable[[Module, int], SpecBinding]
+
+
+_KINDS: Dict[str, _SpecKind] = {
+    kind.name: kind
+    for kind in (
+        _SpecKind(
+            "adder", ("add", "adder", "cuccaro"), _match_adder, _bind_adder
+        ),
+        _SpecKind(
+            "compare",
+            ("compare", "cmp", "compare_lt"),
+            _match_compare,
+            _bind_compare,
+        ),
+        _SpecKind(
+            "multiply",
+            ("multiply", "mul", "mult"),
+            _match_multiply,
+            _bind_multiply,
+        ),
+    )
+}
+
+SPEC_NAMES: Tuple[str, ...] = tuple(_KINDS)
+
+
+def _resolve_module(
+    kind: _SpecKind, program: Program, module: Optional[str]
+) -> Module:
+    if module is not None:
+        if module not in program:
+            raise SpecError(f"no module named {module!r} in program")
+        mod = program.module(module)
+        if not kind.matches(mod):
+            regs = ", ".join(
+                f"{name}({len(qs)})" for name, qs in _registers(mod)
+            )
+            raise SpecError(
+                f"module {module!r} (registers {regs or 'none'}) does not "
+                f"have the {kind.name} spec's register shape"
+            )
+        return mod
+    candidates = [m for m in program if kind.matches(m)]
+    for name in kind.preferred:
+        for m in candidates:
+            if m.name == name:
+                return m
+    if len(candidates) == 1:
+        return candidates[0]
+    if not candidates:
+        raise SpecError(
+            f"no module in the program matches the {kind.name} spec's "
+            f"register shape"
+        )
+    names = ", ".join(sorted(m.name for m in candidates))
+    raise SpecError(
+        f"ambiguous {kind.name} spec: modules {names} all match; "
+        f"pick one with --module"
+    )
+
+
+def bind_spec(
+    name: str,
+    program: Program,
+    module: Optional[str] = None,
+    iterations: Optional[int] = None,
+) -> SpecBinding:
+    """Resolve spec ``name`` against ``program``.
+
+    ``module`` forces the kernel module (default: a preferred name,
+    then a unique shape match). ``iterations`` overrides how many times
+    the kernel is taken to apply (default: the entry point's total call
+    multiplicity of that module — 1 when the module *is* the entry).
+    """
+    kind = _KINDS.get(name)
+    if kind is None:
+        raise SpecError(
+            f"unknown spec {name!r} (choose from {', '.join(SPEC_NAMES)})"
+        )
+    mod = _resolve_module(kind, program, module)
+    if iterations is None:
+        iterations = call_multiplicity(program, mod.name)
+        if iterations == 0:
+            raise SpecError(
+                f"module {mod.name!r} is not reachable from the entry "
+                f"point; pass iterations explicitly"
+            )
+    if iterations < 1:
+        raise SpecError(f"iterations must be >= 1, got {iterations}")
+    return kind.bind(mod, iterations)
+
+
+def build_kernel_program(kind: str, width: int) -> Program:
+    """A single-leaf program wrapping one CTQG kernel at ``width`` —
+    the reversible verification registry used by the stream-replay
+    battery and the exhaustive arithmetic tests.
+
+    The leaf *is* the entry (iterations = 1) and its registers carry
+    the spec's canonical names, so ``bind_spec(kind, program)`` always
+    resolves.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if kind == "adder":
+        a = QubitRegister("a", width)
+        b = QubitRegister("b", width)
+        carry = QubitRegister("carry", 2)
+        body = cuccaro_add(list(a), list(b), carry[0], carry[1])
+        mod = Module(
+            "add", params=tuple(a) + tuple(b) + tuple(carry), body=list(body)
+        )
+        return Program([mod], entry="add")
+    if kind == "compare":
+        a = QubitRegister("a", width)
+        b = QubitRegister("b", width)
+        flag = QubitRegister("flag", 1)
+        anc = QubitRegister("anc", 1)
+        body = compare_lt(list(a), list(b), flag[0], anc[0])
+        mod = Module(
+            "compare",
+            params=tuple(a) + tuple(b) + tuple(flag) + tuple(anc),
+            body=list(body),
+        )
+        return Program([mod], entry="compare")
+    if kind == "multiply":
+        a = QubitRegister("a", width)
+        b = QubitRegister("b", width)
+        product = QubitRegister("product", 2 * width)
+        alloc = AncillaAllocator()
+        body = multiply(list(a), list(b), list(product), alloc)
+        mod = Module(
+            "multiply",
+            params=tuple(a) + tuple(b) + tuple(product),
+            body=list(body),
+        )
+        return Program([mod], entry="multiply")
+    raise ValueError(
+        f"unknown kernel kind {kind!r} (choose from {', '.join(SPEC_NAMES)})"
+    )

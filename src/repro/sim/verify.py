@@ -51,11 +51,20 @@ def circuits_equivalent(
     return equivalent_up_to_global_phase(ua, ub, atol=atol)
 
 
+def _check_backend(backend: str) -> None:
+    if backend not in ("statevector", "reversible"):
+        raise ValueError(
+            f"backend must be 'statevector' or 'reversible', "
+            f"got {backend!r}"
+        )
+
+
 def truth_table(
     ops: Sequence[Operation],
     inputs: Sequence[Qubit],
     outputs: Sequence[Qubit],
     all_qubits: Optional[Sequence[Qubit]] = None,
+    backend: str = "statevector",
 ) -> Dict[int, int]:
     """Classical truth table of a reversible circuit.
 
@@ -64,10 +73,23 @@ def truth_table(
     in a non-basis state (i.e. the circuit is not classical on these
     inputs).
 
+    ``backend="reversible"`` computes the identical table through the
+    bit-sliced simulator (:mod:`repro.sim.reversible`) — exact at any
+    width and orders of magnitude faster, but restricted to the
+    classical-permutation gate subset (phase-diagonal gates are
+    tolerated; H/Rx/Ry raise
+    :class:`~repro.sim.reversible.NonReversibleOpError` where the
+    statevector backend would have raised on the non-basis state).
+
     Returns:
         mapping ``input_bits -> output_bits`` with inputs/outputs packed
         little-endian in the order given.
     """
+    _check_backend(backend)
+    if backend == "reversible":
+        from .reversible import truth_table_reversible
+
+        return truth_table_reversible(ops, inputs, outputs, all_qubits)
     if all_qubits is None:
         seen: Dict[Qubit, None] = {}
         for op in ops:
@@ -95,9 +117,22 @@ def check_permutation(
     ops: Sequence[Operation],
     qubits: Sequence[Qubit],
     perm: Callable[[int], int],
+    backend: str = "statevector",
 ) -> bool:
     """True if the circuit maps every basis state ``|j>`` to
-    ``|perm(j)>`` (up to per-state phase)."""
+    ``|perm(j)>`` (up to per-state phase).
+
+    ``backend="reversible"`` runs the same check on the bit-sliced
+    simulator — identical verdicts on the reversible+phase gate subset,
+    and ``False`` (rather than an exception) when the circuit leaves
+    that subset, matching the statevector backend's non-basis-state
+    verdict.
+    """
+    _check_backend(backend)
+    if backend == "reversible":
+        from .reversible import check_permutation_reversible
+
+        return check_permutation_reversible(ops, qubits, perm)
     for j in range(2 ** len(qubits)):
         sim = Simulator(qubits)
         sim.reset(j)

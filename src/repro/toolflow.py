@@ -143,6 +143,9 @@ class CompileResult:
     flattened_percent: float
     #: Diagnostics gathered by strict-mode analysis (empty otherwise).
     diagnostics: Tuple[Diagnostic, ...] = ()
+    #: Leaf modules whose schedule replay was proven permutation-
+    #: preserving by the reversible simulator (``verify=True`` only).
+    verified: Tuple[str, ...] = ()
 
     @property
     def entry_profile(self) -> ModuleProfile:
@@ -192,6 +195,25 @@ class CompileResult:
         )
 
 
+def _verify_leaf(
+    name: str,
+    program_order,
+    replay_order,
+    qubits,
+) -> None:
+    """Replay-vs-program-order semantic gate for one leaf: bit-identical
+    output on every lane or a :class:`VerificationError` carrying the
+    minimal counterexample. Import is local so paper-scale compiles that
+    never verify never touch the sim package."""
+    from .sim.reversible import VerificationError, verify_equivalent
+
+    report = verify_equivalent(
+        program_order, replay_order, qubits, label=name
+    )
+    if not report.ok:
+        raise VerificationError(name, report)
+
+
 def _candidate_widths(k: int) -> List[int]:
     """Widths at which blackbox dimensions are computed: exhaustive for
     small k, powers of two (plus k) for large region counts."""
@@ -216,6 +238,7 @@ def compile_and_schedule(
     optimize: bool = False,
     keep_schedules: bool = True,
     strict: bool = False,
+    verify: bool = False,
 ) -> CompileResult:
     """Run the full toolflow on ``program`` for ``machine``.
 
@@ -240,6 +263,18 @@ def compile_and_schedule(
             any ERROR-severity finding. All collected diagnostics
             (warnings included) are attached to the result's
             ``diagnostics`` field.
+        verify: prove every retained full-width leaf schedule
+            permutation-preserving — replay it through the bit-sliced
+            reversible simulator and require bit-identical output to
+            the leaf body in program order, over all inputs (small
+            leaves) or a seeded sample. Requires the post-pipeline
+            leaves to stay inside the classical-permutation gate subset
+            (in practice: ``decompose=False``); raises
+            :class:`~repro.sim.reversible.NonReversibleOpError`
+            otherwise, and
+            :class:`~repro.sim.reversible.VerificationError` on a
+            semantic mismatch. Verified module names land on the
+            result's ``verified`` field.
 
     Returns:
         a :class:`CompileResult`.
@@ -287,6 +322,7 @@ def compile_and_schedule(
     widths = _candidate_widths(k)
     profiles: Dict[str, ModuleProfile] = {}
     schedules: Dict[str, Schedule] = {}
+    verified_names: List[str] = []
 
     with span("toolflow:schedule"):
         for name in program.topological_order():
@@ -302,6 +338,17 @@ def compile_and_schedule(
                     profile.comm[w] = stats
                     if keep_schedules and w == k:
                         schedules[name] = sched
+                    if verify and w == k:
+                        from .sim.reversible import schedule_ops
+
+                        with span("toolflow:verify"):
+                            _verify_leaf(
+                                name,
+                                mod.operations(),
+                                schedule_ops(sched),
+                                mod.qubits(),
+                            )
+                        verified_names.append(name)
             else:
                 # Sorted for cross-process determinism: callees() is a
                 # set, and set iteration order varies with the hash
@@ -376,6 +423,7 @@ def compile_and_schedule(
         critical_path=max(cp[program.entry], 1),
         flattened_percent=flat.percent_flattened,
         diagnostics=tuple(collected.sorted()),
+        verified=tuple(verified_names),
     )
 
 
@@ -413,6 +461,7 @@ def compile_and_schedule_streamed(
     window: Optional[int] = DEFAULT_WINDOW,
     keep_schedules: bool = True,
     widths: str = "all",
+    verify: bool = False,
 ) -> StreamedCompileResult:
     """The streaming counterpart of :func:`compile_and_schedule`.
 
@@ -438,6 +487,10 @@ def compile_and_schedule_streamed(
             machine's full width ``k`` — the paper-scale mode, where
             one width already costs minutes and entry-level metrics
             are what the scale run reports.
+        verify: same contract as :func:`compile_and_schedule` — each
+            full-width streamed schedule is replayed through the
+            reversible simulator against the leaf's op stream in
+            program order, one streaming pass per side.
     """
     scheduler = scheduler or SchedulerConfig()
     if optimize:
@@ -467,6 +520,7 @@ def compile_and_schedule_streamed(
     columns: Dict[str, StreamColumns] = {}
     leaf_comm: Dict[str, CommStats] = {}
     cp: Dict[str, int] = {}
+    verified_names: List[str] = []
 
     with span("toolflow:stream-schedule"):
         for name in plan.order:
@@ -501,6 +555,17 @@ def compile_and_schedule_streamed(
                     if keep_schedules and w == k:
                         stream_schedules[name] = ssched
                         leaf_comm[name] = stats
+                    if verify and w == k:
+                        from .sim.reversible import streamed_schedule_ops
+
+                        with span("toolflow:verify"):
+                            _verify_leaf(
+                                name,
+                                iter(stream),
+                                streamed_schedule_ops(cols, ssched),
+                                cols.qubits,
+                            )
+                        verified_names.append(name)
                 cols.release_graph()
                 if keep_schedules:
                     columns[name] = cols
@@ -550,4 +615,5 @@ def compile_and_schedule_streamed(
         stream_schedules=stream_schedules,
         columns=columns,
         leaf_comm=leaf_comm,
+        verified=tuple(verified_names),
     )

@@ -1,15 +1,19 @@
 """Tests for the CTQG reversible-arithmetic library.
 
 Every block is verified bit-exactly against its classical semantics via
-the statevector simulator, including ancilla cleanliness (scratch
-qubits must return to |0>)."""
+the reversible simulator (``tests/test_reversible_differential.py``
+proves it verbatim-identical to the statevector simulator on basis
+states), including ancilla cleanliness (scratch qubits must return to
+|0>). Widths 2-8 are swept exhaustively in
+``tests/test_ctqg_exhaustive.py``; this file covers the per-block
+semantics and error contracts."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.qubits import AncillaAllocator, Qubit
 from repro.passes import ctqg
-from repro.sim.statevector import Simulator
+from repro.sim.reversible import ReversibleSimulator
 from repro.sim.verify import truth_table
 
 
@@ -20,7 +24,7 @@ def reg(name, n):
 def run_classical(ops, assignment, all_qubits):
     """Run a reversible circuit on a basis state; return final state as
     a dict qubit -> bit."""
-    sim = Simulator(all_qubits)
+    sim = ReversibleSimulator(all_qubits)
     sim.set_bits(assignment)
     sim.run(ops)
     state = sim.basis_state()
@@ -101,7 +105,8 @@ class TestSha1Blocks:
     def test_block(self, fn, ref):
         x, y, z, d = (reg(n, 2) for n in "xyzd")
         mask = 3
-        tbl = truth_table(fn(x, y, z, d), x + y + z, x + y + z + d)
+        tbl = truth_table(fn(x, y, z, d), x + y + z, x + y + z + d,
+                          backend="reversible")
         for xv in range(4):
             for yv in range(4):
                 for zv in range(4):
@@ -116,7 +121,7 @@ class TestAdders:
         carry = Qubit("c", 0)
         tbl = truth_table(
             ctqg.cuccaro_add(a, b, carry), a + b, b,
-            all_qubits=a + b + [carry],
+            all_qubits=a + b + [carry], backend="reversible",
         )
         for av in range(8):
             for bv in range(8):
